@@ -1,0 +1,119 @@
+// Micro-benchmarks (google-benchmark) of the substrate primitives that
+// dominate the paper experiments: GEMM, conv forward/backward, quantization,
+// Huffman coding, bit-flip feature extraction, and the quantized forward
+// pass of each model family.
+#include <benchmark/benchmark.h>
+
+#include "common/huffman.h"
+#include "core/bitflip.h"
+#include "models/model_zoo.h"
+#include "nn/batchnorm.h"
+#include "nn/conv.h"
+#include "quant/quantized_model.h"
+#include "quant/quantizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace qcore {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Conv1dForward(benchmark::State& state) {
+  Rng rng(2);
+  Conv1d conv(8, 16, 5, 1, 2, &rng);
+  Tensor x = Tensor::Randn({16, 8, 64}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x, false));
+  }
+}
+BENCHMARK(BM_Conv1dForward);
+
+void BM_Conv1dBackward(benchmark::State& state) {
+  Rng rng(3);
+  Conv1d conv(8, 16, 5, 1, 2, &rng);
+  Tensor x = Tensor::Randn({16, 8, 64}, &rng);
+  Tensor y = conv.Forward(x, true);
+  Tensor g = Tensor::Randn(y.shape(), &rng);
+  for (auto _ : state) {
+    conv.ZeroGrad();
+    benchmark::DoNotOptimize(conv.Backward(g));
+  }
+}
+BENCHMARK(BM_Conv1dBackward);
+
+void BM_Quantize(benchmark::State& state) {
+  Rng rng(4);
+  Tensor t = Tensor::Randn({static_cast<int64_t>(state.range(0))}, &rng);
+  QuantParams qp = ChooseSymmetricParams(t, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QuantizeToCodes(t, qp));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Quantize)->Arg(1024)->Arg(65536);
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<int32_t> codes(8192);
+  for (auto& c : codes) {
+    c = static_cast<int32_t>(rng.NextUint64(16)) - 8;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HuffmanCoder::Encode(codes));
+  }
+  state.SetItemsProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_HuffmanEncode);
+
+void BM_BitFlipFeatures(benchmark::State& state) {
+  Rng rng(6);
+  auto model = MakeInceptionTime(9, 19, &rng);
+  QuantizedModel qm(*model, 4);
+  SetBatchNormFrozen(qm.model(), true);
+  Tensor x = Tensor::Randn({32, 9, 64}, &rng);
+  (void)qm.model()->Forward(x, true);
+  for (auto _ : state) {
+    for (int t = 0; t < qm.num_quantized(); ++t) {
+      benchmark::DoNotOptimize(
+          ComputeBitFlipFeatures(qm.quantized(t), nullptr));
+    }
+  }
+}
+BENCHMARK(BM_BitFlipFeatures);
+
+void BM_QuantizedForwardInceptionTime(benchmark::State& state) {
+  Rng rng(7);
+  auto model = MakeInceptionTime(9, 19, &rng);
+  QuantizedModel qm(*model, 4);
+  Tensor x = Tensor::Randn({32, 9, 64}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qm.Forward(x));
+  }
+}
+BENCHMARK(BM_QuantizedForwardInceptionTime);
+
+void BM_QuantizedForwardResNetTiny(benchmark::State& state) {
+  Rng rng(8);
+  auto model = MakeResNetTiny(3, 10, &rng);
+  QuantizedModel qm(*model, 4);
+  Tensor x = Tensor::Randn({16, 3, 16, 16}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qm.Forward(x));
+  }
+}
+BENCHMARK(BM_QuantizedForwardResNetTiny);
+
+}  // namespace
+}  // namespace qcore
+
+BENCHMARK_MAIN();

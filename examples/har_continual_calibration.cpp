@@ -1,0 +1,76 @@
+// Scenario: a wearable-device activity classifier (DSA-like, 19 activities)
+// is trained on one subject and deployed — at several bit-widths — on a
+// different subject. The example drives the library's components manually
+// (instead of RunQCorePipeline) to show where each algorithm runs, and
+// compares against the no-adaptation deployment.
+//
+// Build & run:  ./build/examples/har_continual_calibration
+#include <cstdio>
+
+#include "core/bitflip.h"
+#include "core/continual.h"
+#include "core/qcore_builder.h"
+#include "data/har_generator.h"
+#include "models/model_zoo.h"
+#include "nn/training.h"
+#include "quant/ste_calibrator.h"
+
+using namespace qcore;
+
+int main() {
+  HarSpec spec = HarSpec::Dsa();
+  HarDomain source = MakeHarDomain(spec, 0);
+  HarDomain target = MakeHarDomain(spec, 2);
+  std::printf("DSA-like HAR: %d classes, %d channels x %d steps; "
+              "Subj. 1 -> Subj. 3\n",
+              spec.num_classes, spec.channels, spec.length);
+
+  // --- Server side: Algorithm 1 — train FP model, build the QCore. -------
+  Rng rng(11);
+  auto model = MakeInceptionTime(spec.channels, spec.num_classes, &rng);
+  QCoreBuildOptions build_opts;
+  build_opts.size = 30;
+  build_opts.train.epochs = 15;
+  build_opts.train.sgd.lr = 0.02f;
+  QCoreBuildResult build = BuildQCore(model.get(), source.train, build_opts,
+                                      &rng);
+  std::printf("QCore built: %d examples, info loss %.4f\n",
+              build.qcore.size(), build.info_loss);
+
+  for (int bits : {2, 4, 8}) {
+    // --- Server side: quantize + Algorithm 2 (initial calibration while
+    //     training the bit-flipping network). --------------------------
+    QuantizedModel qm(*model, bits);
+    BitFlipTrainOptions bf_opts;
+    bf_opts.ste.epochs = 30;
+    bf_opts.ste.batch_size = 16;
+    BitFlipNet bf = TrainBitFlipNet(&qm, build.qcore, bf_opts, &rng);
+
+    // A frozen copy shows what deployment without continual calibration
+    // would achieve on the shifted subject.
+    std::unique_ptr<QuantizedModel> frozen = qm.Clone();
+
+    // --- Edge side: drop FP masters, stream with Algorithms 3 + 4. ----
+    qm.DropShadows();
+    ContinualOptions copts;
+    ContinualDriver driver(&qm, &bf, build.qcore, copts, &rng);
+    auto batches = SplitIntoStreamBatches(target.train, 10, &rng);
+    auto slices = SplitIntoStreamBatches(target.test, 10, &rng);
+    auto stats = driver.RunStream(batches, slices);
+
+    const float frozen_acc = EvaluateAccuracy(
+        frozen->model(), target.test.x(), target.test.labels());
+    std::printf(
+        "%d-bit: frozen deployment %.3f -> continual calibration %.3f "
+        "(%.3f s/batch, model size %.1f KiB)\n",
+        bits, frozen_acc, AverageAccuracy(stats),
+        stats[0].calibration_seconds,
+        static_cast<double>(qm.SizeBits()) / 8.0 / 1024.0);
+  }
+  std::printf(
+      "\nTakeaway: continual calibration recovers most of the accuracy the\n"
+      "domain shift destroyed at 4 and 8 bits; at 2 bits only three weight\n"
+      "levels exist, so calibration has very little room to work with (the\n"
+      "paper's 2-bit columns are likewise the weakest).\n");
+  return 0;
+}

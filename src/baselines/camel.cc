@@ -1,0 +1,54 @@
+#include "baselines/camel.h"
+
+#include <algorithm>
+
+#include "baselines/coresets.h"
+#include "nn/batchnorm.h"
+#include "nn/loss.h"
+
+namespace qcore {
+
+CamelLearner::CamelLearner(QuantizedModel* qm, const LearnerOptions& options,
+                           Rng* rng)
+    : ContinualLearner(qm, options, rng),
+      subset_capacity_(std::max(1, options.buffer_capacity / 2)),
+      buffer_(std::max(1, options.buffer_capacity - subset_capacity_),
+              /*store_logits=*/false, rng) {}
+
+void CamelLearner::ObserveBatch(const Dataset& batch) {
+  QCORE_CHECK(!batch.empty());
+
+  // Subset maintenance: k-center coverage over (old subset ∪ new batch).
+  Dataset pool = subset_.empty() ? batch : Dataset::Concat(subset_, batch);
+  const int target = std::min(subset_capacity_, pool.size());
+  Tensor flat =
+      pool.x().Reshape({pool.size(), pool.x().size() / pool.size()});
+  subset_ = pool.Subset(KCenterGreedy(flat, target, rng_));
+
+  SetBatchNormFrozen(qm_->model(), true);
+  SoftmaxCrossEntropy ce;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    Dataset train = subset_;
+    if (!buffer_.empty()) {
+      train = Dataset::Concat(
+          train, buffer_.Sample(options_.replay_sample, batch.num_classes(),
+                                nullptr));
+    }
+    train = train.Shuffled(rng_);
+    for (int start = 0; start < train.size();
+         start += options_.batch_size) {
+      const int end = std::min(train.size(), start + options_.batch_size);
+      std::vector<int> idx(static_cast<size_t>(end - start));
+      for (int i = start; i < end; ++i) idx[static_cast<size_t>(i - start)] = i;
+      Dataset mb = train.Subset(idx);
+      Tensor logits = stepper_.ForwardTrain(mb.x());
+      ce.Forward(logits, mb.labels());
+      stepper_.Backward(ce.Backward());
+      stepper_.Step();
+    }
+  }
+  SetBatchNormFrozen(qm_->model(), false);
+  buffer_.AddBatch(batch, nullptr);
+}
+
+}  // namespace qcore

@@ -1,0 +1,32 @@
+// Camel (Li et al., SIGMOD 2022): efficient data management for stream
+// learning. Incoming data is compressed into a small representative training
+// subset (k-center coverage over inputs) while a separate reservoir buffer
+// preserves older knowledge; the model trains on subset ∪ buffer sample.
+// Total memory (subset + buffer) is capped at the learner's buffer capacity
+// so the comparison with QCore is storage-fair.
+#ifndef QCORE_BASELINES_CAMEL_H_
+#define QCORE_BASELINES_CAMEL_H_
+
+#include "baselines/continual_learner.h"
+#include "baselines/replay_buffer.h"
+
+namespace qcore {
+
+class CamelLearner : public ContinualLearner {
+ public:
+  CamelLearner(QuantizedModel* qm, const LearnerOptions& options, Rng* rng);
+
+  void ObserveBatch(const Dataset& batch) override;
+  std::string name() const override { return "Camel"; }
+
+  const Dataset& subset() const { return subset_; }
+
+ private:
+  int subset_capacity_;
+  Dataset subset_;       // compressed incoming-data subset
+  ReplayBuffer buffer_;  // rehearsal memory for older batches
+};
+
+}  // namespace qcore
+
+#endif  // QCORE_BASELINES_CAMEL_H_

@@ -1,0 +1,57 @@
+#include "baselines/continual_learner.h"
+
+#include "baselines/agem.h"
+#include "baselines/camel.h"
+#include "baselines/deepc.h"
+#include "baselines/der.h"
+#include "baselines/er.h"
+#include "baselines/er_ace.h"
+#include "nn/training.h"
+
+namespace qcore {
+
+ContinualLearner::ContinualLearner(QuantizedModel* qm,
+                                   const LearnerOptions& options, Rng* rng)
+    : qm_(qm), options_(options), rng_(rng), stepper_(qm, options.sgd) {
+  QCORE_CHECK(qm != nullptr && rng != nullptr);
+  QCORE_CHECK_GT(options.epochs, 0);
+  QCORE_CHECK_GT(options.batch_size, 0);
+  QCORE_CHECK_GT(options.buffer_capacity, 0);
+}
+
+float ContinualLearner::Evaluate(const Dataset& test) {
+  if (test.empty()) return 0.0f;
+  return EvaluateAccuracy(qm_->model(), test.x(), test.labels());
+}
+
+std::unique_ptr<ContinualLearner> MakeLearner(const std::string& name,
+                                              QuantizedModel* qm,
+                                              const LearnerOptions& options,
+                                              Rng* rng) {
+  if (name == "ER") return std::make_unique<ErLearner>(qm, options, rng);
+  if (name == "A-GEM") return std::make_unique<AgemLearner>(qm, options, rng);
+  if (name == "DER") {
+    return std::make_unique<DerLearner>(qm, options, rng, /*alpha=*/0.5f,
+                                        /*beta=*/0.0f);
+  }
+  if (name == "DER++") {
+    return std::make_unique<DerLearner>(qm, options, rng, /*alpha=*/0.5f,
+                                        /*beta=*/0.5f);
+  }
+  if (name == "ER-ACE") {
+    return std::make_unique<ErAceLearner>(qm, options, rng);
+  }
+  if (name == "Camel") return std::make_unique<CamelLearner>(qm, options, rng);
+  if (name == "DeepC") return std::make_unique<DeepCLearner>(qm, options, rng);
+  QCORE_CHECK_MSG(false, "unknown baseline learner");
+  return nullptr;
+}
+
+const std::vector<std::string>& BaselineNames() {
+  static const std::vector<std::string>* const kNames =
+      new std::vector<std::string>{"A-GEM", "DER",   "DER++", "ER",
+                                   "ER-ACE", "Camel", "DeepC"};
+  return *kNames;
+}
+
+}  // namespace qcore

@@ -1,0 +1,347 @@
+#include "baselines/coresets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "nn/training.h"
+#include "tensor/tensor_ops.h"
+
+namespace qcore {
+
+namespace {
+
+// Softmax probabilities of `model` on the whole dataset, [N, K].
+Tensor Probabilities(Layer* model, const Dataset& d) {
+  QCORE_CHECK(model != nullptr);
+  Tensor logits = model->Forward(d.x(), /*training=*/false);
+  return SoftmaxRows(logits);
+}
+
+// Indices of the `size` largest scores.
+std::vector<int> TopKByScore(const std::vector<double>& scores, int size) {
+  QCORE_CHECK_LE(size, static_cast<int>(scores.size()));
+  std::vector<int> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + size, order.end(),
+                    [&](int a, int b) {
+                      return scores[static_cast<size_t>(a)] >
+                             scores[static_cast<size_t>(b)];
+                    });
+  order.resize(static_cast<size_t>(size));
+  return order;
+}
+
+double SquaredDistance(const float* a, const float* b, int64_t n) {
+  double s = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double diff = static_cast<double>(a[i]) - b[i];
+    s += diff * diff;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<int> SelectMaxEntropy(Layer* model, const Dataset& d, int size) {
+  const Tensor probs = Probabilities(model, d);
+  const int64_t n = probs.dim(0), k = probs.dim(1);
+  std::vector<double> entropy(static_cast<size_t>(n), 0.0);
+  const float* pp = probs.data();
+  for (int64_t i = 0; i < n; ++i) {
+    double h = 0.0;
+    for (int64_t j = 0; j < k; ++j) {
+      const double p = std::max<double>(pp[i * k + j], 1e-12);
+      h -= p * std::log(p);
+    }
+    entropy[static_cast<size_t>(i)] = h;
+  }
+  return TopKByScore(entropy, size);
+}
+
+std::vector<int> SelectLeastConfidence(Layer* model, const Dataset& d,
+                                       int size) {
+  const Tensor probs = Probabilities(model, d);
+  const int64_t n = probs.dim(0), k = probs.dim(1);
+  std::vector<double> uncertainty(static_cast<size_t>(n), 0.0);
+  const float* pp = probs.data();
+  for (int64_t i = 0; i < n; ++i) {
+    float mx = 0.0f;
+    for (int64_t j = 0; j < k; ++j) mx = std::max(mx, pp[i * k + j]);
+    uncertainty[static_cast<size_t>(i)] = 1.0 - mx;  // higher = less confident
+  }
+  return TopKByScore(uncertainty, size);
+}
+
+std::vector<int> SelectNormalFit(const std::vector<int>& misses, int size,
+                                 Rng* rng) {
+  QCORE_CHECK(rng != nullptr);
+  const int n = static_cast<int>(misses.size());
+  QCORE_CHECK_LE(size, n);
+  double mean = 0.0;
+  for (int m : misses) mean += m;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (int m : misses) var += (m - mean) * (m - mean);
+  var = var / static_cast<double>(n) + 1e-6;
+
+  // Weighted sampling without replacement proportional to the fitted
+  // density.
+  std::vector<double> weights(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double z = (misses[static_cast<size_t>(i)] - mean);
+    weights[static_cast<size_t>(i)] = std::exp(-z * z / (2.0 * var)) + 1e-9;
+  }
+  std::vector<int> selected;
+  selected.reserve(static_cast<size_t>(size));
+  for (int pick = 0; pick < size; ++pick) {
+    const int idx = rng->SampleWeighted(weights);
+    selected.push_back(idx);
+    weights[static_cast<size_t>(idx)] = 0.0;
+  }
+  return selected;
+}
+
+std::vector<int> SelectKMeans(const Dataset& d, int size, Rng* rng) {
+  QCORE_CHECK(rng != nullptr);
+  const int n = d.size();
+  QCORE_CHECK_LE(size, n);
+  const Tensor flat = d.x().Reshape({n, d.x().size() / n});
+  const int64_t dim = flat.dim(1);
+  const float* px = flat.data();
+
+  // Initialize centroids from a random subset.
+  std::vector<int> init = rng->SampleWithoutReplacement(n, size);
+  std::vector<std::vector<double>> centroids(
+      static_cast<size_t>(size), std::vector<double>(static_cast<size_t>(dim)));
+  for (int c = 0; c < size; ++c) {
+    const float* row = px + static_cast<int64_t>(init[static_cast<size_t>(c)]) * dim;
+    for (int64_t j = 0; j < dim; ++j) centroids[static_cast<size_t>(c)][static_cast<size_t>(j)] = row[j];
+  }
+
+  std::vector<int> assignment(static_cast<size_t>(n), 0);
+  for (int iter = 0; iter < 10; ++iter) {
+    // Assign.
+    for (int i = 0; i < n; ++i) {
+      const float* row = px + static_cast<int64_t>(i) * dim;
+      double best = 1e300;
+      int best_c = 0;
+      for (int c = 0; c < size; ++c) {
+        double dist = 0.0;
+        const auto& cen = centroids[static_cast<size_t>(c)];
+        for (int64_t j = 0; j < dim; ++j) {
+          const double diff = row[j] - cen[static_cast<size_t>(j)];
+          dist += diff * diff;
+        }
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      assignment[static_cast<size_t>(i)] = best_c;
+    }
+    // Update.
+    std::vector<std::vector<double>> sums(
+        static_cast<size_t>(size),
+        std::vector<double>(static_cast<size_t>(dim), 0.0));
+    std::vector<int> counts(static_cast<size_t>(size), 0);
+    for (int i = 0; i < n; ++i) {
+      const int c = assignment[static_cast<size_t>(i)];
+      const float* row = px + static_cast<int64_t>(i) * dim;
+      auto& sum = sums[static_cast<size_t>(c)];
+      for (int64_t j = 0; j < dim; ++j) sum[static_cast<size_t>(j)] += row[j];
+      ++counts[static_cast<size_t>(c)];
+    }
+    for (int c = 0; c < size; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) continue;  // keep old centroid
+      auto& cen = centroids[static_cast<size_t>(c)];
+      for (int64_t j = 0; j < dim; ++j) {
+        cen[static_cast<size_t>(j)] =
+            sums[static_cast<size_t>(c)][static_cast<size_t>(j)] /
+            counts[static_cast<size_t>(c)];
+      }
+    }
+  }
+
+  // Nearest example to each centroid, without duplicates.
+  std::vector<bool> taken(static_cast<size_t>(n), false);
+  std::vector<int> selected;
+  selected.reserve(static_cast<size_t>(size));
+  for (int c = 0; c < size; ++c) {
+    double best = 1e300;
+    int best_i = -1;
+    const auto& cen = centroids[static_cast<size_t>(c)];
+    for (int i = 0; i < n; ++i) {
+      if (taken[static_cast<size_t>(i)]) continue;
+      const float* row = px + static_cast<int64_t>(i) * dim;
+      double dist = 0.0;
+      for (int64_t j = 0; j < dim; ++j) {
+        const double diff = row[j] - cen[static_cast<size_t>(j)];
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        best_i = i;
+      }
+    }
+    QCORE_CHECK_GE(best_i, 0);
+    taken[static_cast<size_t>(best_i)] = true;
+    selected.push_back(best_i);
+  }
+  return selected;
+}
+
+std::vector<int> KCenterGreedy(const Tensor& flattened_rows, int size,
+                               Rng* rng) {
+  QCORE_CHECK(rng != nullptr);
+  QCORE_CHECK_EQ(flattened_rows.ndim(), 2);
+  const int n = static_cast<int>(flattened_rows.dim(0));
+  QCORE_CHECK_LE(size, n);
+  const int64_t dim = flattened_rows.dim(1);
+  const float* px = flattened_rows.data();
+
+  std::vector<int> selected;
+  selected.reserve(static_cast<size_t>(size));
+  std::vector<double> min_dist(static_cast<size_t>(n), 1e300);
+  int current = rng->NextInt(0, n - 1);
+  selected.push_back(current);
+  for (int pick = 1; pick < size; ++pick) {
+    // Update distances to the newly selected center, then take the farthest.
+    const float* crow = px + static_cast<int64_t>(current) * dim;
+    double best = -1.0;
+    int best_i = -1;
+    for (int i = 0; i < n; ++i) {
+      const double dist =
+          SquaredDistance(px + static_cast<int64_t>(i) * dim, crow, dim);
+      if (dist < min_dist[static_cast<size_t>(i)]) {
+        min_dist[static_cast<size_t>(i)] = dist;
+      }
+      if (min_dist[static_cast<size_t>(i)] > best &&
+          std::find(selected.begin(), selected.end(), i) == selected.end()) {
+        best = min_dist[static_cast<size_t>(i)];
+        best_i = i;
+      }
+    }
+    QCORE_CHECK_GE(best_i, 0);
+    selected.push_back(best_i);
+    current = best_i;
+  }
+  return selected;
+}
+
+Tensor LastLayerGradients(Layer* model, const Dataset& d) {
+  const Tensor probs = Probabilities(model, d);
+  Tensor grads = probs;
+  const int64_t k = grads.dim(1);
+  float* pg = grads.data();
+  for (int i = 0; i < d.size(); ++i) {
+    pg[static_cast<int64_t>(i) * k + d.labels()[static_cast<size_t>(i)]] -=
+        1.0f;
+  }
+  return grads;
+}
+
+std::vector<int> SelectGradMatch(Layer* model, const Dataset& d, int size) {
+  const Tensor grads = LastLayerGradients(model, d);
+  const int n = d.size();
+  QCORE_CHECK_LE(size, n);
+  const int64_t k = grads.dim(1);
+  const float* pg = grads.data();
+
+  // Target: mean gradient over the full set.
+  std::vector<double> target(static_cast<size_t>(k), 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < k; ++j) {
+      target[static_cast<size_t>(j)] += pg[static_cast<int64_t>(i) * k + j];
+    }
+  }
+  for (auto& t : target) t /= static_cast<double>(n);
+
+  // Greedy OMP-style: add the example that most reduces the residual between
+  // the running subset mean and the target.
+  std::vector<double> subset_sum(static_cast<size_t>(k), 0.0);
+  std::vector<bool> taken(static_cast<size_t>(n), false);
+  std::vector<int> selected;
+  selected.reserve(static_cast<size_t>(size));
+  for (int pick = 0; pick < size; ++pick) {
+    double best = 1e300;
+    int best_i = -1;
+    const double denom = static_cast<double>(pick + 1);
+    for (int i = 0; i < n; ++i) {
+      if (taken[static_cast<size_t>(i)]) continue;
+      double residual = 0.0;
+      for (int64_t j = 0; j < k; ++j) {
+        const double mean_j =
+            (subset_sum[static_cast<size_t>(j)] +
+             pg[static_cast<int64_t>(i) * k + j]) /
+            denom;
+        const double diff = mean_j - target[static_cast<size_t>(j)];
+        residual += diff * diff;
+      }
+      if (residual < best) {
+        best = residual;
+        best_i = i;
+      }
+    }
+    QCORE_CHECK_GE(best_i, 0);
+    taken[static_cast<size_t>(best_i)] = true;
+    selected.push_back(best_i);
+    for (int64_t j = 0; j < k; ++j) {
+      subset_sum[static_cast<size_t>(j)] +=
+          pg[static_cast<int64_t>(best_i) * k + j];
+    }
+  }
+  return selected;
+}
+
+std::vector<int> SelectCraig(Layer* model, const Dataset& d, int size) {
+  const Tensor grads = LastLayerGradients(model, d);
+  const int n = d.size();
+  QCORE_CHECK_LE(size, n);
+  const int64_t k = grads.dim(1);
+  const float* pg = grads.data();
+
+  // Similarity: negative Euclidean distance between gradients, shifted so
+  // facility-location gains stay non-negative.
+  auto similarity = [&](int a, int b) {
+    const double dist = std::sqrt(SquaredDistance(
+        pg + static_cast<int64_t>(a) * k, pg + static_cast<int64_t>(b) * k,
+        k));
+    return 1.0 / (1.0 + dist);
+  };
+
+  std::vector<double> coverage(static_cast<size_t>(n), 0.0);
+  std::vector<bool> taken(static_cast<size_t>(n), false);
+  std::vector<int> selected;
+  selected.reserve(static_cast<size_t>(size));
+  for (int pick = 0; pick < size; ++pick) {
+    double best_gain = -1.0;
+    int best_i = -1;
+    for (int i = 0; i < n; ++i) {
+      if (taken[static_cast<size_t>(i)]) continue;
+      double gain = 0.0;
+      for (int j = 0; j < n; ++j) {
+        const double s = similarity(j, i);
+        if (s > coverage[static_cast<size_t>(j)]) {
+          gain += s - coverage[static_cast<size_t>(j)];
+        }
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_i = i;
+      }
+    }
+    QCORE_CHECK_GE(best_i, 0);
+    taken[static_cast<size_t>(best_i)] = true;
+    selected.push_back(best_i);
+    for (int j = 0; j < n; ++j) {
+      const double s = similarity(j, best_i);
+      if (s > coverage[static_cast<size_t>(j)]) {
+        coverage[static_cast<size_t>(j)] = s;
+      }
+    }
+  }
+  return selected;
+}
+
+}  // namespace qcore

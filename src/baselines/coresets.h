@@ -1,0 +1,53 @@
+// Subset/coreset construction strategies compared against QCore's
+// miss-distribution sampling (paper Table 8 and Sec. 4.2.4): sampling rules
+// (max-entropy, least-confidence, normal-fit), geometric selection (k-means
+// / k-center), and gradient-based coresets (GradMatch, CRAIG). All return
+// indices into the dataset.
+#ifndef QCORE_BASELINES_CORESETS_H_
+#define QCORE_BASELINES_CORESETS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/layer.h"
+
+namespace qcore {
+
+// Examples with the highest predictive entropy under `model`.
+std::vector<int> SelectMaxEntropy(Layer* model, const Dataset& d, int size);
+
+// Examples with the lowest top-class probability (most uncertain).
+std::vector<int> SelectLeastConfidence(Layer* model, const Dataset& d,
+                                       int size);
+
+// Samples examples with probability proportional to a normal density fitted
+// to the per-example miss counts — the "quantization misses are normal"
+// assumption the paper evaluates.
+std::vector<int> SelectNormalFit(const std::vector<int>& misses, int size,
+                                 Rng* rng);
+
+// Lloyd k-means (k = size) on flattened inputs; returns the example nearest
+// to each centroid.
+std::vector<int> SelectKMeans(const Dataset& d, int size, Rng* rng);
+
+// k-center greedy (max-min distance) on flattened inputs; also used by the
+// Camel baseline's subset maintenance.
+std::vector<int> KCenterGreedy(const Tensor& flattened_rows, int size,
+                               Rng* rng);
+
+// GradMatch (Killamsetty et al. 2021), simplified: greedy orthogonal-
+// matching selection of examples whose mean last-layer gradient best
+// approximates the full-data mean gradient.
+std::vector<int> SelectGradMatch(Layer* model, const Dataset& d, int size);
+
+// CRAIG (Mirzasoleiman et al. 2020), simplified: greedy facility-location
+// maximization of last-layer gradient similarity coverage.
+std::vector<int> SelectCraig(Layer* model, const Dataset& d, int size);
+
+// Last-layer gradient proxy per example: softmax(logits) - onehot(label),
+// an [N, K] matrix. Shared by the gradient-based strategies (and tested).
+Tensor LastLayerGradients(Layer* model, const Dataset& d);
+
+}  // namespace qcore
+
+#endif  // QCORE_BASELINES_CORESETS_H_

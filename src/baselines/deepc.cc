@@ -1,0 +1,104 @@
+#include "baselines/deepc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/huffman.h"
+#include "nn/batchnorm.h"
+#include "nn/loss.h"
+
+namespace qcore {
+
+DeepCLearner::DeepCLearner(QuantizedModel* qm, const LearnerOptions& options,
+                           Rng* rng, float prune_fraction)
+    : ContinualLearner(qm, options, rng), prune_fraction_(prune_fraction) {
+  QCORE_CHECK_GE(prune_fraction, 0.0f);
+  QCORE_CHECK_LT(prune_fraction, 1.0f);
+  // Stage 1: magnitude pruning per quantized tensor.
+  mask_.resize(static_cast<size_t>(qm_->num_quantized()));
+  for (int t = 0; t < qm_->num_quantized(); ++t) {
+    auto& qt = qm_->quantized(t);
+    const int64_t count = static_cast<int64_t>(qt.codes.size());
+    std::vector<float> magnitudes(static_cast<size_t>(count));
+    for (int64_t e = 0; e < count; ++e) {
+      magnitudes[static_cast<size_t>(e)] =
+          std::fabs(qt.shadow.size() > 0 ? qt.shadow[e] : qt.param->value[e]);
+    }
+    std::vector<float> sorted = magnitudes;
+    std::sort(sorted.begin(), sorted.end());
+    const int64_t cut =
+        static_cast<int64_t>(prune_fraction_ * static_cast<float>(count));
+    const float threshold = cut > 0 ? sorted[static_cast<size_t>(cut - 1)]
+                                    : -1.0f;
+    mask_[static_cast<size_t>(t)].assign(static_cast<size_t>(count), false);
+    int64_t pruned = 0;
+    for (int64_t e = 0; e < count && pruned < cut; ++e) {
+      if (magnitudes[static_cast<size_t>(e)] <= threshold) {
+        mask_[static_cast<size_t>(t)][static_cast<size_t>(e)] = true;
+        ++pruned;
+      }
+    }
+  }
+  EnforceMask();
+}
+
+void DeepCLearner::EnforceMask() {
+  for (int t = 0; t < qm_->num_quantized(); ++t) {
+    auto& qt = qm_->quantized(t);
+    const auto& mask = mask_[static_cast<size_t>(t)];
+    for (size_t e = 0; e < qt.codes.size(); ++e) {
+      if (!mask[e]) continue;
+      qt.codes[e] = 0;
+      if (qt.shadow.size() > 0) qt.shadow[static_cast<int64_t>(e)] = 0.0f;
+    }
+    qm_->SyncParamFromCodes(t);
+  }
+}
+
+void DeepCLearner::ObserveBatch(const Dataset& batch) {
+  QCORE_CHECK(!batch.empty());
+  SetBatchNormFrozen(qm_->model(), true);
+  SoftmaxCrossEntropy ce;
+  // Naive fine-tuning on the incoming batch only — DeepC has no rehearsal.
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    Dataset shuffled = batch.Shuffled(rng_);
+    for (int start = 0; start < shuffled.size();
+         start += options_.batch_size) {
+      const int end = std::min(shuffled.size(), start + options_.batch_size);
+      std::vector<int> idx(static_cast<size_t>(end - start));
+      for (int i = start; i < end; ++i) idx[static_cast<size_t>(i - start)] = i;
+      Dataset mb = shuffled.Subset(idx);
+      Tensor logits = stepper_.ForwardTrain(mb.x());
+      ce.Forward(logits, mb.labels());
+      stepper_.Backward(ce.Backward());
+      stepper_.Step();
+      EnforceMask();
+    }
+  }
+  SetBatchNormFrozen(qm_->model(), false);
+}
+
+float DeepCLearner::pruned_fraction() const {
+  int64_t pruned = 0, total = 0;
+  for (const auto& mask : mask_) {
+    total += static_cast<int64_t>(mask.size());
+    for (bool m : mask) pruned += m ? 1 : 0;
+  }
+  return total > 0 ? static_cast<float>(pruned) / static_cast<float>(total)
+                   : 0.0f;
+}
+
+uint64_t DeepCLearner::CompressedSizeBits() const {
+  uint64_t bits = 0;
+  for (int t = 0; t < qm_->num_quantized(); ++t) {
+    const auto& qt = qm_->quantized(t);
+    auto encoded = HuffmanCoder::Encode(qt.codes);
+    QCORE_CHECK(encoded.ok());
+    bits += encoded.value().TotalBits();
+  }
+  const int64_t total = CountParams(qm_->model());
+  const int64_t fp = total - qm_->TotalCodeCount();
+  return bits + static_cast<uint64_t>(fp) * 32ULL;
+}
+
+}  // namespace qcore

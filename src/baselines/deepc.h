@@ -1,0 +1,43 @@
+// Deep Compression (Han et al., ICLR 2016): prune the smallest-magnitude
+// weights, quantize the survivors, and Huffman-encode the codes. It is a
+// compression pipeline rather than a continual learner, so streaming
+// adaptation is naive fine-tuning on each incoming batch with the pruning
+// mask enforced — which is exactly why it forgets (paper Tables 5/6).
+#ifndef QCORE_BASELINES_DEEPC_H_
+#define QCORE_BASELINES_DEEPC_H_
+
+#include <vector>
+
+#include "baselines/continual_learner.h"
+
+namespace qcore {
+
+class DeepCLearner : public ContinualLearner {
+ public:
+  // `prune_fraction` of each quantized tensor's weights (smallest |w|) are
+  // zeroed and frozen.
+  DeepCLearner(QuantizedModel* qm, const LearnerOptions& options, Rng* rng,
+               float prune_fraction = 0.3f);
+
+  void ObserveBatch(const Dataset& batch) override;
+  std::string name() const override { return "DeepC"; }
+
+  // Fraction of quantized weights pruned (diagnostics).
+  float pruned_fraction() const;
+
+  // Size in bits of the Huffman-encoded code streams (the three-stage
+  // pipeline's final artifact), plus 32 bits per remaining full-precision
+  // parameter.
+  uint64_t CompressedSizeBits() const;
+
+ private:
+  void EnforceMask();
+
+  float prune_fraction_;
+  // mask_[t][e] is true when element e of quantized tensor t is pruned.
+  std::vector<std::vector<bool>> mask_;
+};
+
+}  // namespace qcore
+
+#endif  // QCORE_BASELINES_DEEPC_H_

@@ -1,0 +1,67 @@
+#include "baselines/der.h"
+
+#include <algorithm>
+
+#include "nn/batchnorm.h"
+#include "nn/loss.h"
+#include "nn/training.h"
+#include "tensor/tensor_ops.h"
+
+namespace qcore {
+
+DerLearner::DerLearner(QuantizedModel* qm, const LearnerOptions& options,
+                       Rng* rng, float alpha, float beta)
+    : ContinualLearner(qm, options, rng),
+      buffer_(options.buffer_capacity, /*store_logits=*/true, rng),
+      alpha_(alpha),
+      beta_(beta) {
+  QCORE_CHECK_GE(alpha, 0.0f);
+  QCORE_CHECK_GE(beta, 0.0f);
+}
+
+void DerLearner::ObserveBatch(const Dataset& batch) {
+  QCORE_CHECK(!batch.empty());
+  SetBatchNormFrozen(qm_->model(), true);
+  SoftmaxCrossEntropy ce;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    Dataset shuffled = batch.Shuffled(rng_);
+    for (int start = 0; start < shuffled.size();
+         start += options_.batch_size) {
+      const int end = std::min(shuffled.size(), start + options_.batch_size);
+      std::vector<int> idx(static_cast<size_t>(end - start));
+      for (int i = start; i < end; ++i) idx[static_cast<size_t>(i - start)] = i;
+      Dataset mb = shuffled.Subset(idx);
+
+      stepper_.ZeroGrads();
+      // Current-task term.
+      Tensor logits = stepper_.ForwardTrain(mb.x());
+      ce.Forward(logits, mb.labels());
+      stepper_.Backward(ce.Backward());
+
+      // Replay term(s), accumulated into the same gradients.
+      if (!buffer_.empty()) {
+        Tensor stored_logits;
+        Dataset replay = buffer_.Sample(options_.replay_sample,
+                                        batch.num_classes(), &stored_logits);
+        Tensor replay_logits = stepper_.ForwardTrain(replay.x());
+        Tensor mse_grad;
+        MseLoss(replay_logits, stored_logits, &mse_grad);
+        Tensor grad = MulScalar(mse_grad, alpha_);
+        if (beta_ > 0.0f) {
+          SoftmaxCrossEntropy replay_ce;
+          replay_ce.Forward(replay_logits, replay.labels());
+          AxpyInPlace(&grad, beta_, replay_ce.Backward());
+        }
+        stepper_.Backward(grad);
+      }
+      stepper_.Step();
+    }
+  }
+  SetBatchNormFrozen(qm_->model(), false);
+
+  // Record logits under the freshly updated model for future replay.
+  Tensor batch_logits = qm_->model()->Forward(batch.x(), /*training=*/false);
+  buffer_.AddBatch(batch, &batch_logits);
+}
+
+}  // namespace qcore

@@ -1,0 +1,30 @@
+// Dark Experience Replay (Buzzega et al. 2020). The buffer stores the
+// model's logits at insertion time; replay matches current outputs to the
+// stored logits (self-distillation):
+//   L = CE(batch) + alpha * MSE(f(x_buf), z_buf) + beta * CE(f(x_buf), y_buf)
+// beta = 0 gives DER, beta > 0 gives DER++.
+#ifndef QCORE_BASELINES_DER_H_
+#define QCORE_BASELINES_DER_H_
+
+#include "baselines/continual_learner.h"
+#include "baselines/replay_buffer.h"
+
+namespace qcore {
+
+class DerLearner : public ContinualLearner {
+ public:
+  DerLearner(QuantizedModel* qm, const LearnerOptions& options, Rng* rng,
+             float alpha, float beta);
+
+  void ObserveBatch(const Dataset& batch) override;
+  std::string name() const override { return beta_ > 0.0f ? "DER++" : "DER"; }
+
+ private:
+  ReplayBuffer buffer_;
+  float alpha_;
+  float beta_;
+};
+
+}  // namespace qcore
+
+#endif  // QCORE_BASELINES_DER_H_

@@ -1,0 +1,43 @@
+#include "baselines/er.h"
+
+#include <algorithm>
+
+#include "nn/batchnorm.h"
+#include "nn/loss.h"
+
+namespace qcore {
+
+ErLearner::ErLearner(QuantizedModel* qm, const LearnerOptions& options,
+                     Rng* rng)
+    : ContinualLearner(qm, options, rng),
+      buffer_(options.buffer_capacity, /*store_logits=*/false, rng) {}
+
+void ErLearner::ObserveBatch(const Dataset& batch) {
+  QCORE_CHECK(!batch.empty());
+  SetBatchNormFrozen(qm_->model(), true);
+  SoftmaxCrossEntropy ce;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    Dataset train = batch;
+    if (!buffer_.empty()) {
+      train = Dataset::Concat(
+          batch, buffer_.Sample(options_.replay_sample, batch.num_classes(),
+                                nullptr));
+    }
+    train = train.Shuffled(rng_);
+    for (int start = 0; start < train.size();
+         start += options_.batch_size) {
+      const int end = std::min(train.size(), start + options_.batch_size);
+      std::vector<int> idx(static_cast<size_t>(end - start));
+      for (int i = start; i < end; ++i) idx[static_cast<size_t>(i - start)] = i;
+      Dataset mb = train.Subset(idx);
+      Tensor logits = stepper_.ForwardTrain(mb.x());
+      ce.Forward(logits, mb.labels());
+      stepper_.Backward(ce.Backward());
+      stepper_.Step();
+    }
+  }
+  SetBatchNormFrozen(qm_->model(), false);
+  buffer_.AddBatch(batch, nullptr);
+}
+
+}  // namespace qcore

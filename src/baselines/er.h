@@ -1,0 +1,27 @@
+// Experience Replay (Riemer et al. 2019): the canonical rehearsal baseline.
+// Each incoming batch is trained jointly with a uniform sample from a
+// fixed-capacity reservoir buffer of past examples.
+#ifndef QCORE_BASELINES_ER_H_
+#define QCORE_BASELINES_ER_H_
+
+#include "baselines/continual_learner.h"
+#include "baselines/replay_buffer.h"
+
+namespace qcore {
+
+class ErLearner : public ContinualLearner {
+ public:
+  ErLearner(QuantizedModel* qm, const LearnerOptions& options, Rng* rng);
+
+  void ObserveBatch(const Dataset& batch) override;
+  std::string name() const override { return "ER"; }
+
+  const ReplayBuffer& buffer() const { return buffer_; }
+
+ private:
+  ReplayBuffer buffer_;
+};
+
+}  // namespace qcore
+
+#endif  // QCORE_BASELINES_ER_H_

@@ -1,0 +1,86 @@
+#include "baselines/er_ace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/batchnorm.h"
+#include "nn/loss.h"
+
+namespace qcore {
+
+Tensor AsymmetricCeGrad(const Tensor& logits, const std::vector<int>& labels) {
+  QCORE_CHECK_EQ(logits.ndim(), 2);
+  QCORE_CHECK_EQ(logits.dim(0), static_cast<int64_t>(labels.size()));
+  const int64_t n = logits.dim(0), k = logits.dim(1);
+  std::vector<bool> present(static_cast<size_t>(k), false);
+  for (int y : labels) {
+    QCORE_CHECK(y >= 0 && y < k);
+    present[static_cast<size_t>(y)] = true;
+  }
+  Tensor grad({n, k});
+  const float* pl = logits.data();
+  float* pg = grad.data();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = pl + i * k;
+    // Softmax over present classes only.
+    float mx = -1e30f;
+    for (int64_t j = 0; j < k; ++j) {
+      if (present[static_cast<size_t>(j)]) mx = std::max(mx, row[j]);
+    }
+    double denom = 0.0;
+    for (int64_t j = 0; j < k; ++j) {
+      if (present[static_cast<size_t>(j)]) denom += std::exp(row[j] - mx);
+    }
+    float* grow = pg + i * k;
+    const int y = labels[static_cast<size_t>(i)];
+    for (int64_t j = 0; j < k; ++j) {
+      if (!present[static_cast<size_t>(j)]) {
+        grow[j] = 0.0f;  // absent classes are untouched (the asymmetry)
+        continue;
+      }
+      const float p =
+          static_cast<float>(std::exp(row[j] - mx) / denom);
+      grow[j] = (p - (j == y ? 1.0f : 0.0f)) * inv_n;
+    }
+  }
+  return grad;
+}
+
+ErAceLearner::ErAceLearner(QuantizedModel* qm, const LearnerOptions& options,
+                           Rng* rng)
+    : ContinualLearner(qm, options, rng),
+      buffer_(options.buffer_capacity, /*store_logits=*/false, rng) {}
+
+void ErAceLearner::ObserveBatch(const Dataset& batch) {
+  QCORE_CHECK(!batch.empty());
+  SetBatchNormFrozen(qm_->model(), true);
+  SoftmaxCrossEntropy ce;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    Dataset shuffled = batch.Shuffled(rng_);
+    for (int start = 0; start < shuffled.size();
+         start += options_.batch_size) {
+      const int end = std::min(shuffled.size(), start + options_.batch_size);
+      std::vector<int> idx(static_cast<size_t>(end - start));
+      for (int i = start; i < end; ++i) idx[static_cast<size_t>(i - start)] = i;
+      Dataset mb = shuffled.Subset(idx);
+
+      stepper_.ZeroGrads();
+      Tensor logits = stepper_.ForwardTrain(mb.x());
+      stepper_.Backward(AsymmetricCeGrad(logits, mb.labels()));
+
+      if (!buffer_.empty()) {
+        Dataset replay = buffer_.Sample(options_.replay_sample,
+                                        batch.num_classes(), nullptr);
+        Tensor replay_logits = stepper_.ForwardTrain(replay.x());
+        ce.Forward(replay_logits, replay.labels());
+        stepper_.Backward(ce.Backward());
+      }
+      stepper_.Step();
+    }
+  }
+  SetBatchNormFrozen(qm_->model(), false);
+  buffer_.AddBatch(batch, nullptr);
+}
+
+}  // namespace qcore

@@ -1,0 +1,32 @@
+// ER-ACE (Caccia et al. 2022): Experience Replay with Asymmetric
+// Cross-Entropy. The loss on incoming examples is computed over the classes
+// present in the incoming minibatch only, which prevents new data from
+// pushing down the logits of absent (old) classes; buffered examples use the
+// full cross-entropy.
+#ifndef QCORE_BASELINES_ER_ACE_H_
+#define QCORE_BASELINES_ER_ACE_H_
+
+#include "baselines/continual_learner.h"
+#include "baselines/replay_buffer.h"
+
+namespace qcore {
+
+class ErAceLearner : public ContinualLearner {
+ public:
+  ErAceLearner(QuantizedModel* qm, const LearnerOptions& options, Rng* rng);
+
+  void ObserveBatch(const Dataset& batch) override;
+  std::string name() const override { return "ER-ACE"; }
+
+ private:
+  ReplayBuffer buffer_;
+};
+
+// dLoss/dLogits of cross-entropy restricted to the class set present in
+// `labels` (softmax over present classes; absent classes receive zero
+// gradient). Exposed for testing.
+Tensor AsymmetricCeGrad(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace qcore
+
+#endif  // QCORE_BASELINES_ER_ACE_H_

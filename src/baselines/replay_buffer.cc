@@ -1,0 +1,99 @@
+#include "baselines/replay_buffer.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace qcore {
+
+ReplayBuffer::ReplayBuffer(int capacity, bool store_logits, Rng* rng)
+    : capacity_(capacity), store_logits_(store_logits), rng_(rng) {
+  QCORE_CHECK_GT(capacity, 0);
+  QCORE_CHECK(rng != nullptr);
+}
+
+void ReplayBuffer::Add(const Tensor& x, int label, const Tensor* logits) {
+  QCORE_CHECK_EQ(x.dim(0), 1);
+  QCORE_CHECK(!store_logits_ || logits != nullptr);
+  ++seen_;
+  if (size() < capacity_) {
+    xs_.push_back(x);
+    labels_.push_back(label);
+    if (store_logits_) logits_.push_back(*logits);
+    return;
+  }
+  // Reservoir: replace a random slot with probability capacity/seen.
+  const int64_t j = static_cast<int64_t>(rng_->NextUint64(
+      static_cast<uint64_t>(seen_)));
+  if (j < capacity_) {
+    xs_[static_cast<size_t>(j)] = x;
+    labels_[static_cast<size_t>(j)] = label;
+    if (store_logits_) logits_[static_cast<size_t>(j)] = *logits;
+  }
+}
+
+void ReplayBuffer::AddBatch(const Dataset& batch, const Tensor* batch_logits) {
+  QCORE_CHECK(!store_logits_ || batch_logits != nullptr);
+  for (int i = 0; i < batch.size(); ++i) {
+    Tensor x = batch.Example(i);
+    if (store_logits_) {
+      Tensor row = batch_logits->SliceRows(i, i + 1);
+      Add(x, batch.labels()[static_cast<size_t>(i)], &row);
+    } else {
+      Add(x, batch.labels()[static_cast<size_t>(i)], nullptr);
+    }
+  }
+}
+
+namespace {
+
+Dataset Assemble(const std::vector<Tensor>& xs, const std::vector<int>& labels,
+                 const std::vector<Tensor>& logit_rows,
+                 const std::vector<int>& indices, int num_classes,
+                 bool store_logits, Tensor* logits) {
+  QCORE_CHECK(!indices.empty());
+  std::vector<int64_t> shape = xs[static_cast<size_t>(indices[0])].shape();
+  shape[0] = static_cast<int64_t>(indices.size());
+  Tensor x(shape);
+  const int64_t row_size = x.size() / x.dim(0);
+  std::vector<int> y(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const Tensor& src = xs[static_cast<size_t>(indices[i])];
+    QCORE_CHECK_EQ(src.size(), row_size);
+    std::copy(src.data(), src.data() + row_size,
+              x.data() + static_cast<int64_t>(i) * row_size);
+    y[i] = labels[static_cast<size_t>(indices[i])];
+  }
+  if (store_logits && logits != nullptr) {
+    const int64_t k = logit_rows[static_cast<size_t>(indices[0])].size();
+    *logits = Tensor({static_cast<int64_t>(indices.size()), k});
+    for (size_t i = 0; i < indices.size(); ++i) {
+      const Tensor& src = logit_rows[static_cast<size_t>(indices[i])];
+      QCORE_CHECK_EQ(src.size(), k);
+      std::copy(src.data(), src.data() + k,
+                logits->data() + static_cast<int64_t>(i) * k);
+    }
+  }
+  return Dataset(std::move(x), std::move(y), num_classes);
+}
+
+}  // namespace
+
+Dataset ReplayBuffer::Sample(int count, int num_classes,
+                             Tensor* logits) const {
+  QCORE_CHECK_GT(count, 0);
+  QCORE_CHECK(!empty());
+  const int take = std::min(count, size());
+  const std::vector<int> indices =
+      rng_->SampleWithoutReplacement(size(), take);
+  return Assemble(xs_, labels_, logits_, indices, num_classes, store_logits_,
+                  logits);
+}
+
+Dataset ReplayBuffer::All(int num_classes, Tensor* logits) const {
+  QCORE_CHECK(!empty());
+  std::vector<int> indices(static_cast<size_t>(size()));
+  for (int i = 0; i < size(); ++i) indices[static_cast<size_t>(i)] = i;
+  return Assemble(xs_, labels_, logits_, indices, num_classes, store_logits_,
+                  logits);
+}
+
+}  // namespace qcore

@@ -1,0 +1,51 @@
+// Fixed-capacity rehearsal buffer with reservoir sampling — the data
+// structure every replay baseline (ER, DER, DER++, ER-ACE, A-GEM, Camel)
+// builds on. Optionally stores the model's logits at insertion time, which
+// DER's distillation loss replays.
+#ifndef QCORE_BASELINES_REPLAY_BUFFER_H_
+#define QCORE_BASELINES_REPLAY_BUFFER_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace qcore {
+
+class ReplayBuffer {
+ public:
+  // `capacity` examples; set store_logits for DER-style buffers.
+  ReplayBuffer(int capacity, bool store_logits, Rng* rng);
+
+  int size() const { return static_cast<int>(labels_.size()); }
+  int capacity() const { return capacity_; }
+  bool empty() const { return labels_.empty(); }
+
+  // Reservoir insertion of one example (x must have a leading axis of 1).
+  // `logits` is required iff the buffer stores logits.
+  void Add(const Tensor& x, int label, const Tensor* logits);
+
+  // Inserts every example of `batch`. `batch_logits` (one row per example)
+  // is required iff the buffer stores logits.
+  void AddBatch(const Dataset& batch, const Tensor* batch_logits);
+
+  // Uniformly samples up to `count` buffered examples (without replacement).
+  // Returns a dataset; if the buffer stores logits, *logits receives the
+  // matching rows.
+  Dataset Sample(int count, int num_classes, Tensor* logits) const;
+
+  // Everything currently buffered, in insertion-reservoir order.
+  Dataset All(int num_classes, Tensor* logits) const;
+
+ private:
+  int capacity_;
+  bool store_logits_;
+  Rng* rng_;
+  int64_t seen_ = 0;  // total examples offered (reservoir denominator)
+  std::vector<Tensor> xs_;      // each [1, ...]
+  std::vector<int> labels_;
+  std::vector<Tensor> logits_;  // each [1, K]
+};
+
+}  // namespace qcore
+
+#endif  // QCORE_BASELINES_REPLAY_BUFFER_H_

@@ -1,0 +1,106 @@
+#include "baselines/ste_stepper.h"
+
+#include <algorithm>
+
+namespace qcore {
+
+SteStepper::SteStepper(QuantizedModel* qm, SgdOptions options, SteMode mode)
+    : qm_(qm), options_(options), mode_(mode), other_sgd_(options) {
+  QCORE_CHECK(qm_ != nullptr);
+  QCORE_CHECK_MSG(qm_->has_shadows(),
+                  "BP baselines require shadow masters (server mode)");
+  all_params_ = qm_->model()->Params();
+  std::vector<Parameter*> quantized;
+  for (int i = 0; i < qm_->num_quantized(); ++i) {
+    quantized.push_back(qm_->quantized(i).param);
+    shadow_velocity_.emplace_back(qm_->quantized(i).shadow.shape());
+  }
+  for (Parameter* p : all_params_) {
+    if (std::find(quantized.begin(), quantized.end(), p) == quantized.end()) {
+      other_params_.push_back(p);
+    }
+  }
+}
+
+Tensor SteStepper::ForwardTrain(const Tensor& x) {
+  return qm_->model()->Forward(x, /*training=*/true);
+}
+
+void SteStepper::Backward(const Tensor& grad_logits) {
+  qm_->model()->Backward(grad_logits);
+}
+
+std::vector<Tensor> SteStepper::SnapshotGrads() const {
+  std::vector<Tensor> out;
+  out.reserve(all_params_.size());
+  for (Parameter* p : all_params_) out.push_back(p->grad);
+  return out;
+}
+
+void SteStepper::SetGrads(const std::vector<Tensor>& grads) {
+  QCORE_CHECK_EQ(grads.size(), all_params_.size());
+  for (size_t i = 0; i < grads.size(); ++i) {
+    QCORE_CHECK(grads[i].SameShape(all_params_[i]->grad));
+    all_params_[i]->grad = grads[i];
+  }
+}
+
+void SteStepper::ZeroGrads() {
+  for (Parameter* p : all_params_) p->ZeroGrad();
+}
+
+void SteStepper::Step() {
+  for (int t = 0; t < qm_->num_quantized(); ++t) {
+    auto& qt = qm_->quantized(t);
+    Tensor& vel = shadow_velocity_[static_cast<size_t>(t)];
+    float* shadow = qt.shadow.data();
+    float* pv = vel.data();
+    const float* grad = qt.param->grad.data();
+    const float* dequant = qt.param->value.data();
+    const int64_t count = qt.shadow.size();
+    for (int64_t e = 0; e < count; ++e) {
+      // Edge mode: no persistent master — the step starts from the current
+      // de-quantized value, so updates smaller than half a quantization step
+      // are rounded away below.
+      if (mode_ == SteMode::kEdgeRequantize) shadow[e] = dequant[e];
+      const float g = grad[e] + options_.weight_decay * shadow[e];
+      pv[e] = options_.momentum * pv[e] + g;
+      shadow[e] -= options_.lr * pv[e];
+    }
+    qt.param->ZeroGrad();
+  }
+  if (mode_ == SteMode::kServerShadow) {
+    other_sgd_.Step(other_params_);
+  } else {
+    // Edge mode: auxiliary full-precision parameters (biases, BN affine) are
+    // fixed at deployment — only quantized codes can change on the device.
+    for (Parameter* p : other_params_) p->ZeroGrad();
+  }
+  qm_->RequantizeFromShadow();
+}
+
+std::vector<float> FlattenGrads(const std::vector<Tensor>& grads) {
+  int64_t total = 0;
+  for (const Tensor& g : grads) total += g.size();
+  std::vector<float> flat;
+  flat.reserve(static_cast<size_t>(total));
+  for (const Tensor& g : grads) {
+    flat.insert(flat.end(), g.data(), g.data() + g.size());
+  }
+  return flat;
+}
+
+void UnflattenGrads(const std::vector<float>& flat,
+                    std::vector<Tensor>* grads) {
+  QCORE_CHECK(grads != nullptr);
+  size_t offset = 0;
+  for (Tensor& g : *grads) {
+    QCORE_CHECK_LE(offset + static_cast<size_t>(g.size()), flat.size());
+    std::copy(flat.begin() + static_cast<long>(offset),
+              flat.begin() + static_cast<long>(offset) + g.size(), g.data());
+    offset += static_cast<size_t>(g.size());
+  }
+  QCORE_CHECK_EQ(offset, flat.size());
+}
+
+}  // namespace qcore

@@ -1,0 +1,44 @@
+// Invariant-checking macros (RocksDB/Arrow idiom): programming errors abort
+// with a diagnostic; recoverable errors use qcore::Status instead.
+#ifndef QCORE_COMMON_CHECK_H_
+#define QCORE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qcore::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "QCORE_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace qcore::internal
+
+// Aborts with a diagnostic if `expr` is false. Always on (also in release
+// builds): the cost is negligible next to tensor math, and silent corruption
+// in a calibration pipeline is far worse than an abort.
+#define QCORE_CHECK(expr)                                             \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::qcore::internal::CheckFailed(__FILE__, __LINE__, #expr, "");  \
+    }                                                                 \
+  } while (0)
+
+#define QCORE_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::qcore::internal::CheckFailed(__FILE__, __LINE__, #expr, msg);  \
+    }                                                                  \
+  } while (0)
+
+#define QCORE_CHECK_EQ(a, b) QCORE_CHECK((a) == (b))
+#define QCORE_CHECK_NE(a, b) QCORE_CHECK((a) != (b))
+#define QCORE_CHECK_LT(a, b) QCORE_CHECK((a) < (b))
+#define QCORE_CHECK_LE(a, b) QCORE_CHECK((a) <= (b))
+#define QCORE_CHECK_GT(a, b) QCORE_CHECK((a) > (b))
+#define QCORE_CHECK_GE(a, b) QCORE_CHECK((a) >= (b))
+
+#endif  // QCORE_COMMON_CHECK_H_

@@ -1,0 +1,52 @@
+// Canonical Huffman coder over small integer alphabets. Used by the Deep
+// Compression (DeepC) baseline, which compresses quantized weight codes with
+// Huffman coding, and by the memory-footprint accounting in the benches.
+#ifndef QCORE_COMMON_HUFFMAN_H_
+#define QCORE_COMMON_HUFFMAN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qcore {
+
+// Encoded bitstream plus the code table needed to decode it.
+struct HuffmanEncoded {
+  // Symbol -> code length in bits (canonical Huffman is reconstructible from
+  // lengths alone, but we keep the explicit codes for clarity/testing).
+  std::map<int32_t, uint32_t> code_lengths;
+  std::map<int32_t, uint64_t> codes;
+  std::vector<uint8_t> bits;   // packed MSB-first
+  uint64_t bit_count = 0;      // number of valid bits in `bits`
+  uint64_t symbol_count = 0;   // number of encoded symbols
+
+  // Payload size in bits (excluding the table).
+  uint64_t PayloadBits() const { return bit_count; }
+  // Total size in bits including a simple table encoding
+  // (per distinct symbol: 32-bit symbol + 8-bit length).
+  uint64_t TotalBits() const {
+    return bit_count + 40ULL * code_lengths.size();
+  }
+};
+
+class HuffmanCoder {
+ public:
+  // Builds codes from symbol frequencies in `symbols` and encodes them.
+  // Handles the degenerate single-symbol alphabet (1-bit codes).
+  // Fails on an empty input.
+  static Result<HuffmanEncoded> Encode(const std::vector<int32_t>& symbols);
+
+  // Inverse of Encode. Fails on a corrupt stream.
+  static Result<std::vector<int32_t>> Decode(const HuffmanEncoded& encoded);
+
+  // Shannon lower bound in bits for the given symbol stream (for tests and
+  // compression-ratio reporting).
+  static double EntropyBits(const std::vector<int32_t>& symbols);
+};
+
+}  // namespace qcore
+
+#endif  // QCORE_COMMON_HUFFMAN_H_

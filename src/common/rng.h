@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generator (xoshiro256**) used across the
+// library so experiments are reproducible from a single seed. Not
+// cryptographic. Each component takes an Rng& so seeding is explicit at the
+// call site (Google style: no hidden global state).
+#ifndef QCORE_COMMON_RNG_H_
+#define QCORE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace qcore {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  uint64_t NextUint64();
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t NextUint64(uint64_t n);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int NextInt(int lo, int hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  // Standard normal via Box–Muller (cached second value).
+  double NextGaussian();
+
+  // Gaussian with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev);
+
+  // Bernoulli with probability p of true.
+  bool NextBool(double p);
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextUint64(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  // k distinct indices sampled uniformly without replacement from [0, n).
+  // k must be <= n.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  // Index sampled from unnormalized non-negative weights. At least one weight
+  // must be positive.
+  int SampleWeighted(const std::vector<double>& weights);
+
+  // Derives an independent generator (for parallel-safe substreams).
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace qcore
+
+#endif  // QCORE_COMMON_RNG_H_

@@ -1,0 +1,176 @@
+#include "common/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace qcore {
+
+namespace {
+constexpr uint32_t kMagic = 0x51434F52;  // "QCOR"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+void BinaryWriter::Raw(const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  buffer_.insert(buffer_.end(), p, p + n);
+}
+
+void BinaryWriter::WriteU32(uint32_t v) { Raw(&v, sizeof(v)); }
+void BinaryWriter::WriteI32(int32_t v) { Raw(&v, sizeof(v)); }
+void BinaryWriter::WriteU64(uint64_t v) { Raw(&v, sizeof(v)); }
+void BinaryWriter::WriteI64(int64_t v) { Raw(&v, sizeof(v)); }
+void BinaryWriter::WriteF32(float v) { Raw(&v, sizeof(v)); }
+void BinaryWriter::WriteF64(double v) { Raw(&v, sizeof(v)); }
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  Raw(s.data(), s.size());
+}
+
+void BinaryWriter::WriteFloats(const std::vector<float>& v) {
+  WriteU64(v.size());
+  Raw(v.data(), v.size() * sizeof(float));
+}
+
+void BinaryWriter::WriteInts(const std::vector<int32_t>& v) {
+  WriteU64(v.size());
+  Raw(v.data(), v.size() * sizeof(int32_t));
+}
+
+void BinaryWriter::WriteInt64s(const std::vector<int64_t>& v) {
+  WriteU64(v.size());
+  Raw(v.data(), v.size() * sizeof(int64_t));
+}
+
+Status BinaryWriter::ToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  bool ok = std::fwrite(&kMagic, sizeof(kMagic), 1, f) == 1 &&
+            std::fwrite(&kVersion, sizeof(kVersion), 1, f) == 1;
+  if (ok && !buffer_.empty()) {
+    ok = std::fwrite(buffer_.data(), 1, buffer_.size(), f) == buffer_.size();
+  }
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open for reading: " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < static_cast<long>(2 * sizeof(uint32_t))) {
+    std::fclose(f);
+    return Status::Corruption("file too small: " + path);
+  }
+  uint32_t magic = 0, version = 0;
+  if (std::fread(&magic, sizeof(magic), 1, f) != 1 ||
+      std::fread(&version, sizeof(version), 1, f) != 1) {
+    std::fclose(f);
+    return Status::IoError("header read failed: " + path);
+  }
+  if (magic != kMagic) {
+    std::fclose(f);
+    return Status::Corruption("bad magic in " + path);
+  }
+  if (version != kVersion) {
+    std::fclose(f);
+    return Status::Corruption("unsupported format version in " + path);
+  }
+  std::vector<uint8_t> buffer(static_cast<size_t>(size) - 2 * sizeof(uint32_t));
+  if (!buffer.empty() &&
+      std::fread(buffer.data(), 1, buffer.size(), f) != buffer.size()) {
+    std::fclose(f);
+    return Status::IoError("body read failed: " + path);
+  }
+  std::fclose(f);
+  return BinaryReader(std::move(buffer));
+}
+
+Status BinaryReader::Raw(void* out, size_t n) {
+  if (pos_ + n > buffer_.size()) {
+    return Status::Corruption("truncated read");
+  }
+  std::memcpy(out, buffer_.data() + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Result<uint32_t> BinaryReader::ReadU32() {
+  uint32_t v;
+  QCORE_RETURN_NOT_OK(Raw(&v, sizeof(v)));
+  return v;
+}
+Result<int32_t> BinaryReader::ReadI32() {
+  int32_t v;
+  QCORE_RETURN_NOT_OK(Raw(&v, sizeof(v)));
+  return v;
+}
+Result<uint64_t> BinaryReader::ReadU64() {
+  uint64_t v;
+  QCORE_RETURN_NOT_OK(Raw(&v, sizeof(v)));
+  return v;
+}
+Result<int64_t> BinaryReader::ReadI64() {
+  int64_t v;
+  QCORE_RETURN_NOT_OK(Raw(&v, sizeof(v)));
+  return v;
+}
+Result<float> BinaryReader::ReadF32() {
+  float v;
+  QCORE_RETURN_NOT_OK(Raw(&v, sizeof(v)));
+  return v;
+}
+Result<double> BinaryReader::ReadF64() {
+  double v;
+  QCORE_RETURN_NOT_OK(Raw(&v, sizeof(v)));
+  return v;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  auto n = ReadU64();
+  if (!n.ok()) return n.status();
+  if (pos_ + n.value() > buffer_.size()) {
+    return Status::Corruption("truncated string");
+  }
+  std::string s(reinterpret_cast<const char*>(buffer_.data() + pos_),
+                n.value());
+  pos_ += n.value();
+  return s;
+}
+
+Result<std::vector<float>> BinaryReader::ReadFloats() {
+  auto n = ReadU64();
+  if (!n.ok()) return n.status();
+  std::vector<float> v(n.value());
+  if (!v.empty()) {
+    QCORE_RETURN_NOT_OK(Raw(v.data(), v.size() * sizeof(float)));
+  }
+  return v;
+}
+
+Result<std::vector<int32_t>> BinaryReader::ReadInts() {
+  auto n = ReadU64();
+  if (!n.ok()) return n.status();
+  std::vector<int32_t> v(n.value());
+  if (!v.empty()) {
+    QCORE_RETURN_NOT_OK(Raw(v.data(), v.size() * sizeof(int32_t)));
+  }
+  return v;
+}
+
+Result<std::vector<int64_t>> BinaryReader::ReadInt64s() {
+  auto n = ReadU64();
+  if (!n.ok()) return n.status();
+  std::vector<int64_t> v(n.value());
+  if (!v.empty()) {
+    QCORE_RETURN_NOT_OK(Raw(v.data(), v.size() * sizeof(int64_t)));
+  }
+  return v;
+}
+
+}  // namespace qcore

@@ -1,0 +1,71 @@
+// Little binary serialization layer: length-prefixed, typed records with a
+// magic header. Used to persist trained models, quantized code tables, and
+// QCore subsets so that "server-side preparation" and "edge deployment" can
+// run as separate processes (see examples/edge_deployment_sim.cc).
+#ifndef QCORE_COMMON_SERIALIZE_H_
+#define QCORE_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qcore {
+
+// Append-only binary buffer writer.
+class BinaryWriter {
+ public:
+  void WriteU32(uint32_t v);
+  void WriteI32(int32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v);
+  void WriteF32(float v);
+  void WriteF64(double v);
+  void WriteString(const std::string& s);
+  void WriteFloats(const std::vector<float>& v);
+  void WriteInts(const std::vector<int32_t>& v);
+  void WriteInt64s(const std::vector<int64_t>& v);
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+
+  // Writes the buffer to a file, prefixed with magic + format version.
+  Status ToFile(const std::string& path) const;
+
+ private:
+  void Raw(const void* data, size_t n);
+  std::vector<uint8_t> buffer_;
+};
+
+// Sequential reader over a binary buffer; every accessor fails cleanly on
+// truncation instead of reading past the end.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::vector<uint8_t> buffer)
+      : buffer_(std::move(buffer)) {}
+
+  // Reads a file written by BinaryWriter::ToFile and validates magic/version.
+  static Result<BinaryReader> FromFile(const std::string& path);
+
+  Result<uint32_t> ReadU32();
+  Result<int32_t> ReadI32();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<float> ReadF32();
+  Result<double> ReadF64();
+  Result<std::string> ReadString();
+  Result<std::vector<float>> ReadFloats();
+  Result<std::vector<int32_t>> ReadInts();
+  Result<std::vector<int64_t>> ReadInt64s();
+
+  bool AtEnd() const { return pos_ == buffer_.size(); }
+
+ private:
+  Status Raw(void* out, size_t n);
+  std::vector<uint8_t> buffer_;
+  size_t pos_ = 0;
+};
+
+}  // namespace qcore
+
+#endif  // QCORE_COMMON_SERIALIZE_H_

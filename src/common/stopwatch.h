@@ -1,0 +1,28 @@
+// Wall-clock timing for the runtime benches (Table 9, Table 7 "Time" row).
+#ifndef QCORE_COMMON_STOPWATCH_H_
+#define QCORE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace qcore {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace qcore
+
+#endif  // QCORE_COMMON_STOPWATCH_H_

@@ -1,0 +1,34 @@
+// Aligned plain-text table printing. Every bench binary reproduces a paper
+// table/figure as rows on stdout; this keeps their formatting consistent.
+#ifndef QCORE_COMMON_TABLE_PRINTER_H_
+#define QCORE_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace qcore {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Adds one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 3);
+
+  // Renders the table with column alignment and a header rule.
+  std::string ToString() const;
+
+  // Prints ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qcore
+
+#endif  // QCORE_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,63 @@
+// End-to-end QCore pipeline (paper Fig. 1(b) / Fig. 3): train the
+// full-precision model on the source domain while building the QCore,
+// quantize at the requested bit-width, run the initial STE calibration on
+// the QCore while training the bit-flipping network, then stream the target
+// domain through the continual on-edge loop. This is the orchestration every
+// experiment bench and example builds on.
+#ifndef QCORE_CORE_PIPELINE_H_
+#define QCORE_CORE_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/bitflip.h"
+#include "core/continual.h"
+#include "core/qcore_builder.h"
+#include "data/dataset.h"
+
+namespace qcore {
+
+struct PipelineOptions {
+  int bits = 4;
+  QCoreBuildOptions build;
+  BitFlipTrainOptions bf_train;      // includes the initial STE calibration
+  ContinualOptions continual;
+  int stream_batches = 10;           // paper protocol: 10 batches
+};
+
+struct PipelineResult {
+  std::vector<BatchStats> per_batch;
+  float average_accuracy = 0.0f;
+  double total_calibration_seconds = 0.0;
+  double seconds_per_calibration = 0.0;
+  // Subset construction diagnostics.
+  std::vector<int> qcore_indices;
+  double info_loss = 0.0;
+  // Accuracy of the quantized model right after initial calibration, on the
+  // source test set (if provided).
+  float post_calibration_source_accuracy = 0.0f;
+};
+
+// Runs the full pipeline. `fp_model` is an *untrained* architecture; it is
+// trained here on source_train (Algorithm 1 trains and tracks misses in one
+// pass). `target_stream` is split into stream_batches batches and
+// `target_test` into matching evaluation slices.
+PipelineResult RunQCorePipeline(Sequential* fp_model,
+                                const Dataset& source_train,
+                                const Dataset& source_test,
+                                const Dataset& target_stream,
+                                const Dataset& target_test,
+                                const PipelineOptions& options, Rng* rng);
+
+// Variant for a pre-built subset (used when comparing alternative coreset
+// constructions, Tables 4/8): skips Algorithm 1 and uses `subset` as the
+// calibration set. `fp_model` must already be trained.
+PipelineResult RunPipelineWithSubset(Sequential* fp_model,
+                                     const Dataset& subset,
+                                     const Dataset& target_stream,
+                                     const Dataset& target_test,
+                                     const PipelineOptions& options, Rng* rng);
+
+}  // namespace qcore
+
+#endif  // QCORE_CORE_PIPELINE_H_

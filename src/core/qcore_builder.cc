@@ -1,0 +1,103 @@
+#include "core/qcore_builder.h"
+
+#include <algorithm>
+
+#include "core/quant_miss.h"
+#include "quant/quantized_model.h"
+
+namespace qcore {
+
+QCoreBuildResult BuildQCore(Sequential* fp_model, const Dataset& train_set,
+                            const QCoreBuildOptions& options, Rng* rng) {
+  QCORE_CHECK(fp_model != nullptr && rng != nullptr);
+  QCORE_CHECK(!options.bit_levels.empty());
+  QCORE_CHECK_GT(options.size, 0);
+  QCORE_CHECK_LE(options.size, train_set.size());
+
+  const int n = train_set.size();
+  const int num_levels = static_cast<int>(options.bit_levels.size());
+  // Level index num_levels is the full-precision model itself.
+  QuantMissTracker tracker(n, num_levels + 1);
+
+  // Epoch-by-epoch training with per-epoch quantized proxy evaluation
+  // (Algorithm 1, lines 5-11). The proxy models are freshly quantized each
+  // epoch and discarded — they are never calibrated.
+  TrainOptions epoch_opts = options.train;
+  epoch_opts.epochs = 1;
+  float final_loss = 0.0f;
+  for (int epoch = 0; epoch < options.train.epochs; ++epoch) {
+    final_loss =
+        TrainClassifier(fp_model, train_set.x(), train_set.labels(),
+                        epoch_opts, rng);
+    for (int j = 0; j < num_levels; ++j) {
+      QuantizedModel proxy(*fp_model, options.bit_levels[static_cast<size_t>(j)]);
+      const std::vector<int> preds = Predict(proxy.model(), train_set.x());
+      std::vector<bool> correct(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        correct[static_cast<size_t>(i)] =
+            preds[static_cast<size_t>(i)] ==
+            train_set.labels()[static_cast<size_t>(i)];
+      }
+      tracker.ObserveAll(j, correct);
+    }
+    {
+      const std::vector<int> preds = Predict(fp_model, train_set.x());
+      std::vector<bool> correct(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        correct[static_cast<size_t>(i)] =
+            preds[static_cast<size_t>(i)] ==
+            train_set.labels()[static_cast<size_t>(i)];
+      }
+      tracker.ObserveAll(num_levels, correct);
+    }
+  }
+
+  QCoreBuildResult result;
+  result.final_train_loss = final_loss;
+  result.combined_misses.assign(static_cast<size_t>(n), 0);
+  for (int j = 0; j < num_levels; ++j) {
+    const std::vector<int>& level_misses = tracker.misses(j);
+    result.per_level_misses[options.bit_levels[static_cast<size_t>(j)]] =
+        level_misses;
+    for (int i = 0; i < n; ++i) {
+      result.combined_misses[static_cast<size_t>(i)] +=
+          level_misses[static_cast<size_t>(i)];
+    }
+  }
+  result.per_level_misses[32] = tracker.misses(num_levels);
+
+  // Choose the sampling distribution per strategy.
+  const std::vector<int>* sampling_misses = nullptr;
+  switch (options.strategy) {
+    case SubsetStrategy::kCombined:
+      sampling_misses = &result.combined_misses;
+      break;
+    case SubsetStrategy::kSingleLevel: {
+      QCORE_CHECK(options.single_level_index >= 0 &&
+                  options.single_level_index < num_levels);
+      const int bits = options.bit_levels[
+          static_cast<size_t>(options.single_level_index)];
+      sampling_misses = &result.per_level_misses.at(bits);
+      break;
+    }
+    case SubsetStrategy::kFullPrecision:
+      sampling_misses = &result.per_level_misses.at(32);
+      break;
+    case SubsetStrategy::kRandom:
+      break;
+  }
+
+  if (options.strategy == SubsetStrategy::kRandom) {
+    result.indices = rng->SampleWithoutReplacement(n, options.size);
+    result.info_loss = MissInfoLoss(result.combined_misses, result.indices);
+  } else {
+    result.indices =
+        SampleByMissDistribution(*sampling_misses, options.size, rng);
+    result.info_loss = MissInfoLoss(*sampling_misses, result.indices);
+  }
+  std::sort(result.indices.begin(), result.indices.end());
+  result.qcore = train_set.Subset(result.indices);
+  return result;
+}
+
+}  // namespace qcore

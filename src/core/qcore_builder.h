@@ -1,0 +1,62 @@
+// QCore generation (paper Algorithm 1): trains the full-precision model
+// while, at every epoch, temporarily quantizing it at each target bit-width
+// and recording quantization misses over the whole training set. The
+// resulting miss distribution(s) drive stratified sampling of the compressed
+// calibration subset.
+#ifndef QCORE_CORE_QCORE_BUILDER_H_
+#define QCORE_CORE_QCORE_BUILDER_H_
+
+#include <map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/composite.h"
+#include "nn/training.h"
+
+namespace qcore {
+
+// How the subset's sampling distribution is formed (Table 4 variants).
+enum class SubsetStrategy {
+  kCombined,       // sum of miss distributions over all bit levels (QCore)
+  kSingleLevel,    // distribution of one specific bit level (Core j)
+  kFullPrecision,  // misses of the full-precision model itself (Core 32)
+  kRandom,         // uniform random subset (Random baseline)
+};
+
+struct QCoreBuildOptions {
+  // Proxy quantization levels evaluated during training (Algorithm 1 line 8).
+  std::vector<int> bit_levels = {2, 4, 8};
+  // Subset size |D_c| (paper default 30).
+  int size = 30;
+  SubsetStrategy strategy = SubsetStrategy::kCombined;
+  // For kSingleLevel: which entry of bit_levels to use.
+  int single_level_index = 0;
+  // Full-precision training configuration (the FP <- Train step, line 6).
+  TrainOptions train;
+};
+
+struct QCoreBuildResult {
+  // Indices into the training set, and the materialized subset.
+  std::vector<int> indices;
+  Dataset qcore;
+  // Per-example miss counts summed over bit levels.
+  std::vector<int> combined_misses;
+  // Per-level miss counts: bit width -> per-example counts. Key 32 holds the
+  // full-precision model's own training misses ("Core 32" in Fig. 8).
+  std::map<int, std::vector<int>> per_level_misses;
+  // Information loss (Eq. 3) of the selected subset w.r.t. the sampling
+  // distribution actually used.
+  double info_loss = 0.0;
+  // Final-epoch full-precision training loss, for diagnostics.
+  float final_train_loss = 0.0f;
+};
+
+// Trains `fp_model` on `train_set` per options.train, tracking quantization
+// misses, then samples the subset. The model is left in its trained state
+// (ready for quantization + calibration).
+QCoreBuildResult BuildQCore(Sequential* fp_model, const Dataset& train_set,
+                            const QCoreBuildOptions& options, Rng* rng);
+
+}  // namespace qcore
+
+#endif  // QCORE_CORE_QCORE_BUILDER_H_

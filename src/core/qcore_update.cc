@@ -1,0 +1,63 @@
+#include "core/qcore_update.h"
+
+#include <algorithm>
+
+#include "core/quant_miss.h"
+#include "nn/training.h"
+
+namespace qcore {
+
+Dataset MakeUpdatePool(const Dataset& qcore, const Dataset& batch, Rng* rng) {
+  QCORE_CHECK(rng != nullptr);
+  QCORE_CHECK(!qcore.empty());
+  if (batch.empty()) return qcore;
+  // Algorithm 4 line 4 scales D'_c to exactly |D_t|: replicate when the
+  // QCore is smaller, subsample when it is larger. The pool is therefore
+  // always balanced between retained and incoming knowledge, independent of
+  // the QCore size.
+  Dataset scaled =
+      qcore.size() <= batch.size()
+          ? qcore.ReplicateTo(batch.size(), rng)
+          : qcore.Subset(rng->SampleWithoutReplacement(qcore.size(),
+                                                       batch.size()));
+  return Dataset::Concat(scaled, batch);
+}
+
+Dataset ResampleQCore(const Dataset& pool, const std::vector<int>& misses,
+                      int size, Rng* rng) {
+  QCORE_CHECK(rng != nullptr);
+  QCORE_CHECK_EQ(static_cast<int>(misses.size()), pool.size());
+  if (size <= pool.size()) {
+    return pool.Subset(SampleByMissDistribution(misses, size, rng));
+  }
+  // QCore larger than the update pool (big memory budget, small stream
+  // batches): keep the whole pool and top up with uniform duplicates.
+  std::vector<int> indices(static_cast<size_t>(pool.size()));
+  for (int i = 0; i < pool.size(); ++i) indices[static_cast<size_t>(i)] = i;
+  for (int i = pool.size(); i < size; ++i) {
+    indices.push_back(rng->NextInt(0, pool.size() - 1));
+  }
+  return pool.Subset(indices);
+}
+
+Dataset UpdateQCore(QuantizedModel* qm, const Dataset& qcore,
+                    const Dataset& batch, const QCoreUpdateOptions& options,
+                    Rng* rng) {
+  QCORE_CHECK(qm != nullptr && rng != nullptr);
+  QCORE_CHECK_GT(options.epochs, 0);
+  const Dataset pool = MakeUpdatePool(qcore, batch, rng);
+  QuantMissTracker tracker(pool.size(), 1);
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const std::vector<int> preds = Predict(qm->model(), pool.x());
+    std::vector<bool> correct(static_cast<size_t>(pool.size()));
+    for (int i = 0; i < pool.size(); ++i) {
+      correct[static_cast<size_t>(i)] =
+          preds[static_cast<size_t>(i)] ==
+          pool.labels()[static_cast<size_t>(i)];
+    }
+    tracker.ObserveAll(0, correct);
+  }
+  return ResampleQCore(pool, tracker.misses(0), qcore.size(), rng);
+}
+
+}  // namespace qcore

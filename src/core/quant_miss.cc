@@ -1,0 +1,135 @@
+#include "core/quant_miss.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qcore {
+
+QuantMissTracker::QuantMissTracker(int num_examples, int num_levels)
+    : num_examples_(num_examples), num_levels_(num_levels) {
+  QCORE_CHECK_GT(num_examples, 0);
+  QCORE_CHECK_GT(num_levels, 0);
+  prev_.assign(static_cast<size_t>(num_levels),
+               std::vector<int8_t>(static_cast<size_t>(num_examples), -1));
+  misses_.assign(static_cast<size_t>(num_levels),
+                 std::vector<int>(static_cast<size_t>(num_examples), 0));
+}
+
+void QuantMissTracker::Observe(int level, int example, bool correct) {
+  QCORE_CHECK(level >= 0 && level < num_levels_);
+  QCORE_CHECK(example >= 0 && example < num_examples_);
+  int8_t& prev = prev_[static_cast<size_t>(level)][static_cast<size_t>(example)];
+  if (prev == 1 && !correct) {
+    ++misses_[static_cast<size_t>(level)][static_cast<size_t>(example)];
+  }
+  prev = correct ? 1 : 0;
+}
+
+void QuantMissTracker::ObserveAll(int level, const std::vector<bool>& correct) {
+  QCORE_CHECK_EQ(static_cast<int>(correct.size()), num_examples_);
+  for (int i = 0; i < num_examples_; ++i) {
+    Observe(level, i, correct[static_cast<size_t>(i)]);
+  }
+}
+
+const std::vector<int>& QuantMissTracker::misses(int level) const {
+  QCORE_CHECK(level >= 0 && level < num_levels_);
+  return misses_[static_cast<size_t>(level)];
+}
+
+std::vector<int> QuantMissTracker::CombinedMisses() const {
+  std::vector<int> combined(static_cast<size_t>(num_examples_), 0);
+  for (const auto& level : misses_) {
+    for (int i = 0; i < num_examples_; ++i) {
+      combined[static_cast<size_t>(i)] += level[static_cast<size_t>(i)];
+    }
+  }
+  return combined;
+}
+
+std::vector<int64_t> QuantMissTracker::Distribution(
+    const std::vector<int>& misses) {
+  int max_miss = 0;
+  for (int m : misses) {
+    QCORE_CHECK_GE(m, 0);
+    max_miss = std::max(max_miss, m);
+  }
+  std::vector<int64_t> hist(static_cast<size_t>(max_miss) + 1, 0);
+  for (int m : misses) ++hist[static_cast<size_t>(m)];
+  return hist;
+}
+
+std::vector<int> SampleByMissDistribution(const std::vector<int>& misses,
+                                          int size, Rng* rng) {
+  QCORE_CHECK(rng != nullptr);
+  const int n = static_cast<int>(misses.size());
+  QCORE_CHECK_GT(n, 0);
+  QCORE_CHECK_GT(size, 0);
+  QCORE_CHECK_LE(size, n);
+
+  // Bucket example indices by miss count.
+  const std::vector<int64_t> hist = QuantMissTracker::Distribution(misses);
+  std::vector<std::vector<int>> buckets(hist.size());
+  for (size_t k = 0; k < hist.size(); ++k) {
+    buckets[k].reserve(static_cast<size_t>(hist[k]));
+  }
+  for (int i = 0; i < n; ++i) {
+    buckets[static_cast<size_t>(misses[static_cast<size_t>(i)])].push_back(i);
+  }
+
+  // Proportional allocation with largest-remainder correction.
+  const double lambda = static_cast<double>(size) / static_cast<double>(n);
+  std::vector<int> alloc(hist.size(), 0);
+  std::vector<std::pair<double, size_t>> remainders;
+  int allocated = 0;
+  for (size_t k = 0; k < hist.size(); ++k) {
+    const double exact = lambda * static_cast<double>(hist[k]);
+    alloc[k] = static_cast<int>(std::floor(exact));
+    alloc[k] = std::min<int>(alloc[k], static_cast<int>(hist[k]));
+    allocated += alloc[k];
+    remainders.push_back({exact - std::floor(exact), k});
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  // Top up by largest remainder while bucket capacity remains.
+  for (size_t r = 0; allocated < size; r = (r + 1) % remainders.size()) {
+    const size_t k = remainders[r].second;
+    if (alloc[k] < static_cast<int>(hist[k])) {
+      ++alloc[k];
+      ++allocated;
+    }
+    // Safety: if every bucket is saturated we would loop forever, but that
+    // cannot happen because size <= n.
+  }
+
+  std::vector<int> selected;
+  selected.reserve(static_cast<size_t>(size));
+  for (size_t k = 0; k < buckets.size(); ++k) {
+    if (alloc[k] == 0) continue;
+    std::vector<int> pick = rng->SampleWithoutReplacement(
+        static_cast<int>(buckets[k].size()), alloc[k]);
+    for (int p : pick) {
+      selected.push_back(buckets[k][static_cast<size_t>(p)]);
+    }
+  }
+  QCORE_CHECK_EQ(static_cast<int>(selected.size()), size);
+  return selected;
+}
+
+double MissInfoLoss(const std::vector<int>& misses,
+                    const std::vector<int>& selected) {
+  QCORE_CHECK(!misses.empty());
+  QCORE_CHECK(!selected.empty());
+  double full = 0.0;
+  for (int m : misses) full += m;
+  full /= static_cast<double>(misses.size());
+  double sub = 0.0;
+  for (int i : selected) {
+    QCORE_CHECK(i >= 0 && i < static_cast<int>(misses.size()));
+    sub += misses[static_cast<size_t>(i)];
+  }
+  sub /= static_cast<double>(selected.size());
+  return std::fabs(full - sub);
+}
+
+}  // namespace qcore

@@ -1,0 +1,66 @@
+// Quantization-miss accounting (paper Sec. 3.2.2). A quantization miss for
+// example x_i at quantization level j occurs when the indicator TP (Eq. 2)
+// transitions from correct to incorrect between consecutive observations of
+// a j-bit quantized proxy model. The per-example miss counts, aggregated
+// into a probability mass function, drive QCore construction (Fig. 4/5).
+#ifndef QCORE_CORE_QUANT_MISS_H_
+#define QCORE_CORE_QUANT_MISS_H_
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace qcore {
+
+class QuantMissTracker {
+ public:
+  // `num_levels` quantization levels observed over `num_examples` examples.
+  QuantMissTracker(int num_examples, int num_levels);
+
+  // Records the correctness of example `example` at level `level` for the
+  // current step. A miss is counted when the previous observation at the
+  // same (level, example) was correct and this one is not. The first
+  // observation never counts as a miss.
+  void Observe(int level, int example, bool correct);
+
+  // Batch version: `correct` must have one entry per example.
+  void ObserveAll(int level, const std::vector<bool>& correct);
+
+  int num_examples() const { return num_examples_; }
+  int num_levels() const { return num_levels_; }
+
+  // Per-example miss counts at one level.
+  const std::vector<int>& misses(int level) const;
+
+  // Per-example miss counts summed over all levels (Algorithm 1, line 14).
+  std::vector<int> CombinedMisses() const;
+
+  // Histogram {k -> N_k}: number of examples with exactly k misses, for
+  // k = 0..max. Input is any per-example miss vector.
+  static std::vector<int64_t> Distribution(const std::vector<int>& misses);
+
+ private:
+  int num_examples_;
+  int num_levels_;
+  // prev_[level][example]: -1 unknown, 0 incorrect, 1 correct.
+  std::vector<std::vector<int8_t>> prev_;
+  std::vector<std::vector<int>> misses_;
+};
+
+// Samples `size` example indices whose miss histogram replicates the miss
+// histogram of the full set (Algorithm 1, line 15; Fig. 5). Buckets get
+// round(lambda * N_k) slots (largest-remainder correction to hit `size`
+// exactly); members within a bucket are drawn uniformly.
+std::vector<int> SampleByMissDistribution(const std::vector<int>& misses,
+                                          int size, Rng* rng);
+
+// Information loss epsilon of Eq. 3 with cost(M, x) = miss count of x:
+// | mean_misses(all) - mean_misses(selected) |. Bounded by the maximum miss
+// level K (Eq. 7).
+double MissInfoLoss(const std::vector<int>& misses,
+                    const std::vector<int>& selected);
+
+}  // namespace qcore
+
+#endif  // QCORE_CORE_QUANT_MISS_H_

@@ -1,0 +1,65 @@
+// Tensor-backed labeled dataset. The first axis of x() indexes examples;
+// trailing axes are whatever the model family expects ([C, L] for time
+// series, [C, H, W] for images).
+#ifndef QCORE_DATA_DATASET_H_
+#define QCORE_DATA_DATASET_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace qcore {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Tensor x, std::vector<int> labels, int num_classes);
+
+  int size() const { return static_cast<int>(labels_.size()); }
+  bool empty() const { return labels_.empty(); }
+  const Tensor& x() const { return x_; }
+  const std::vector<int>& labels() const { return labels_; }
+  int num_classes() const { return num_classes_; }
+
+  // Copies the selected examples into a new dataset.
+  Dataset Subset(const std::vector<int>& indices) const;
+
+  // Concatenation along the example axis; class counts must agree.
+  static Dataset Concat(const Dataset& a, const Dataset& b);
+
+  // The i-th example with a leading batch axis of 1.
+  Tensor Example(int i) const;
+
+  // Number of examples per class, length num_classes().
+  std::vector<int> ClassCounts() const;
+
+  // Replicates examples (cyclically, after a shuffle) until the dataset has
+  // `target_size` examples. Used by the QCore update (Algorithm 4, line 4)
+  // to scale D_c up to the stream batch size. target_size >= size().
+  Dataset ReplicateTo(int target_size, Rng* rng) const;
+
+  // Uniformly shuffled copy.
+  Dataset Shuffled(Rng* rng) const;
+
+ private:
+  Tensor x_;
+  std::vector<int> labels_;
+  int num_classes_ = 0;
+};
+
+// Random split of `d` into `num_parts` near-equal contiguous chunks after a
+// shuffle (the "10 stream batches" protocol of the paper, Sec. 4.1.1).
+std::vector<Dataset> SplitIntoStreamBatches(const Dataset& d, int num_parts,
+                                            Rng* rng);
+
+// Applies a random domain-style perturbation to every example: per-channel
+// gain ~ N(1, 0.2*strength), per-channel bias ~ N(0, 0.3*strength), and
+// additive noise ~ N(0, 0.05*strength). The channel axis is axis 1. Used to
+// synthesize "repair a shifted model" calibration episodes when training the
+// bit-flipping network (see core/bitflip.h) and for robustness tests.
+Dataset AugmentDomain(const Dataset& d, float strength, Rng* rng);
+
+}  // namespace qcore
+
+#endif  // QCORE_DATA_DATASET_H_

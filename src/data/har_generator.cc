@@ -1,0 +1,188 @@
+#include "data/har_generator.h"
+
+#include <cmath>
+#include <vector>
+
+namespace qcore {
+
+namespace {
+
+// Per-class, per-channel prototype parameters. Shared across subjects.
+struct ClassPrototypes {
+  // Indexed [class][channel].
+  std::vector<std::vector<float>> freq;
+  std::vector<std::vector<float>> amp;
+  std::vector<std::vector<float>> phase;
+  std::vector<std::vector<float>> dc;
+  std::vector<std::vector<float>> harmonic;  // relative 2nd-harmonic amount
+};
+
+ClassPrototypes MakePrototypes(const HarSpec& spec) {
+  Rng rng(spec.base_seed);
+  ClassPrototypes proto;
+  const int k = spec.num_classes;
+  const int c = spec.channels;
+  proto.freq.assign(k, std::vector<float>(c));
+  proto.amp.assign(k, std::vector<float>(c));
+  proto.phase.assign(k, std::vector<float>(c));
+  proto.dc.assign(k, std::vector<float>(c));
+  proto.harmonic.assign(k, std::vector<float>(c));
+  for (int cls = 0; cls < k; ++cls) {
+    // Classes occupy a frequency ladder with overlap between neighbors:
+    // base cycles-per-window in [2, 10], neighbors ~0.9 apart.
+    const float base_freq =
+        2.0f + 8.0f * static_cast<float>(cls) / static_cast<float>(k);
+    for (int ch = 0; ch < c; ++ch) {
+      proto.freq[cls][ch] =
+          base_freq * (0.8f + 0.4f * static_cast<float>(rng.NextDouble()));
+      proto.amp[cls][ch] =
+          0.5f + 0.8f * static_cast<float>(rng.NextDouble());
+      proto.phase[cls][ch] =
+          static_cast<float>(rng.NextDouble(0.0, 2.0 * M_PI));
+      proto.dc[cls][ch] =
+          static_cast<float>(rng.NextGaussian(0.0, 0.35));
+      proto.harmonic[cls][ch] =
+          0.15f + 0.35f * static_cast<float>(rng.NextDouble());
+    }
+  }
+  return proto;
+}
+
+// Per-subject domain parameters.
+struct SubjectDomain {
+  std::vector<float> gain;  // [channels]
+  std::vector<float> bias;  // [channels]
+  float freq_scale = 1.0f;
+  float noise = 0.1f;
+  float mix_bias = 0.0f;  // shifts the per-example difficulty distribution
+};
+
+SubjectDomain MakeSubjectDomain(const HarSpec& spec, int subject) {
+  // Subject 0 is the "reference" recording setup; others drift away from it
+  // proportionally to spec.domain_shift.
+  Rng rng(spec.base_seed ^ (0x9E3779B97F4A7C15ULL * (subject + 1)));
+  SubjectDomain dom;
+  dom.gain.resize(static_cast<size_t>(spec.channels));
+  dom.bias.resize(static_cast<size_t>(spec.channels));
+  const float s = spec.domain_shift;
+  for (int ch = 0; ch < spec.channels; ++ch) {
+    dom.gain[static_cast<size_t>(ch)] =
+        1.0f + s * static_cast<float>(rng.NextGaussian(0.0, 0.25));
+    dom.bias[static_cast<size_t>(ch)] =
+        s * static_cast<float>(rng.NextGaussian(0.0, 0.3));
+  }
+  dom.freq_scale = 1.0f + s * static_cast<float>(rng.NextGaussian(0.0, 0.08));
+  dom.noise = 0.25f + s * 0.15f * static_cast<float>(rng.NextDouble());
+  dom.mix_bias = s * 0.08f * static_cast<float>(rng.NextDouble());
+  return dom;
+}
+
+// Writes one example of class `cls` into `out` (flat [channels * length]).
+void SynthesizeExample(const HarSpec& spec, const ClassPrototypes& proto,
+                       const SubjectDomain& dom, int cls, Rng* rng,
+                       float* out) {
+  const int c = spec.channels;
+  const int l = spec.length;
+  // Boundary-case knob: mix in the neighboring class's prototype.
+  const int neighbor = (cls + 1) % spec.num_classes;
+  float mix = dom.mix_bias +
+              0.5f * static_cast<float>(std::max(0.0, rng->NextGaussian(0.22, 0.18)));
+  if (mix > 0.5f) mix = 0.5f;
+  if (mix < 0.0f) mix = 0.0f;
+  const float ex_phase = static_cast<float>(rng->NextDouble(0.0, 2.0 * M_PI));
+  const float ex_freq_jit =
+      1.0f + 0.03f * static_cast<float>(rng->NextGaussian());
+  const float ex_amp_jit =
+      1.0f + 0.15f * static_cast<float>(rng->NextGaussian());
+
+  for (int ch = 0; ch < c; ++ch) {
+    auto wave = [&](int cc, float t) {
+      const float w = 2.0f * static_cast<float>(M_PI) * proto.freq[cc][ch] *
+                      dom.freq_scale * ex_freq_jit / static_cast<float>(l);
+      const float ph = proto.phase[cc][ch] + ex_phase;
+      return proto.amp[cc][ch] *
+                 (std::sin(w * t + ph) +
+                  proto.harmonic[cc][ch] * std::sin(2.0f * w * t + 1.7f * ph)) +
+             proto.dc[cc][ch];
+    };
+    for (int t = 0; t < l; ++t) {
+      const float tt = static_cast<float>(t);
+      float v = (1.0f - mix) * wave(cls, tt) + mix * wave(neighbor, tt);
+      v = dom.gain[static_cast<size_t>(ch)] * ex_amp_jit * v +
+          dom.bias[static_cast<size_t>(ch)] +
+          dom.noise * static_cast<float>(rng->NextGaussian());
+      out[ch * l + t] = v;
+    }
+  }
+}
+
+Dataset MakeSplit(const HarSpec& spec, const ClassPrototypes& proto,
+                  const SubjectDomain& dom, int per_class, Rng* rng) {
+  const int n = per_class * spec.num_classes;
+  Tensor x({n, spec.channels, spec.length});
+  std::vector<int> labels(static_cast<size_t>(n));
+  const int64_t example_size =
+      static_cast<int64_t>(spec.channels) * spec.length;
+  int row = 0;
+  for (int cls = 0; cls < spec.num_classes; ++cls) {
+    for (int e = 0; e < per_class; ++e, ++row) {
+      SynthesizeExample(spec, proto, dom, cls, rng,
+                        x.data() + row * example_size);
+      labels[static_cast<size_t>(row)] = cls;
+    }
+  }
+  Dataset d(std::move(x), std::move(labels), spec.num_classes);
+  return d.Shuffled(rng);
+}
+
+}  // namespace
+
+HarSpec HarSpec::Dsa() {
+  HarSpec spec;
+  spec.name = "DSA";
+  spec.num_classes = 19;
+  spec.channels = 9;
+  spec.length = 64;
+  spec.train_per_class = 20;
+  spec.test_per_class = 8;
+  spec.val_per_class = 2;
+  spec.num_subjects = 8;
+  spec.base_seed = 0xD5AULL;
+  return spec;
+}
+
+HarSpec HarSpec::Usc() {
+  HarSpec spec;
+  spec.name = "USC";
+  spec.num_classes = 12;
+  spec.channels = 6;
+  spec.length = 96;
+  spec.train_per_class = 24;
+  spec.test_per_class = 10;
+  spec.val_per_class = 2;
+  spec.num_subjects = 14;
+  spec.base_seed = 0x05CULL;
+  return spec;
+}
+
+HarDomain MakeHarDomain(const HarSpec& spec, int subject) {
+  QCORE_CHECK_GE(subject, 0);
+  QCORE_CHECK_LT(subject, spec.num_subjects);
+  QCORE_CHECK_GT(spec.num_classes, 1);
+  QCORE_CHECK_GT(spec.channels, 0);
+  QCORE_CHECK_GT(spec.length, 0);
+  const ClassPrototypes proto = MakePrototypes(spec);
+  const SubjectDomain dom = MakeSubjectDomain(spec, subject);
+  // Distinct substreams per split so adding examples to one split does not
+  // perturb the others.
+  Rng train_rng(spec.base_seed ^ (1000003ULL * (subject + 1)) ^ 0x7121ULL);
+  Rng val_rng(spec.base_seed ^ (1000003ULL * (subject + 1)) ^ 0x7122ULL);
+  Rng test_rng(spec.base_seed ^ (1000003ULL * (subject + 1)) ^ 0x7123ULL);
+  HarDomain out;
+  out.train = MakeSplit(spec, proto, dom, spec.train_per_class, &train_rng);
+  out.val = MakeSplit(spec, proto, dom, spec.val_per_class, &val_rng);
+  out.test = MakeSplit(spec, proto, dom, spec.test_per_class, &test_rng);
+  return out;
+}
+
+}  // namespace qcore

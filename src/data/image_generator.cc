@@ -1,0 +1,187 @@
+#include "data/image_generator.h"
+
+#include <cmath>
+
+namespace qcore {
+
+namespace {
+
+struct ClassProto {
+  float orientation;   // grating angle
+  float frequency;     // cycles across the image
+  float color[3];      // per-channel weighting
+  float blob_x;        // blob center in [0,1]
+  float blob_y;
+  float blob_amp;
+};
+
+std::vector<ClassProto> MakeProtos(const ImageSpec& spec) {
+  Rng rng(spec.base_seed);
+  std::vector<ClassProto> protos(static_cast<size_t>(spec.num_classes));
+  for (int cls = 0; cls < spec.num_classes; ++cls) {
+    ClassProto& p = protos[static_cast<size_t>(cls)];
+    // Orientations cover the half-circle with neighbor overlap.
+    p.orientation = static_cast<float>(M_PI) * static_cast<float>(cls) /
+                        static_cast<float>(spec.num_classes) +
+                    0.1f * static_cast<float>(rng.NextGaussian());
+    p.frequency = 2.0f + 4.0f * static_cast<float>(rng.NextDouble());
+    for (float& c : p.color) {
+      c = 0.4f + 0.6f * static_cast<float>(rng.NextDouble());
+    }
+    p.blob_x = 0.2f + 0.6f * static_cast<float>(rng.NextDouble());
+    p.blob_y = 0.2f + 0.6f * static_cast<float>(rng.NextDouble());
+    p.blob_amp = 0.5f + 0.5f * static_cast<float>(rng.NextDouble());
+  }
+  return protos;
+}
+
+struct DomainParams {
+  float brightness = 0.0f;
+  float contrast = 1.0f;
+  int blur_passes = 0;   // box-blur applications
+  float noise = 0.05f;
+  float clutter = 0.0f;  // amplitude of background texture
+};
+
+DomainParams MakeDomainParams(const ImageSpec& spec, int domain) {
+  Rng rng(spec.base_seed ^ (0xABCDEF12345ULL * (domain + 1)));
+  DomainParams d;
+  const float s = spec.domain_shift;
+  d.brightness = s * static_cast<float>(rng.NextGaussian(0.0, 0.25));
+  d.contrast = 1.0f + s * static_cast<float>(rng.NextGaussian(0.0, 0.2));
+  if (d.contrast < 0.4f) d.contrast = 0.4f;
+  d.blur_passes = domain % 3 == 2 ? 1 : 0;  // some domains are soft-focus
+  d.noise = 0.05f + s * 0.08f * static_cast<float>(rng.NextDouble());
+  d.clutter = s * 0.3f * static_cast<float>(rng.NextDouble());
+  return d;
+}
+
+void BoxBlur(float* img, int h, int w) {
+  std::vector<float> tmp(static_cast<size_t>(h) * w);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float sum = 0.0f;
+      int count = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int yy = y + dy, xx = x + dx;
+          if (yy < 0 || yy >= h || xx < 0 || xx >= w) continue;
+          sum += img[yy * w + xx];
+          ++count;
+        }
+      }
+      tmp[static_cast<size_t>(y) * w + x] = sum / static_cast<float>(count);
+    }
+  }
+  std::copy(tmp.begin(), tmp.end(), img);
+}
+
+void SynthesizeImage(const ImageSpec& spec,
+                     const std::vector<ClassProto>& protos,
+                     const DomainParams& dom, int cls, Rng* rng, float* out) {
+  const int h = spec.height, w = spec.width, c = spec.channels;
+  const ClassProto& p = protos[static_cast<size_t>(cls)];
+  const int neighbor = (cls + 1) % spec.num_classes;
+  const ClassProto& q = protos[static_cast<size_t>(neighbor)];
+  float mix =
+      0.4f * static_cast<float>(std::max(0.0, rng->NextGaussian(0.10, 0.15)));
+  if (mix > 0.4f) mix = 0.4f;
+  const float phase = static_cast<float>(rng->NextDouble(0.0, 2.0 * M_PI));
+  const float jitter = 1.0f + 0.1f * static_cast<float>(rng->NextGaussian());
+  // Background clutter: a low-frequency random grating per example.
+  const float bg_theta = static_cast<float>(rng->NextDouble(0.0, M_PI));
+  const float bg_phase = static_cast<float>(rng->NextDouble(0.0, 2.0 * M_PI));
+
+  auto grating = [&](const ClassProto& proto, float x, float y) {
+    const float u = x * std::cos(proto.orientation) +
+                    y * std::sin(proto.orientation);
+    return std::sin(2.0f * static_cast<float>(M_PI) * proto.frequency * u *
+                        jitter +
+                    phase);
+  };
+  auto blob = [&](const ClassProto& proto, float x, float y) {
+    const float dx = x - proto.blob_x, dy = y - proto.blob_y;
+    return proto.blob_amp * std::exp(-(dx * dx + dy * dy) / 0.02f);
+  };
+
+  for (int ch = 0; ch < c; ++ch) {
+    float* plane = out + ch * h * w;
+    for (int yy = 0; yy < h; ++yy) {
+      for (int xx = 0; xx < w; ++xx) {
+        const float x = static_cast<float>(xx) / static_cast<float>(w);
+        const float y = static_cast<float>(yy) / static_cast<float>(h);
+        float v = (1.0f - mix) * (p.color[ch % 3] * grating(p, x, y) +
+                                  blob(p, x, y)) +
+                  mix * (q.color[ch % 3] * grating(q, x, y) + blob(q, x, y));
+        const float ubg = x * std::cos(bg_theta) + y * std::sin(bg_theta);
+        v += dom.clutter *
+             std::sin(2.0f * static_cast<float>(M_PI) * 1.5f * ubg + bg_phase);
+        v = dom.contrast * v + dom.brightness +
+            dom.noise * static_cast<float>(rng->NextGaussian());
+        plane[yy * w + xx] = v;
+      }
+    }
+    for (int pass = 0; pass < dom.blur_passes; ++pass) BoxBlur(plane, h, w);
+  }
+}
+
+Dataset MakeSplit(const ImageSpec& spec, const std::vector<ClassProto>& protos,
+                  const DomainParams& dom, int per_class, Rng* rng) {
+  const int n = per_class * spec.num_classes;
+  Tensor x({n, spec.channels, spec.height, spec.width});
+  std::vector<int> labels(static_cast<size_t>(n));
+  const int64_t example_size =
+      static_cast<int64_t>(spec.channels) * spec.height * spec.width;
+  int row = 0;
+  for (int cls = 0; cls < spec.num_classes; ++cls) {
+    for (int e = 0; e < per_class; ++e, ++row) {
+      SynthesizeImage(spec, protos, dom, cls, rng,
+                      x.data() + row * example_size);
+      labels[static_cast<size_t>(row)] = cls;
+    }
+  }
+  Dataset d(std::move(x), std::move(labels), spec.num_classes);
+  return d.Shuffled(rng);
+}
+
+}  // namespace
+
+ImageSpec ImageSpec::Caltech10() {
+  ImageSpec spec;
+  spec.name = "Caltech10";
+  spec.num_classes = 10;
+  spec.channels = 3;
+  spec.height = 16;
+  spec.width = 16;
+  spec.train_per_class = 20;
+  spec.test_per_class = 8;
+  spec.val_per_class = 2;
+  spec.domains = {"Amazon", "Caltech", "DSLR", "Webcam"};
+  spec.base_seed = 0xCA17ULL;
+  return spec;
+}
+
+int ImageSpec::DomainIndex(const std::string& domain) const {
+  for (int i = 0; i < num_domains(); ++i) {
+    if (domains[static_cast<size_t>(i)] == domain) return i;
+  }
+  QCORE_CHECK_MSG(false, "unknown image domain");
+  return -1;
+}
+
+ImageDomain MakeImageDomain(const ImageSpec& spec, int domain) {
+  QCORE_CHECK_GE(domain, 0);
+  QCORE_CHECK_LT(domain, spec.num_domains());
+  const std::vector<ClassProto> protos = MakeProtos(spec);
+  const DomainParams dom = MakeDomainParams(spec, domain);
+  Rng train_rng(spec.base_seed ^ (2000003ULL * (domain + 1)) ^ 0x31ULL);
+  Rng val_rng(spec.base_seed ^ (2000003ULL * (domain + 1)) ^ 0x32ULL);
+  Rng test_rng(spec.base_seed ^ (2000003ULL * (domain + 1)) ^ 0x33ULL);
+  ImageDomain out;
+  out.train = MakeSplit(spec, protos, dom, spec.train_per_class, &train_rng);
+  out.val = MakeSplit(spec, protos, dom, spec.val_per_class, &val_rng);
+  out.test = MakeSplit(spec, protos, dom, spec.test_per_class, &test_rng);
+  return out;
+}
+
+}  // namespace qcore

@@ -1,0 +1,52 @@
+// Synthetic image classification generator with named visual domains.
+//
+// Substitutes the Office-Caltech10 benchmark (10 classes; domains Amazon,
+// Caltech, DSLR, Webcam). Classes are distinguished by oriented gratings,
+// class-specific color balance and a class-positioned blob; domains differ
+// by the same kind of photometric transform that separates the real
+// Office-Caltech domains (brightness, contrast, blur, sensor noise and
+// background clutter).
+#ifndef QCORE_DATA_IMAGE_GENERATOR_H_
+#define QCORE_DATA_IMAGE_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace qcore {
+
+struct ImageSpec {
+  std::string name;
+  int num_classes = 10;
+  int channels = 3;
+  int height = 16;
+  int width = 16;
+  int train_per_class = 20;
+  int test_per_class = 8;
+  int val_per_class = 2;
+  std::vector<std::string> domains;
+  float domain_shift = 1.0f;
+  uint64_t base_seed = 0xCA17ULL;
+
+  // Caltech10-like: 10 classes, 3x16x16, 4 domains.
+  static ImageSpec Caltech10();
+
+  int num_domains() const { return static_cast<int>(domains.size()); }
+  // Index of a named domain; aborts if unknown.
+  int DomainIndex(const std::string& domain) const;
+};
+
+struct ImageDomain {
+  Dataset train;
+  Dataset val;
+  Dataset test;
+};
+
+// Generates the splits for one domain (by index into spec.domains).
+ImageDomain MakeImageDomain(const ImageSpec& spec, int domain);
+
+}  // namespace qcore
+
+#endif  // QCORE_DATA_IMAGE_GENERATOR_H_

@@ -1,0 +1,51 @@
+// Scaled-down but architecturally faithful versions of the classifier
+// families the paper evaluates (Sec. 4.1.4): InceptionTime and OmniScaleCNN
+// for time series, ResNet18-style and VGG16-style nets for images. Sizes are
+// chosen so full training runs in seconds on a CPU while keeping each
+// family's defining structure (inception multi-kernel branches, omni-scale
+// prime kernel sets, residual stages, VGG conv-conv-pool stacks).
+#ifndef QCORE_MODELS_MODEL_ZOO_H_
+#define QCORE_MODELS_MODEL_ZOO_H_
+
+#include <memory>
+#include <string>
+
+#include "nn/composite.h"
+
+namespace qcore {
+
+// InceptionTime (Ismail Fawaz et al. 2020), tiny: two inception blocks
+// (bottleneck + parallel kernels 9/5/3 + 1x1 branch, BN) wrapped in a
+// residual, GAP head. Input [N, in_channels, L].
+std::unique_ptr<Sequential> MakeInceptionTime(int in_channels,
+                                              int num_classes, Rng* rng);
+
+// OmniScaleCNN (Tang et al. 2022), tiny: stacked blocks of parallel convs
+// with prime kernel sizes {1, 3, 5, 7}, BN + ReLU, GAP head.
+std::unique_ptr<Sequential> MakeOmniScaleCnn(int in_channels, int num_classes,
+                                             Rng* rng);
+
+// ResNet-style tiny: stem conv + identity residual stage + downsampling
+// residual stage + GAP head. Input [N, in_channels, H, W] with H, W >= 8.
+std::unique_ptr<Sequential> MakeResNetTiny(int in_channels, int num_classes,
+                                           Rng* rng);
+
+// VGG-style tiny: two conv-conv-pool stacks and a two-layer dense head (no
+// BatchNorm, like the original VGG16). H and W must be multiples of 4.
+std::unique_ptr<Sequential> MakeVggTiny(int in_channels, int height,
+                                        int width, int num_classes, Rng* rng);
+
+// Registry lookups used by the bench harness. Aborts on unknown names.
+// Time-series names: "InceptionTime", "OmniScaleCNN".
+std::unique_ptr<Sequential> MakeTimeSeriesModel(const std::string& name,
+                                                int in_channels,
+                                                int num_classes, Rng* rng);
+// Image names: "ResNet18" (tiny), "VGG16" (tiny).
+std::unique_ptr<Sequential> MakeImageModel(const std::string& name,
+                                           int in_channels, int height,
+                                           int width, int num_classes,
+                                           Rng* rng);
+
+}  // namespace qcore
+
+#endif  // QCORE_MODELS_MODEL_ZOO_H_

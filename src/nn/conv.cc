@@ -1,0 +1,255 @@
+#include "nn/conv.h"
+
+#include <cmath>
+
+namespace qcore {
+
+// ---------------------------------------------------------------------------
+// Conv1d
+// ---------------------------------------------------------------------------
+
+Conv1d::Conv1d(int64_t in_channels, int64_t out_channels, int kernel,
+               int stride, int pad, Rng* rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad) {
+  QCORE_CHECK_GT(in_channels, 0);
+  QCORE_CHECK_GT(out_channels, 0);
+  QCORE_CHECK_GT(kernel, 0);
+  QCORE_CHECK_GT(stride, 0);
+  QCORE_CHECK_GE(pad, 0);
+  QCORE_CHECK(rng != nullptr);
+  const float stddev =
+      std::sqrt(2.0f / static_cast<float>(in_channels * kernel));
+  weight_ = Parameter(
+      "conv1d.weight",
+      Tensor::Randn({out_channels, in_channels, kernel}, rng, stddev));
+  bias_ = Parameter("conv1d.bias", Tensor::Zeros({out_channels}));
+}
+
+Tensor Conv1d::Forward(const Tensor& x, bool training) {
+  QCORE_CHECK_EQ(x.ndim(), 3);
+  QCORE_CHECK_EQ(x.dim(1), in_channels_);
+  const int64_t n = x.dim(0), c = in_channels_, l = x.dim(2);
+  const int64_t lo = (l + 2 * pad_ - kernel_) / stride_ + 1;
+  QCORE_CHECK_MSG(lo > 0, "conv1d output length would be non-positive");
+  if (training) cached_input_ = x;
+  Tensor out({n, out_channels_, lo});
+  const float* px = x.data();
+  const float* pw = weight_.value.data();
+  const float* pb = bias_.value.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t f = 0; f < out_channels_; ++f) {
+      float* orow = po + (i * out_channels_ + f) * lo;
+      for (int64_t o = 0; o < lo; ++o) orow[o] = pb[f];
+      for (int64_t ch = 0; ch < c; ++ch) {
+        const float* xrow = px + (i * c + ch) * l;
+        const float* wrow = pw + (f * c + ch) * kernel_;
+        for (int k = 0; k < kernel_; ++k) {
+          const float wv = wrow[k];
+          if (wv == 0.0f) continue;
+          for (int64_t o = 0; o < lo; ++o) {
+            const int64_t t = o * stride_ + k - pad_;
+            if (t >= 0 && t < l) orow[o] += wv * xrow[t];
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv1d::Backward(const Tensor& grad_out) {
+  QCORE_CHECK_MSG(cached_input_.size() > 0, "Backward before Forward");
+  const Tensor& x = cached_input_;
+  const int64_t n = x.dim(0), c = in_channels_, l = x.dim(2);
+  const int64_t lo = grad_out.dim(2);
+  QCORE_CHECK_EQ(grad_out.dim(0), n);
+  QCORE_CHECK_EQ(grad_out.dim(1), out_channels_);
+
+  Tensor grad_in(x.shape());
+  const float* px = x.data();
+  const float* pw = weight_.value.data();
+  const float* pg = grad_out.data();
+  float* pgi = grad_in.data();
+  float* pdw = weight_.grad.data();
+  float* pdb = bias_.grad.data();
+
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t f = 0; f < out_channels_; ++f) {
+      const float* grow = pg + (i * out_channels_ + f) * lo;
+      double db = 0.0;
+      for (int64_t o = 0; o < lo; ++o) db += grow[o];
+      pdb[f] += static_cast<float>(db);
+      for (int64_t ch = 0; ch < c; ++ch) {
+        const float* xrow = px + (i * c + ch) * l;
+        const float* wrow = pw + (f * c + ch) * kernel_;
+        float* girow = pgi + (i * c + ch) * l;
+        float* dwrow = pdw + (f * c + ch) * kernel_;
+        for (int k = 0; k < kernel_; ++k) {
+          double dw = 0.0;
+          const float wv = wrow[k];
+          for (int64_t o = 0; o < lo; ++o) {
+            const int64_t t = o * stride_ + k - pad_;
+            if (t < 0 || t >= l) continue;
+            dw += grow[o] * xrow[t];
+            girow[t] += wv * grow[o];
+          }
+          dwrow[k] += static_cast<float>(dw);
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::unique_ptr<Layer> Conv1d::Clone() const {
+  auto copy = std::unique_ptr<Conv1d>(
+      new Conv1d(in_channels_, out_channels_, kernel_, stride_, pad_));
+  copy->weight_ = Parameter(weight_.name, weight_.value);
+  copy->bias_ = Parameter(bias_.name, bias_.value);
+  return copy;
+}
+
+std::string Conv1d::name() const {
+  return "conv1d(" + std::to_string(in_channels_) + "->" +
+         std::to_string(out_channels_) + ",k=" + std::to_string(kernel_) + ")";
+}
+
+// ---------------------------------------------------------------------------
+// Conv2d
+// ---------------------------------------------------------------------------
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int kernel,
+               int stride, int pad, Rng* rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad) {
+  QCORE_CHECK_GT(in_channels, 0);
+  QCORE_CHECK_GT(out_channels, 0);
+  QCORE_CHECK_GT(kernel, 0);
+  QCORE_CHECK_GT(stride, 0);
+  QCORE_CHECK_GE(pad, 0);
+  QCORE_CHECK(rng != nullptr);
+  const float stddev =
+      std::sqrt(2.0f / static_cast<float>(in_channels * kernel * kernel));
+  weight_ = Parameter(
+      "conv2d.weight",
+      Tensor::Randn({out_channels, in_channels, kernel, kernel}, rng, stddev));
+  bias_ = Parameter("conv2d.bias", Tensor::Zeros({out_channels}));
+}
+
+Tensor Conv2d::Forward(const Tensor& x, bool training) {
+  QCORE_CHECK_EQ(x.ndim(), 4);
+  QCORE_CHECK_EQ(x.dim(1), in_channels_);
+  const int64_t n = x.dim(0), c = in_channels_, h = x.dim(2), w = x.dim(3);
+  const int64_t ho = (h + 2 * pad_ - kernel_) / stride_ + 1;
+  const int64_t wo = (w + 2 * pad_ - kernel_) / stride_ + 1;
+  QCORE_CHECK_MSG(ho > 0 && wo > 0, "conv2d output would be non-positive");
+  if (training) cached_input_ = x;
+  Tensor out({n, out_channels_, ho, wo});
+  const float* px = x.data();
+  const float* pw = weight_.value.data();
+  const float* pb = bias_.value.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t f = 0; f < out_channels_; ++f) {
+      float* oplane = po + (i * out_channels_ + f) * ho * wo;
+      for (int64_t o = 0; o < ho * wo; ++o) oplane[o] = pb[f];
+      for (int64_t ch = 0; ch < c; ++ch) {
+        const float* xplane = px + (i * c + ch) * h * w;
+        const float* wplane = pw + (f * c + ch) * kernel_ * kernel_;
+        for (int ky = 0; ky < kernel_; ++ky) {
+          for (int kx = 0; kx < kernel_; ++kx) {
+            const float wv = wplane[ky * kernel_ + kx];
+            if (wv == 0.0f) continue;
+            for (int64_t oy = 0; oy < ho; ++oy) {
+              const int64_t sy = oy * stride_ + ky - pad_;
+              if (sy < 0 || sy >= h) continue;
+              float* orow = oplane + oy * wo;
+              const float* xrow = xplane + sy * w;
+              for (int64_t ox = 0; ox < wo; ++ox) {
+                const int64_t sx = ox * stride_ + kx - pad_;
+                if (sx >= 0 && sx < w) orow[ox] += wv * xrow[sx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_out) {
+  QCORE_CHECK_MSG(cached_input_.size() > 0, "Backward before Forward");
+  const Tensor& x = cached_input_;
+  const int64_t n = x.dim(0), c = in_channels_, h = x.dim(2), w = x.dim(3);
+  const int64_t ho = grad_out.dim(2), wo = grad_out.dim(3);
+  QCORE_CHECK_EQ(grad_out.dim(0), n);
+  QCORE_CHECK_EQ(grad_out.dim(1), out_channels_);
+
+  Tensor grad_in(x.shape());
+  const float* px = x.data();
+  const float* pw = weight_.value.data();
+  const float* pg = grad_out.data();
+  float* pgi = grad_in.data();
+  float* pdw = weight_.grad.data();
+  float* pdb = bias_.grad.data();
+
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t f = 0; f < out_channels_; ++f) {
+      const float* gplane = pg + (i * out_channels_ + f) * ho * wo;
+      double db = 0.0;
+      for (int64_t o = 0; o < ho * wo; ++o) db += gplane[o];
+      pdb[f] += static_cast<float>(db);
+      for (int64_t ch = 0; ch < c; ++ch) {
+        const float* xplane = px + (i * c + ch) * h * w;
+        const float* wplane = pw + (f * c + ch) * kernel_ * kernel_;
+        float* giplane = pgi + (i * c + ch) * h * w;
+        float* dwplane = pdw + (f * c + ch) * kernel_ * kernel_;
+        for (int ky = 0; ky < kernel_; ++ky) {
+          for (int kx = 0; kx < kernel_; ++kx) {
+            const float wv = wplane[ky * kernel_ + kx];
+            double dw = 0.0;
+            for (int64_t oy = 0; oy < ho; ++oy) {
+              const int64_t sy = oy * stride_ + ky - pad_;
+              if (sy < 0 || sy >= h) continue;
+              const float* grow = gplane + oy * wo;
+              const float* xrow = xplane + sy * w;
+              float* girow = giplane + sy * w;
+              for (int64_t ox = 0; ox < wo; ++ox) {
+                const int64_t sx = ox * stride_ + kx - pad_;
+                if (sx < 0 || sx >= w) continue;
+                dw += grow[ox] * xrow[sx];
+                girow[sx] += wv * grow[ox];
+              }
+            }
+            dwplane[ky * kernel_ + kx] += static_cast<float>(dw);
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::unique_ptr<Layer> Conv2d::Clone() const {
+  auto copy = std::unique_ptr<Conv2d>(
+      new Conv2d(in_channels_, out_channels_, kernel_, stride_, pad_));
+  copy->weight_ = Parameter(weight_.name, weight_.value);
+  copy->bias_ = Parameter(bias_.name, bias_.value);
+  return copy;
+}
+
+std::string Conv2d::name() const {
+  return "conv2d(" + std::to_string(in_channels_) + "->" +
+         std::to_string(out_channels_) + ",k=" + std::to_string(kernel_) + ")";
+}
+
+}  // namespace qcore

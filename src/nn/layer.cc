@@ -1,0 +1,47 @@
+#include "nn/layer.h"
+
+namespace qcore {
+
+std::vector<Layer*> FlattenLeafLayers(Layer* root) {
+  QCORE_CHECK(root != nullptr);
+  std::vector<Layer*> out;
+  bool has_children = false;
+  root->ForEachChild([&](Layer* child) {
+    has_children = true;
+    std::vector<Layer*> sub = FlattenLeafLayers(child);
+    out.insert(out.end(), sub.begin(), sub.end());
+  });
+  if (!has_children) out.push_back(root);
+  return out;
+}
+
+int64_t CountParams(Layer* layer) {
+  QCORE_CHECK(layer != nullptr);
+  int64_t n = 0;
+  for (Parameter* p : layer->Params()) n += p->value.size();
+  return n;
+}
+
+void CopyParams(Layer* dst, const Layer& src) {
+  QCORE_CHECK(dst != nullptr);
+  // Params() is non-const by design (callers mutate); clone the source to
+  // obtain stable pointers without casting away constness.
+  std::unique_ptr<Layer> src_copy = src.Clone();
+  std::vector<Parameter*> d = dst->Params();
+  std::vector<Parameter*> s = src_copy->Params();
+  QCORE_CHECK_EQ(d.size(), s.size());
+  for (size_t i = 0; i < d.size(); ++i) {
+    QCORE_CHECK_MSG(d[i]->name == s[i]->name, "parameter name mismatch");
+    QCORE_CHECK(d[i]->value.SameShape(s[i]->value));
+    d[i]->value = s[i]->value;
+  }
+  std::vector<Tensor*> db = dst->Buffers();
+  std::vector<Tensor*> sb = src_copy->Buffers();
+  QCORE_CHECK_EQ(db.size(), sb.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    QCORE_CHECK(db[i]->SameShape(*sb[i]));
+    *db[i] = *sb[i];
+  }
+}
+
+}  // namespace qcore

@@ -1,0 +1,57 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace qcore {
+
+float SoftmaxCrossEntropy::Forward(const Tensor& logits,
+                                   const std::vector<int>& labels) {
+  QCORE_CHECK_EQ(logits.ndim(), 2);
+  QCORE_CHECK_EQ(logits.dim(0), static_cast<int64_t>(labels.size()));
+  probs_ = SoftmaxRows(logits);
+  labels_ = labels;
+  const int64_t n = logits.dim(0), k = logits.dim(1);
+  double loss = 0.0;
+  const float* pp = probs_.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const int y = labels[static_cast<size_t>(i)];
+    QCORE_CHECK(y >= 0 && y < k);
+    loss += -std::log(std::max(pp[i * k + y], 1e-12f));
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+Tensor SoftmaxCrossEntropy::Backward() const {
+  QCORE_CHECK_MSG(probs_.size() > 0, "Backward before Forward");
+  const int64_t n = probs_.dim(0), k = probs_.dim(1);
+  Tensor grad = probs_;
+  float* pg = grad.data();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    pg[i * k + labels_[static_cast<size_t>(i)]] -= 1.0f;
+    for (int64_t j = 0; j < k; ++j) pg[i * k + j] *= inv_n;
+  }
+  return grad;
+}
+
+float MseLoss(const Tensor& pred, const Tensor& target, Tensor* grad) {
+  QCORE_CHECK(pred.SameShape(target));
+  const int64_t n = pred.size();
+  QCORE_CHECK_GT(n, 0);
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  double loss = 0.0;
+  if (grad != nullptr) *grad = Tensor(pred.shape());
+  float* pg = grad != nullptr ? grad->data() : nullptr;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const float d = pp[i] - pt[i];
+    loss += static_cast<double>(d) * d;
+    if (pg != nullptr) pg[i] = 2.0f * d * inv_n;
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+}  // namespace qcore

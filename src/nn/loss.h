@@ -1,0 +1,35 @@
+// Softmax cross-entropy loss (fused for numerical stability).
+#ifndef QCORE_NN_LOSS_H_
+#define QCORE_NN_LOSS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace qcore {
+
+class SoftmaxCrossEntropy {
+ public:
+  // Mean cross-entropy of logits [N, K] against integer labels in [0, K).
+  // Caches softmax probabilities for Backward.
+  float Forward(const Tensor& logits, const std::vector<int>& labels);
+
+  // dLoss/dLogits = (softmax - onehot) / N.
+  Tensor Backward() const;
+
+  // The cached probabilities from the last Forward ([N, K]).
+  const Tensor& probabilities() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<int> labels_;
+};
+
+// Mean squared error between prediction and target (same shape); used by the
+// DER baseline's logit-replay term. Returns the loss; writes dLoss/dPred
+// into *grad if non-null.
+float MseLoss(const Tensor& pred, const Tensor& target, Tensor* grad);
+
+}  // namespace qcore
+
+#endif  // QCORE_NN_LOSS_H_

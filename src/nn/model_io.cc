@@ -1,0 +1,80 @@
+#include "nn/model_io.h"
+
+#include "common/serialize.h"
+
+namespace qcore {
+
+Status SaveModel(Layer* model, const std::string& path) {
+  if (model == nullptr) return Status::InvalidArgument("null model");
+  BinaryWriter w;
+  const std::vector<Parameter*> params = model->Params();
+  w.WriteU64(params.size());
+  for (Parameter* p : params) {
+    w.WriteString(p->name);
+    w.WriteInt64s(p->value.shape());
+    w.WriteFloats(p->value.vec());
+  }
+  const std::vector<Tensor*> buffers = model->Buffers();
+  w.WriteU64(buffers.size());
+  for (Tensor* b : buffers) {
+    w.WriteInt64s(b->shape());
+    w.WriteFloats(b->vec());
+  }
+  return w.ToFile(path);
+}
+
+Status LoadModel(Layer* model, const std::string& path) {
+  if (model == nullptr) return Status::InvalidArgument("null model");
+  auto reader = BinaryReader::FromFile(path);
+  if (!reader.ok()) return reader.status();
+  BinaryReader& r = reader.value();
+
+  auto num_params = r.ReadU64();
+  if (!num_params.ok()) return num_params.status();
+  const std::vector<Parameter*> params = model->Params();
+  if (num_params.value() != params.size()) {
+    return Status::Corruption("parameter count mismatch in " + path);
+  }
+  for (Parameter* p : params) {
+    auto name = r.ReadString();
+    if (!name.ok()) return name.status();
+    if (name.value() != p->name) {
+      return Status::Corruption("parameter name mismatch: expected " +
+                                p->name + " got " + name.value());
+    }
+    auto shape = r.ReadInt64s();
+    if (!shape.ok()) return shape.status();
+    if (shape.value() != p->value.shape()) {
+      return Status::Corruption("parameter shape mismatch for " + p->name);
+    }
+    auto values = r.ReadFloats();
+    if (!values.ok()) return values.status();
+    if (values.value().size() != p->value.vec().size()) {
+      return Status::Corruption("parameter size mismatch for " + p->name);
+    }
+    p->value.vec() = std::move(values).value();
+  }
+
+  auto num_buffers = r.ReadU64();
+  if (!num_buffers.ok()) return num_buffers.status();
+  const std::vector<Tensor*> buffers = model->Buffers();
+  if (num_buffers.value() != buffers.size()) {
+    return Status::Corruption("buffer count mismatch in " + path);
+  }
+  for (Tensor* b : buffers) {
+    auto shape = r.ReadInt64s();
+    if (!shape.ok()) return shape.status();
+    if (shape.value() != b->shape()) {
+      return Status::Corruption("buffer shape mismatch");
+    }
+    auto values = r.ReadFloats();
+    if (!values.ok()) return values.status();
+    if (values.value().size() != b->vec().size()) {
+      return Status::Corruption("buffer size mismatch");
+    }
+    b->vec() = std::move(values).value();
+  }
+  return Status::OK();
+}
+
+}  // namespace qcore

@@ -1,0 +1,23 @@
+// Model parameter persistence: saves/loads the flattened Params()+Buffers()
+// state so server-side preparation and on-edge deployment can be separate
+// processes (examples/edge_deployment_sim.cc exercises this round trip).
+#ifndef QCORE_NN_MODEL_IO_H_
+#define QCORE_NN_MODEL_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/layer.h"
+
+namespace qcore {
+
+// Writes parameter names, shapes, values and buffers to `path`.
+Status SaveModel(Layer* model, const std::string& path);
+
+// Loads parameters saved by SaveModel into `model`, validating that names
+// and shapes match the model's current structure.
+Status LoadModel(Layer* model, const std::string& path);
+
+}  // namespace qcore
+
+#endif  // QCORE_NN_MODEL_IO_H_

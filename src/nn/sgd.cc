@@ -1,0 +1,24 @@
+#include "nn/sgd.h"
+
+namespace qcore {
+
+void Sgd::Step(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) {
+    QCORE_CHECK(p != nullptr);
+    auto [it, inserted] = velocity_.try_emplace(p, p->value.shape());
+    Tensor& vel = it->second;
+    QCORE_CHECK(vel.SameShape(p->value));
+    float* pv = vel.data();
+    float* pw = p->value.data();
+    const float* pg = p->grad.data();
+    const int64_t n = p->value.size();
+    for (int64_t i = 0; i < n; ++i) {
+      float g = pg[i] + options_.weight_decay * pw[i];
+      pv[i] = options_.momentum * pv[i] + g;
+      pw[i] -= options_.lr * pv[i];
+    }
+    p->ZeroGrad();
+  }
+}
+
+}  // namespace qcore

@@ -1,0 +1,45 @@
+// Stochastic gradient descent with classical momentum and L2 weight decay —
+// the optimizer the paper uses for training and BP-based calibration.
+#ifndef QCORE_NN_SGD_H_
+#define QCORE_NN_SGD_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace qcore {
+
+struct SgdOptions {
+  float lr = 0.01f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+};
+
+class Sgd {
+ public:
+  explicit Sgd(SgdOptions options) : options_(options) {
+    QCORE_CHECK_GT(options.lr, 0.0f);
+    QCORE_CHECK_GE(options.momentum, 0.0f);
+    QCORE_CHECK_GE(options.weight_decay, 0.0f);
+  }
+
+  // Applies one update to every parameter from its accumulated gradient,
+  // then zeroes the gradients. Velocity is tracked per Parameter pointer, so
+  // an Sgd instance must outlive (and stay bound to) one model instance.
+  void Step(const std::vector<Parameter*>& params);
+
+  void set_lr(float lr) {
+    QCORE_CHECK_GT(lr, 0.0f);
+    options_.lr = lr;
+  }
+  float lr() const { return options_.lr; }
+
+ private:
+  SgdOptions options_;
+  std::unordered_map<Parameter*, Tensor> velocity_;
+};
+
+}  // namespace qcore
+
+#endif  // QCORE_NN_SGD_H_

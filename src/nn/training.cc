@@ -1,0 +1,84 @@
+#include "nn/training.h"
+
+#include <algorithm>
+
+#include "nn/loss.h"
+#include "tensor/tensor_ops.h"
+
+namespace qcore {
+
+float TrainStep(Layer* model, const Tensor& batch_x,
+                const std::vector<int>& batch_y, Sgd* sgd) {
+  QCORE_CHECK(model != nullptr && sgd != nullptr);
+  SoftmaxCrossEntropy loss;
+  Tensor logits = model->Forward(batch_x, /*training=*/true);
+  const float l = loss.Forward(logits, batch_y);
+  model->Backward(loss.Backward());
+  sgd->Step(model->Params());
+  return l;
+}
+
+float TrainClassifier(Layer* model, const Tensor& x,
+                      const std::vector<int>& labels,
+                      const TrainOptions& options, Rng* rng) {
+  QCORE_CHECK(model != nullptr && rng != nullptr);
+  QCORE_CHECK_EQ(x.dim(0), static_cast<int64_t>(labels.size()));
+  QCORE_CHECK_GT(options.epochs, 0);
+  QCORE_CHECK_GT(options.batch_size, 0);
+
+  const int n = static_cast<int>(x.dim(0));
+  Sgd sgd(options.sgd);
+  std::vector<int> order(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+
+  float last_epoch_loss = 0.0f;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (int start = 0; start < n; start += options.batch_size) {
+      const int end = std::min(n, start + options.batch_size);
+      std::vector<int> idx(order.begin() + start, order.begin() + end);
+      Tensor bx = x.GatherRows(idx);
+      std::vector<int> by(idx.size());
+      for (size_t i = 0; i < idx.size(); ++i) {
+        by[i] = labels[static_cast<size_t>(idx[i])];
+      }
+      epoch_loss += TrainStep(model, bx, by, &sgd);
+      ++batches;
+    }
+    last_epoch_loss = static_cast<float>(epoch_loss / std::max(batches, 1));
+    if (options.on_epoch) options.on_epoch(epoch, last_epoch_loss);
+  }
+  return last_epoch_loss;
+}
+
+std::vector<int> Predict(Layer* model, const Tensor& x, int batch_size) {
+  QCORE_CHECK(model != nullptr);
+  QCORE_CHECK_GT(batch_size, 0);
+  const int64_t n = x.dim(0);
+  std::vector<int> preds;
+  preds.reserve(static_cast<size_t>(n));
+  for (int64_t start = 0; start < n; start += batch_size) {
+    const int64_t end = std::min<int64_t>(n, start + batch_size);
+    Tensor logits =
+        model->Forward(x.SliceRows(start, end), /*training=*/false);
+    std::vector<int> batch_preds = ArgMaxRows(logits);
+    preds.insert(preds.end(), batch_preds.begin(), batch_preds.end());
+  }
+  return preds;
+}
+
+float EvaluateAccuracy(Layer* model, const Tensor& x,
+                       const std::vector<int>& labels, int batch_size) {
+  QCORE_CHECK_EQ(x.dim(0), static_cast<int64_t>(labels.size()));
+  if (labels.empty()) return 0.0f;
+  const std::vector<int> preds = Predict(model, x, batch_size);
+  int correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(labels.size());
+}
+
+}  // namespace qcore

@@ -1,0 +1,41 @@
+// Minibatch training/evaluation loops over raw (X, y) tensors. Dataset-level
+// conveniences live in data/; this header keeps nn/ free of that dependency.
+#ifndef QCORE_NN_TRAINING_H_
+#define QCORE_NN_TRAINING_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/layer.h"
+#include "nn/sgd.h"
+
+namespace qcore {
+
+struct TrainOptions {
+  int epochs = 10;
+  int batch_size = 64;
+  SgdOptions sgd;
+  // If set, called after each epoch with (epoch, mean training loss).
+  std::function<void(int, float)> on_epoch;
+};
+
+// Trains a classifier on x (first axis = examples) with integer labels,
+// shuffling each epoch. Returns the mean training loss of the final epoch.
+float TrainClassifier(Layer* model, const Tensor& x,
+                      const std::vector<int>& labels,
+                      const TrainOptions& options, Rng* rng);
+
+// Runs one SGD step on a single minibatch; returns the batch loss.
+float TrainStep(Layer* model, const Tensor& batch_x,
+                const std::vector<int>& batch_y, Sgd* sgd);
+
+// Argmax predictions in eval mode, chunked to bound activation memory.
+std::vector<int> Predict(Layer* model, const Tensor& x, int batch_size = 256);
+
+// Fraction of rows whose argmax prediction matches the label.
+float EvaluateAccuracy(Layer* model, const Tensor& x,
+                       const std::vector<int>& labels, int batch_size = 256);
+
+}  // namespace qcore
+
+#endif  // QCORE_NN_TRAINING_H_

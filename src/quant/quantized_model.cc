@@ -1,0 +1,224 @@
+#include "quant/quantized_model.h"
+
+#include "common/serialize.h"
+
+namespace qcore {
+
+namespace {
+
+bool IsQuantizable(const Parameter& p) {
+  // Dense/Conv kernels: rank >= 2 and named "*.weight".
+  const std::string& n = p.name;
+  const std::string suffix = ".weight";
+  return p.value.ndim() >= 2 && n.size() > suffix.size() &&
+         n.compare(n.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+QuantizedModel::QuantizedModel(const Layer& float_model, int bits)
+    : bits_(bits), model_(float_model.Clone()) {
+  QCORE_CHECK_GE(bits, 2);
+  QCORE_CHECK_LE(bits, 16);
+  BuildRegistry();
+}
+
+void QuantizedModel::BuildRegistry() {
+  tensors_.clear();
+  for (Layer* leaf : FlattenLeafLayers(model_.get())) {
+    for (Parameter* p : leaf->Params()) {
+      if (!IsQuantizable(*p)) continue;
+      QuantizedTensor qt;
+      qt.param = p;
+      qt.owner = leaf;
+      qt.qp = ChooseSymmetricParams(p->value, bits_);
+      qt.codes = QuantizeToCodes(p->value, qt.qp);
+      qt.shadow = p->value;  // full-precision master
+      qt.has_shadow = true;
+      tensors_.push_back(std::move(qt));
+    }
+  }
+  for (int i = 0; i < num_quantized(); ++i) SyncParamFromCodes(i);
+}
+
+std::unique_ptr<QuantizedModel> QuantizedModel::Clone() const {
+  auto copy = std::unique_ptr<QuantizedModel>(new QuantizedModel());
+  copy->bits_ = bits_;
+  copy->model_ = model_->Clone();
+  copy->BuildRegistry();
+  // BuildRegistry re-derives scale from the dequantized values, which can
+  // drift; copy the exact quantization state instead.
+  QCORE_CHECK_EQ(copy->tensors_.size(), tensors_.size());
+  for (size_t i = 0; i < tensors_.size(); ++i) {
+    copy->tensors_[i].qp = tensors_[i].qp;
+    copy->tensors_[i].codes = tensors_[i].codes;
+    copy->tensors_[i].shadow = tensors_[i].shadow;
+    copy->tensors_[i].has_shadow = tensors_[i].has_shadow;
+    copy->SyncParamFromCodes(static_cast<int>(i));
+  }
+  return copy;
+}
+
+void QuantizedModel::SyncParamFromCodes(int i) {
+  QuantizedTensor& qt = quantized(i);
+  QCORE_CHECK_EQ(qt.param->value.size(),
+                 static_cast<int64_t>(qt.codes.size()));
+  float* p = qt.param->value.data();
+  for (size_t e = 0; e < qt.codes.size(); ++e) {
+    p[e] = DequantizeValue(qt.codes[e], qt.qp);
+  }
+}
+
+void QuantizedModel::RequantizeFromShadow() {
+  for (int i = 0; i < num_quantized(); ++i) {
+    QuantizedTensor& qt = quantized(i);
+    QCORE_CHECK_MSG(qt.has_shadow,
+                    "RequantizeFromShadow after DropShadows()");
+    qt.codes = QuantizeToCodes(qt.shadow, qt.qp);
+    SyncParamFromCodes(i);
+  }
+}
+
+void QuantizedModel::DropShadows() {
+  for (auto& qt : tensors_) {
+    qt.shadow = Tensor();
+    qt.has_shadow = false;
+  }
+}
+
+bool QuantizedModel::has_shadows() const {
+  for (const auto& qt : tensors_) {
+    if (!qt.has_shadow) return false;
+  }
+  return !tensors_.empty();
+}
+
+void QuantizedModel::ApplyCodeDelta(int i, int64_t elem, int delta) {
+  QuantizedTensor& qt = quantized(i);
+  QCORE_CHECK_GE(delta, -qt.qp.num_levels());
+  QCORE_CHECK_LE(delta, qt.qp.num_levels());
+  QCORE_CHECK(elem >= 0 && elem < static_cast<int64_t>(qt.codes.size()));
+  if (delta == 0) return;
+  int32_t& code = qt.codes[static_cast<size_t>(elem)];
+  int32_t next = code + delta;
+  if (next < qt.qp.qmin) next = qt.qp.qmin;
+  if (next > qt.qp.qmax) next = qt.qp.qmax;
+  code = next;
+  qt.param->value[elem] = DequantizeValue(code, qt.qp);
+}
+
+int64_t QuantizedModel::TotalCodeCount() const {
+  int64_t n = 0;
+  for (const auto& qt : tensors_) n += static_cast<int64_t>(qt.codes.size());
+  return n;
+}
+
+uint64_t QuantizedModel::SizeBits() const {
+  const int64_t quantized = TotalCodeCount();
+  const int64_t total = CountParams(model_.get());
+  const int64_t fp = total - quantized;
+  return static_cast<uint64_t>(quantized) * static_cast<uint64_t>(bits_) +
+         static_cast<uint64_t>(fp) * 32ULL;
+}
+
+Status QuantizedModel::Save(const std::string& path) const {
+  BinaryWriter w;
+  w.WriteI32(bits_);
+  w.WriteU64(tensors_.size());
+  for (const auto& qt : tensors_) {
+    w.WriteString(qt.param->name);
+    w.WriteF32(qt.qp.scale);
+    w.WriteInts(qt.codes);
+  }
+  // Non-quantized parameters (biases, BN affine) and buffers, full precision.
+  std::unique_ptr<Layer> snapshot = model_->Clone();
+  std::vector<Parameter*> params = snapshot->Params();
+  std::vector<Parameter*> fp_params;
+  for (Parameter* p : params) {
+    if (!IsQuantizable(*p)) fp_params.push_back(p);
+  }
+  w.WriteU64(fp_params.size());
+  for (Parameter* p : fp_params) {
+    w.WriteString(p->name);
+    w.WriteFloats(p->value.vec());
+  }
+  std::vector<Tensor*> buffers = snapshot->Buffers();
+  w.WriteU64(buffers.size());
+  for (Tensor* b : buffers) w.WriteFloats(b->vec());
+  return w.ToFile(path);
+}
+
+Status QuantizedModel::Load(const std::string& path) {
+  auto reader = BinaryReader::FromFile(path);
+  if (!reader.ok()) return reader.status();
+  BinaryReader& r = reader.value();
+
+  auto bits = r.ReadI32();
+  if (!bits.ok()) return bits.status();
+  if (bits.value() != bits_) {
+    return Status::Corruption("bit-width mismatch in " + path);
+  }
+  auto count = r.ReadU64();
+  if (!count.ok()) return count.status();
+  if (count.value() != tensors_.size()) {
+    return Status::Corruption("quantized tensor count mismatch in " + path);
+  }
+  for (size_t i = 0; i < tensors_.size(); ++i) {
+    auto name = r.ReadString();
+    if (!name.ok()) return name.status();
+    if (name.value() != tensors_[i].param->name) {
+      return Status::Corruption("tensor name mismatch: " + name.value());
+    }
+    auto scale = r.ReadF32();
+    if (!scale.ok()) return scale.status();
+    auto codes = r.ReadInts();
+    if (!codes.ok()) return codes.status();
+    if (codes.value().size() != tensors_[i].codes.size()) {
+      return Status::Corruption("code count mismatch for " + name.value());
+    }
+    tensors_[i].qp.scale = scale.value();
+    tensors_[i].codes = std::move(codes).value();
+    SyncParamFromCodes(static_cast<int>(i));
+  }
+
+  auto fp_count = r.ReadU64();
+  if (!fp_count.ok()) return fp_count.status();
+  std::vector<Parameter*> fp_params;
+  for (Parameter* p : model_->Params()) {
+    if (!IsQuantizable(*p)) fp_params.push_back(p);
+  }
+  if (fp_count.value() != fp_params.size()) {
+    return Status::Corruption("fp parameter count mismatch in " + path);
+  }
+  for (Parameter* p : fp_params) {
+    auto name = r.ReadString();
+    if (!name.ok()) return name.status();
+    if (name.value() != p->name) {
+      return Status::Corruption("fp parameter name mismatch: " + name.value());
+    }
+    auto values = r.ReadFloats();
+    if (!values.ok()) return values.status();
+    if (values.value().size() != p->value.vec().size()) {
+      return Status::Corruption("fp parameter size mismatch: " + p->name);
+    }
+    p->value.vec() = std::move(values).value();
+  }
+
+  auto buf_count = r.ReadU64();
+  if (!buf_count.ok()) return buf_count.status();
+  std::vector<Tensor*> buffers = model_->Buffers();
+  if (buf_count.value() != buffers.size()) {
+    return Status::Corruption("buffer count mismatch in " + path);
+  }
+  for (Tensor* b : buffers) {
+    auto values = r.ReadFloats();
+    if (!values.ok()) return values.status();
+    if (values.value().size() != b->vec().size()) {
+      return Status::Corruption("buffer size mismatch");
+    }
+    b->vec() = std::move(values).value();
+  }
+  return Status::OK();
+}
+
+}  // namespace qcore

@@ -1,0 +1,112 @@
+// A classification model whose weight tensors are stored as integer codes
+// with per-tensor scales (paper Sec. 2.2). Two operating modes:
+//
+//  * Server-side: each quantized tensor keeps a full-precision "shadow"
+//    master copy so straight-through-estimator calibration (initial
+//    calibration with BP, Fig. 1(b)) can run.
+//  * Edge-side: DropShadows() discards the masters, after which the only way
+//    to change the model is mutating integer codes (ApplyCodeDelta) — the
+//    regime the bit-flipping network operates in.
+//
+// Convention: parameters whose name ends in ".weight" (Dense/Conv kernels)
+// are quantized; biases and BatchNorm affine parameters stay full precision
+// (standard practice — their cardinality is negligible and quantizing them
+// at 2 bits destroys the model for every method equally).
+#ifndef QCORE_QUANT_QUANTIZED_MODEL_H_
+#define QCORE_QUANT_QUANTIZED_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/layer.h"
+#include "quant/quantizer.h"
+
+namespace qcore {
+
+class QuantizedModel {
+ public:
+  // Deep-copies `float_model` and quantizes its weight tensors at `bits`.
+  QuantizedModel(const Layer& float_model, int bits);
+
+  QuantizedModel(const QuantizedModel&) = delete;
+  QuantizedModel& operator=(const QuantizedModel&) = delete;
+
+  std::unique_ptr<QuantizedModel> Clone() const;
+
+  int bits() const { return bits_; }
+
+  // The internal model; its quantized parameter values always equal
+  // code * scale. Useable for Forward/Backward like any Layer.
+  Layer* model() { return model_.get(); }
+
+  Tensor Forward(const Tensor& x, bool training = false) {
+    return model_->Forward(x, training);
+  }
+
+  // One quantized weight tensor.
+  struct QuantizedTensor {
+    Parameter* param = nullptr;  // points into model_
+    Layer* owner = nullptr;      // leaf layer owning the parameter
+    QuantParams qp;
+    std::vector<int32_t> codes;
+    Tensor shadow;               // full-precision master; empty after deploy
+    bool has_shadow = false;
+  };
+
+  int num_quantized() const { return static_cast<int>(tensors_.size()); }
+  QuantizedTensor& quantized(int i) {
+    QCORE_CHECK(i >= 0 && i < num_quantized());
+    return tensors_[static_cast<size_t>(i)];
+  }
+  const QuantizedTensor& quantized(int i) const {
+    QCORE_CHECK(i >= 0 && i < num_quantized());
+    return tensors_[static_cast<size_t>(i)];
+  }
+
+  // Rewrites the i-th parameter's float values from its codes.
+  void SyncParamFromCodes(int i);
+
+  // codes = Quantize(shadow) for every tensor, then syncs params. Requires
+  // shadows (server-side mode). Scales stay fixed from construction so code
+  // deltas remain comparable across calibration rounds.
+  void RequantizeFromShadow();
+
+  // Discards all shadow masters — simulates edge deployment where
+  // full-precision values are unavailable.
+  void DropShadows();
+  bool has_shadows() const;
+
+  // codes[elem] += delta, clamped to [qmin, qmax]; updates the dequantized
+  // parameter value. This is the bit-flip primitive; |delta| may exceed 1
+  // when the caller scales the ternary flip direction to the precision
+  // (see BitFlipCalibrateOptions::StepFor).
+  void ApplyCodeDelta(int i, int64_t elem, int delta);
+
+  // Total number of quantized scalar parameters.
+  int64_t TotalCodeCount() const;
+
+  // Deployed model size in bits: quantized codes at `bits` each plus
+  // full-precision leftovers at 32 bits each.
+  uint64_t SizeBits() const;
+
+  // Persistence of the deployed form (codes + scales + fp parameters).
+  Status Save(const std::string& path) const;
+  // Loads into a model constructed from the same architecture.
+  Status Load(const std::string& path);
+
+ private:
+  QuantizedModel() = default;
+
+  // Walks model_ and (re)builds tensors_, quantizing weights at bits_.
+  void BuildRegistry();
+
+  int bits_ = 8;
+  std::unique_ptr<Layer> model_;
+  std::vector<QuantizedTensor> tensors_;
+};
+
+}  // namespace qcore
+
+#endif  // QCORE_QUANT_QUANTIZED_MODEL_H_

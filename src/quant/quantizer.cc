@@ -1,0 +1,72 @@
+#include "quant/quantizer.h"
+
+#include <cmath>
+
+namespace qcore {
+
+QuantParams ChooseSymmetricParams(const Tensor& t, int bits) {
+  QCORE_CHECK_GE(bits, 2);
+  QCORE_CHECK_LE(bits, 16);
+  QuantParams qp;
+  qp.bits = bits;
+  qp.qmax = (1 << (bits - 1)) - 1;
+  qp.qmin = -qp.qmax;
+  const float absmax = t.size() > 0 ? t.AbsMax() : 0.0f;
+  qp.scale = absmax > 0.0f ? absmax / static_cast<float>(qp.qmax) : 1.0f;
+  return qp;
+}
+
+int32_t QuantizeValue(float v, const QuantParams& qp) {
+  QCORE_CHECK_GT(qp.scale, 0.0f);
+  const float scaled = v / qp.scale;
+  int32_t code = static_cast<int32_t>(std::lrintf(scaled));
+  if (code < qp.qmin) code = qp.qmin;
+  if (code > qp.qmax) code = qp.qmax;
+  return code;
+}
+
+Tensor FakeQuantize(const Tensor& t, const QuantParams& qp) {
+  Tensor out = t;
+  float* p = out.data();
+  const int64_t n = out.size();
+  for (int64_t i = 0; i < n; ++i) {
+    p[i] = DequantizeValue(QuantizeValue(p[i], qp), qp);
+  }
+  return out;
+}
+
+std::vector<int32_t> QuantizeToCodes(const Tensor& t, const QuantParams& qp) {
+  std::vector<int32_t> codes(static_cast<size_t>(t.size()));
+  const float* p = t.data();
+  for (size_t i = 0; i < codes.size(); ++i) {
+    codes[i] = QuantizeValue(p[i], qp);
+  }
+  return codes;
+}
+
+Tensor DequantizeCodes(const std::vector<int32_t>& codes,
+                       const QuantParams& qp, std::vector<int64_t> shape) {
+  Tensor out(std::move(shape));
+  QCORE_CHECK_EQ(out.size(), static_cast<int64_t>(codes.size()));
+  float* p = out.data();
+  for (size_t i = 0; i < codes.size(); ++i) {
+    QCORE_CHECK(codes[i] >= qp.qmin && codes[i] <= qp.qmax);
+    p[i] = DequantizeValue(codes[i], qp);
+  }
+  return out;
+}
+
+double QuantizationMse(const Tensor& t, const QuantParams& qp) {
+  if (t.size() == 0) return 0.0;
+  const float* p = t.data();
+  double mse = 0.0;
+  const int64_t n = t.size();
+  for (int64_t i = 0; i < n; ++i) {
+    const float dq = DequantizeValue(QuantizeValue(p[i], qp), qp);
+    const double d = static_cast<double>(p[i]) - dq;
+    mse += d * d;
+  }
+  return mse / static_cast<double>(n);
+}
+
+}  // namespace qcore

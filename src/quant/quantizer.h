@@ -1,0 +1,55 @@
+// Uniform symmetric quantization (paper Sec. 2.2, Fig. 2): a float tensor is
+// mapped to integer codes in [-qmax, qmax] with a per-tensor scale so that
+// value ≈ code * scale. Symmetric quantization keeps zero exactly
+// representable and makes the bit-flip update (code ± 1) meaningful at every
+// level.
+#ifndef QCORE_QUANT_QUANTIZER_H_
+#define QCORE_QUANT_QUANTIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace qcore {
+
+struct QuantParams {
+  int bits = 8;
+  float scale = 1.0f;  // step size between adjacent levels
+  int32_t qmin = -127;
+  int32_t qmax = 127;
+
+  // Number of representable levels (qmax - qmin + 1).
+  int num_levels() const { return qmax - qmin + 1; }
+};
+
+// Chooses a symmetric range covering the tensor's absolute maximum:
+// qmax = 2^(bits-1) - 1, scale = absmax / qmax. bits must be in [2, 16].
+// A zero tensor gets scale 1 (any code maps back to a representable value).
+QuantParams ChooseSymmetricParams(const Tensor& t, int bits);
+
+// Rounds a float to its nearest integer code, clamped to [qmin, qmax].
+int32_t QuantizeValue(float v, const QuantParams& qp);
+
+// code * scale.
+inline float DequantizeValue(int32_t code, const QuantParams& qp) {
+  return static_cast<float>(code) * qp.scale;
+}
+
+// Quantize-then-dequantize: the "fake quantization" used to simulate a
+// quantized forward pass during straight-through-estimator calibration.
+Tensor FakeQuantize(const Tensor& t, const QuantParams& qp);
+
+// Element-wise integer codes for the whole tensor.
+std::vector<int32_t> QuantizeToCodes(const Tensor& t, const QuantParams& qp);
+
+// Reconstructs a tensor of the given shape from codes.
+Tensor DequantizeCodes(const std::vector<int32_t>& codes,
+                       const QuantParams& qp, std::vector<int64_t> shape);
+
+// Mean squared quantization error of representing t at the given params.
+double QuantizationMse(const Tensor& t, const QuantParams& qp);
+
+}  // namespace qcore
+
+#endif  // QCORE_QUANT_QUANTIZER_H_

@@ -1,0 +1,124 @@
+#include "quant/ste_calibrator.h"
+
+#include <algorithm>
+
+#include "nn/batchnorm.h"
+#include "nn/loss.h"
+#include "nn/training.h"
+
+namespace qcore {
+
+float SteCalibrate(QuantizedModel* qm, const Tensor& x,
+                   const std::vector<int>& labels, const SteOptions& options,
+                   Rng* rng, const SteStepObserver& observer) {
+  QCORE_CHECK(qm != nullptr && rng != nullptr);
+  QCORE_CHECK_MSG(qm->has_shadows(),
+                  "STE calibration requires shadow masters (server mode)");
+  QCORE_CHECK_EQ(x.dim(0), static_cast<int64_t>(labels.size()));
+  QCORE_CHECK_GT(options.epochs, 0);
+
+  Layer* model = qm->model();
+  if (options.freeze_bn) SetBatchNormFrozen(model, true);
+
+  // Split parameters: quantized tensors update their shadows manually;
+  // everything else (biases, BN affine) uses a regular SGD instance.
+  std::vector<Parameter*> quantized_params;
+  for (int i = 0; i < qm->num_quantized(); ++i) {
+    quantized_params.push_back(qm->quantized(i).param);
+  }
+  std::vector<Parameter*> other_params;
+  for (Parameter* p : model->Params()) {
+    if (std::find(quantized_params.begin(), quantized_params.end(), p) ==
+        quantized_params.end()) {
+      other_params.push_back(p);
+    }
+  }
+  Sgd other_sgd(options.sgd);
+
+  // Momentum buffers for the shadow masters.
+  std::vector<Tensor> velocity;
+  velocity.reserve(static_cast<size_t>(qm->num_quantized()));
+  for (int i = 0; i < qm->num_quantized(); ++i) {
+    velocity.emplace_back(qm->quantized(i).shadow.shape());
+  }
+
+  const int n = static_cast<int>(x.dim(0));
+  std::vector<int> order(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+
+  std::vector<std::vector<int32_t>> prev_codes(
+      static_cast<size_t>(qm->num_quantized()));
+
+  SoftmaxCrossEntropy loss;
+  float last_epoch_loss = 0.0f;
+  int global_step = 0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (int start = 0; start < n; start += options.batch_size) {
+      const int end = std::min(n, start + options.batch_size);
+      std::vector<int> idx(order.begin() + start, order.begin() + end);
+      Tensor bx = x.GatherRows(idx);
+      std::vector<int> by(idx.size());
+      for (size_t i = 0; i < idx.size(); ++i) {
+        by[i] = labels[static_cast<size_t>(idx[i])];
+      }
+
+      if (observer) {
+        for (int t = 0; t < qm->num_quantized(); ++t) {
+          prev_codes[static_cast<size_t>(t)] = qm->quantized(t).codes;
+        }
+      }
+
+      // Forward at quantized weights (params hold dequant(codes) already).
+      Tensor logits = model->Forward(bx, /*training=*/true);
+      const float batch_loss = loss.Forward(logits, by);
+      model->Backward(loss.Backward());
+
+      // STE: gradient computed at quantized weights is applied to shadows.
+      for (int t = 0; t < qm->num_quantized(); ++t) {
+        auto& qt = qm->quantized(t);
+        Tensor& vel = velocity[static_cast<size_t>(t)];
+        float* shadow = qt.shadow.data();
+        float* pv = vel.data();
+        const float* grad = qt.param->grad.data();
+        const int64_t count = qt.shadow.size();
+        for (int64_t e = 0; e < count; ++e) {
+          const float g =
+              grad[e] + options.sgd.weight_decay * shadow[e];
+          pv[e] = options.sgd.momentum * pv[e] + g;
+          shadow[e] -= options.sgd.lr * pv[e];
+        }
+        qt.param->ZeroGrad();
+      }
+      other_sgd.Step(other_params);
+      qm->RequantizeFromShadow();
+
+      if (observer) {
+        SteStepInfo info;
+        info.epoch = epoch;
+        info.step = global_step;
+        info.prev_codes = &prev_codes;
+        info.model = qm;
+        info.batch_loss = batch_loss;
+        observer(info);
+      }
+      ++global_step;
+      epoch_loss += batch_loss;
+      ++batches;
+    }
+    last_epoch_loss = static_cast<float>(epoch_loss / std::max(batches, 1));
+  }
+
+  if (options.freeze_bn) SetBatchNormFrozen(model, false);
+  return last_epoch_loss;
+}
+
+float QuantizedAccuracy(QuantizedModel* qm, const Tensor& x,
+                        const std::vector<int>& labels) {
+  QCORE_CHECK(qm != nullptr);
+  return EvaluateAccuracy(qm->model(), x, labels);
+}
+
+}  // namespace qcore

@@ -1,0 +1,192 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace qcore {
+
+namespace {
+
+int64_t ShapeSize(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    QCORE_CHECK_GT(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<size_t>(ShapeSize(shape_)), 0.0f);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<int64_t> shape,
+                          std::vector<float> values) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  QCORE_CHECK_EQ(ShapeSize(t.shape_), static_cast<int64_t>(values.size()));
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::Randn(std::vector<int64_t> shape, Rng* rng, float stddev) {
+  QCORE_CHECK(rng != nullptr);
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng->NextGaussian(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::Uniform(std::vector<int64_t> shape, Rng* rng, float lo,
+                       float hi) {
+  QCORE_CHECK(rng != nullptr);
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng->NextDouble(lo, hi));
+  }
+  return t;
+}
+
+int64_t Tensor::FlatIndex2(int64_t i, int64_t j) const {
+  QCORE_CHECK_EQ(ndim(), 2);
+  QCORE_CHECK(i >= 0 && i < shape_[0]);
+  QCORE_CHECK(j >= 0 && j < shape_[1]);
+  return i * shape_[1] + j;
+}
+
+int64_t Tensor::FlatIndex3(int64_t i, int64_t j, int64_t k) const {
+  QCORE_CHECK_EQ(ndim(), 3);
+  QCORE_CHECK(i >= 0 && i < shape_[0]);
+  QCORE_CHECK(j >= 0 && j < shape_[1]);
+  QCORE_CHECK(k >= 0 && k < shape_[2]);
+  return (i * shape_[1] + j) * shape_[2] + k;
+}
+
+int64_t Tensor::FlatIndex4(int64_t i, int64_t j, int64_t k, int64_t l) const {
+  QCORE_CHECK_EQ(ndim(), 4);
+  QCORE_CHECK(i >= 0 && i < shape_[0]);
+  QCORE_CHECK(j >= 0 && j < shape_[1]);
+  QCORE_CHECK(k >= 0 && k < shape_[2]);
+  QCORE_CHECK(l >= 0 && l < shape_[3]);
+  return ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l;
+}
+
+float& Tensor::at(int64_t i, int64_t j) { return data_[FlatIndex2(i, j)]; }
+float Tensor::at(int64_t i, int64_t j) const { return data_[FlatIndex2(i, j)]; }
+float& Tensor::at(int64_t i, int64_t j, int64_t k) {
+  return data_[FlatIndex3(i, j, k)];
+}
+float Tensor::at(int64_t i, int64_t j, int64_t k) const {
+  return data_[FlatIndex3(i, j, k)];
+}
+float& Tensor::at(int64_t i, int64_t j, int64_t k, int64_t l) {
+  return data_[FlatIndex4(i, j, k, l)];
+}
+float Tensor::at(int64_t i, int64_t j, int64_t k, int64_t l) const {
+  return data_[FlatIndex4(i, j, k, l)];
+}
+
+Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
+  QCORE_CHECK_EQ(ShapeSize(new_shape), size());
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+Tensor Tensor::SliceRows(int64_t row_begin, int64_t row_end) const {
+  QCORE_CHECK_GE(ndim(), 1);
+  QCORE_CHECK(row_begin >= 0 && row_begin <= row_end && row_end <= shape_[0]);
+  std::vector<int64_t> out_shape = shape_;
+  out_shape[0] = row_end - row_begin;
+  const int64_t row_size = shape_[0] == 0 ? 0 : size() / shape_[0];
+  Tensor out(out_shape);
+  std::copy(data_.begin() + row_begin * row_size,
+            data_.begin() + row_end * row_size, out.data_.begin());
+  return out;
+}
+
+Tensor Tensor::GatherRows(const std::vector<int>& indices) const {
+  QCORE_CHECK_GE(ndim(), 1);
+  const int64_t row_size = size() / shape_[0];
+  std::vector<int64_t> out_shape = shape_;
+  out_shape[0] = static_cast<int64_t>(indices.size());
+  Tensor out(out_shape);
+  for (size_t r = 0; r < indices.size(); ++r) {
+    const int64_t src = indices[r];
+    QCORE_CHECK(src >= 0 && src < shape_[0]);
+    std::copy(data_.begin() + src * row_size,
+              data_.begin() + (src + 1) * row_size,
+              out.data_.begin() + static_cast<int64_t>(r) * row_size);
+  }
+  return out;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+float Tensor::Sum() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return static_cast<float>(s);
+}
+
+float Tensor::Mean() const {
+  QCORE_CHECK_GT(size(), 0);
+  return Sum() / static_cast<float>(size());
+}
+
+float Tensor::Min() const {
+  QCORE_CHECK_GT(size(), 0);
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::Max() const {
+  QCORE_CHECK_GT(size(), 0);
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::AbsMax() const {
+  QCORE_CHECK_GT(size(), 0);
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+int64_t Tensor::ArgMax() const {
+  QCORE_CHECK_GT(size(), 0);
+  return std::distance(data_.begin(),
+                       std::max_element(data_.begin(), data_.end()));
+}
+
+std::string Tensor::ToString(int max_elements) const {
+  std::string out = "[";
+  for (int i = 0; i < ndim(); ++i) {
+    out += std::to_string(shape_[i]);
+    if (i + 1 < ndim()) out += ", ";
+  }
+  out += "]{";
+  const int64_t n = std::min<int64_t>(size(), max_elements);
+  char buf[32];
+  for (int64_t i = 0; i < n; ++i) {
+    std::snprintf(buf, sizeof(buf), "%.4g", data_[i]);
+    out += buf;
+    if (i + 1 < n) out += ", ";
+  }
+  if (n < size()) out += ", ...";
+  out += "}";
+  return out;
+}
+
+}  // namespace qcore

@@ -1,0 +1,110 @@
+// Dense row-major float tensor. This is the numeric foundation for the NN
+// substrate: models here are small (CPU-trainable), so a straightforward
+// contiguous std::vector<float> representation with checked accessors is the
+// right trade-off — hot loops (matmul/conv) operate on raw pointers inside
+// the ops/layers instead.
+#ifndef QCORE_TENSOR_TENSOR_H_
+#define QCORE_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace qcore {
+
+class Tensor {
+ public:
+  // Empty (rank-0, size-0) tensor.
+  Tensor() = default;
+
+  // Zero-initialized tensor of the given shape. All dims must be positive.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  static Tensor Zeros(std::vector<int64_t> shape) {
+    return Tensor(std::move(shape));
+  }
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  static Tensor FromVector(std::vector<int64_t> shape,
+                           std::vector<float> values);
+  // I.i.d. Gaussian entries with the given stddev.
+  static Tensor Randn(std::vector<int64_t> shape, Rng* rng,
+                      float stddev = 1.0f);
+  // I.i.d. uniform entries in [lo, hi).
+  static Tensor Uniform(std::vector<int64_t> shape, Rng* rng, float lo,
+                        float hi);
+
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t dim(int i) const {
+    QCORE_CHECK_GE(i, 0);
+    QCORE_CHECK_LT(i, ndim());
+    return shape_[i];
+  }
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  // Flat element access (bounds-checked).
+  float& operator[](int64_t i) {
+    QCORE_CHECK_GE(i, 0);
+    QCORE_CHECK_LT(i, size());
+    return data_[static_cast<size_t>(i)];
+  }
+  float operator[](int64_t i) const {
+    QCORE_CHECK_GE(i, 0);
+    QCORE_CHECK_LT(i, size());
+    return data_[static_cast<size_t>(i)];
+  }
+
+  // Multi-dimensional checked access for ranks 2–4.
+  float& at(int64_t i, int64_t j);
+  float at(int64_t i, int64_t j) const;
+  float& at(int64_t i, int64_t j, int64_t k);
+  float at(int64_t i, int64_t j, int64_t k) const;
+  float& at(int64_t i, int64_t j, int64_t k, int64_t l);
+  float at(int64_t i, int64_t j, int64_t k, int64_t l) const;
+
+  // Returns a tensor with the same data and a new shape (sizes must match).
+  Tensor Reshape(std::vector<int64_t> new_shape) const;
+
+  // Rows [row_begin, row_end) along axis 0, copied.
+  Tensor SliceRows(int64_t row_begin, int64_t row_end) const;
+
+  // Copies the rows at `indices` (axis 0) into a new tensor.
+  Tensor GatherRows(const std::vector<int>& indices) const;
+
+  void Fill(float value);
+  void SetZero() { Fill(0.0f); }
+
+  // Reductions.
+  float Sum() const;
+  float Mean() const;
+  float Min() const;
+  float Max() const;
+  float AbsMax() const;
+
+  // Flat index of the maximum element (first on ties). Size must be > 0.
+  int64_t ArgMax() const;
+
+  // "[2, 3]{0.1, 0.2, ...}" — truncated for large tensors.
+  std::string ToString(int max_elements = 16) const;
+
+ private:
+  int64_t FlatIndex2(int64_t i, int64_t j) const;
+  int64_t FlatIndex3(int64_t i, int64_t j, int64_t k) const;
+  int64_t FlatIndex4(int64_t i, int64_t j, int64_t k, int64_t l) const;
+
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace qcore
+
+#endif  // QCORE_TENSOR_TENSOR_H_

@@ -1,0 +1,208 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qcore {
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  QCORE_CHECK_EQ(a.ndim(), 2);
+  QCORE_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  QCORE_CHECK_EQ(k, b.dim(0));
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // i-k-j loop order: unit-stride inner loop over both B and C.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
+  QCORE_CHECK_EQ(a.ndim(), 2);
+  QCORE_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  QCORE_CHECK_EQ(k, b.dim(1));
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double s = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
+      pc[i * n + j] = static_cast<float>(s);
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
+  QCORE_CHECK_EQ(a.ndim(), 2);
+  QCORE_CHECK_EQ(b.ndim(), 2);
+  const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  QCORE_CHECK_EQ(k, b.dim(0));
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+namespace {
+
+template <typename F>
+Tensor ZipSameShape(const Tensor& a, const Tensor& b, F f) {
+  QCORE_CHECK(a.SameShape(b));
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return ZipSameShape(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return ZipSameShape(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return ZipSameShape(a, b, [](float x, float y) { return x * y; });
+}
+
+void AddInPlace(Tensor* a, const Tensor& b) {
+  QCORE_CHECK(a != nullptr && a->SameShape(b));
+  float* pa = a->data();
+  const float* pb = b.data();
+  const int64_t n = a->size();
+  for (int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+}
+
+void AxpyInPlace(Tensor* a, float s, const Tensor& b) {
+  QCORE_CHECK(a != nullptr && a->SameShape(b));
+  float* pa = a->data();
+  const float* pb = b.data();
+  const int64_t n = a->size();
+  for (int64_t i = 0; i < n; ++i) pa[i] += s * pb[i];
+}
+
+void ScaleInPlace(Tensor* a, float s) {
+  QCORE_CHECK(a != nullptr);
+  float* pa = a->data();
+  const int64_t n = a->size();
+  for (int64_t i = 0; i < n; ++i) pa[i] *= s;
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  Tensor out = a;
+  ScaleInPlace(&out, s);
+  return out;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  Tensor out = a;
+  float* p = out.data();
+  const int64_t n = out.size();
+  for (int64_t i = 0; i < n; ++i) p[i] += s;
+  return out;
+}
+
+Tensor SoftmaxRows(const Tensor& logits) {
+  QCORE_CHECK_EQ(logits.ndim(), 2);
+  const int64_t n = logits.dim(0), k = logits.dim(1);
+  Tensor out({n, k});
+  const float* pin = logits.data();
+  float* pout = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = pin + i * k;
+    float* orow = pout + i * k;
+    float mx = row[0];
+    for (int64_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < k; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      denom += orow[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < k; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+std::vector<int> ArgMaxRows(const Tensor& t) {
+  QCORE_CHECK_EQ(t.ndim(), 2);
+  const int64_t n = t.dim(0), k = t.dim(1);
+  std::vector<int> out(static_cast<size_t>(n));
+  const float* p = t.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = p + i * k;
+    out[static_cast<size_t>(i)] = static_cast<int>(
+        std::distance(row, std::max_element(row, row + k)));
+  }
+  return out;
+}
+
+double Dot(const Tensor& a, const Tensor& b) {
+  QCORE_CHECK_EQ(a.size(), b.size());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  double s = 0.0;
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) s += static_cast<double>(pa[i]) * pb[i];
+  return s;
+}
+
+double Norm(const Tensor& t) { return std::sqrt(Dot(t, t)); }
+
+Tensor Transpose2d(const Tensor& t) {
+  QCORE_CHECK_EQ(t.ndim(), 2);
+  const int64_t m = t.dim(0), n = t.dim(1);
+  Tensor out({n, m});
+  const float* pin = t.data();
+  float* pout = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) pout[j * m + i] = pin[i * n + j];
+  }
+  return out;
+}
+
+Tensor ConcatRows(const Tensor& a, const Tensor& b) {
+  QCORE_CHECK_EQ(a.ndim(), b.ndim());
+  for (int i = 1; i < a.ndim(); ++i) QCORE_CHECK_EQ(a.dim(i), b.dim(i));
+  std::vector<int64_t> shape = a.shape();
+  shape[0] = a.dim(0) + b.dim(0);
+  Tensor out(shape);
+  std::copy(a.data(), a.data() + a.size(), out.data());
+  std::copy(b.data(), b.data() + b.size(), out.data() + a.size());
+  return out;
+}
+
+}  // namespace qcore

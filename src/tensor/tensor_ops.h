@@ -1,0 +1,57 @@
+// Free-function tensor operations. Layers implement their own fused loops;
+// these ops cover the generic building blocks (GEMM, elementwise arithmetic,
+// row-wise softmax/argmax) and are individually unit-tested.
+#ifndef QCORE_TENSOR_TENSOR_OPS_H_
+#define QCORE_TENSOR_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace qcore {
+
+// C = A[M,K] * B[K,N].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// C = A[M,K] * B[N,K]^T — the common backward-pass shape.
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b);
+
+// C = A[K,M]^T * B[K,N].
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b);
+
+// Elementwise; shapes must match.
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+// a += b (shapes must match).
+void AddInPlace(Tensor* a, const Tensor& b);
+// a += s * b.
+void AxpyInPlace(Tensor* a, float s, const Tensor& b);
+// a *= s.
+void ScaleInPlace(Tensor* a, float s);
+
+Tensor MulScalar(const Tensor& a, float s);
+Tensor AddScalar(const Tensor& a, float s);
+
+// Row-wise numerically-stable softmax over a [N, K] tensor.
+Tensor SoftmaxRows(const Tensor& logits);
+
+// Per-row argmax of a [N, K] tensor.
+std::vector<int> ArgMaxRows(const Tensor& t);
+
+// Dot product of flattened tensors (sizes must match).
+double Dot(const Tensor& a, const Tensor& b);
+
+// L2 norm of the flattened tensor.
+double Norm(const Tensor& t);
+
+// Transpose of a [M, N] tensor.
+Tensor Transpose2d(const Tensor& t);
+
+// Concatenates along axis 0; trailing dims must match.
+Tensor ConcatRows(const Tensor& a, const Tensor& b);
+
+}  // namespace qcore
+
+#endif  // QCORE_TENSOR_TENSOR_OPS_H_

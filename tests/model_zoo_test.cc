@@ -1,0 +1,114 @@
+// Tests for models/: every architecture builds, forwards with the right
+// shapes, backprops, clones faithfully, and can be trained a little.
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.h"
+#include "nn/loss.h"
+#include "nn/training.h"
+
+namespace qcore {
+namespace {
+
+struct ModelCase {
+  std::string name;
+  bool time_series;
+};
+
+class ModelZooTest : public ::testing::TestWithParam<ModelCase> {};
+
+Tensor InputFor(const ModelCase& c, Rng* rng, int n = 4) {
+  if (c.time_series) return Tensor::Randn({n, 5, 32}, rng);
+  return Tensor::Randn({n, 3, 16, 16}, rng);
+}
+
+std::unique_ptr<Sequential> Build(const ModelCase& c, Rng* rng) {
+  if (c.time_series) return MakeTimeSeriesModel(c.name, 5, 7, rng);
+  return MakeImageModel(c.name, 3, 16, 16, 7, rng);
+}
+
+TEST_P(ModelZooTest, ForwardShape) {
+  Rng rng(1);
+  auto model = Build(GetParam(), &rng);
+  Tensor y = model->Forward(InputFor(GetParam(), &rng), false);
+  EXPECT_EQ(y.ndim(), 2);
+  EXPECT_EQ(y.dim(0), 4);
+  EXPECT_EQ(y.dim(1), 7);
+}
+
+TEST_P(ModelZooTest, BackwardRunsAndProducesGradients) {
+  Rng rng(2);
+  auto model = Build(GetParam(), &rng);
+  Tensor x = InputFor(GetParam(), &rng);
+  SoftmaxCrossEntropy ce;
+  Tensor logits = model->Forward(x, true);
+  ce.Forward(logits, {0, 1, 2, 3});
+  model->Backward(ce.Backward());
+  double grad_norm = 0.0;
+  for (Parameter* p : model->Params()) {
+    for (int64_t i = 0; i < p->grad.size(); ++i) {
+      grad_norm += static_cast<double>(p->grad[i]) * p->grad[i];
+    }
+  }
+  EXPECT_GT(grad_norm, 0.0);
+}
+
+TEST_P(ModelZooTest, HasReasonableParameterCount) {
+  Rng rng(3);
+  auto model = Build(GetParam(), &rng);
+  const int64_t params = CountParams(model.get());
+  EXPECT_GT(params, 300);
+  EXPECT_LT(params, 60000);  // CPU-trainable by design
+}
+
+TEST_P(ModelZooTest, CloneReproducesOutputs) {
+  Rng rng(4);
+  auto model = Build(GetParam(), &rng);
+  Tensor x = InputFor(GetParam(), &rng);
+  (void)model->Forward(x, true);  // move BN stats if any
+  auto copy = model->Clone();
+  Tensor y1 = model->Forward(x, false);
+  Tensor y2 = copy->Forward(x, false);
+  for (int64_t i = 0; i < y1.size(); ++i) EXPECT_FLOAT_EQ(y1[i], y2[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, ModelZooTest,
+    ::testing::Values(ModelCase{"InceptionTime", true},
+                      ModelCase{"OmniScaleCNN", true},
+                      ModelCase{"ResNet18", false},
+                      ModelCase{"VGG16", false}),
+    [](const ::testing::TestParamInfo<ModelCase>& info) {
+      std::string name = info.param.name;
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
+
+TEST(ModelZooTest2, TimeSeriesModelsLearnEasyProblem) {
+  Rng rng(5);
+  // Class 0: low values; class 1: high values — trivially separable.
+  const int n = 60;
+  Tensor x({n, 2, 16});
+  std::vector<int> y(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int cls = i % 2;
+    for (int64_t e = 0; e < 2 * 16; ++e) {
+      x[i * 32 + e] = static_cast<float>(
+          rng.NextGaussian(cls ? 1.5 : -1.5, 0.4));
+    }
+    y[static_cast<size_t>(i)] = cls;
+  }
+  for (const char* name : {"InceptionTime", "OmniScaleCNN"}) {
+    auto model = MakeTimeSeriesModel(name, 2, 2, &rng);
+    TrainOptions topt;
+    topt.epochs = 10;
+    topt.batch_size = 16;
+    topt.sgd.lr = 0.02f;
+    TrainClassifier(model.get(), x, y, topt, &rng);
+    EXPECT_GT(EvaluateAccuracy(model.get(), x, y), 0.9f) << name;
+  }
+}
+
+}  // namespace
+}  // namespace qcore

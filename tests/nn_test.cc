@@ -1,0 +1,334 @@
+// Unit tests for nn/: layer semantics, training loop, SGD, model IO,
+// cloning, and BatchNorm eval/freeze behavior.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "nn/batchnorm.h"
+#include "nn/composite.h"
+#include "nn/conv.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/model_io.h"
+#include "nn/sgd.h"
+#include "nn/training.h"
+#include "tensor/tensor_ops.h"
+
+namespace qcore {
+namespace {
+
+TEST(DenseTest, KnownForward) {
+  Rng rng(1);
+  Dense layer(2, 2, &rng);
+  // Overwrite with known weights: w = [[1,2],[3,4]], b = [0.5, -0.5].
+  layer.Params()[0]->value = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  layer.Params()[1]->value = Tensor::FromVector({2}, {0.5f, -0.5f});
+  Tensor x = Tensor::FromVector({1, 2}, {10, 20});
+  Tensor y = layer.Forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 10 * 1 + 20 * 2 + 0.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 10 * 3 + 20 * 4 - 0.5f);
+}
+
+TEST(ReluTest, ClampsNegatives) {
+  Relu layer;
+  Tensor x = Tensor::FromVector({1, 4}, {-1, 0, 2, -3});
+  Tensor y = layer.Forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+  EXPECT_FLOAT_EQ(y[3], 0.0f);
+}
+
+TEST(Conv1dTest, IdentityKernelPreservesSignal) {
+  Rng rng(2);
+  Conv1d layer(1, 1, 3, 1, 1, &rng);
+  // Kernel [0,1,0], bias 0 => identity with "same" padding.
+  layer.Params()[0]->value = Tensor::FromVector({1, 1, 3}, {0, 1, 0});
+  layer.Params()[1]->value = Tensor::Zeros({1});
+  Tensor x = Tensor::FromVector({1, 1, 5}, {1, 2, 3, 4, 5});
+  Tensor y = layer.Forward(x, false);
+  ASSERT_EQ(y.dim(2), 5);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv1dTest, OutputLengthFormula) {
+  Rng rng(3);
+  Conv1d layer(1, 1, 4, 2, 1, &rng);
+  Tensor x({2, 1, 11});
+  Tensor y = layer.Forward(x, false);
+  EXPECT_EQ(y.dim(2), (11 + 2 - 4) / 2 + 1);
+}
+
+TEST(Conv2dTest, AveragingKernel) {
+  Rng rng(4);
+  Conv2d layer(1, 1, 2, 1, 0, &rng);
+  layer.Params()[0]->value =
+      Tensor::FromVector({1, 1, 2, 2}, {0.25f, 0.25f, 0.25f, 0.25f});
+  layer.Params()[1]->value = Tensor::Zeros({1});
+  Tensor x = Tensor::FromVector({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor y = layer.Forward(x, false);
+  ASSERT_EQ(y.size(), 1);
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+}
+
+TEST(MaxPoolTest, SelectsMaximum) {
+  MaxPool1d pool(2, 2);
+  Tensor x = Tensor::FromVector({1, 1, 6}, {1, 5, 2, 2, 9, 0});
+  Tensor y = pool.Forward(x, false);
+  ASSERT_EQ(y.dim(2), 3);
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  EXPECT_FLOAT_EQ(y[1], 2.0f);
+  EXPECT_FLOAT_EQ(y[2], 9.0f);
+}
+
+TEST(GlobalAvgPoolTest, Averages) {
+  GlobalAvgPool1d gap;
+  Tensor x = Tensor::FromVector({1, 2, 3}, {1, 2, 3, 10, 20, 30});
+  Tensor y = gap.Forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 20.0f);
+}
+
+TEST(BatchNormTest, NormalizesTrainingBatch) {
+  BatchNorm bn(2);
+  Rng rng(5);
+  Tensor x = Tensor::Randn({16, 2, 8}, &rng, 3.0f);
+  Tensor y = bn.Forward(x, /*training=*/true);
+  // Per-channel mean ~0, var ~1 after normalization (gamma=1, beta=0).
+  for (int64_t c = 0; c < 2; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (int64_t i = 0; i < 16; ++i) {
+      for (int64_t t = 0; t < 8; ++t) mean += y.at(i, c, t);
+    }
+    mean /= 128.0;
+    for (int64_t i = 0; i < 16; ++i) {
+      for (int64_t t = 0; t < 8; ++t) {
+        var += (y.at(i, c, t) - mean) * (y.at(i, c, t) - mean);
+      }
+    }
+    var /= 128.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormTest, EvalUsesRunningStats) {
+  BatchNorm bn(1);
+  Rng rng(6);
+  // Warm up running stats with many batches of N(5, 2^2).
+  for (int i = 0; i < 200; ++i) {
+    Tensor x = Tensor::Randn({32, 1, 4}, &rng, 2.0f);
+    float* p = x.data();
+    for (int64_t j = 0; j < x.size(); ++j) p[j] += 5.0f;
+    (void)bn.Forward(x, /*training=*/true);
+  }
+  // A constant input at the running mean should map near 0 in eval mode.
+  Tensor probe = Tensor::Full({1, 1, 4}, 5.0f);
+  Tensor y = bn.Forward(probe, /*training=*/false);
+  EXPECT_NEAR(y[0], 0.0f, 0.15f);
+}
+
+TEST(BatchNormTest, FrozenTrainingMatchesEval) {
+  BatchNorm bn(3);
+  Rng rng(7);
+  (void)bn.Forward(Tensor::Randn({16, 3, 4}, &rng), /*training=*/true);
+  bn.set_frozen(true);
+  Tensor x = Tensor::Randn({4, 3, 4}, &rng);
+  Tensor train_out = bn.Forward(x, /*training=*/true);
+  Tensor eval_out = bn.Forward(x, /*training=*/false);
+  for (int64_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(train_out[i], eval_out[i], 1e-5f);
+  }
+}
+
+TEST(BatchNormTest, FrozenDoesNotUpdateRunningStats) {
+  BatchNorm bn(2);
+  Rng rng(8);
+  (void)bn.Forward(Tensor::Randn({8, 2, 4}, &rng), /*training=*/true);
+  const Tensor before = *bn.Buffers()[0];
+  bn.set_frozen(true);
+  (void)bn.Forward(Tensor::Randn({8, 2, 4}, &rng, 10.0f), /*training=*/true);
+  const Tensor& after = *bn.Buffers()[0];
+  for (int64_t i = 0; i < before.size(); ++i) {
+    EXPECT_FLOAT_EQ(before[i], after[i]);
+  }
+}
+
+TEST(SetBatchNormFrozenTest, WalksTree) {
+  Rng rng(9);
+  Sequential seq;
+  seq.Add(std::make_unique<Conv1d>(1, 2, 3, 1, 1, &rng));
+  auto inner = std::make_unique<Sequential>();
+  inner->Add(std::make_unique<BatchNorm>(2));
+  seq.Add(std::make_unique<Residual>(std::move(inner), nullptr));
+  SetBatchNormFrozen(&seq, true);
+  int frozen_count = 0;
+  for (Layer* leaf : FlattenLeafLayers(&seq)) {
+    if (auto* bn = dynamic_cast<BatchNorm*>(leaf)) {
+      EXPECT_TRUE(bn->frozen());
+      ++frozen_count;
+    }
+  }
+  EXPECT_EQ(frozen_count, 1);
+}
+
+TEST(SgdTest, PlainStepMovesAgainstGradient) {
+  Parameter p("w", Tensor::FromVector({2}, {1.0f, -1.0f}));
+  p.grad = Tensor::FromVector({2}, {0.5f, -0.5f});
+  Sgd sgd({.lr = 0.1f, .momentum = 0.0f, .weight_decay = 0.0f});
+  sgd.Step({&p});
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f - 0.05f);
+  EXPECT_FLOAT_EQ(p.value[1], -1.0f + 0.05f);
+  // Gradients must be cleared.
+  EXPECT_FLOAT_EQ(p.grad[0], 0.0f);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  Parameter p("w", Tensor::FromVector({1}, {0.0f}));
+  Sgd sgd({.lr = 1.0f, .momentum = 0.5f, .weight_decay = 0.0f});
+  p.grad = Tensor::FromVector({1}, {1.0f});
+  sgd.Step({&p});
+  EXPECT_FLOAT_EQ(p.value[0], -1.0f);  // v = 1
+  p.grad = Tensor::FromVector({1}, {1.0f});
+  sgd.Step({&p});
+  EXPECT_FLOAT_EQ(p.value[0], -2.5f);  // v = 1.5
+}
+
+TEST(SgdTest, WeightDecayShrinks) {
+  Parameter p("w", Tensor::FromVector({1}, {10.0f}));
+  Sgd sgd({.lr = 0.1f, .momentum = 0.0f, .weight_decay = 0.1f});
+  p.grad = Tensor::Zeros({1});
+  sgd.Step({&p});
+  EXPECT_LT(p.value[0], 10.0f);
+}
+
+TEST(CloneTest, SequentialCloneMatchesOutputs) {
+  Rng rng(10);
+  Sequential seq;
+  seq.Add(std::make_unique<Conv1d>(2, 3, 3, 1, 1, &rng));
+  seq.Add(std::make_unique<BatchNorm>(3));
+  seq.Add(std::make_unique<Relu>());
+  seq.Add(std::make_unique<GlobalAvgPool1d>());
+  seq.Add(std::make_unique<Dense>(3, 2, &rng));
+  (void)seq.Forward(Tensor::Randn({8, 2, 6}, &rng), true);  // move BN stats
+
+  std::unique_ptr<Layer> copy = seq.Clone();
+  Tensor x = Tensor::Randn({3, 2, 6}, &rng);
+  Tensor y1 = seq.Forward(x, false);
+  Tensor y2 = copy->Forward(x, false);
+  for (int64_t i = 0; i < y1.size(); ++i) EXPECT_FLOAT_EQ(y1[i], y2[i]);
+
+  // Mutating the clone must not affect the original.
+  copy->Params()[0]->value.Fill(0.0f);
+  Tensor y3 = seq.Forward(x, false);
+  for (int64_t i = 0; i < y1.size(); ++i) EXPECT_FLOAT_EQ(y1[i], y3[i]);
+}
+
+TEST(CopyParamsTest, TransfersValuesAndBuffers) {
+  Rng rng(11);
+  Sequential a;
+  a.Add(std::make_unique<Dense>(3, 2, &rng));
+  a.Add(std::make_unique<BatchNorm>(2));
+  Sequential b;
+  b.Add(std::make_unique<Dense>(3, 2, &rng));
+  b.Add(std::make_unique<BatchNorm>(2));
+  (void)a.Forward(Tensor::Randn({16, 3}, &rng), true);  // distinct BN stats
+  CopyParams(&b, a);
+  Tensor x = Tensor::Randn({4, 3}, &rng);
+  Tensor ya = a.Forward(x, false);
+  Tensor yb = b.Forward(x, false);
+  for (int64_t i = 0; i < ya.size(); ++i) EXPECT_FLOAT_EQ(ya[i], yb[i]);
+}
+
+TEST(FlattenLeafLayersTest, DepthFirstOrder) {
+  Rng rng(12);
+  Sequential seq;
+  seq.Add(std::make_unique<Dense>(2, 2, &rng));
+  auto inner = std::make_unique<Sequential>();
+  inner->Add(std::make_unique<Relu>());
+  inner->Add(std::make_unique<Dense>(2, 2, &rng));
+  seq.Add(std::move(inner));
+  std::vector<Layer*> leaves = FlattenLeafLayers(&seq);
+  ASSERT_EQ(leaves.size(), 3u);
+  EXPECT_NE(dynamic_cast<Dense*>(leaves[0]), nullptr);
+  EXPECT_NE(dynamic_cast<Relu*>(leaves[1]), nullptr);
+  EXPECT_NE(dynamic_cast<Dense*>(leaves[2]), nullptr);
+}
+
+TEST(TrainingTest, LearnsLinearlySeparableProblem) {
+  Rng rng(13);
+  // Two Gaussian blobs in 2-D.
+  const int n = 200;
+  Tensor x({n, 2});
+  std::vector<int> y(n);
+  for (int i = 0; i < n; ++i) {
+    const int cls = i % 2;
+    x.at(i, 0) = static_cast<float>(rng.NextGaussian(cls ? 2.0 : -2.0, 0.5));
+    x.at(i, 1) = static_cast<float>(rng.NextGaussian(cls ? -1.0 : 1.0, 0.5));
+    y[static_cast<size_t>(i)] = cls;
+  }
+  Sequential model;
+  model.Add(std::make_unique<Dense>(2, 8, &rng));
+  model.Add(std::make_unique<Relu>());
+  model.Add(std::make_unique<Dense>(8, 2, &rng));
+  TrainOptions opts;
+  opts.epochs = 20;
+  opts.batch_size = 16;
+  opts.sgd.lr = 0.05f;
+  const float final_loss = TrainClassifier(&model, x, y, opts, &rng);
+  EXPECT_LT(final_loss, 0.1f);
+  EXPECT_GT(EvaluateAccuracy(&model, x, y), 0.98f);
+}
+
+TEST(TrainingTest, PredictChunkingConsistent) {
+  Rng rng(14);
+  Sequential model;
+  model.Add(std::make_unique<Dense>(3, 4, &rng));
+  Tensor x = Tensor::Randn({10, 3}, &rng);
+  std::vector<int> big = Predict(&model, x, 256);
+  std::vector<int> small = Predict(&model, x, 3);
+  EXPECT_EQ(big, small);
+}
+
+TEST(ModelIoTest, SaveLoadRoundTrip) {
+  Rng rng(15);
+  Sequential model;
+  model.Add(std::make_unique<Conv1d>(2, 3, 3, 1, 1, &rng));
+  model.Add(std::make_unique<BatchNorm>(3));
+  model.Add(std::make_unique<GlobalAvgPool1d>());
+  model.Add(std::make_unique<Dense>(3, 2, &rng));
+  (void)model.Forward(Tensor::Randn({8, 2, 6}, &rng), true);
+
+  const std::string path = "/tmp/qcore_model_io_test.bin";
+  ASSERT_TRUE(SaveModel(&model, path).ok());
+
+  Rng rng2(999);
+  Sequential other;
+  other.Add(std::make_unique<Conv1d>(2, 3, 3, 1, 1, &rng2));
+  other.Add(std::make_unique<BatchNorm>(3));
+  other.Add(std::make_unique<GlobalAvgPool1d>());
+  other.Add(std::make_unique<Dense>(3, 2, &rng2));
+  ASSERT_TRUE(LoadModel(&other, path).ok());
+
+  Tensor x = Tensor::Randn({4, 2, 6}, &rng);
+  Tensor y1 = model.Forward(x, false);
+  Tensor y2 = other.Forward(x, false);
+  for (int64_t i = 0; i < y1.size(); ++i) EXPECT_FLOAT_EQ(y1[i], y2[i]);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, StructureMismatchRejected) {
+  Rng rng(16);
+  Sequential model;
+  model.Add(std::make_unique<Dense>(3, 2, &rng));
+  const std::string path = "/tmp/qcore_model_io_mismatch.bin";
+  ASSERT_TRUE(SaveModel(&model, path).ok());
+  Sequential other;
+  other.Add(std::make_unique<Dense>(4, 2, &rng));  // different shape
+  Status s = LoadModel(&other, path);
+  EXPECT_FALSE(s.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qcore

@@ -1,0 +1,157 @@
+// Unit + property tests for core/quant_miss: miss-transition counting,
+// distribution building, stratified sampling, and the Eq. 3 information-loss
+// bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/quant_miss.h"
+
+namespace qcore {
+namespace {
+
+TEST(QuantMissTrackerTest, FirstObservationNeverCounts) {
+  QuantMissTracker t(2, 1);
+  t.Observe(0, 0, false);  // unknown -> incorrect: not a miss
+  t.Observe(0, 1, true);
+  EXPECT_EQ(t.misses(0)[0], 0);
+  EXPECT_EQ(t.misses(0)[1], 0);
+}
+
+TEST(QuantMissTrackerTest, CountsCorrectToIncorrectTransitions) {
+  QuantMissTracker t(1, 1);
+  t.Observe(0, 0, true);
+  t.Observe(0, 0, false);  // miss 1
+  t.Observe(0, 0, false);  // no transition
+  t.Observe(0, 0, true);
+  t.Observe(0, 0, false);  // miss 2
+  EXPECT_EQ(t.misses(0)[0], 2);
+}
+
+TEST(QuantMissTrackerTest, LevelsAreIndependent) {
+  QuantMissTracker t(1, 2);
+  t.Observe(0, 0, true);
+  t.Observe(1, 0, true);
+  t.Observe(0, 0, false);
+  t.Observe(1, 0, true);
+  EXPECT_EQ(t.misses(0)[0], 1);
+  EXPECT_EQ(t.misses(1)[0], 0);
+}
+
+TEST(QuantMissTrackerTest, CombinedSumsLevels) {
+  QuantMissTracker t(2, 2);
+  for (int level = 0; level < 2; ++level) {
+    t.Observe(level, 0, true);
+    t.Observe(level, 0, false);
+  }
+  t.Observe(0, 1, true);
+  t.Observe(0, 1, false);
+  std::vector<int> combined = t.CombinedMisses();
+  EXPECT_EQ(combined[0], 2);
+  EXPECT_EQ(combined[1], 1);
+}
+
+TEST(QuantMissTrackerTest, DistributionHistogram) {
+  std::vector<int> misses = {0, 0, 1, 3, 3, 3};
+  std::vector<int64_t> hist = QuantMissTracker::Distribution(misses);
+  ASSERT_EQ(hist.size(), 4u);
+  EXPECT_EQ(hist[0], 2);
+  EXPECT_EQ(hist[1], 1);
+  EXPECT_EQ(hist[2], 0);
+  EXPECT_EQ(hist[3], 3);
+}
+
+TEST(SampleByMissDistributionTest, ExactSizeUniqueIndices) {
+  Rng rng(1);
+  std::vector<int> misses(100);
+  for (size_t i = 0; i < misses.size(); ++i) {
+    misses[i] = static_cast<int>(i % 5);
+  }
+  std::vector<int> sel = SampleByMissDistribution(misses, 20, &rng);
+  EXPECT_EQ(sel.size(), 20u);
+  std::set<int> uniq(sel.begin(), sel.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (int i : sel) {
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, 100);
+  }
+}
+
+TEST(SampleByMissDistributionTest, ReplicatesDistributionProportions) {
+  Rng rng(2);
+  // 80 examples with 0 misses, 20 with 3 misses; 10% subset should hold
+  // about 8 and 2 respectively.
+  std::vector<int> misses(100, 0);
+  for (int i = 80; i < 100; ++i) misses[static_cast<size_t>(i)] = 3;
+  std::vector<int> sel = SampleByMissDistribution(misses, 10, &rng);
+  int zeros = 0, threes = 0;
+  for (int i : sel) {
+    (misses[static_cast<size_t>(i)] == 0 ? zeros : threes)++;
+  }
+  EXPECT_EQ(zeros, 8);
+  EXPECT_EQ(threes, 2);
+}
+
+TEST(SampleByMissDistributionTest, FullSizeSelectsEverything) {
+  Rng rng(3);
+  std::vector<int> misses = {0, 1, 2, 3, 4};
+  std::vector<int> sel = SampleByMissDistribution(misses, 5, &rng);
+  std::set<int> uniq(sel.begin(), sel.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+// Property sweep over subset sizes: the selected subset's mean miss count
+// stays within the Eq. 7 bound of the full set's mean, and the per-bucket
+// allocation is within one of proportional.
+class SamplePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SamplePropertyTest, InfoLossBounded) {
+  Rng rng(100 + GetParam());
+  const int n = 200;
+  const int size = 10 + GetParam() * 13;
+  std::vector<int> misses(static_cast<size_t>(n));
+  int max_miss = 0;
+  for (auto& m : misses) {
+    m = static_cast<int>(rng.NextUint64(9));
+    max_miss = std::max(max_miss, m);
+  }
+  std::vector<int> sel = SampleByMissDistribution(misses, size, &rng);
+  EXPECT_EQ(static_cast<int>(sel.size()), size);
+  const double loss = MissInfoLoss(misses, sel);
+  // Eq. 7: bounded by the maximum miss level K. In practice stratified
+  // sampling does far better; assert both the hard and a practical bound.
+  EXPECT_LE(loss, static_cast<double>(max_miss));
+  EXPECT_LE(loss, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SamplePropertyTest, ::testing::Range(0, 10));
+
+TEST(MissInfoLossTest, ZeroWhenSubsetMatchesMean) {
+  std::vector<int> misses = {2, 2, 2, 2};
+  EXPECT_DOUBLE_EQ(MissInfoLoss(misses, {0, 2}), 0.0);
+}
+
+TEST(MissInfoLossTest, PaperWorkedExample) {
+  // Table 2 of the paper: full set mean 3.05, subset mean 3 -> loss 0.05.
+  std::vector<int> misses;
+  // k=1: 2 examples, k=2: 3, k=3: 9, k=4: 4, k=5: 2.
+  const int counts[] = {0, 2, 3, 9, 4, 2};
+  for (int k = 1; k <= 5; ++k) {
+    for (int i = 0; i < counts[k]; ++i) misses.push_back(k);
+  }
+  ASSERT_EQ(misses.size(), 20u);
+  // The paper's subset: 1 example with k=2, 2 with k=3, 1 with k=4.
+  std::vector<int> selected;
+  int want2 = 1, want3 = 2, want4 = 1;
+  for (size_t i = 0; i < misses.size(); ++i) {
+    if (misses[i] == 2 && want2-- > 0) selected.push_back(static_cast<int>(i));
+    if (misses[i] == 3 && want3-- > 0) selected.push_back(static_cast<int>(i));
+    if (misses[i] == 4 && want4-- > 0) selected.push_back(static_cast<int>(i));
+  }
+  ASSERT_EQ(selected.size(), 4u);
+  EXPECT_NEAR(MissInfoLoss(misses, selected), 0.05, 1e-9);
+}
+
+}  // namespace
+}  // namespace qcore

@@ -1,0 +1,194 @@
+// Unit tests for tensor/: Tensor container semantics and the free-function
+// operations (GEMM variants, elementwise, softmax, reductions).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace qcore {
+namespace {
+
+TEST(TensorTest, ZerosShapeAndSize) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.ndim(), 3);
+  EXPECT_EQ(t.size(), 24);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(2), 4);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FromVectorAndIndexing) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 2), 3.0f);
+  EXPECT_EQ(t.at(1, 0), 4.0f);
+  EXPECT_EQ(t.at(1, 2), 6.0f);
+}
+
+TEST(TensorTest, RankedAccessorsMatchFlat) {
+  Tensor t3 = Tensor::FromVector({2, 2, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(t3.at(1, 0, 1), 5.0f);
+  Tensor t4({2, 2, 2, 2});
+  t4[15] = 9.0f;
+  EXPECT_EQ(t4.at(1, 1, 1, 1), 9.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshape({3, 2});
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_EQ(r.at(0, 1), 2.0f);
+}
+
+TEST(TensorTest, SliceRows) {
+  Tensor t = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor s = t.SliceRows(1, 3);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.at(0, 0), 3.0f);
+  EXPECT_EQ(s.at(1, 1), 6.0f);
+}
+
+TEST(TensorTest, GatherRows) {
+  Tensor t = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor g = t.GatherRows({2, 0, 2});
+  EXPECT_EQ(g.dim(0), 3);
+  EXPECT_EQ(g.at(0, 0), 5.0f);
+  EXPECT_EQ(g.at(1, 0), 1.0f);
+  EXPECT_EQ(g.at(2, 1), 6.0f);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor t = Tensor::FromVector({4}, {-3, 1, 2, 0});
+  EXPECT_FLOAT_EQ(t.Sum(), 0.0f);
+  EXPECT_FLOAT_EQ(t.Mean(), 0.0f);
+  EXPECT_FLOAT_EQ(t.Min(), -3.0f);
+  EXPECT_FLOAT_EQ(t.Max(), 2.0f);
+  EXPECT_FLOAT_EQ(t.AbsMax(), 3.0f);
+  EXPECT_EQ(t.ArgMax(), 2);
+}
+
+TEST(TensorTest, RandnStatistics) {
+  Rng rng(5);
+  Tensor t = Tensor::Randn({10000}, &rng, 2.0f);
+  EXPECT_NEAR(t.Mean(), 0.0f, 0.1f);
+  double var = 0.0;
+  for (int64_t i = 0; i < t.size(); ++i) var += t[i] * t[i];
+  EXPECT_NEAR(var / t.size(), 4.0, 0.3);
+}
+
+TEST(TensorOpsTest, MatMulSmallKnown) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(TensorOpsTest, TransposedVariantsAgreeWithExplicitTranspose) {
+  Rng rng(11);
+  Tensor a = Tensor::Randn({4, 5}, &rng);
+  Tensor b = Tensor::Randn({6, 5}, &rng);
+  // a * b^T via MatMulTransposedB vs MatMul(a, transpose(b)).
+  Tensor direct = MatMulTransposedB(a, b);
+  Tensor reference = MatMul(a, Transpose2d(b));
+  ASSERT_TRUE(direct.SameShape(reference));
+  for (int64_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct[i], reference[i], 1e-4f);
+  }
+  // a^T * c via MatMulTransposedA.
+  Tensor c = Tensor::Randn({4, 7}, &rng);
+  Tensor direct2 = MatMulTransposedA(a, c);
+  Tensor reference2 = MatMul(Transpose2d(a), c);
+  ASSERT_TRUE(direct2.SameShape(reference2));
+  for (int64_t i = 0; i < direct2.size(); ++i) {
+    EXPECT_NEAR(direct2[i], reference2[i], 1e-4f);
+  }
+}
+
+TEST(TensorOpsTest, ElementwiseOps) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({3}, {4, 5, 6});
+  EXPECT_FLOAT_EQ(Add(a, b)[1], 7.0f);
+  EXPECT_FLOAT_EQ(Sub(a, b)[0], -3.0f);
+  EXPECT_FLOAT_EQ(Mul(a, b)[2], 18.0f);
+  Tensor c = a;
+  AddInPlace(&c, b);
+  EXPECT_FLOAT_EQ(c[2], 9.0f);
+  AxpyInPlace(&c, -1.0f, b);
+  EXPECT_FLOAT_EQ(c[2], 3.0f);
+  ScaleInPlace(&c, 2.0f);
+  EXPECT_FLOAT_EQ(c[0], 2.0f);
+  EXPECT_FLOAT_EQ(MulScalar(a, 3.0f)[1], 6.0f);
+  EXPECT_FLOAT_EQ(AddScalar(a, 1.0f)[0], 2.0f);
+}
+
+TEST(TensorOpsTest, SoftmaxRowsSumToOneAndOrder) {
+  Tensor logits = Tensor::FromVector({2, 3}, {1, 2, 3, -1, -1, 5});
+  Tensor p = SoftmaxRows(logits);
+  for (int64_t i = 0; i < 2; ++i) {
+    float sum = 0.0f;
+    for (int64_t j = 0; j < 3; ++j) sum += p.at(i, j);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  EXPECT_GT(p.at(0, 2), p.at(0, 1));
+  EXPECT_GT(p.at(1, 2), 0.9f);
+}
+
+TEST(TensorOpsTest, SoftmaxNumericallyStable) {
+  Tensor logits = Tensor::FromVector({1, 2}, {1000.0f, 1001.0f});
+  Tensor p = SoftmaxRows(logits);
+  EXPECT_FALSE(std::isnan(p[0]));
+  EXPECT_NEAR(p[0] + p[1], 1.0f, 1e-5f);
+}
+
+TEST(TensorOpsTest, ArgMaxRows) {
+  Tensor t = Tensor::FromVector({2, 3}, {0, 5, 2, 9, 1, 1});
+  std::vector<int> am = ArgMaxRows(t);
+  EXPECT_EQ(am[0], 1);
+  EXPECT_EQ(am[1], 0);
+}
+
+TEST(TensorOpsTest, DotAndNorm) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 2});
+  EXPECT_DOUBLE_EQ(Dot(a, a), 9.0);
+  EXPECT_DOUBLE_EQ(Norm(a), 3.0);
+}
+
+TEST(TensorOpsTest, ConcatRows) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector({2, 2}, {3, 4, 5, 6});
+  Tensor c = ConcatRows(a, b);
+  EXPECT_EQ(c.dim(0), 3);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(c.at(2, 0), 5.0f);
+}
+
+// Parameterized GEMM property: (A*B)*C == A*(B*C) within tolerance, across
+// sizes.
+class MatMulAssocTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatMulAssocTest, Associativity) {
+  Rng rng(100 + GetParam());
+  const int64_t m = 1 + GetParam() % 5;
+  const int64_t k = 2 + GetParam() % 7;
+  const int64_t n = 1 + (GetParam() * 3) % 6;
+  const int64_t p = 2 + (GetParam() * 5) % 4;
+  Tensor a = Tensor::Randn({m, k}, &rng);
+  Tensor b = Tensor::Randn({k, n}, &rng);
+  Tensor c = Tensor::Randn({n, p}, &rng);
+  Tensor left = MatMul(MatMul(a, b), c);
+  Tensor right = MatMul(a, MatMul(b, c));
+  ASSERT_TRUE(left.SameShape(right));
+  for (int64_t i = 0; i < left.size(); ++i) {
+    EXPECT_NEAR(left[i], right[i], 1e-3f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MatMulAssocTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace qcore
