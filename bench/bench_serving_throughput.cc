@@ -1,0 +1,235 @@
+// Fleet serving throughput: one server-prepared model, a fleet of simulated
+// devices each streaming target-domain batches with interleaved inference
+// traffic, served by FleetServers with 1..N pool workers. Reports the
+// thread-scaling curve (aggregate calibration+inference throughput) and
+// verifies that every device's final model is bit-identical to the
+// single-threaded pipeline (ContinualDriver driven directly with the same
+// per-device seed) — concurrency must never change results.
+//
+// Each request carries a simulated device-link RTT (the
+// FleetServerOptions::simulated_device_rtt_ms fleet knob): serving a fleet
+// is compute + per-device network wait, and the pool's win is overlapping
+// the two across sessions. That is also what makes the scaling curve
+// meaningful on any host, including single-core CI runners where pure
+// compute cannot speed up with more threads.
+//
+// QCORE_FAST=1 shrinks the fleet; QCORE_BENCH_THREADS caps the curve;
+// QCORE_BENCH_RTT_MS overrides the simulated link RTT (default 25).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "core/bitflip.h"
+#include "core/continual.h"
+#include "core/qcore_builder.h"
+#include "data/har_generator.h"
+#include "models/model_zoo.h"
+#include "serving/server.h"
+
+using namespace qcore;
+using namespace qcore::bench;
+
+namespace {
+
+constexpr uint64_t kFleetSeed = 20240422;
+
+struct FleetSetup {
+  HarSpec spec;
+  Dataset qcore;
+  std::unique_ptr<QuantizedModel> base;
+  std::unique_ptr<BitFlipNet> bf;
+  // Per device: stream batches and matching test slices.
+  std::vector<std::string> device_ids;
+  std::vector<std::vector<Dataset>> batches;
+  std::vector<std::vector<Dataset>> slices;
+  Tensor inference_input;
+};
+
+FleetSetup PrepareFleet(int num_devices, int batches_per_device) {
+  FleetSetup setup;
+  setup.spec = HarSpec::Usc();
+  setup.spec.num_classes = 6;
+  setup.spec.channels = 3;
+  setup.spec.length = 32;
+  setup.spec.train_per_class = 10;
+  setup.spec.test_per_class = 4;
+
+  HarDomain source = MakeHarDomain(setup.spec, 0);
+  Rng rng(kFleetSeed);
+  auto model =
+      MakeOmniScaleCnn(setup.spec.channels, setup.spec.num_classes, &rng);
+  QCoreBuildOptions build;
+  build.size = 15;
+  build.train.epochs = 8;
+  build.train.sgd.lr = 0.03f;
+  auto built = BuildQCore(model.get(), source.train, build, &rng);
+  setup.qcore = built.qcore;
+
+  setup.base = std::make_unique<QuantizedModel>(*model, 4);
+  BitFlipTrainOptions bft;
+  bft.ste.epochs = 8;
+  bft.ste.batch_size = 16;
+  bft.augment_episodes = 1;
+  setup.bf = std::make_unique<BitFlipNet>(
+      TrainBitFlipNet(setup.base.get(), setup.qcore, bft, &rng));
+  setup.base->DropShadows();
+
+  // Each device streams its own subject's shifted domain.
+  for (int d = 0; d < num_devices; ++d) {
+    const int subject = 1 + d % (setup.spec.num_subjects - 1);
+    HarDomain target = MakeHarDomain(setup.spec, subject);
+    Rng split_rng(kFleetSeed ^ static_cast<uint64_t>(d + 1));
+    setup.device_ids.push_back("device-" + std::to_string(d));
+    setup.batches.push_back(
+        SplitIntoStreamBatches(target.train, batches_per_device, &split_rng));
+    setup.slices.push_back(
+        SplitIntoStreamBatches(target.test, batches_per_device, &split_rng));
+    if (d == 0) setup.inference_input = target.test.x();
+  }
+  return setup;
+}
+
+ContinualOptions BenchContinualOptions() {
+  ContinualOptions opts;
+  opts.iterations = 1;
+  return opts;
+}
+
+double BenchRttMs() {
+  if (const char* env = std::getenv("QCORE_BENCH_RTT_MS")) {
+    return std::atof(env);
+  }
+  return 25.0;
+}
+
+struct RunResult {
+  double wall_seconds = 0.0;
+  uint64_t calibrations = 0;
+  uint64_t inferences = 0;
+  std::vector<std::vector<std::vector<int32_t>>> final_codes;  // per device
+};
+
+RunResult RunFleet(const FleetSetup& setup, int threads) {
+  FleetServerOptions opts;
+  opts.num_threads = threads;
+  opts.continual = BenchContinualOptions();
+  opts.seed = kFleetSeed;
+  opts.simulated_device_rtt_ms = BenchRttMs();
+  FleetServer server(*setup.base, *setup.bf, opts);
+  for (const auto& id : setup.device_ids) {
+    server.RegisterDevice(id, setup.qcore);
+  }
+
+  RunResult result;
+  Stopwatch timer;
+  // Every device: alternate inference traffic with calibration batches.
+  for (size_t d = 0; d < setup.device_ids.size(); ++d) {
+    const std::string& id = setup.device_ids[d];
+    for (size_t b = 0; b < setup.batches[d].size(); ++b) {
+      server.SubmitInference(id, setup.inference_input);
+      server.SubmitCalibration(id, setup.batches[d][b],
+                               setup.slices[d][b]);
+      server.SubmitInference(id, setup.inference_input);
+    }
+  }
+  server.Drain();
+  result.wall_seconds = timer.ElapsedSeconds();
+  result.calibrations = server.metrics().calibration_batches();
+  result.inferences = server.metrics().inference_requests();
+  for (const auto& id : setup.device_ids) {
+    result.final_codes.push_back(server.session(id)->model()->AllCodes());
+  }
+  return result;
+}
+
+// The single-threaded pipeline reference: ContinualDriver driven directly,
+// seeded exactly like the device's serving session.
+std::vector<std::vector<std::vector<int32_t>>> RunPipelineReference(
+    const FleetSetup& setup) {
+  std::vector<std::vector<std::vector<int32_t>>> codes;
+  for (size_t d = 0; d < setup.device_ids.size(); ++d) {
+    auto model = setup.base->Clone();
+    BitFlipNet bf = setup.bf->Clone();
+    Rng rng(DeviceSeed(kFleetSeed, setup.device_ids[d]));
+    ContinualDriver driver(model.get(), &bf, setup.qcore,
+                           BenchContinualOptions(), &rng);
+    driver.RunStream(setup.batches[d], setup.slices[d]);
+    codes.push_back(model->AllCodes());
+  }
+  return codes;
+}
+
+}  // namespace
+
+int main() {
+  const int num_devices = FastMode() ? 4 : 8;
+  const int batches_per_device = FastMode() ? 2 : 3;
+  int max_threads = 4;
+  if (const char* env = std::getenv("QCORE_BENCH_THREADS")) {
+    max_threads = std::max(1, std::atoi(env));
+  }
+
+  std::printf("== Fleet serving throughput: %d devices x %d stream batches "
+              "(4-bit, USC-like HAR, simulated link RTT %.0fms) ==\n\n",
+              num_devices, batches_per_device, BenchRttMs());
+  FleetSetup setup = PrepareFleet(num_devices, batches_per_device);
+
+  std::vector<int> thread_counts;
+  for (int t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
+
+  TablePrinter table({"Threads", "Wall (s)", "Calib/s", "Infer/s",
+                      "Tasks/s", "Speedup"});
+  std::vector<double> throughputs;
+  double base_tasks_per_sec = 0.0;
+  std::vector<std::vector<std::vector<int32_t>>> first_codes;
+  bool identical_across_threads = true;
+
+  for (int threads : thread_counts) {
+    RunResult r = RunFleet(setup, threads);
+    const double tasks =
+        static_cast<double>(r.calibrations + r.inferences);
+    const double tasks_per_sec = tasks / r.wall_seconds;
+    throughputs.push_back(tasks_per_sec);
+    if (base_tasks_per_sec == 0.0) base_tasks_per_sec = tasks_per_sec;
+    if (first_codes.empty()) {
+      first_codes = r.final_codes;
+    } else if (r.final_codes != first_codes) {
+      identical_across_threads = false;
+    }
+    table.AddRow({std::to_string(threads),
+                  TablePrinter::Num(r.wall_seconds, 3),
+                  TablePrinter::Num(static_cast<double>(r.calibrations) /
+                                        r.wall_seconds, 1),
+                  TablePrinter::Num(static_cast<double>(r.inferences) /
+                                        r.wall_seconds, 1),
+                  TablePrinter::Num(tasks_per_sec, 1),
+                  TablePrinter::Num(tasks_per_sec / base_tasks_per_sec, 2)});
+  }
+  table.Print();
+
+  bool monotonic = true;
+  for (size_t i = 1; i < throughputs.size() && thread_counts[i] <= 4; ++i) {
+    if (throughputs[i] <= throughputs[i - 1]) monotonic = false;
+  }
+  std::printf("\nthroughput monotonically increasing 1->4 threads: %s\n",
+              monotonic ? "yes" : "NO");
+
+  std::printf("per-session results identical across thread counts: %s\n",
+              identical_across_threads ? "yes" : "NO");
+
+  const auto reference = RunPipelineReference(setup);
+  std::printf("bit-identical to single-threaded pipeline:           %s\n",
+              first_codes == reference ? "yes" : "NO");
+
+  // Exit codes separate correctness from timing: 2 = determinism violated
+  // (always a bug), 1 = scaling curve not monotonic (a timing property —
+  // expected to fail e.g. with QCORE_BENCH_RTT_MS=0 on a single-core host,
+  // and tolerated by CI on noisy shared runners).
+  if (!identical_across_threads || first_codes != reference) return 2;
+  return monotonic ? 0 : 1;
+}

@@ -1,0 +1,202 @@
+// Fleet simulation: one server-prepared quantized model deployed to a large
+// fleet of simulated edge devices — HAR wearables (subject shift) and image
+// sensors (visual-domain shift) — all served concurrently by one FleetServer
+// over a shared thread pool. Each device streams its own shifted domain,
+// interleaving inference traffic with continual calibration (Algorithms
+// 3+4); the server snapshots calibrated models into the copy-on-write
+// registry and aggregates fleet-wide metrics.
+//
+// Build & run:  ./build/fleet_simulation
+// Environment:  QCORE_FLEET_DEVICES (default 200; HAR cohort, plus 1/4 as
+//               many image devices), QCORE_FLEET_THREADS (default 4),
+//               QCORE_FAST=1 shrinks everything for a quick smoke run.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "core/bitflip.h"
+#include "core/qcore_builder.h"
+#include "data/har_generator.h"
+#include "data/image_generator.h"
+#include "models/model_zoo.h"
+#include "quant/ste_calibrator.h"
+#include "serving/server.h"
+
+using namespace qcore;
+
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::max(1, std::atoi(v)) : fallback;
+}
+
+bool Fast() {
+  const char* v = std::getenv("QCORE_FAST");
+  return v != nullptr && std::string(v) == "1";
+}
+
+// One prepared deployment: base model + bit-flip net + QCore, ready to be
+// cloned into sessions.
+struct Deployment {
+  std::unique_ptr<QuantizedModel> base;
+  std::unique_ptr<BitFlipNet> bf;
+  Dataset qcore;
+};
+
+Deployment Prepare(Sequential* model, const Dataset& train, Rng* rng) {
+  QCoreBuildOptions build;
+  build.size = Fast() ? 12 : 20;
+  build.train.epochs = Fast() ? 6 : 10;
+  build.train.sgd.lr = 0.03f;
+  QCoreBuildResult built = BuildQCore(model, train, build, rng);
+
+  Deployment dep;
+  dep.qcore = built.qcore;
+  dep.base = std::make_unique<QuantizedModel>(*model, 4);
+  BitFlipTrainOptions bft;
+  bft.ste.epochs = Fast() ? 6 : 10;
+  bft.ste.batch_size = 16;
+  bft.augment_episodes = 1;
+  dep.bf = std::make_unique<BitFlipNet>(
+      TrainBitFlipNet(dep.base.get(), dep.qcore, bft, rng));
+  dep.base->DropShadows();
+  return dep;
+}
+
+}  // namespace
+
+int main() {
+  const int har_devices = EnvInt("QCORE_FLEET_DEVICES", Fast() ? 24 : 200);
+  const int img_devices = std::max(1, har_devices / 4);
+  const int threads = EnvInt("QCORE_FLEET_THREADS", 4);
+  const int stream_batches = 2;
+  std::printf("== Fleet simulation: %d HAR + %d image devices, %d worker "
+              "threads ==\n\n",
+              har_devices, img_devices, threads);
+
+  // --- Server-side preparation: one deployment per modality. -------------
+  HarSpec har_spec = HarSpec::Usc();
+  har_spec.num_classes = Fast() ? 5 : 8;
+  har_spec.channels = 3;
+  har_spec.length = Fast() ? 24 : 32;
+  har_spec.train_per_class = 8;
+  har_spec.test_per_class = 4;
+  HarDomain har_source = MakeHarDomain(har_spec, 0);
+
+  ImageSpec img_spec = ImageSpec::Caltech10();
+  img_spec.num_classes = Fast() ? 4 : 6;
+  img_spec.height = 12;
+  img_spec.width = 12;
+  img_spec.train_per_class = 8;
+  img_spec.test_per_class = 4;
+  ImageDomain img_source = MakeImageDomain(img_spec, 0);
+
+  Rng rng(0xF1EE7);
+  std::printf("preparing HAR deployment (OmniScaleCNN, 4-bit)...\n");
+  auto har_model =
+      MakeOmniScaleCnn(har_spec.channels, har_spec.num_classes, &rng);
+  Deployment har = Prepare(har_model.get(), har_source.train, &rng);
+  std::printf("preparing image deployment (ResNet-tiny, 4-bit)...\n");
+  auto img_model =
+      MakeResNetTiny(img_spec.channels, img_spec.num_classes, &rng);
+  Deployment img = Prepare(img_model.get(), img_source.train, &rng);
+
+  // --- Two servers share nothing but the process; each multiplexes its ----
+  // cohort over its own pool (a future PR can shard one pool).
+  FleetServerOptions opts;
+  opts.num_threads = threads;
+  opts.continual.iterations = 1;
+  opts.seed = 0xF1EE7;
+  opts.snapshot_every = stream_batches;  // snapshot each device at the end
+  FleetServer har_server(*har.base, *har.bf, opts);
+  FleetServer img_server(*img.base, *img.bf, opts);
+
+  // --- Register the fleet: every device gets its own shifted domain. -----
+  Stopwatch wall;
+  std::vector<std::pair<FleetServer*, std::string>> fleet;
+  for (int d = 0; d < har_devices; ++d) {
+    const std::string id = "har-" + std::to_string(d);
+    har_server.RegisterDevice(id, har.qcore);
+    fleet.emplace_back(&har_server, id);
+  }
+  for (int d = 0; d < img_devices; ++d) {
+    const std::string id = "img-" + std::to_string(d);
+    img_server.RegisterDevice(id, img.qcore);
+    fleet.emplace_back(&img_server, id);
+  }
+  std::printf("registered %zu sessions in %.2fs\n\n", fleet.size(),
+              wall.ElapsedSeconds());
+
+  // --- Drive the streams: per device, shifted batches + inference. -------
+  // Pre/post accuracies come back through the calibration stats; device
+  // domains are regenerated deterministically from the device index.
+  wall.Restart();
+  std::vector<std::future<BatchStats>> stats;
+  for (int d = 0; d < har_devices; ++d) {
+    const int subject = 1 + d % (har_spec.num_subjects - 1);
+    HarDomain target = MakeHarDomain(har_spec, subject);
+    Rng split_rng(opts.seed ^ static_cast<uint64_t>(d));
+    auto batches =
+        SplitIntoStreamBatches(target.train, stream_batches, &split_rng);
+    auto slices =
+        SplitIntoStreamBatches(target.test, stream_batches, &split_rng);
+    const std::string id = "har-" + std::to_string(d);
+    for (int b = 0; b < stream_batches; ++b) {
+      har_server.SubmitInference(id, slices[b].x());
+      stats.push_back(
+          har_server.SubmitCalibration(id, batches[b], slices[b]));
+    }
+  }
+  for (int d = 0; d < img_devices; ++d) {
+    const int domain = 1 + d % (img_spec.num_domains() - 1);
+    ImageDomain target = MakeImageDomain(img_spec, domain);
+    Rng split_rng(opts.seed ^ static_cast<uint64_t>(1000 + d));
+    auto batches =
+        SplitIntoStreamBatches(target.train, stream_batches, &split_rng);
+    auto slices =
+        SplitIntoStreamBatches(target.test, stream_batches, &split_rng);
+    const std::string id = "img-" + std::to_string(d);
+    for (int b = 0; b < stream_batches; ++b) {
+      img_server.SubmitInference(id, slices[b].x());
+      stats.push_back(
+          img_server.SubmitCalibration(id, batches[b], slices[b]));
+    }
+  }
+
+  float first_batch_acc = 0.0f;
+  float last_batch_acc = 0.0f;
+  int n = 0;
+  for (size_t i = 0; i < stats.size(); ++i) {
+    BatchStats s = stats[i].get();
+    if (i % stream_batches == 0) {
+      first_batch_acc += s.accuracy;
+      ++n;
+    } else if (i % stream_batches == static_cast<size_t>(stream_batches - 1)) {
+      last_batch_acc += s.accuracy;
+    }
+  }
+  har_server.Drain();
+  img_server.Drain();
+  const double serve_seconds = wall.ElapsedSeconds();
+
+  // --- Fleet report. -----------------------------------------------------
+  std::printf("served %zu calibration batches + inference traffic for %zu "
+              "devices in %.2fs\n\n",
+              stats.size(), fleet.size(), serve_seconds);
+  std::printf("-- HAR cohort --\n%s\n",
+              har_server.metrics().Report().c_str());
+  std::printf("-- image cohort --\n%s\n",
+              img_server.metrics().Report().c_str());
+  std::printf("fleet mean accuracy, first stream batch: %.4f\n",
+              first_batch_acc / static_cast<float>(n));
+  std::printf("fleet mean accuracy, last stream batch:  %.4f\n",
+              last_batch_acc / static_cast<float>(n));
+  std::printf("snapshot registry: %zu HAR + %zu image versions "
+              "(copy-on-write)\n",
+              har_server.snapshots().size(), img_server.snapshots().size());
+  return 0;
+}

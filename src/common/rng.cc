@@ -10,13 +10,16 @@ inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 // splitmix64: expands one 64-bit seed into the xoshiro state.
 inline uint64_t SplitMix64(uint64_t* state) {
-  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  return SplitMix64Mix(*state += 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace
+
+uint64_t SplitMix64Mix(uint64_t z) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
 }
-
-}  // namespace
 
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;

@@ -12,6 +12,12 @@
 
 namespace qcore {
 
+// splitmix64 finalizer step: one full-avalanche mix of a 64-bit value.
+// Rng's constructor uses the sequential form to expand a seed into state;
+// callers that need to hash-combine values into a seed (e.g. per-device
+// seeds in serving) use this directly.
+uint64_t SplitMix64Mix(uint64_t z);
+
 class Rng {
  public:
   explicit Rng(uint64_t seed);

@@ -92,7 +92,9 @@ Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
 }
 
 Status BinaryReader::Raw(void* out, size_t n) {
-  if (pos_ + n > buffer_.size()) {
+  // Overflow-safe: pos_ + n can wrap for hostile n, so compare against the
+  // remaining byte count instead.
+  if (n > buffer_.size() - pos_) {
     return Status::Corruption("truncated read");
   }
   std::memcpy(out, buffer_.data() + pos_, n);
@@ -134,7 +136,7 @@ Result<double> BinaryReader::ReadF64() {
 Result<std::string> BinaryReader::ReadString() {
   auto n = ReadU64();
   if (!n.ok()) return n.status();
-  if (pos_ + n.value() > buffer_.size()) {
+  if (n.value() > buffer_.size() - pos_) {
     return Status::Corruption("truncated string");
   }
   std::string s(reinterpret_cast<const char*>(buffer_.data() + pos_),
@@ -146,6 +148,11 @@ Result<std::string> BinaryReader::ReadString() {
 Result<std::vector<float>> BinaryReader::ReadFloats() {
   auto n = ReadU64();
   if (!n.ok()) return n.status();
+  // Validate the length prefix against the remaining bytes BEFORE
+  // allocating: a bit-rotted prefix must yield Corruption, not bad_alloc.
+  if (n.value() > (buffer_.size() - pos_) / sizeof(float)) {
+    return Status::Corruption("length prefix exceeds buffer");
+  }
   std::vector<float> v(n.value());
   if (!v.empty()) {
     QCORE_RETURN_NOT_OK(Raw(v.data(), v.size() * sizeof(float)));
@@ -156,6 +163,11 @@ Result<std::vector<float>> BinaryReader::ReadFloats() {
 Result<std::vector<int32_t>> BinaryReader::ReadInts() {
   auto n = ReadU64();
   if (!n.ok()) return n.status();
+  // Validate the length prefix against the remaining bytes BEFORE
+  // allocating: a bit-rotted prefix must yield Corruption, not bad_alloc.
+  if (n.value() > (buffer_.size() - pos_) / sizeof(int32_t)) {
+    return Status::Corruption("length prefix exceeds buffer");
+  }
   std::vector<int32_t> v(n.value());
   if (!v.empty()) {
     QCORE_RETURN_NOT_OK(Raw(v.data(), v.size() * sizeof(int32_t)));
@@ -166,6 +178,11 @@ Result<std::vector<int32_t>> BinaryReader::ReadInts() {
 Result<std::vector<int64_t>> BinaryReader::ReadInt64s() {
   auto n = ReadU64();
   if (!n.ok()) return n.status();
+  // Validate the length prefix against the remaining bytes BEFORE
+  // allocating: a bit-rotted prefix must yield Corruption, not bad_alloc.
+  if (n.value() > (buffer_.size() - pos_) / sizeof(int64_t)) {
+    return Status::Corruption("length prefix exceeds buffer");
+  }
   std::vector<int64_t> v(n.value());
   if (!v.empty()) {
     QCORE_RETURN_NOT_OK(Raw(v.data(), v.size() * sizeof(int64_t)));

@@ -29,6 +29,11 @@ class BinaryWriter {
 
   const std::vector<uint8_t>& buffer() const { return buffer_; }
 
+  // Moves the buffer out, leaving the writer empty. For callers that keep
+  // the serialized bytes (e.g. the serving snapshot registry) and must not
+  // pay a full copy on the hot path.
+  std::vector<uint8_t> TakeBuffer() { return std::move(buffer_); }
+
   // Writes the buffer to a file, prefixed with magic + format version.
   Status ToFile(const std::string& path) const;
 

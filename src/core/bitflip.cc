@@ -131,6 +131,17 @@ BitFlipNet::BitFlipNet(int bits, Rng* rng) : bits_(bits) {
 
 int64_t BitFlipNet::ParamCount() { return CountParams(float_net_.get()); }
 
+BitFlipNet BitFlipNet::Clone() const {
+  BitFlipNet copy;
+  copy.bits_ = bits_;
+  if (float_net_ != nullptr) {
+    copy.float_net_ = std::unique_ptr<Sequential>(
+        static_cast<Sequential*>(float_net_->Clone().release()));
+  }
+  if (quantized_ != nullptr) copy.quantized_ = quantized_->Clone();
+  return copy;
+}
+
 float BitFlipNet::Train(const Tensor& features, const std::vector<int>& labels,
                         const TrainOptions& options, Rng* rng) {
   QCORE_CHECK_EQ(features.ndim(), 2);

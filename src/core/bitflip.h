@@ -50,6 +50,11 @@ class BitFlipNet {
   bool is_quantized() const { return quantized_ != nullptr; }
   int64_t ParamCount();
 
+  // Deep copy (weights and, if quantized, the code tables). Each serving
+  // session owns its own copy because Predict's forward pass mutates layer
+  // caches — a shared net would race across pool workers.
+  BitFlipNet Clone() const;
+
   // Trains the full-precision form on features [M, kBitFlipFeatureDim] with
   // labels in {0, 1, 2} (= delta + 1). Returns final epoch loss.
   float Train(const Tensor& features, const std::vector<int>& labels,
@@ -65,7 +70,9 @@ class BitFlipNet {
                std::vector<float>* confidences);
 
  private:
-  int bits_;
+  BitFlipNet() = default;
+
+  int bits_ = 0;
   std::unique_ptr<Sequential> float_net_;
   std::unique_ptr<QuantizedModel> quantized_;
 };

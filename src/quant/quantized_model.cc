@@ -1,5 +1,7 @@
 #include "quant/quantized_model.h"
 
+#include <cmath>
+
 #include "common/serialize.h"
 
 namespace qcore {
@@ -45,16 +47,32 @@ std::unique_ptr<QuantizedModel> QuantizedModel::Clone() const {
   auto copy = std::unique_ptr<QuantizedModel>(new QuantizedModel());
   copy->bits_ = bits_;
   copy->model_ = model_->Clone();
-  copy->BuildRegistry();
-  // BuildRegistry re-derives scale from the dequantized values, which can
-  // drift; copy the exact quantization state instead.
-  QCORE_CHECK_EQ(copy->tensors_.size(), tensors_.size());
-  for (size_t i = 0; i < tensors_.size(); ++i) {
-    copy->tensors_[i].qp = tensors_[i].qp;
-    copy->tensors_[i].codes = tensors_[i].codes;
-    copy->tensors_[i].shadow = tensors_[i].shadow;
-    copy->tensors_[i].has_shadow = tensors_[i].has_shadow;
-    copy->SyncParamFromCodes(static_cast<int>(i));
+  // Rebuild the registry structure (param/owner pointers into the cloned
+  // tree) but copy the exact quantization state rather than re-deriving it:
+  // re-quantizing dequantized values can drift, and Clone sits on the
+  // serving registration/restore paths where the rederivation is also
+  // wasted work.
+  copy->tensors_.reserve(tensors_.size());
+  size_t i = 0;
+  for (Layer* leaf : FlattenLeafLayers(copy->model_.get())) {
+    for (Parameter* p : leaf->Params()) {
+      if (!IsQuantizable(*p)) continue;
+      QCORE_CHECK_LT(i, tensors_.size());
+      const QuantizedTensor& src = tensors_[i++];
+      QCORE_CHECK_EQ(p->name, src.param->name);
+      QuantizedTensor qt;
+      qt.param = p;
+      qt.owner = leaf;
+      qt.qp = src.qp;
+      qt.codes = src.codes;
+      qt.shadow = src.shadow;
+      qt.has_shadow = src.has_shadow;
+      copy->tensors_.push_back(std::move(qt));
+    }
+  }
+  QCORE_CHECK_EQ(i, tensors_.size());
+  for (int t = 0; t < copy->num_quantized(); ++t) {
+    copy->SyncParamFromCodes(t);
   }
   return copy;
 }
@@ -107,6 +125,13 @@ void QuantizedModel::ApplyCodeDelta(int i, int64_t elem, int delta) {
   qt.param->value[elem] = DequantizeValue(code, qt.qp);
 }
 
+std::vector<std::vector<int32_t>> QuantizedModel::AllCodes() const {
+  std::vector<std::vector<int32_t>> codes;
+  codes.reserve(tensors_.size());
+  for (const auto& qt : tensors_) codes.push_back(qt.codes);
+  return codes;
+}
+
 int64_t QuantizedModel::TotalCodeCount() const {
   int64_t n = 0;
   for (const auto& qt : tensors_) n += static_cast<int64_t>(qt.codes.size());
@@ -123,6 +148,12 @@ uint64_t QuantizedModel::SizeBits() const {
 
 Status QuantizedModel::Save(const std::string& path) const {
   BinaryWriter w;
+  SerializeTo(&w);
+  return w.ToFile(path);
+}
+
+void QuantizedModel::SerializeTo(BinaryWriter* out) const {
+  BinaryWriter& w = *out;
   w.WriteI32(bits_);
   w.WriteU64(tensors_.size());
   for (const auto& qt : tensors_) {
@@ -130,11 +161,11 @@ Status QuantizedModel::Save(const std::string& path) const {
     w.WriteF32(qt.qp.scale);
     w.WriteInts(qt.codes);
   }
-  // Non-quantized parameters (biases, BN affine) and buffers, full precision.
-  std::unique_ptr<Layer> snapshot = model_->Clone();
-  std::vector<Parameter*> params = snapshot->Params();
+  // Non-quantized parameters (biases, BN affine) and buffers, full
+  // precision, read in place — serialization must stay cheap because the
+  // serving snapshot registry publishes on the calibration path.
   std::vector<Parameter*> fp_params;
-  for (Parameter* p : params) {
+  for (Parameter* p : model_->Params()) {
     if (!IsQuantizable(*p)) fp_params.push_back(p);
   }
   w.WriteU64(fp_params.size());
@@ -142,27 +173,37 @@ Status QuantizedModel::Save(const std::string& path) const {
     w.WriteString(p->name);
     w.WriteFloats(p->value.vec());
   }
-  std::vector<Tensor*> buffers = snapshot->Buffers();
+  std::vector<Tensor*> buffers = model_->Buffers();
   w.WriteU64(buffers.size());
   for (Tensor* b : buffers) w.WriteFloats(b->vec());
-  return w.ToFile(path);
 }
 
 Status QuantizedModel::Load(const std::string& path) {
   auto reader = BinaryReader::FromFile(path);
   if (!reader.ok()) return reader.status();
-  BinaryReader& r = reader.value();
+  Status s = DeserializeFrom(&reader.value());
+  if (!s.ok()) return Status(s.code(), s.message() + " (" + path + ")");
+  return s;
+}
 
+Status QuantizedModel::DeserializeFrom(BinaryReader* in) {
+  // Parse and validate the entire stream into locals first, commit only
+  // after everything (including full consumption) checks out: a corrupt or
+  // mismatched snapshot must never leave this model half old, half new —
+  // a rollback caller keeps serving the current model on error.
+  BinaryReader& r = *in;
   auto bits = r.ReadI32();
   if (!bits.ok()) return bits.status();
   if (bits.value() != bits_) {
-    return Status::Corruption("bit-width mismatch in " + path);
+    return Status::Corruption("bit-width mismatch in snapshot");
   }
   auto count = r.ReadU64();
   if (!count.ok()) return count.status();
   if (count.value() != tensors_.size()) {
-    return Status::Corruption("quantized tensor count mismatch in " + path);
+    return Status::Corruption("quantized tensor count mismatch in snapshot");
   }
+  std::vector<float> new_scales(tensors_.size());
+  std::vector<std::vector<int32_t>> new_codes(tensors_.size());
   for (size_t i = 0; i < tensors_.size(); ++i) {
     auto name = r.ReadString();
     if (!name.ok()) return name.status();
@@ -171,14 +212,25 @@ Status QuantizedModel::Load(const std::string& path) {
     }
     auto scale = r.ReadF32();
     if (!scale.ok()) return scale.status();
+    if (!std::isfinite(scale.value()) || scale.value() <= 0.0f) {
+      // ChooseSymmetricParams never produces scale <= 0 (all-zero tensors
+      // fall back to 1.0f), so anything else is corruption.
+      return Status::Corruption("invalid scale for " + name.value());
+    }
     auto codes = r.ReadInts();
     if (!codes.ok()) return codes.status();
     if (codes.value().size() != tensors_[i].codes.size()) {
       return Status::Corruption("code count mismatch for " + name.value());
     }
-    tensors_[i].qp.scale = scale.value();
-    tensors_[i].codes = std::move(codes).value();
-    SyncParamFromCodes(static_cast<int>(i));
+    // Payload sanity: structurally valid corruption (bit-rotted values)
+    // must not commit — the quantization range is known from bits_.
+    for (int32_t c : codes.value()) {
+      if (c < tensors_[i].qp.qmin || c > tensors_[i].qp.qmax) {
+        return Status::Corruption("code out of range for " + name.value());
+      }
+    }
+    new_scales[i] = scale.value();
+    new_codes[i] = std::move(codes).value();
   }
 
   auto fp_count = r.ReadU64();
@@ -188,9 +240,11 @@ Status QuantizedModel::Load(const std::string& path) {
     if (!IsQuantizable(*p)) fp_params.push_back(p);
   }
   if (fp_count.value() != fp_params.size()) {
-    return Status::Corruption("fp parameter count mismatch in " + path);
+    return Status::Corruption("fp parameter count mismatch in snapshot");
   }
-  for (Parameter* p : fp_params) {
+  std::vector<std::vector<float>> new_fp(fp_params.size());
+  for (size_t i = 0; i < fp_params.size(); ++i) {
+    Parameter* p = fp_params[i];
     auto name = r.ReadString();
     if (!name.ok()) return name.status();
     if (name.value() != p->name) {
@@ -201,22 +255,41 @@ Status QuantizedModel::Load(const std::string& path) {
     if (values.value().size() != p->value.vec().size()) {
       return Status::Corruption("fp parameter size mismatch: " + p->name);
     }
-    p->value.vec() = std::move(values).value();
+    new_fp[i] = std::move(values).value();
   }
 
   auto buf_count = r.ReadU64();
   if (!buf_count.ok()) return buf_count.status();
   std::vector<Tensor*> buffers = model_->Buffers();
   if (buf_count.value() != buffers.size()) {
-    return Status::Corruption("buffer count mismatch in " + path);
+    return Status::Corruption("buffer count mismatch in snapshot");
   }
-  for (Tensor* b : buffers) {
+  std::vector<std::vector<float>> new_buffers(buffers.size());
+  for (size_t i = 0; i < buffers.size(); ++i) {
     auto values = r.ReadFloats();
     if (!values.ok()) return values.status();
-    if (values.value().size() != b->vec().size()) {
+    if (values.value().size() != buffers[i]->vec().size()) {
       return Status::Corruption("buffer size mismatch");
     }
-    b->vec() = std::move(values).value();
+    new_buffers[i] = std::move(values).value();
+  }
+  if (!r.AtEnd()) {
+    // Trailing bytes mean a writer produced fields this reader does not
+    // understand (version skew) or the blob is corrupt past the payload.
+    return Status::Corruption("trailing bytes after snapshot payload");
+  }
+
+  // Commit — nothing below can fail.
+  for (size_t i = 0; i < tensors_.size(); ++i) {
+    tensors_[i].qp.scale = new_scales[i];
+    tensors_[i].codes = std::move(new_codes[i]);
+    SyncParamFromCodes(static_cast<int>(i));
+  }
+  for (size_t i = 0; i < fp_params.size(); ++i) {
+    fp_params[i]->value.vec() = std::move(new_fp[i]);
+  }
+  for (size_t i = 0; i < buffers.size(); ++i) {
+    buffers[i]->vec() = std::move(new_buffers[i]);
   }
   return Status::OK();
 }

@@ -25,6 +25,9 @@
 
 namespace qcore {
 
+class BinaryReader;
+class BinaryWriter;
+
 class QuantizedModel {
  public:
   // Deep-copies `float_model` and quantizes its weight tensors at `bits`.
@@ -95,6 +98,20 @@ class QuantizedModel {
   Status Save(const std::string& path) const;
   // Loads into a model constructed from the same architecture.
   Status Load(const std::string& path);
+
+  // In-memory forms of Save/Load over common/serialize buffers. The serving
+  // snapshot registry uses these to publish immutable copy-on-write model
+  // versions without touching the filesystem.
+  void SerializeTo(BinaryWriter* w) const;
+  // Atomic: the whole stream is parsed and validated (including full
+  // consumption) before anything is committed, so on any error the model
+  // is untouched. Existing Layer*/Parameter* pointers stay valid.
+  Status DeserializeFrom(BinaryReader* r);
+
+  // All code tables, indexed like quantized(). Two models with equal
+  // results have equal AllCodes() — the equality the serving determinism
+  // checks (tests and bench) are built on.
+  std::vector<std::vector<int32_t>> AllCodes() const;
 
  private:
   QuantizedModel() = default;

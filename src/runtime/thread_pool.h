@@ -1,0 +1,74 @@
+// Fixed-size work-queue thread pool: the execution substrate for the fleet
+// serving runtime. Tasks are plain std::function<void()> closures pushed
+// onto a mutex-guarded FIFO; worker threads pop and run them. Waiting is
+// supported two ways: per-submission futures (Submit) and a whole-pool
+// drain (WaitIdle). Note the FleetServer drains via its own in-flight
+// count, not WaitIdle — a task can be queued on a session before its pump
+// reaches the pool, which WaitIdle cannot see.
+//
+// num_threads == 0 is a supported degenerate mode: tasks run inline on the
+// submitting thread. That mode is what makes "per-session results are
+// bit-identical to the single-threaded pipeline" testable — the same code
+// drives both executions.
+#ifndef QCORE_RUNTIME_THREAD_POOL_H_
+#define QCORE_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace qcore {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers. 0 = inline execution (no threads).
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task. Never blocks (unbounded queue); with 0 workers the
+  // task runs before Schedule returns.
+  void Schedule(std::function<void()> task);
+
+  // Enqueues a callable and returns a future for its result.
+  template <typename F>
+  auto Submit(F&& f) -> std::future<decltype(f())> {
+    using R = decltype(f());
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    Schedule([task]() { (*task)(); });
+    return result;
+  }
+
+  // Blocks until the queue is empty and no task is executing. Tasks may
+  // schedule further tasks; WaitIdle waits for those too.
+  void WaitIdle();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;       // tasks being executed right now
+  bool shutdown_ = false;
+};
+
+}  // namespace qcore
+
+#endif  // QCORE_RUNTIME_THREAD_POOL_H_

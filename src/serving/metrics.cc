@@ -1,0 +1,156 @@
+#include "serving/metrics.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+namespace qcore {
+
+LatencyHistogram::LatencyHistogram() {
+  std::memset(buckets_, 0, sizeof(buckets_));
+}
+
+namespace {
+
+// 1e-5s * 2^((b+1)/2): spans 10us .. ~80s, last bucket +inf. Precomputed —
+// Record runs under the histogram mutex on every serving task.
+const std::array<double, LatencyHistogram::kNumBuckets>& BucketBounds() {
+  static const auto bounds = []() {
+    std::array<double, LatencyHistogram::kNumBuckets> b{};
+    for (int i = 0; i < LatencyHistogram::kNumBuckets - 1; ++i) {
+      b[static_cast<size_t>(i)] = 1e-5 * std::pow(2.0, 0.5 * (i + 1));
+    }
+    b[LatencyHistogram::kNumBuckets - 1] =
+        std::numeric_limits<double>::infinity();
+    return b;
+  }();
+  return bounds;
+}
+
+}  // namespace
+
+double LatencyHistogram::UpperBound(int b) {
+  return BucketBounds()[static_cast<size_t>(
+      std::clamp(b, 0, kNumBuckets - 1))];
+}
+
+int LatencyHistogram::BucketFor(double seconds) const {
+  const auto& bounds = BucketBounds();
+  const auto it =
+      std::upper_bound(bounds.begin(), bounds.end() - 1, seconds);
+  return static_cast<int>(it - bounds.begin());
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++buckets_[BucketFor(seconds)];
+  ++count_;
+  sum_ += seconds;
+}
+
+uint64_t LatencyHistogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double LatencyHistogram::sum_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double LatencyHistogram::mean_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+namespace {
+
+// Quantile from a bucket snapshot (linear interpolation inside the bucket).
+double QuantileFromBuckets(
+    const uint64_t (&buckets)[LatencyHistogram::kNumBuckets], uint64_t count,
+    double q) {
+  q = std::clamp(q, 0.0, 1.0);
+  if (count == 0) return 0.0;
+  const double target = q * static_cast<double>(count);
+  uint64_t running = 0;
+  for (int b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+    const uint64_t next = running + buckets[b];
+    if (static_cast<double>(next) >= target && buckets[b] > 0) {
+      const double lo = (b == 0) ? 0.0 : LatencyHistogram::UpperBound(b - 1);
+      double hi = LatencyHistogram::UpperBound(b);
+      if (std::isinf(hi)) hi = lo * 2.0;
+      const double frac = (target - static_cast<double>(running)) /
+                          static_cast<double>(buckets[b]);
+      return lo + frac * (hi - lo);
+    }
+    running = next;
+  }
+  return LatencyHistogram::UpperBound(LatencyHistogram::kNumBuckets - 2);
+}
+
+}  // namespace
+
+double LatencyHistogram::QuantileSeconds(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return QuantileFromBuckets(buckets_, count_, q);
+}
+
+std::string LatencyHistogram::Summary() const {
+  // One lock acquisition: the printed line must be internally consistent
+  // even while pool workers keep recording.
+  uint64_t buckets[kNumBuckets];
+  uint64_t count;
+  double sum;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::memcpy(buckets, buckets_, sizeof(buckets));
+    count = count_;
+    sum = sum_;
+  }
+  const double mean = count == 0 ? 0.0 : sum / static_cast<double>(count);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms",
+                static_cast<unsigned long long>(count), mean * 1e3,
+                QuantileFromBuckets(buckets, count, 0.5) * 1e3,
+                QuantileFromBuckets(buckets, count, 0.95) * 1e3,
+                QuantileFromBuckets(buckets, count, 0.99) * 1e3);
+  return buf;
+}
+
+float ServingMetrics::mean_accuracy() const {
+  const uint64_t n = accuracy_samples_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0f;
+  return static_cast<float>(
+      static_cast<double>(accuracy_micro_sum_.load()) / 1e6 /
+      static_cast<double>(n));
+}
+
+std::string ServingMetrics::Report() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "inference:   requests=%llu examples=%llu %s\n",
+                static_cast<unsigned long long>(inference_requests()),
+                static_cast<unsigned long long>(inference_examples()),
+                inference_latency_.Summary().c_str());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "calibration: batches=%llu examples=%llu %s\n",
+                static_cast<unsigned long long>(calibration_batches()),
+                static_cast<unsigned long long>(calibration_examples()),
+                calibration_latency_.Summary().c_str());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "quality:     mean_batch_accuracy=%.4f snapshots=%llu\n",
+                mean_accuracy(),
+                static_cast<unsigned long long>(snapshots()));
+  out += buf;
+  return out;
+}
+
+}  // namespace qcore

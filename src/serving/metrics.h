@@ -1,0 +1,108 @@
+// Serving-side observability: thread-safe counters and latency histograms
+// aggregated across all sessions of a FleetServer. Modeled on the usual
+// production pattern (Prometheus-style fixed-bucket histograms) but
+// dependency-free. All methods are safe to call concurrently from pool
+// workers.
+#ifndef QCORE_SERVING_METRICS_H_
+#define QCORE_SERVING_METRICS_H_
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qcore {
+
+// Fixed-bucket latency histogram (seconds). Buckets are exponential with
+// sqrt(2) spacing from 10us; 48 buckets cover up to ~80s before overflow.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(double seconds);
+
+  uint64_t count() const;
+  double sum_seconds() const;
+  double mean_seconds() const;
+  // Linear-interpolated quantile from bucket boundaries, q in [0, 1].
+  double QuantileSeconds(double q) const;
+
+  // "count=12 mean=3.4ms p50=2.1ms p95=9.0ms p99=12.3ms"
+  std::string Summary() const;
+
+  static constexpr int kNumBuckets = 48;
+
+  // Upper bound of bucket b (seconds); last bucket is +inf.
+  static double UpperBound(int b);
+
+ private:
+  int BucketFor(double seconds) const;
+
+  mutable std::mutex mu_;
+  uint64_t buckets_[kNumBuckets];
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+// Aggregate counters for one FleetServer. Plain atomics; accuracy is kept
+// as a (sum, count) pair so the mean is exact regardless of interleaving.
+class ServingMetrics {
+ public:
+  LatencyHistogram& inference_latency() { return inference_latency_; }
+  LatencyHistogram& calibration_latency() { return calibration_latency_; }
+  const LatencyHistogram& inference_latency() const {
+    return inference_latency_;
+  }
+  const LatencyHistogram& calibration_latency() const {
+    return calibration_latency_;
+  }
+
+  void AddInference(uint64_t examples) {
+    inference_requests_.fetch_add(1, std::memory_order_relaxed);
+    inference_examples_.fetch_add(examples, std::memory_order_relaxed);
+  }
+  void AddCalibration(uint64_t examples) {
+    calibration_batches_.fetch_add(1, std::memory_order_relaxed);
+    calibration_examples_.fetch_add(examples, std::memory_order_relaxed);
+  }
+  void AddAccuracySample(float accuracy) {
+    // Fixed-point micro-units so a plain atomic works without a CAS loop;
+    // rounded, not truncated, so the stored sum is exact to the half-unit.
+    accuracy_micro_sum_.fetch_add(
+        static_cast<uint64_t>(std::llround(accuracy * 1e6f)),
+        std::memory_order_relaxed);
+    accuracy_samples_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddSnapshot() { snapshots_.fetch_add(1, std::memory_order_relaxed); }
+
+  uint64_t inference_requests() const { return inference_requests_.load(); }
+  uint64_t inference_examples() const { return inference_examples_.load(); }
+  uint64_t calibration_batches() const { return calibration_batches_.load(); }
+  uint64_t calibration_examples() const {
+    return calibration_examples_.load();
+  }
+  uint64_t snapshots() const { return snapshots_.load(); }
+
+  // Mean of all recorded per-batch accuracies; 0 if none.
+  float mean_accuracy() const;
+
+  // Multi-line human-readable report.
+  std::string Report() const;
+
+ private:
+  LatencyHistogram inference_latency_;
+  LatencyHistogram calibration_latency_;
+  std::atomic<uint64_t> inference_requests_{0};
+  std::atomic<uint64_t> inference_examples_{0};
+  std::atomic<uint64_t> calibration_batches_{0};
+  std::atomic<uint64_t> calibration_examples_{0};
+  std::atomic<uint64_t> accuracy_micro_sum_{0};
+  std::atomic<uint64_t> accuracy_samples_{0};
+  std::atomic<uint64_t> snapshots_{0};
+};
+
+}  // namespace qcore
+
+#endif  // QCORE_SERVING_METRICS_H_

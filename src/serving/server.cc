@@ -1,0 +1,179 @@
+#include "serving/server.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace qcore {
+
+namespace {
+
+void SimulateDeviceLink(double rtt_ms) {
+  if (rtt_ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+      rtt_ms));
+}
+
+}  // namespace
+
+FleetServer::FleetServer(const QuantizedModel& base_model,
+                         const BitFlipNet& base_bf,
+                         FleetServerOptions options)
+    : base_model_(base_model),
+      base_bf_(base_bf),
+      options_(std::move(options)),
+      pool_(options_.num_threads) {}
+
+FleetServer::~FleetServer() { Drain(); }
+
+void FleetServer::RegisterDevice(const std::string& device_id,
+                                 Dataset qcore) {
+  auto state = std::make_unique<SessionState>(
+      device_id, base_model_, base_bf_, std::move(qcore), options_.continual,
+      DeviceSeed(options_.seed, device_id));
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  const bool inserted =
+      sessions_.emplace(device_id, std::move(state)).second;
+  QCORE_CHECK_MSG(inserted, ("device registered twice: " + device_id).c_str());
+}
+
+bool FleetServer::HasDevice(const std::string& device_id) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.count(device_id) > 0;
+}
+
+int FleetServer::num_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return static_cast<int>(sessions_.size());
+}
+
+FleetServer::SessionState* FleetServer::FindSession(
+    const std::string& device_id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(device_id);
+  QCORE_CHECK_MSG(it != sessions_.end(),
+                  ("unknown device: " + device_id).c_str());
+  return it->second.get();
+}
+
+CalibrationSession* FleetServer::session(const std::string& device_id) {
+  return &FindSession(device_id)->session;
+}
+
+std::future<InferenceResult> FleetServer::SubmitInference(
+    const std::string& device_id, Tensor x) {
+  auto promise = std::make_shared<std::promise<InferenceResult>>();
+  std::future<InferenceResult> result = promise->get_future();
+  SessionState* state = FindSession(device_id);
+  // Latency clocks start at submission so the histograms include queue
+  // wait — the signal that actually shows overload.
+  Stopwatch timer;
+  EnqueueOnSession(state, [this, state, promise, timer,
+                           x = std::move(x)]() {
+    SimulateDeviceLink(options_.simulated_device_rtt_ms);
+    InferenceResult r;
+    r.predictions = state->session.Predict(x);
+    r.latency_seconds = timer.ElapsedSeconds();
+    metrics_.inference_latency().Record(r.latency_seconds);
+    metrics_.AddInference(static_cast<uint64_t>(x.dim(0)));
+    promise->set_value(std::move(r));
+  });
+  return result;
+}
+
+std::future<BatchStats> FleetServer::SubmitCalibration(
+    const std::string& device_id, Dataset batch, Dataset test_slice) {
+  auto promise = std::make_shared<std::promise<BatchStats>>();
+  std::future<BatchStats> result = promise->get_future();
+  SessionState* state = FindSession(device_id);
+  Stopwatch timer;  // includes queue wait, like the inference clock
+  EnqueueOnSession(state, [this, device_id, state, promise, timer,
+                           batch = std::move(batch),
+                           test_slice = std::move(test_slice)]() {
+    SimulateDeviceLink(options_.simulated_device_rtt_ms);
+    BatchStats stats = state->session.Calibrate(batch, test_slice);
+    metrics_.calibration_latency().Record(timer.ElapsedSeconds());
+    metrics_.AddCalibration(static_cast<uint64_t>(batch.size()));
+    metrics_.AddAccuracySample(stats.accuracy);
+    if (options_.snapshot_every > 0 &&
+        state->session.batches_processed() %
+                static_cast<uint64_t>(options_.snapshot_every) ==
+            0) {
+      snapshots_.Publish(*state->session.model(), device_id,
+                         state->session.batches_processed());
+      metrics_.AddSnapshot();
+    }
+    promise->set_value(stats);
+  });
+  return result;
+}
+
+std::future<uint64_t> FleetServer::PublishSnapshot(
+    const std::string& device_id) {
+  auto promise = std::make_shared<std::promise<uint64_t>>();
+  std::future<uint64_t> result = promise->get_future();
+  SessionState* state = FindSession(device_id);
+  EnqueueOnSession(state, [this, device_id, state, promise]() {
+    const uint64_t version =
+        snapshots_.Publish(*state->session.model(), device_id,
+                           state->session.batches_processed());
+    metrics_.AddSnapshot();
+    promise->set_value(version);
+  });
+  return result;
+}
+
+void FleetServer::EnqueueOnSession(SessionState* state,
+                                   std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    ++in_flight_;
+  }
+  bool start_pump = false;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->queue.push_back(std::move(task));
+    if (!state->pumping) {
+      state->pumping = true;
+      start_pump = true;
+    }
+  }
+  if (start_pump) {
+    pool_.Schedule([this, state]() { PumpSession(state); });
+  }
+}
+
+void FleetServer::PumpSession(SessionState* state) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (state->queue.empty()) {
+        state->pumping = false;
+        return;
+      }
+      task = std::move(state->queue.front());
+      state->queue.pop_front();
+    }
+    task();
+    TaskFinished();
+  }
+}
+
+void FleetServer::TaskFinished() {
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  if (--in_flight_ == 0) drain_cv_.notify_all();
+}
+
+void FleetServer::Drain() {
+  // Wait on the server's own in-flight count, not the pool: a task counts
+  // from submission, so Drain cannot slip through the window where a task
+  // is queued on a session but its pump has not reached the pool yet.
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [this]() { return in_flight_ == 0; });
+}
+
+}  // namespace qcore

@@ -1,0 +1,160 @@
+// FleetServer: multiplexes many per-device CalibrationSessions over one
+// shared ThreadPool, interleaving quantized-inference requests with
+// background continual-calibration work (the serving-runtime analogue of the
+// paper's single-device loop, scaled out).
+//
+// Scheduling model: each session is an actor. Work for a device goes into
+// that device's FIFO; a session is "pumped" by at most one pool worker at a
+// time, so session state needs no locks and per-session execution order
+// equals submission order. Consequences:
+//   * sessions never contend — fleet throughput scales with worker count;
+//   * a session's results are bit-identical regardless of num_threads
+//     (0 = inline, N = pool), because its Rng consumption depends only on
+//     its own task order.
+//
+// Results come back through std::future; the ServingMetrics instance
+// aggregates latency histograms and counters across all sessions, and
+// calibrated models can be published into the SnapshotRegistry as immutable
+// copy-on-write versions.
+#ifndef QCORE_SERVING_SERVER_H_
+#define QCORE_SERVING_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/continual.h"
+#include "runtime/thread_pool.h"
+#include "serving/metrics.h"
+#include "serving/session.h"
+#include "serving/snapshot.h"
+
+namespace qcore {
+
+struct FleetServerOptions {
+  // Pool workers. 0 = run every task inline on the submitting thread (the
+  // reference mode the determinism tests compare against).
+  int num_threads = 4;
+  // Per-session continual-calibration configuration (Algorithms 3+4).
+  ContinualOptions continual;
+  // Fleet seed; each session's Rng seed is DeviceSeed(seed, device_id).
+  uint64_t seed = 0x5EED;
+  // Publish a session snapshot every k calibration batches (0 = never;
+  // PublishSnapshot remains available on demand).
+  int snapshot_every = 0;
+  // Fleet-simulation knob: every inference/calibration task first waits this
+  // long, emulating the device link (upload of the batch / request RTT).
+  // Workers overlap these waits with other sessions' compute, exactly as a
+  // real serving runtime overlaps network I/O — which is also what lets the
+  // thread-scaling bench demonstrate overlap gains on any host. 0 = off.
+  double simulated_device_rtt_ms = 0.0;
+};
+
+struct InferenceResult {
+  std::vector<int> predictions;
+  double latency_seconds = 0.0;
+};
+
+class FleetServer {
+ public:
+  // `base_model` is the server-prepared deployed model (quantize + initial
+  // calibration done, shadows dropped) and `base_bf` its trained
+  // bit-flipping net; every registered device starts from clones of these.
+  // Both are held by reference and re-cloned on every RegisterDevice, so
+  // they must outlive the server.
+  FleetServer(const QuantizedModel& base_model, const BitFlipNet& base_bf,
+              FleetServerOptions options);
+
+  FleetServer(const FleetServer&) = delete;
+  FleetServer& operator=(const FleetServer&) = delete;
+
+  // Drains all in-flight work, then stops the pool.
+  ~FleetServer();
+
+  // Creates the device's session (clone of the base model + net, QCore
+  // copy, deterministic per-device seed). Must not already exist.
+  void RegisterDevice(const std::string& device_id, Dataset qcore);
+
+  bool HasDevice(const std::string& device_id) const;
+  int num_sessions() const;
+
+  // Async quantized inference on the device's current model.
+  std::future<InferenceResult> SubmitInference(const std::string& device_id,
+                                               Tensor x);
+
+  // Async continual-calibration step on one stream batch; the test slice is
+  // evaluated after calibration (accuracy feeds the metrics).
+  std::future<BatchStats> SubmitCalibration(const std::string& device_id,
+                                            Dataset batch,
+                                            Dataset test_slice);
+
+  // Async snapshot publish of the device's current model; resolves to the
+  // assigned version. Runs in the session's task order, so it captures the
+  // model exactly after the work submitted before it.
+  std::future<uint64_t> PublishSnapshot(const std::string& device_id);
+
+  // Blocks until every queued task (including tasks queued while draining)
+  // has finished.
+  void Drain();
+
+  // Read-side access for tests/benches. Only safe when the device has no
+  // in-flight work (e.g. after Drain()).
+  CalibrationSession* session(const std::string& device_id);
+
+  ServingMetrics& metrics() { return metrics_; }
+  const ServingMetrics& metrics() const { return metrics_; }
+  SnapshotRegistry& snapshots() { return snapshots_; }
+
+ private:
+  struct SessionState {
+    template <typename... Args>
+    explicit SessionState(Args&&... args)
+        : session(std::forward<Args>(args)...) {}
+    CalibrationSession session;
+    std::mutex mu;                                // guards queue + pumping
+    std::deque<std::function<void()>> queue;
+    bool pumping = false;  // a pool worker currently owns this session
+  };
+
+  // Enqueues a closure on the session's FIFO and schedules a pump if none
+  // is active.
+  void EnqueueOnSession(SessionState* state, std::function<void()> task);
+  // Runs tasks for `state` until its queue is empty.
+  void PumpSession(SessionState* state);
+
+  SessionState* FindSession(const std::string& device_id);
+
+  // In-flight accounting: a task counts from EnqueueOnSession until its
+  // closure has run. Drain() waits on this, not on the pool, because a task
+  // can sit in a session FIFO during the window between enqueue and the
+  // pump being handed to the pool.
+  void TaskFinished();
+
+  const QuantizedModel& base_model_;
+  const BitFlipNet& base_bf_;
+  FleetServerOptions options_;
+  ServingMetrics metrics_;
+  SnapshotRegistry snapshots_;
+
+  mutable std::mutex sessions_mu_;  // guards the map, not the sessions
+  std::map<std::string, std::unique_ptr<SessionState>> sessions_;
+
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  int in_flight_ = 0;
+
+  // Declared last: its destructor joins the workers, so every pump wrapper
+  // has finished before the sessions and drain primitives above are freed.
+  ThreadPool pool_;
+};
+
+}  // namespace qcore
+
+#endif  // QCORE_SERVING_SERVER_H_

@@ -1,0 +1,54 @@
+#include "serving/session.h"
+
+#include <utility>
+
+#include "quant/ste_calibrator.h"
+#include "tensor/tensor_ops.h"
+
+namespace qcore {
+
+CalibrationSession::CalibrationSession(std::string device_id,
+                                       const QuantizedModel& base_model,
+                                       const BitFlipNet& base_bf,
+                                       Dataset qcore,
+                                       const ContinualOptions& options,
+                                       uint64_t seed)
+    : device_id_(std::move(device_id)),
+      model_(base_model.Clone()),
+      rng_(seed) {
+  if (options.use_bitflip) bitflip_.emplace(base_bf.Clone());
+  driver_ = std::make_unique<ContinualDriver>(
+      model_.get(), bitflip_.has_value() ? &*bitflip_ : nullptr,
+      std::move(qcore), options, &rng_);
+}
+
+std::vector<int> CalibrationSession::Predict(const Tensor& x) {
+  Tensor logits = model_->Forward(x, /*training=*/false);
+  return ArgMaxRows(logits);
+}
+
+BatchStats CalibrationSession::Calibrate(const Dataset& batch,
+                                         const Dataset& test_slice) {
+  BatchStats stats = driver_->ProcessBatch(batch, test_slice);
+  ++batches_processed_;
+  return stats;
+}
+
+float CalibrationSession::Evaluate(const Tensor& x,
+                                   const std::vector<int>& labels) {
+  return QuantizedAccuracy(model_.get(), x, labels);
+}
+
+uint64_t DeviceSeed(uint64_t fleet_seed, const std::string& device_id) {
+  uint64_t h = 14695981039346656037ULL;  // FNV offset basis
+  for (unsigned char c : device_id) {
+    h ^= c;
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  // Full-avalanche mix so fleet seeds differing in any single bit give
+  // unrelated per-device streams. Any value (including 0) is a valid Rng
+  // seed; Rng's constructor handles state expansion.
+  return SplitMix64Mix(h ^ fleet_seed);
+}
+
+}  // namespace qcore

@@ -1,0 +1,81 @@
+#include "serving/snapshot.h"
+
+#include <utility>
+
+#include "common/serialize.h"
+
+namespace qcore {
+
+uint64_t SnapshotRegistry::Publish(const QuantizedModel& qm,
+                                   const std::string& device_id,
+                                   uint64_t batches_seen) {
+  // Serialize outside the lock: the expensive part (walking the model) must
+  // not serialize all publishing sessions behind one mutex.
+  BinaryWriter w;
+  qm.SerializeTo(&w);
+  auto snap = std::make_shared<ModelSnapshot>();
+  snap->device_id = device_id;
+  snap->batches_seen = batches_seen;
+  snap->bytes = w.TakeBuffer();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  snap->version = next_version_++;
+  std::shared_ptr<const ModelSnapshot> frozen = std::move(snap);
+  by_version_[frozen->version] = frozen;
+  by_device_[device_id] = frozen;
+  return frozen->version;
+}
+
+std::shared_ptr<const ModelSnapshot> SnapshotRegistry::Latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (by_version_.empty()) return nullptr;
+  return by_version_.rbegin()->second;
+}
+
+std::shared_ptr<const ModelSnapshot> SnapshotRegistry::LatestFor(
+    const std::string& device_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_device_.find(device_id);
+  return it == by_device_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const ModelSnapshot> SnapshotRegistry::Get(
+    uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_version_.find(version);
+  return it == by_version_.end() ? nullptr : it->second;
+}
+
+Status SnapshotRegistry::RestoreInto(const ModelSnapshot& snapshot,
+                                     QuantizedModel* qm) {
+  // BinaryReader owns its buffer, so restoring copies the blob once.
+  // Acceptable: restores are rollback/warm-start events, not per-batch work
+  // like Publish. A non-owning reader view would remove it if that changes.
+  BinaryReader r(snapshot.bytes);
+  return qm->DeserializeFrom(&r);
+}
+
+size_t SnapshotRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_version_.size();
+}
+
+size_t SnapshotRegistry::TrimBelow(uint64_t min_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = by_version_.begin();
+       it != by_version_.end() && it->first < min_version;) {
+    auto dev = by_device_.find(it->second->device_id);
+    const bool is_device_latest =
+        dev != by_device_.end() && dev->second->version == it->first;
+    if (is_device_latest) {
+      ++it;
+    } else {
+      it = by_version_.erase(it);
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace qcore

@@ -1,0 +1,65 @@
+// Versioned model-snapshot registry. Publishing serializes a session's
+// QuantizedModel (codes + scales + fp leftovers, via common/serialize) into
+// an immutable byte blob held by shared_ptr — copy-on-write semantics:
+// readers holding an old version keep it alive while new versions land, and
+// no reader ever observes a half-written model. This is the hand-off point
+// between the serving plane (sessions mutating codes) and everything that
+// wants a consistent model: checkpointing, rollback, cross-device warm
+// starts, future replication.
+#ifndef QCORE_SERVING_SNAPSHOT_H_
+#define QCORE_SERVING_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "quant/quantized_model.h"
+
+namespace qcore {
+
+// One immutable published model version.
+struct ModelSnapshot {
+  uint64_t version = 0;
+  std::string device_id;       // session that published it
+  uint64_t batches_seen = 0;   // calibration batches absorbed at publish time
+  std::vector<uint8_t> bytes;  // QuantizedModel::SerializeTo output
+};
+
+class SnapshotRegistry {
+ public:
+  // Serializes `qm` and registers it as the next version. Thread-safe;
+  // returns the assigned version number (monotonic from 1).
+  uint64_t Publish(const QuantizedModel& qm, const std::string& device_id,
+                   uint64_t batches_seen);
+
+  // Latest version overall / latest published by one device; nullptr if
+  // none. The returned snapshot is immutable and safe to hold indefinitely.
+  std::shared_ptr<const ModelSnapshot> Latest() const;
+  std::shared_ptr<const ModelSnapshot> LatestFor(
+      const std::string& device_id) const;
+  std::shared_ptr<const ModelSnapshot> Get(uint64_t version) const;
+
+  // Restores a snapshot into a model of the same architecture/bit-width.
+  static Status RestoreInto(const ModelSnapshot& snapshot, QuantizedModel* qm);
+
+  size_t size() const;
+
+  // Drops all versions below `min_version` that are not a device's latest
+  // (simple retention; holders keep their shared_ptrs alive regardless).
+  // Returns the number of versions dropped.
+  size_t TrimBelow(uint64_t min_version);
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t next_version_ = 1;
+  std::map<uint64_t, std::shared_ptr<const ModelSnapshot>> by_version_;
+  std::map<std::string, std::shared_ptr<const ModelSnapshot>> by_device_;
+};
+
+}  // namespace qcore
+
+#endif  // QCORE_SERVING_SNAPSHOT_H_

@@ -1,0 +1,376 @@
+// Tests for the fleet serving runtime: thread-pool semantics, per-session
+// determinism (bit-identical to the single-threaded ContinualDriver),
+// session isolation, concurrent correctness under a multi-threaded pool,
+// snapshot copy-on-write, and metrics accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/qcore_builder.h"
+#include "data/har_generator.h"
+#include "models/model_zoo.h"
+#include "runtime/thread_pool.h"
+#include "serving/server.h"
+#include "serving/session.h"
+#include "serving/snapshot.h"
+
+namespace qcore {
+namespace {
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, RunsAllScheduledTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&counter]() { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsFutureValue) {
+  ThreadPool pool(2);
+  std::future<int> f = pool.Submit([]() { return 7 * 6; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsRunsInline) {
+  ThreadPool pool(0);
+  int value = 0;
+  pool.Schedule([&value]() { value = 1; });
+  EXPECT_EQ(value, 1);  // already ran, no WaitIdle needed
+  pool.WaitIdle();
+}
+
+TEST(ThreadPoolTest, TasksCanScheduleMoreTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Schedule([&]() {
+    counter.fetch_add(1);
+    pool.Schedule([&]() { counter.fetch_add(1); });
+  });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsTasksScheduledByTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+      pool.Schedule([&]() {
+        counter.fetch_add(1);
+        pool.Schedule([&]() { counter.fetch_add(1); });
+      });
+    }
+    // No WaitIdle: the destructor itself must drain, including the tasks
+    // the queued tasks schedule while shutdown is already in progress.
+  }
+  EXPECT_EQ(counter.load(), 16);
+}
+
+// ------------------------------------------------------------ fleet fixture
+
+// One server-side preparation (train FP model + QCore, quantize, train the
+// bit-flipping net, drop shadows), shared across tests — the expensive part
+// of every serving scenario.
+struct FleetFixture {
+  HarSpec spec;
+  HarDomain source;
+  HarDomain target;
+  Dataset qcore;
+  std::unique_ptr<QuantizedModel> base;  // deployed edge form
+  std::unique_ptr<BitFlipNet> bf;
+  std::vector<Dataset> batches;
+  std::vector<Dataset> slices;
+};
+
+FleetFixture* GetFixture() {
+  static FleetFixture* fixture = []() {
+    auto* f = new FleetFixture();
+    f->spec = HarSpec::Usc();
+    f->spec.num_classes = 5;
+    f->spec.channels = 3;
+    f->spec.length = 24;
+    f->spec.train_per_class = 8;
+    f->spec.test_per_class = 4;
+    f->source = MakeHarDomain(f->spec, 0);
+    f->target = MakeHarDomain(f->spec, 1);
+
+    Rng rng(20240901);
+    auto model = MakeOmniScaleCnn(f->spec.channels, f->spec.num_classes,
+                                  &rng);
+    QCoreBuildOptions build;
+    build.size = 15;
+    build.train.epochs = 8;
+    build.train.sgd.lr = 0.03f;
+    auto built = BuildQCore(model.get(), f->source.train, build, &rng);
+    f->qcore = built.qcore;
+
+    f->base = std::make_unique<QuantizedModel>(*model, 4);
+    BitFlipTrainOptions bft;
+    bft.ste.epochs = 8;
+    bft.ste.batch_size = 16;
+    bft.augment_episodes = 1;
+    f->bf = std::make_unique<BitFlipNet>(
+        TrainBitFlipNet(f->base.get(), f->qcore, bft, &rng));
+    f->base->DropShadows();
+
+    Rng split_rng(777);
+    f->batches = SplitIntoStreamBatches(f->target.train, 3, &split_rng);
+    f->slices = SplitIntoStreamBatches(f->target.test, 3, &split_rng);
+    return f;
+  }();
+  return fixture;
+}
+
+ContinualOptions TestContinualOptions() {
+  ContinualOptions opts;
+  opts.iterations = 2;
+  return opts;
+}
+
+// ----------------------------------------------------- session determinism
+
+TEST(CalibrationSessionTest, MatchesSingleThreadedContinualDriver) {
+  FleetFixture* f = GetFixture();
+  const uint64_t seed = DeviceSeed(0x5EED, "device-0");
+
+  // Reference: the single-threaded pipeline loop, driven directly.
+  auto ref_model = f->base->Clone();
+  BitFlipNet ref_bf = f->bf->Clone();
+  Rng ref_rng(seed);
+  ContinualDriver driver(ref_model.get(), &ref_bf, f->qcore,
+                         TestContinualOptions(), &ref_rng);
+  std::vector<BatchStats> ref_stats =
+      driver.RunStream(f->batches, f->slices);
+
+  // Session: the serving wrapper over the same loop.
+  CalibrationSession session("device-0", *f->base, *f->bf, f->qcore,
+                             TestContinualOptions(), seed);
+  std::vector<BatchStats> session_stats;
+  for (size_t i = 0; i < f->batches.size(); ++i) {
+    session_stats.push_back(session.Calibrate(f->batches[i], f->slices[i]));
+  }
+
+  ASSERT_EQ(session_stats.size(), ref_stats.size());
+  for (size_t i = 0; i < ref_stats.size(); ++i) {
+    EXPECT_FLOAT_EQ(session_stats[i].accuracy, ref_stats[i].accuracy);
+    EXPECT_EQ(session_stats[i].qcore_changed, ref_stats[i].qcore_changed);
+  }
+  EXPECT_EQ(session.model()->AllCodes(), ref_model->AllCodes());
+}
+
+TEST(CalibrationSessionTest, PredictDoesNotPerturbCalibration) {
+  FleetFixture* f = GetFixture();
+  const uint64_t seed = DeviceSeed(1, "d");
+
+  CalibrationSession plain("d", *f->base, *f->bf, f->qcore,
+                           TestContinualOptions(), seed);
+  plain.Calibrate(f->batches[0], f->slices[0]);
+
+  CalibrationSession interleaved("d", *f->base, *f->bf, f->qcore,
+                                 TestContinualOptions(), seed);
+  interleaved.Predict(f->target.test.x());  // extra inference between steps
+  interleaved.Calibrate(f->batches[0], f->slices[0]);
+  interleaved.Predict(f->target.test.x());
+
+  EXPECT_EQ(plain.model()->AllCodes(), interleaved.model()->AllCodes());
+}
+
+// ------------------------------------------------------------- FleetServer
+
+FleetServerOptions ServerOptions(int threads) {
+  FleetServerOptions opts;
+  opts.num_threads = threads;
+  opts.continual = TestContinualOptions();
+  opts.seed = 0x5EED;
+  return opts;
+}
+
+TEST(FleetServerTest, ThreadCountDoesNotChangeSessionResults) {
+  FleetFixture* f = GetFixture();
+  const std::vector<std::string> devices = {"dev-a", "dev-b", "dev-c"};
+
+  auto run = [&](int threads) {
+    auto stats = std::vector<std::vector<BatchStats>>(devices.size());
+    std::vector<std::vector<std::vector<int32_t>>> codes;
+    FleetServer server(*f->base, *f->bf, ServerOptions(threads));
+    for (const auto& d : devices) server.RegisterDevice(d, f->qcore);
+    std::vector<std::future<BatchStats>> futures;
+    for (size_t b = 0; b < f->batches.size(); ++b) {
+      for (const auto& d : devices) {
+        futures.push_back(
+            server.SubmitCalibration(d, f->batches[b], f->slices[b]));
+      }
+    }
+    size_t fi = 0;
+    for (size_t b = 0; b < f->batches.size(); ++b) {
+      for (size_t d = 0; d < devices.size(); ++d) {
+        stats[d].push_back(futures[fi++].get());
+      }
+    }
+    server.Drain();
+    for (const auto& d : devices) {
+      codes.push_back(server.session(d)->model()->AllCodes());
+    }
+    return std::make_pair(stats, codes);
+  };
+
+  auto [stats0, codes0] = run(0);  // inline reference execution
+  auto [stats4, codes4] = run(4);  // multi-threaded pool
+
+  for (size_t d = 0; d < devices.size(); ++d) {
+    ASSERT_EQ(stats0[d].size(), stats4[d].size());
+    for (size_t b = 0; b < stats0[d].size(); ++b) {
+      EXPECT_FLOAT_EQ(stats0[d][b].accuracy, stats4[d][b].accuracy);
+      EXPECT_EQ(stats0[d][b].qcore_changed, stats4[d][b].qcore_changed);
+    }
+    EXPECT_EQ(codes0[d], codes4[d]);
+  }
+}
+
+TEST(FleetServerTest, SessionsAreIsolated) {
+  FleetFixture* f = GetFixture();
+  FleetServer server(*f->base, *f->bf, ServerOptions(2));
+  server.RegisterDevice("calibrating", f->qcore);
+  server.RegisterDevice("idle", f->qcore);
+
+  server.SubmitCalibration("calibrating", f->batches[0], f->slices[0]).get();
+  server.Drain();
+
+  // The idle device still serves the untouched base model.
+  EXPECT_EQ(server.session("idle")->model()->AllCodes(), f->base->AllCodes());
+  // And the calibrating device diverged from it (codes actually moved).
+  EXPECT_NE(server.session("calibrating")->model()->AllCodes(),
+            f->base->AllCodes());
+}
+
+TEST(FleetServerTest, ConcurrentInferenceAndCalibration) {
+  FleetFixture* f = GetFixture();
+  FleetServer server(*f->base, *f->bf, ServerOptions(4));
+  const int kDevices = 6;
+  for (int d = 0; d < kDevices; ++d) {
+    server.RegisterDevice("dev-" + std::to_string(d), f->qcore);
+  }
+
+  std::vector<std::future<InferenceResult>> inferences;
+  std::vector<std::future<BatchStats>> calibrations;
+  for (int d = 0; d < kDevices; ++d) {
+    const std::string id = "dev-" + std::to_string(d);
+    inferences.push_back(server.SubmitInference(id, f->target.test.x()));
+    calibrations.push_back(
+        server.SubmitCalibration(id, f->batches[0], f->slices[0]));
+    inferences.push_back(server.SubmitInference(id, f->target.test.x()));
+  }
+  for (auto& fu : inferences) {
+    InferenceResult r = fu.get();
+    EXPECT_EQ(static_cast<int>(r.predictions.size()),
+              f->target.test.size());
+  }
+  for (auto& fu : calibrations) {
+    BatchStats s = fu.get();
+    EXPECT_GE(s.accuracy, 0.0f);
+    EXPECT_LE(s.accuracy, 1.0f);
+  }
+  server.Drain();
+
+  const ServingMetrics& m = server.metrics();
+  EXPECT_EQ(m.inference_requests(), static_cast<uint64_t>(2 * kDevices));
+  EXPECT_EQ(m.calibration_batches(), static_cast<uint64_t>(kDevices));
+  EXPECT_EQ(m.inference_latency().count(),
+            static_cast<uint64_t>(2 * kDevices));
+  EXPECT_GT(m.mean_accuracy(), 0.0f);
+}
+
+TEST(FleetServerTest, SnapshotsAreCopyOnWriteAndRestorable) {
+  FleetFixture* f = GetFixture();
+  FleetServer server(*f->base, *f->bf, ServerOptions(2));
+  server.RegisterDevice("dev", f->qcore);
+
+  const uint64_t v1 = server.PublishSnapshot("dev").get();
+  server.SubmitCalibration("dev", f->batches[0], f->slices[0]).get();
+  const uint64_t v2 = server.PublishSnapshot("dev").get();
+  server.Drain();
+
+  EXPECT_LT(v1, v2);
+  auto snap1 = server.snapshots().Get(v1);
+  auto snap2 = server.snapshots().Get(v2);
+  ASSERT_NE(snap1, nullptr);
+  ASSERT_NE(snap2, nullptr);
+  EXPECT_EQ(server.snapshots().LatestFor("dev")->version, v2);
+  EXPECT_NE(snap1->bytes, snap2->bytes);  // calibration changed the model
+
+  // Restoring v1 into a fresh clone reproduces the pre-calibration codes.
+  auto restored = f->base->Clone();
+  ASSERT_TRUE(SnapshotRegistry::RestoreInto(*snap1, restored.get()).ok());
+  EXPECT_EQ(restored->AllCodes(), f->base->AllCodes());
+
+  // Restoring v2 reproduces the session's current codes.
+  auto restored2 = f->base->Clone();
+  ASSERT_TRUE(SnapshotRegistry::RestoreInto(*snap2, restored2.get()).ok());
+  EXPECT_EQ(restored2->AllCodes(), server.session("dev")->model()->AllCodes());
+}
+
+TEST(FleetServerTest, FailedRestoreLeavesModelUntouched) {
+  FleetFixture* f = GetFixture();
+  SnapshotRegistry registry;
+  registry.Publish(*f->base, "dev", 0);
+  ModelSnapshot truncated = *registry.Latest();
+  truncated.bytes.resize(truncated.bytes.size() / 2);
+
+  auto target = f->base->Clone();
+  const auto before = target->AllCodes();
+  EXPECT_FALSE(
+      SnapshotRegistry::RestoreInto(truncated, target.get()).ok());
+  // Atomicity: the failed restore must not leave a half-written model.
+  EXPECT_EQ(target->AllCodes(), before);
+}
+
+TEST(FleetServerTest, PeriodicSnapshotsAndTrim) {
+  FleetFixture* f = GetFixture();
+  FleetServerOptions opts = ServerOptions(2);
+  opts.snapshot_every = 1;  // snapshot after every calibration batch
+  FleetServer server(*f->base, *f->bf, opts);
+  server.RegisterDevice("dev", f->qcore);
+  for (size_t b = 0; b < f->batches.size(); ++b) {
+    server.SubmitCalibration("dev", f->batches[b], f->slices[b]);
+  }
+  server.Drain();
+  EXPECT_EQ(server.snapshots().size(), f->batches.size());
+  const uint64_t latest = server.snapshots().Latest()->version;
+  // Trimming keeps the device's latest version even when below the floor.
+  server.snapshots().TrimBelow(latest + 1);
+  EXPECT_EQ(server.snapshots().size(), 1u);
+  EXPECT_EQ(server.snapshots().Latest()->version, latest);
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(MetricsTest, HistogramQuantilesAreOrdered) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(i * 1e-4);  // 0.1ms .. 100ms
+  EXPECT_EQ(h.count(), 1000u);
+  const double p50 = h.QuantileSeconds(0.5);
+  const double p95 = h.QuantileSeconds(0.95);
+  const double p99 = h.QuantileSeconds(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_NEAR(h.mean_seconds(), 0.050, 0.005);
+}
+
+TEST(MetricsTest, AccuracyMeanIsExact) {
+  ServingMetrics m;
+  m.AddAccuracySample(0.25f);
+  m.AddAccuracySample(0.75f);
+  EXPECT_FLOAT_EQ(m.mean_accuracy(), 0.5f);
+  EXPECT_FALSE(m.Report().empty());
+}
+
+}  // namespace
+}  // namespace qcore
