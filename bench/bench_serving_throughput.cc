@@ -1,17 +1,20 @@
 // Fleet serving throughput: one server-prepared model, a fleet of simulated
 // devices each streaming target-domain batches with interleaved inference
 // traffic, served by FleetServers with 1..N pool workers. Reports the
-// thread-scaling curve (aggregate calibration+inference throughput) and
-// verifies that every device's final model is bit-identical to the
-// single-threaded pipeline (ContinualDriver driven directly with the same
-// per-device seed) — concurrency must never change results.
+// thread-scaling curve (aggregate calibration+inference throughput), then a
+// batched-vs-unbatched comparison at fixed thread count, and verifies that
+// every configuration is bit-identical to the single-threaded pipeline
+// (ContinualDriver driven directly with the same per-device seed) — and
+// that batching neither changes any per-request prediction nor reorders
+// per-device result delivery.
 //
 // Each request carries a simulated device-link RTT (the
 // FleetServerOptions::simulated_device_rtt_ms fleet knob): serving a fleet
 // is compute + per-device network wait, and the pool's win is overlapping
-// the two across sessions. That is also what makes the scaling curve
-// meaningful on any host, including single-core CI runners where pure
-// compute cannot speed up with more threads.
+// the two across sessions. A batched inference group pays the link ONCE for
+// the whole group, which is why batching lifts throughput even on a
+// single-core host. That is also what makes both curves meaningful on any
+// host, including single-core CI runners.
 //
 // QCORE_FAST=1 shrinks the fleet; QCORE_BENCH_THREADS caps the curve;
 // QCORE_BENCH_RTT_MS overrides the simulated link RTT (default 25).
@@ -37,6 +40,7 @@ using namespace qcore::bench;
 namespace {
 
 constexpr uint64_t kFleetSeed = 20240422;
+constexpr int kBurst = 4;  // inference requests per device per stream batch
 
 struct FleetSetup {
   HarSpec spec;
@@ -47,7 +51,9 @@ struct FleetSetup {
   std::vector<std::string> device_ids;
   std::vector<std::vector<Dataset>> batches;
   std::vector<std::vector<Dataset>> slices;
-  Tensor inference_input;
+  // Distinct inference inputs; request k uses probes[k % size], so any
+  // scatter mixup or delivery reordering shows up as a prediction diff.
+  std::vector<Tensor> probes;
 };
 
 FleetSetup PrepareFleet(int num_devices, int batches_per_device) {
@@ -89,7 +95,12 @@ FleetSetup PrepareFleet(int num_devices, int batches_per_device) {
         SplitIntoStreamBatches(target.train, batches_per_device, &split_rng));
     setup.slices.push_back(
         SplitIntoStreamBatches(target.test, batches_per_device, &split_rng));
-    if (d == 0) setup.inference_input = target.test.x();
+    if (d == 0) {
+      for (int p = 0; p < 2 * kBurst; ++p) {
+        setup.probes.push_back(target.test.x().GatherRows(
+            {p % static_cast<int>(target.test.size())}));
+      }
+    }
   }
   return setup;
 }
@@ -111,38 +122,61 @@ struct RunResult {
   double wall_seconds = 0.0;
   uint64_t calibrations = 0;
   uint64_t inferences = 0;
+  double mean_batch_occupancy = 0.0;
   std::vector<std::vector<std::vector<int32_t>>> final_codes;  // per device
+  // Per device, every inference result in submission order — the delivery-
+  // order regression signal for the batched path.
+  std::vector<std::vector<std::vector<int>>> predictions;
 };
 
-RunResult RunFleet(const FleetSetup& setup, int threads) {
+RunResult RunFleet(const FleetSetup& setup, int threads, int max_batch) {
   FleetServerOptions opts;
   opts.num_threads = threads;
   opts.continual = BenchContinualOptions();
   opts.seed = kFleetSeed;
   opts.simulated_device_rtt_ms = BenchRttMs();
+  if (max_batch > 0) {
+    opts.enable_batching = true;
+    opts.batching.max_batch = max_batch;
+    opts.batching.max_delay_us = 500.0;
+  }
   FleetServer server(*setup.base, *setup.bf, opts);
   for (const auto& id : setup.device_ids) {
     server.RegisterDevice(id, setup.qcore);
   }
 
   RunResult result;
+  std::vector<std::vector<std::future<InferenceResult>>> futures(
+      setup.device_ids.size());
   Stopwatch timer;
-  // Every device: alternate inference traffic with calibration batches.
+  // Every device: a burst of inference traffic, a calibration batch, one
+  // trailing inference — the arrival pattern that gives a batcher
+  // something to coalesce without starving calibration.
   for (size_t d = 0; d < setup.device_ids.size(); ++d) {
     const std::string& id = setup.device_ids[d];
     for (size_t b = 0; b < setup.batches[d].size(); ++b) {
-      server.SubmitInference(id, setup.inference_input);
+      for (int p = 0; p < kBurst; ++p) {
+        futures[d].push_back(server.SubmitInference(
+            id, setup.probes[(b + p) % setup.probes.size()]));
+      }
       server.SubmitCalibration(id, setup.batches[d][b],
                                setup.slices[d][b]);
-      server.SubmitInference(id, setup.inference_input);
+      futures[d].push_back(server.SubmitInference(
+          id, setup.probes[b % setup.probes.size()]));
     }
   }
   server.Drain();
   result.wall_seconds = timer.ElapsedSeconds();
   result.calibrations = server.metrics().calibration_batches();
   result.inferences = server.metrics().inference_requests();
-  for (const auto& id : setup.device_ids) {
-    result.final_codes.push_back(server.session(id)->model()->AllCodes());
+  result.mean_batch_occupancy = server.metrics().batch_occupancy().mean();
+  for (size_t d = 0; d < setup.device_ids.size(); ++d) {
+    result.final_codes.push_back(
+        server.session(setup.device_ids[d])->model()->AllCodes());
+    result.predictions.emplace_back();
+    for (auto& fu : futures[d]) {
+      result.predictions.back().push_back(fu.get().predictions);
+    }
   }
   return result;
 }
@@ -164,6 +198,11 @@ std::vector<std::vector<std::vector<int32_t>>> RunPipelineReference(
   return codes;
 }
 
+double TasksPerSec(const RunResult& r) {
+  return static_cast<double>(r.calibrations + r.inferences) /
+         r.wall_seconds;
+}
+
 }  // namespace
 
 int main() {
@@ -175,8 +214,9 @@ int main() {
   }
 
   std::printf("== Fleet serving throughput: %d devices x %d stream batches "
-              "(4-bit, USC-like HAR, simulated link RTT %.0fms) ==\n\n",
-              num_devices, batches_per_device, BenchRttMs());
+              "(4-bit, USC-like HAR, simulated link RTT %.0fms, burst %d) "
+              "==\n\n",
+              num_devices, batches_per_device, BenchRttMs(), kBurst);
   FleetSetup setup = PrepareFleet(num_devices, batches_per_device);
 
   std::vector<int> thread_counts;
@@ -186,19 +226,18 @@ int main() {
                       "Tasks/s", "Speedup"});
   std::vector<double> throughputs;
   double base_tasks_per_sec = 0.0;
-  std::vector<std::vector<std::vector<int32_t>>> first_codes;
+  RunResult first_run;
   bool identical_across_threads = true;
 
   for (int threads : thread_counts) {
-    RunResult r = RunFleet(setup, threads);
-    const double tasks =
-        static_cast<double>(r.calibrations + r.inferences);
-    const double tasks_per_sec = tasks / r.wall_seconds;
+    RunResult r = RunFleet(setup, threads, /*max_batch=*/0);
+    const double tasks_per_sec = TasksPerSec(r);
     throughputs.push_back(tasks_per_sec);
     if (base_tasks_per_sec == 0.0) base_tasks_per_sec = tasks_per_sec;
-    if (first_codes.empty()) {
-      first_codes = r.final_codes;
-    } else if (r.final_codes != first_codes) {
+    if (first_run.final_codes.empty()) {
+      first_run = std::move(r);
+    } else if (r.final_codes != first_run.final_codes ||
+               r.predictions != first_run.predictions) {
       identical_across_threads = false;
     }
     table.AddRow({std::to_string(threads),
@@ -224,12 +263,59 @@ int main() {
 
   const auto reference = RunPipelineReference(setup);
   std::printf("bit-identical to single-threaded pipeline:           %s\n",
-              first_codes == reference ? "yes" : "NO");
+              first_run.final_codes == reference ? "yes" : "NO");
 
-  // Exit codes separate correctness from timing: 2 = determinism violated
-  // (always a bug), 1 = scaling curve not monotonic (a timing property —
-  // expected to fail e.g. with QCORE_BENCH_RTT_MS=0 on a single-core host,
-  // and tolerated by CI on noisy shared runners).
-  if (!identical_across_threads || first_codes != reference) return 2;
-  return monotonic ? 0 : 1;
+  // ---- batched vs unbatched at fixed thread count -----------------------
+  const int cmp_threads = std::min(4, max_threads);
+  std::printf("\n== Inference batching at %d threads ==\n\n", cmp_threads);
+  TablePrinter btable({"MaxBatch", "Wall (s)", "Tasks/s", "Occupancy",
+                       "Speedup"});
+  RunResult unbatched = RunFleet(setup, cmp_threads, /*max_batch=*/0);
+  const double unbatched_tps = TasksPerSec(unbatched);
+  btable.AddRow({"off", TablePrinter::Num(unbatched.wall_seconds, 3),
+                 TablePrinter::Num(unbatched_tps, 1),
+                 TablePrinter::Num(unbatched.mean_batch_occupancy, 2),
+                 TablePrinter::Num(1.0, 2)});
+  bool batched_identical = true;
+  bool batched_ordered = true;
+  double batched4_tps = 0.0;
+  for (int max_batch : {2, 4, 8}) {
+    RunResult r = RunFleet(setup, cmp_threads, max_batch);
+    const double tps = TasksPerSec(r);
+    if (max_batch == 4) batched4_tps = tps;
+    // Bit-identity: the batched path must change neither the calibrated
+    // codes nor any prediction. Prediction-sequence equality doubles as
+    // the per-device delivery-order regression check — a reorder would
+    // surface as a mismatched sequence of per-request results.
+    if (r.final_codes != unbatched.final_codes ||
+        r.final_codes != reference) {
+      batched_identical = false;
+    }
+    if (r.predictions != unbatched.predictions) batched_ordered = false;
+    btable.AddRow({std::to_string(max_batch),
+                   TablePrinter::Num(r.wall_seconds, 3),
+                   TablePrinter::Num(tps, 1),
+                   TablePrinter::Num(r.mean_batch_occupancy, 2),
+                   TablePrinter::Num(tps / unbatched_tps, 2)});
+  }
+  btable.Print();
+
+  const bool batched_faster = batched4_tps > unbatched_tps;
+  std::printf("\nbatched codes bit-identical to unbatched + pipeline: %s\n",
+              batched_identical ? "yes" : "NO");
+  std::printf("batched per-device delivery order preserved:         %s\n",
+              batched_ordered ? "yes" : "NO");
+  std::printf("batching (max_batch=4) faster than unbatched:        %s\n",
+              batched_faster ? "yes" : "NO");
+
+  // Exit codes separate correctness from timing: 2 = determinism or
+  // ordering violated (always a bug), 1 = a timing property failed (the
+  // scaling curve not monotonic, or batching not faster) — expected e.g.
+  // with QCORE_BENCH_RTT_MS=0 on a single-core host, and tolerated by CI
+  // on noisy shared runners.
+  if (!identical_across_threads || first_run.final_codes != reference ||
+      !batched_identical || !batched_ordered) {
+    return 2;
+  }
+  return (monotonic && batched_faster) ? 0 : 1;
 }

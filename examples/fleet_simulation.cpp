@@ -112,6 +112,16 @@ int main() {
   opts.continual.iterations = 1;
   opts.seed = 0xF1EE7;
   opts.snapshot_every = stream_batches;  // snapshot each device at the end
+  // Serving-plane features: coalesce inference bursts into grouped forward
+  // passes (results stay bit-identical to the unbatched path) and bound
+  // per-device queues — the report's occupancy/queue-depth/shed lines.
+  // Note the bound must stay above this example's per-device submission
+  // burst: the unconditional Submit* calls below abort on a full queue
+  // (overload-aware callers use TrySubmit* and handle the shed status).
+  opts.enable_batching = true;
+  opts.batching.max_batch = 4;
+  opts.batching.max_delay_us = 500.0;
+  opts.max_queue_per_session = 64;
   FleetServer har_server(*har.base, *har.bf, opts);
   FleetServer img_server(*img.base, *img.bf, opts);
 

@@ -21,6 +21,9 @@ enum class StatusCode {
   kOutOfRange,
   kCorruption,
   kUnimplemented,
+  // A bounded resource (e.g. a serving queue) is full; retry later. The
+  // load-shedding fast-fail code — callers distinguish it from hard errors.
+  kResourceExhausted,
 };
 
 // Human-readable name of a status code, e.g. "InvalidArgument".
@@ -53,6 +56,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/serialize.h"
+#include "tensor/tensor_ops.h"
 
 namespace qcore {
 
@@ -130,6 +131,26 @@ std::vector<std::vector<int32_t>> QuantizedModel::AllCodes() const {
   codes.reserve(tensors_.size());
   for (const auto& qt : tensors_) codes.push_back(qt.codes);
   return codes;
+}
+
+std::vector<std::vector<int>> QuantizedModel::PredictBatched(
+    const std::vector<const Tensor*>& inputs) {
+  QCORE_CHECK(!inputs.empty());
+  const Tensor batch = ConcatRows(inputs);
+  const std::vector<int> labels =
+      ArgMaxRows(Forward(batch, /*training=*/false));
+  std::vector<std::vector<int>> out;
+  out.reserve(inputs.size());
+  size_t offset = 0;
+  for (const Tensor* x : inputs) {
+    const size_t rows = static_cast<size_t>(x->dim(0));
+    out.emplace_back(labels.begin() + static_cast<int64_t>(offset),
+                     labels.begin() + static_cast<int64_t>(offset + rows));
+    offset += rows;
+  }
+  QCORE_CHECK_EQ(static_cast<int64_t>(offset),
+                 static_cast<int64_t>(labels.size()));
+  return out;
 }
 
 int64_t QuantizedModel::TotalCodeCount() const {

@@ -113,6 +113,17 @@ class QuantizedModel {
   // checks (tests and bench) are built on.
   std::vector<std::vector<int32_t>> AllCodes() const;
 
+  // Batched quantized inference: concatenates `inputs` along axis 0, runs
+  // ONE eval-mode forward pass, and scatters per-row argmax labels back to
+  // one vector per input. Bit-identical to predicting each input alone:
+  // every layer's eval forward is row-independent (Dense/Conv accumulate
+  // per row in a fixed order; BatchNorm eval normalizes with running
+  // stats; softmax/argmax are row-wise), so rows neither see nor perturb
+  // each other. This is the compute entry point of the serving
+  // InferenceBatcher.
+  std::vector<std::vector<int>> PredictBatched(
+      const std::vector<const Tensor*>& inputs);
+
  private:
   QuantizedModel() = default;
 

@@ -19,17 +19,18 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::Schedule(std::function<void()> task) {
+void ThreadPool::Schedule(std::function<void()> task, TaskPriority priority) {
   if (workers_.empty()) {
     task();
     return;
   }
   {
     std::unique_lock<std::mutex> lock(mu_);
-    // Scheduling during shutdown is allowed: workers only exit once the
-    // queue is empty, so tasks enqueued by in-flight tasks still drain
+    // Scheduling during shutdown is allowed: workers only exit once both
+    // queues are empty, so tasks enqueued by in-flight tasks still drain
     // before the destructor's join returns.
-    queue_.push_back(std::move(task));
+    (priority == TaskPriority::kHigh ? high_ : low_).push_back(
+        std::move(task));
   }
   work_available_.notify_one();
 }
@@ -37,7 +38,7 @@ void ThreadPool::Schedule(std::function<void()> task) {
 void ThreadPool::WaitIdle() {
   if (workers_.empty()) return;
   std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this]() { return queue_.empty() && active_ == 0; });
+  idle_.wait(lock, [this]() { return !HasWork() && active_ == 0; });
 }
 
 void ThreadPool::WorkerLoop() {
@@ -45,18 +46,18 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(
-          lock, [this]() { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown with drained queue
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      work_available_.wait(lock, [this]() { return shutdown_ || HasWork(); });
+      if (!HasWork()) return;  // shutdown with drained queues
+      std::deque<std::function<void()>>& q = high_.empty() ? low_ : high_;
+      task = std::move(q.front());
+      q.pop_front();
       ++active_;
     }
     task();
     {
       std::unique_lock<std::mutex> lock(mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_.notify_all();
+      if (!HasWork() && active_ == 0) idle_.notify_all();
     }
   }
 }

@@ -1,19 +1,24 @@
 // Fixed-size work-queue thread pool: the execution substrate for the fleet
 // serving runtime. Tasks are plain std::function<void()> closures pushed
-// onto a mutex-guarded FIFO; worker threads pop and run them. Waiting is
-// supported two ways: per-submission futures (Submit) and a whole-pool
-// drain (WaitIdle). Note the FleetServer drains via its own in-flight
-// count, not WaitIdle — a task can be queued on a session before its pump
-// reaches the pool, which WaitIdle cannot see.
+// onto a mutex-guarded two-level FIFO (high = latency-sensitive serving
+// work, low = background work such as calibration); workers always drain
+// the high queue before touching the low one, which is what lets the
+// FleetServer keep inference latency flat while calibration backlogs grow
+// under overload. Waiting is supported two ways: per-submission futures
+// (Submit) and a whole-pool drain (WaitIdle). Note the FleetServer drains
+// via its own in-flight count, not WaitIdle — a task can be queued on a
+// session before its pump reaches the pool, which WaitIdle cannot see.
 //
 // num_threads == 0 is a supported degenerate mode: tasks run inline on the
 // submitting thread. That mode is what makes "per-session results are
 // bit-identical to the single-threaded pipeline" testable — the same code
-// drives both executions.
+// drives both executions. Priorities are irrelevant in inline mode (there
+// is never more than one runnable task), so the guarantee holds there too.
 #ifndef QCORE_RUNTIME_THREAD_POOL_H_
 #define QCORE_RUNTIME_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -26,6 +31,12 @@
 
 namespace qcore {
 
+// Two-level scheduling class. kHigh is strict-priority over kLow: a worker
+// never starts a low task while a high task is queued. Within a level,
+// order is FIFO. There is no preemption — a running low task finishes
+// before the worker returns to the queues.
+enum class TaskPriority { kHigh = 0, kLow = 1 };
+
 class ThreadPool {
  public:
   // Spawns `num_threads` workers. 0 = inline execution (no threads).
@@ -34,36 +45,40 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Drains the queue, then joins all workers.
+  // Drains both queues, then joins all workers.
   ~ThreadPool();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  // Enqueues a task. Never blocks (unbounded queue); with 0 workers the
+  // Enqueues a task. Never blocks (unbounded queues); with 0 workers the
   // task runs before Schedule returns.
-  void Schedule(std::function<void()> task);
+  void Schedule(std::function<void()> task,
+                TaskPriority priority = TaskPriority::kHigh);
 
   // Enqueues a callable and returns a future for its result.
   template <typename F>
-  auto Submit(F&& f) -> std::future<decltype(f())> {
+  auto Submit(F&& f, TaskPriority priority = TaskPriority::kHigh)
+      -> std::future<decltype(f())> {
     using R = decltype(f());
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> result = task->get_future();
-    Schedule([task]() { (*task)(); });
+    Schedule([task]() { (*task)(); }, priority);
     return result;
   }
 
-  // Blocks until the queue is empty and no task is executing. Tasks may
+  // Blocks until both queues are empty and no task is executing. Tasks may
   // schedule further tasks; WaitIdle waits for those too.
   void WaitIdle();
 
  private:
   void WorkerLoop();
+  bool HasWork() const { return !high_.empty() || !low_.empty(); }
 
   mutable std::mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> high_;
+  std::deque<std::function<void()>> low_;
   std::vector<std::thread> workers_;
   int active_ = 0;       // tasks being executed right now
   bool shutdown_ = false;

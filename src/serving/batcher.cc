@@ -1,0 +1,123 @@
+#include "serving/batcher.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace qcore {
+
+InferenceBatcher::InferenceBatcher(InferenceBatcherOptions options,
+                                   FlushSink sink)
+    : options_(options), sink_(std::move(sink)) {
+  QCORE_CHECK(options_.max_batch >= 1);
+  QCORE_CHECK(sink_ != nullptr);
+  if (options_.max_delay_us > 0.0) {
+    flusher_ = std::thread([this]() { FlusherLoop(); });
+  }
+}
+
+InferenceBatcher::~InferenceBatcher() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  flusher_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  // Resolve stragglers added after the owner's last drain. The flusher is
+  // gone, so this is the only remaining path to their promises.
+  FlushAll();
+}
+
+void InferenceBatcher::Add(const std::string& device_id,
+                           PendingInference request) {
+  std::unique_lock<std::mutex> lock(mu_);
+  DeviceQueue& dq = queues_[device_id];
+  if (dq.requests.empty()) {
+    dq.oldest_arrival = Clock::now();
+    flusher_cv_.notify_one();  // a new deadline exists; recompute
+  }
+  dq.requests.push_back(std::move(request));
+  if (static_cast<int>(dq.requests.size()) >= options_.max_batch) {
+    FlushLocked(device_id, &dq, lock);
+  }
+}
+
+void InferenceBatcher::FlushDevice(const std::string& device_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = queues_.find(device_id);
+  if (it == queues_.end()) return;
+  FlushLocked(device_id, &it->second, lock);
+}
+
+void InferenceBatcher::FlushAll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // FlushLocked drops the lock around the sink, so one pass can miss
+  // requests added meanwhile; repeat until a pass finds nothing to do.
+  for (;;) {
+    bool flushed_any = false;
+    for (auto& entry : queues_) {
+      DeviceQueue& dq = entry.second;
+      if (!dq.requests.empty() || dq.in_flush) {
+        flushed_any = true;
+        FlushLocked(entry.first, &dq, lock);
+      }
+    }
+    if (!flushed_any) return;
+  }
+}
+
+void InferenceBatcher::FlushLocked(const std::string& device_id,
+                                   DeviceQueue* dq,
+                                   std::unique_lock<std::mutex>& lock) {
+  // Serialize flushes per device: never extract a later group while an
+  // earlier one is still being handed to the sink, or the session FIFO
+  // could receive them out of submission order.
+  flush_done_cv_.wait(lock, [dq]() { return !dq->in_flush; });
+  if (dq->requests.empty()) return;
+  std::vector<PendingInference> group = std::move(dq->requests);
+  dq->requests.clear();
+  dq->in_flush = true;
+  lock.unlock();
+  sink_(device_id, std::move(group));
+  lock.lock();
+  // in_flush clears only after the sink returns, so barrier callers (and
+  // FlushAll inside the owner's Drain) cannot observe "nothing pending"
+  // while a group is in limbo between extraction and enqueue.
+  dq->in_flush = false;
+  flush_done_cv_.notify_all();
+}
+
+void InferenceBatcher::FlusherLoop() {
+  const auto delay = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::micro>(options_.max_delay_us));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutdown_) {
+    bool have_deadline = false;
+    Clock::time_point earliest{};
+    for (const auto& entry : queues_) {
+      if (entry.second.requests.empty()) continue;
+      const Clock::time_point dl = entry.second.oldest_arrival + delay;
+      if (!have_deadline || dl < earliest) {
+        earliest = dl;
+        have_deadline = true;
+      }
+    }
+    if (!have_deadline) {
+      flusher_cv_.wait(lock);
+      continue;
+    }
+    if (flusher_cv_.wait_until(lock, earliest) ==
+        std::cv_status::no_timeout) {
+      continue;  // new group or shutdown; recompute the earliest deadline
+    }
+    const Clock::time_point now = Clock::now();
+    for (auto& entry : queues_) {
+      DeviceQueue& dq = entry.second;
+      if (!dq.requests.empty() && dq.oldest_arrival + delay <= now) {
+        FlushLocked(entry.first, &dq, lock);
+      }
+    }
+  }
+}
+
+}  // namespace qcore

@@ -1,0 +1,128 @@
+// InferenceBatcher: coalesces concurrent inference submissions across the
+// fleet into grouped forward passes. Requests accumulate in per-device FIFO
+// groups; a group is flushed to the sink when it reaches `max_batch`
+// requests (size trigger), when its oldest request has waited `max_delay_us`
+// (deadline trigger, enforced by a dedicated flusher thread), or when the
+// owner forces a flush (FlushDevice — the ordering barrier the FleetServer
+// inserts ahead of model-mutating work; FlushAll — drain/shutdown).
+//
+// Grouping is per device because each device serves its own calibrated
+// model clone: rows from different models cannot share one forward pass.
+// The cross-device win is upstream of the math — one pending buffer and one
+// flusher for the whole fleet, and each flush hands the pool a single task
+// (one device-link round trip, one forward) instead of per-request tasks.
+//
+// Ordering guarantee: per device, flushes are serialized (a flush that
+// would overlap an in-progress flush of the same device waits for it), and
+// every flush hands the sink the full pending group in submission order.
+// With the barrier calls the FleetServer makes, this yields per-device
+// result delivery in exact submission order — the property the batching
+// regression tests pin down.
+//
+// The batcher never runs model code itself: the sink owns execution (the
+// FleetServer enqueues the group on the device's session FIFO). Sink calls
+// are made outside the batcher lock.
+#ifndef QCORE_SERVING_BATCHER_H_
+#define QCORE_SERVING_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "tensor/tensor.h"
+
+namespace qcore {
+
+// Result of one inference request, batched or not.
+struct InferenceResult {
+  std::vector<int> predictions;
+  double latency_seconds = 0.0;
+};
+
+struct InferenceBatcherOptions {
+  // Size trigger: flush a device's group when it holds this many requests.
+  // Must be >= 1; 1 degenerates to per-request flushing.
+  int max_batch = 8;
+  // Deadline trigger: the oldest pending request of a group waits at most
+  // this long before the flusher thread flushes the group. <= 0 disables
+  // the deadline (groups then flush only on size or explicit barriers).
+  double max_delay_us = 500.0;
+};
+
+// One pending inference request: the input, the promise its future resolves
+// through, and the latency clock started at submission (so recorded
+// latencies include batching delay and queue wait).
+struct PendingInference {
+  Tensor input;
+  std::shared_ptr<std::promise<InferenceResult>> promise;
+  Stopwatch timer;
+};
+
+class InferenceBatcher {
+ public:
+  // `sink` receives (device_id, group) for every flush and must eventually
+  // resolve every promise in the group. Invoked without the batcher lock
+  // held, on whichever thread triggered the flush (submitter, flusher, or
+  // the thread calling FlushDevice/FlushAll).
+  using FlushSink =
+      std::function<void(const std::string&, std::vector<PendingInference>)>;
+
+  InferenceBatcher(InferenceBatcherOptions options, FlushSink sink);
+
+  InferenceBatcher(const InferenceBatcher&) = delete;
+  InferenceBatcher& operator=(const InferenceBatcher&) = delete;
+
+  // Flushes all pending requests, then joins the flusher thread.
+  ~InferenceBatcher();
+
+  // Appends a request to the device's group; flushes the group inline if
+  // it reaches max_batch.
+  void Add(const std::string& device_id, PendingInference request);
+
+  // Synchronous barrier: when this returns, every request previously added
+  // for `device_id` has been handed to the sink (including a flush of the
+  // device already in progress on another thread).
+  void FlushDevice(const std::string& device_id);
+
+  // Barrier over every device. Used by FleetServer::Drain and shutdown.
+  void FlushAll();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct DeviceQueue {
+    std::vector<PendingInference> requests;
+    Clock::time_point oldest_arrival{};
+    bool in_flush = false;  // a thread is running the sink for this device
+  };
+
+  // Waits out any in-progress flush of the device, then (if anything is
+  // pending) extracts the group and runs the sink. Caller holds `lock`.
+  void FlushLocked(const std::string& device_id, DeviceQueue* dq,
+                   std::unique_lock<std::mutex>& lock);
+
+  void FlusherLoop();
+
+  const InferenceBatcherOptions options_;
+  const FlushSink sink_;
+
+  mutable std::mutex mu_;
+  std::condition_variable flusher_cv_;     // wakes the deadline thread
+  std::condition_variable flush_done_cv_;  // in_flush transitions
+  std::map<std::string, DeviceQueue> queues_;
+  bool shutdown_ = false;
+
+  std::thread flusher_;  // only started when the deadline is enabled
+};
+
+}  // namespace qcore
+
+#endif  // QCORE_SERVING_BATCHER_H_

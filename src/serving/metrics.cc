@@ -122,6 +122,71 @@ std::string LatencyHistogram::Summary() const {
   return buf;
 }
 
+void CountHistogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  const int bucket =
+      value >= kMaxTracked ? kMaxTracked : static_cast<int>(value);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++buckets_[bucket];
+  ++count_;
+  sum_ += value;
+  if (value > max_) max_ = value;
+}
+
+uint64_t CountHistogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double CountHistogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) /
+                           static_cast<double>(count_);
+}
+
+int64_t CountHistogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+uint64_t CountHistogram::CountAt(int64_t value) const {
+  if (value < 0) return 0;
+  const int bucket =
+      value >= kMaxTracked ? kMaxTracked : static_cast<int>(value);
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_[bucket];
+}
+
+uint64_t CountHistogram::CountAtLeast(int64_t value) const {
+  if (value < 0) value = 0;
+  const int from =
+      value >= kMaxTracked ? kMaxTracked : static_cast<int>(value);
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (int b = from; b <= kMaxTracked; ++b) total += buckets_[b];
+  return total;
+}
+
+std::string CountHistogram::Summary() const {
+  uint64_t count;
+  int64_t sum, max;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    count = count_;
+    sum = sum_;
+    max = max_;
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "count=%llu mean=%.2f max=%lld",
+                static_cast<unsigned long long>(count),
+                count == 0 ? 0.0
+                           : static_cast<double>(sum) /
+                                 static_cast<double>(count),
+                static_cast<long long>(max));
+  return buf;
+}
+
 float ServingMetrics::mean_accuracy() const {
   const uint64_t n = accuracy_samples_.load(std::memory_order_relaxed);
   if (n == 0) return 0.0f;
@@ -149,6 +214,17 @@ std::string ServingMetrics::Report() const {
                 "quality:     mean_batch_accuracy=%.4f snapshots=%llu\n",
                 mean_accuracy(),
                 static_cast<unsigned long long>(snapshots()));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "batching:    occupancy[%s]\n",
+                batch_occupancy_.Summary().c_str());
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "overload:    queue_depth[%s] shed_inference=%llu "
+      "shed_calibration=%llu\n",
+      queue_depth_.Summary().c_str(),
+      static_cast<unsigned long long>(shed_inference()),
+      static_cast<unsigned long long>(shed_calibration()));
   out += buf;
   return out;
 }

@@ -46,6 +46,37 @@ class LatencyHistogram {
   double sum_ = 0.0;
 };
 
+// Small-integer histogram with exact unit buckets for 0..kMaxTracked-1 and
+// one overflow bucket. Used for batch occupancy (requests per flushed
+// batch) and per-session queue depth — distributions whose interesting
+// range is a few dozen at most, where exact counts beat bucket
+// interpolation. Thread-safe like LatencyHistogram.
+class CountHistogram {
+ public:
+  static constexpr int kMaxTracked = 64;
+
+  void Record(int64_t value);
+
+  uint64_t count() const;
+  double mean() const;
+  int64_t max() const;
+  // Observations with exactly this value (values >= kMaxTracked pool in
+  // the overflow bucket, addressed as CountAt(kMaxTracked)).
+  uint64_t CountAt(int64_t value) const;
+  // Observations with value >= `value`.
+  uint64_t CountAtLeast(int64_t value) const;
+
+  // "count=12 mean=3.4 max=8".
+  std::string Summary() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t buckets_[kMaxTracked + 1] = {};
+  uint64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t max_ = 0;
+};
+
 // Aggregate counters for one FleetServer. Plain atomics; accuracy is kept
 // as a (sum, count) pair so the mean is exact regardless of interleaving.
 class ServingMetrics {
@@ -58,6 +89,12 @@ class ServingMetrics {
   const LatencyHistogram& calibration_latency() const {
     return calibration_latency_;
   }
+  // Requests coalesced per batched forward pass (1 = degenerate batch).
+  CountHistogram& batch_occupancy() { return batch_occupancy_; }
+  const CountHistogram& batch_occupancy() const { return batch_occupancy_; }
+  // Per-session queue depth sampled after each accepted enqueue.
+  CountHistogram& queue_depth() { return queue_depth_; }
+  const CountHistogram& queue_depth() const { return queue_depth_; }
 
   void AddInference(uint64_t examples) {
     inference_requests_.fetch_add(1, std::memory_order_relaxed);
@@ -77,6 +114,23 @@ class ServingMetrics {
   }
   void AddSnapshot() { snapshots_.fetch_add(1, std::memory_order_relaxed); }
 
+  // Load-shedding accounting: a submission is either accepted (and later
+  // shows up in inference_requests()/calibration_batches() when it runs)
+  // or shed with a Status fast-fail. accepted + shed == submitted is the
+  // invariant the backpressure tests reconcile.
+  void AddAcceptedInference() {
+    accepted_inference_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddAcceptedCalibration() {
+    accepted_calibration_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddShedInference() {
+    shed_inference_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddShedCalibration() {
+    shed_calibration_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   uint64_t inference_requests() const { return inference_requests_.load(); }
   uint64_t inference_examples() const { return inference_examples_.load(); }
   uint64_t calibration_batches() const { return calibration_batches_.load(); }
@@ -84,6 +138,12 @@ class ServingMetrics {
     return calibration_examples_.load();
   }
   uint64_t snapshots() const { return snapshots_.load(); }
+  uint64_t accepted_inference() const { return accepted_inference_.load(); }
+  uint64_t accepted_calibration() const {
+    return accepted_calibration_.load();
+  }
+  uint64_t shed_inference() const { return shed_inference_.load(); }
+  uint64_t shed_calibration() const { return shed_calibration_.load(); }
 
   // Mean of all recorded per-batch accuracies; 0 if none.
   float mean_accuracy() const;
@@ -94,6 +154,8 @@ class ServingMetrics {
  private:
   LatencyHistogram inference_latency_;
   LatencyHistogram calibration_latency_;
+  CountHistogram batch_occupancy_;
+  CountHistogram queue_depth_;
   std::atomic<uint64_t> inference_requests_{0};
   std::atomic<uint64_t> inference_examples_{0};
   std::atomic<uint64_t> calibration_batches_{0};
@@ -101,6 +163,10 @@ class ServingMetrics {
   std::atomic<uint64_t> accuracy_micro_sum_{0};
   std::atomic<uint64_t> accuracy_samples_{0};
   std::atomic<uint64_t> snapshots_{0};
+  std::atomic<uint64_t> accepted_inference_{0};
+  std::atomic<uint64_t> accepted_calibration_{0};
+  std::atomic<uint64_t> shed_inference_{0};
+  std::atomic<uint64_t> shed_calibration_{0};
 };
 
 }  // namespace qcore

@@ -25,7 +25,16 @@ FleetServer::FleetServer(const QuantizedModel& base_model,
     : base_model_(base_model),
       base_bf_(base_bf),
       options_(std::move(options)),
-      pool_(options_.num_threads) {}
+      pool_(options_.num_threads) {
+  if (options_.enable_batching) {
+    batcher_ = std::make_unique<InferenceBatcher>(
+        options_.batching,
+        [this](const std::string& device_id,
+               std::vector<PendingInference> group) {
+          FlushInferenceGroup(device_id, std::move(group));
+        });
+  }
+}
 
 FleetServer::~FleetServer() { Drain(); }
 
@@ -63,52 +72,152 @@ CalibrationSession* FleetServer::session(const std::string& device_id) {
   return &FindSession(device_id)->session;
 }
 
-std::future<InferenceResult> FleetServer::SubmitInference(
+bool FleetServer::AdmitTask(SessionState* state, bool is_inference) {
+  const int depth = state->depth.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options_.max_queue_per_session > 0 &&
+      depth > options_.max_queue_per_session) {
+    state->depth.fetch_sub(1, std::memory_order_relaxed);
+    if (is_inference) {
+      metrics_.AddShedInference();
+    } else {
+      metrics_.AddShedCalibration();
+    }
+    return false;
+  }
+  if (is_inference) {
+    metrics_.AddAcceptedInference();
+  } else {
+    metrics_.AddAcceptedCalibration();
+  }
+  metrics_.queue_depth().Record(depth);
+  return true;
+}
+
+Result<std::future<InferenceResult>> FleetServer::TrySubmitInference(
     const std::string& device_id, Tensor x) {
+  SessionState* state = FindSession(device_id);
+  if (!AdmitTask(state, /*is_inference=*/true)) {
+    return Status::ResourceExhausted("inference queue full for device " +
+                                     device_id);
+  }
   auto promise = std::make_shared<std::promise<InferenceResult>>();
   std::future<InferenceResult> result = promise->get_future();
-  SessionState* state = FindSession(device_id);
-  // Latency clocks start at submission so the histograms include queue
-  // wait — the signal that actually shows overload.
+  // Latency clocks start at submission so the histograms include batching
+  // delay and queue wait — the signal that actually shows overload.
   Stopwatch timer;
-  EnqueueOnSession(state, [this, state, promise, timer,
-                           x = std::move(x)]() {
-    SimulateDeviceLink(options_.simulated_device_rtt_ms);
-    InferenceResult r;
-    r.predictions = state->session.Predict(x);
-    r.latency_seconds = timer.ElapsedSeconds();
-    metrics_.inference_latency().Record(r.latency_seconds);
-    metrics_.AddInference(static_cast<uint64_t>(x.dim(0)));
-    promise->set_value(std::move(r));
-  });
+  if (batcher_) {
+    PendingInference pending;
+    pending.input = std::move(x);
+    pending.promise = std::move(promise);
+    pending.timer = timer;
+    batcher_->Add(device_id, std::move(pending));
+    return result;
+  }
+  EnqueueOnSession(
+      state,
+      [this, state, promise, timer, x = std::move(x)]() {
+        SimulateDeviceLink(options_.simulated_device_rtt_ms);
+        InferenceResult r;
+        r.predictions = state->session.Predict(x);
+        r.latency_seconds = timer.ElapsedSeconds();
+        metrics_.inference_latency().Record(r.latency_seconds);
+        metrics_.AddInference(static_cast<uint64_t>(x.dim(0)));
+        metrics_.batch_occupancy().Record(1);
+        promise->set_value(std::move(r));
+        state->depth.fetch_sub(1, std::memory_order_relaxed);
+      },
+      TaskPriority::kHigh);
+  return result;
+}
+
+std::future<InferenceResult> FleetServer::SubmitInference(
+    const std::string& device_id, Tensor x) {
+  Result<std::future<InferenceResult>> result =
+      TrySubmitInference(device_id, std::move(x));
+  QCORE_CHECK_MSG(result.ok(),
+                  "SubmitInference shed; use TrySubmitInference with "
+                  "bounded queues");
+  return std::move(result).value();
+}
+
+void FleetServer::FlushInferenceGroup(const std::string& device_id,
+                                      std::vector<PendingInference> group) {
+  QCORE_CHECK(!group.empty());
+  SessionState* state = FindSession(device_id);
+  EnqueueOnSession(
+      state,
+      [this, state, group = std::move(group)]() {
+        // One device-link round trip and one forward pass for the whole
+        // group — the amortization that makes batching pay.
+        SimulateDeviceLink(options_.simulated_device_rtt_ms);
+        std::vector<const Tensor*> inputs;
+        inputs.reserve(group.size());
+        for (const PendingInference& p : group) inputs.push_back(&p.input);
+        std::vector<std::vector<int>> labels =
+            state->session.PredictBatch(inputs);
+        metrics_.batch_occupancy().Record(
+            static_cast<int64_t>(group.size()));
+        for (size_t i = 0; i < group.size(); ++i) {
+          InferenceResult r;
+          r.predictions = std::move(labels[i]);
+          r.latency_seconds = group[i].timer.ElapsedSeconds();
+          metrics_.inference_latency().Record(r.latency_seconds);
+          metrics_.AddInference(static_cast<uint64_t>(group[i].input.dim(0)));
+          group[i].promise->set_value(std::move(r));
+        }
+        state->depth.fetch_sub(static_cast<int>(group.size()),
+                               std::memory_order_relaxed);
+      },
+      TaskPriority::kHigh);
+}
+
+Result<std::future<BatchStats>> FleetServer::TrySubmitCalibration(
+    const std::string& device_id, Dataset batch, Dataset test_slice) {
+  SessionState* state = FindSession(device_id);
+  if (!AdmitTask(state, /*is_inference=*/false)) {
+    return Status::ResourceExhausted("calibration queue full for device " +
+                                     device_id);
+  }
+  // Ordering barrier: calibration mutates the model, so every inference
+  // submitted before it must run first — flush the device's pending group
+  // ahead of enqueueing. This is what keeps batched results bit-identical
+  // to the unbatched path for any interleaving.
+  if (batcher_) batcher_->FlushDevice(device_id);
+  auto promise = std::make_shared<std::promise<BatchStats>>();
+  std::future<BatchStats> result = promise->get_future();
+  Stopwatch timer;  // includes queue wait, like the inference clock
+  EnqueueOnSession(
+      state,
+      [this, device_id, state, promise, timer, batch = std::move(batch),
+       test_slice = std::move(test_slice)]() {
+        SimulateDeviceLink(options_.simulated_device_rtt_ms);
+        BatchStats stats = state->session.Calibrate(batch, test_slice);
+        metrics_.calibration_latency().Record(timer.ElapsedSeconds());
+        metrics_.AddCalibration(static_cast<uint64_t>(batch.size()));
+        metrics_.AddAccuracySample(stats.accuracy);
+        if (options_.snapshot_every > 0 &&
+            state->session.batches_processed() %
+                    static_cast<uint64_t>(options_.snapshot_every) ==
+                0) {
+          snapshots_.Publish(*state->session.model(), device_id,
+                             state->session.batches_processed());
+          metrics_.AddSnapshot();
+        }
+        promise->set_value(stats);
+        state->depth.fetch_sub(1, std::memory_order_relaxed);
+      },
+      TaskPriority::kLow);
   return result;
 }
 
 std::future<BatchStats> FleetServer::SubmitCalibration(
     const std::string& device_id, Dataset batch, Dataset test_slice) {
-  auto promise = std::make_shared<std::promise<BatchStats>>();
-  std::future<BatchStats> result = promise->get_future();
-  SessionState* state = FindSession(device_id);
-  Stopwatch timer;  // includes queue wait, like the inference clock
-  EnqueueOnSession(state, [this, device_id, state, promise, timer,
-                           batch = std::move(batch),
-                           test_slice = std::move(test_slice)]() {
-    SimulateDeviceLink(options_.simulated_device_rtt_ms);
-    BatchStats stats = state->session.Calibrate(batch, test_slice);
-    metrics_.calibration_latency().Record(timer.ElapsedSeconds());
-    metrics_.AddCalibration(static_cast<uint64_t>(batch.size()));
-    metrics_.AddAccuracySample(stats.accuracy);
-    if (options_.snapshot_every > 0 &&
-        state->session.batches_processed() %
-                static_cast<uint64_t>(options_.snapshot_every) ==
-            0) {
-      snapshots_.Publish(*state->session.model(), device_id,
-                         state->session.batches_processed());
-      metrics_.AddSnapshot();
-    }
-    promise->set_value(stats);
-  });
-  return result;
+  Result<std::future<BatchStats>> result = TrySubmitCalibration(
+      device_id, std::move(batch), std::move(test_slice));
+  QCORE_CHECK_MSG(result.ok(),
+                  "SubmitCalibration shed; use TrySubmitCalibration with "
+                  "bounded queues");
+  return std::move(result).value();
 }
 
 std::future<uint64_t> FleetServer::PublishSnapshot(
@@ -116,18 +225,25 @@ std::future<uint64_t> FleetServer::PublishSnapshot(
   auto promise = std::make_shared<std::promise<uint64_t>>();
   std::future<uint64_t> result = promise->get_future();
   SessionState* state = FindSession(device_id);
-  EnqueueOnSession(state, [this, device_id, state, promise]() {
-    const uint64_t version =
-        snapshots_.Publish(*state->session.model(), device_id,
-                           state->session.batches_processed());
-    metrics_.AddSnapshot();
-    promise->set_value(version);
-  });
+  // Same barrier as calibration: the snapshot must capture the model in
+  // the session's submission order.
+  if (batcher_) batcher_->FlushDevice(device_id);
+  EnqueueOnSession(
+      state,
+      [this, device_id, state, promise]() {
+        const uint64_t version =
+            snapshots_.Publish(*state->session.model(), device_id,
+                               state->session.batches_processed());
+        metrics_.AddSnapshot();
+        promise->set_value(version);
+      },
+      TaskPriority::kHigh);
   return result;
 }
 
 void FleetServer::EnqueueOnSession(SessionState* state,
-                                   std::function<void()> task) {
+                                   std::function<void()> task,
+                                   TaskPriority priority) {
   {
     std::lock_guard<std::mutex> lock(drain_mu_);
     ++in_flight_;
@@ -142,7 +258,12 @@ void FleetServer::EnqueueOnSession(SessionState* state,
     }
   }
   if (start_pump) {
-    pool_.Schedule([this, state]() { PumpSession(state); });
+    // Priority classifies the pump, not individual tasks: once a worker
+    // owns the session it drains the FIFO regardless of what joins it
+    // (priority must never reorder work WITHIN a session — that would
+    // break determinism). Best effort across sessions is exactly what
+    // overload control needs.
+    pool_.Schedule([this, state]() { PumpSession(state); }, priority);
   }
 }
 
@@ -169,6 +290,12 @@ void FleetServer::TaskFinished() {
 }
 
 void FleetServer::Drain() {
+  // Hand every pending batched request to the pool first; when FlushAll
+  // returns, each previously submitted request is represented in
+  // in_flight_ (the batcher only decrements its pending count after the
+  // sink has enqueued, so there is no window where both counts are zero
+  // with work in limbo).
+  if (batcher_) batcher_->FlushAll();
   // Wait on the server's own in-flight count, not the pool: a task counts
   // from submission, so Drain cannot slip through the window where a task
   // is queued on a session but its pump has not reached the pool yet.

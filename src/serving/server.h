@@ -12,6 +12,25 @@
 //     (0 = inline, N = pool), because its Rng consumption depends only on
 //     its own task order.
 //
+// On top of the actor layer sit three serving-plane mechanisms:
+//   * Batching (opt-in): an InferenceBatcher coalesces inference
+//     submissions into per-device grouped forward passes (size- or
+//     deadline-triggered), executed as ONE session task per group — one
+//     simulated device-link round trip and one forward pass instead of
+//     per-request ones. Model-mutating submissions (calibration, snapshot)
+//     act as per-device barriers that flush the pending group first, so
+//     batched results and delivery order are bit-identical to the
+//     unbatched path.
+//   * Priorities: session pumps triggered by inference or snapshot work are
+//     scheduled at TaskPriority::kHigh, calibration pumps at kLow — under
+//     overload the pool serves inference first and calibration backlogs
+//     instead (two-level queue in runtime/thread_pool). Priority reorders
+//     work only ACROSS sessions, never within one, so determinism holds.
+//   * Backpressure (opt-in): with max_queue_per_session > 0, TrySubmit*
+//     fast-fails with Status kResourceExhausted once a device's
+//     outstanding work hits the bound; shed/accepted counts and queue-depth
+//     samples land in ServingMetrics.
+//
 // Results come back through std::future; the ServingMetrics instance
 // aggregates latency histograms and counters across all sessions, and
 // calibrated models can be published into the SnapshotRegistry as immutable
@@ -19,6 +38,7 @@
 #ifndef QCORE_SERVING_SERVER_H_
 #define QCORE_SERVING_SERVER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -30,8 +50,10 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/continual.h"
 #include "runtime/thread_pool.h"
+#include "serving/batcher.h"
 #include "serving/metrics.h"
 #include "serving/session.h"
 #include "serving/snapshot.h"
@@ -54,12 +76,19 @@ struct FleetServerOptions {
   // Workers overlap these waits with other sessions' compute, exactly as a
   // real serving runtime overlaps network I/O — which is also what lets the
   // thread-scaling bench demonstrate overlap gains on any host. 0 = off.
+  // A batched inference group pays the link ONCE — that amortization is the
+  // batching win the throughput bench measures.
   double simulated_device_rtt_ms = 0.0;
-};
-
-struct InferenceResult {
-  std::vector<int> predictions;
-  double latency_seconds = 0.0;
+  // Coalesce inference submissions through an InferenceBatcher. Off by
+  // default: request-at-a-time serving, the reference the batching tests
+  // compare against.
+  bool enable_batching = false;
+  InferenceBatcherOptions batching;
+  // Overload bound: maximum outstanding tasks per session (queued, pending
+  // in the batcher, or running). 0 = unbounded. When the bound is hit,
+  // TrySubmitInference/TrySubmitCalibration shed the request with
+  // kResourceExhausted instead of queueing it.
+  int max_queue_per_session = 0;
 };
 
 class FleetServer {
@@ -85,23 +114,35 @@ class FleetServer {
   bool HasDevice(const std::string& device_id) const;
   int num_sessions() const;
 
-  // Async quantized inference on the device's current model.
+  // Admission-controlled async quantized inference on the device's current
+  // model. Sheds with kResourceExhausted when the session's queue bound is
+  // hit (never blocks, never deadlocks — the overload fast-fail).
+  Result<std::future<InferenceResult>> TrySubmitInference(
+      const std::string& device_id, Tensor x);
+
+  // Admission-controlled async continual-calibration step on one stream
+  // batch; the test slice is evaluated after calibration (accuracy feeds
+  // the metrics). Sheds like TrySubmitInference under overload.
+  Result<std::future<BatchStats>> TrySubmitCalibration(
+      const std::string& device_id, Dataset batch, Dataset test_slice);
+
+  // Unconditional submission forms, for servers without a queue bound.
+  // With max_queue_per_session set, a shed submission is a programming
+  // error here (checked) — overload-aware callers use TrySubmit*.
   std::future<InferenceResult> SubmitInference(const std::string& device_id,
                                                Tensor x);
-
-  // Async continual-calibration step on one stream batch; the test slice is
-  // evaluated after calibration (accuracy feeds the metrics).
   std::future<BatchStats> SubmitCalibration(const std::string& device_id,
                                             Dataset batch,
                                             Dataset test_slice);
 
   // Async snapshot publish of the device's current model; resolves to the
-  // assigned version. Runs in the session's task order, so it captures the
-  // model exactly after the work submitted before it.
+  // assigned version. Runs in the session's task order (a pending batched
+  // inference group is flushed first), so it captures the model exactly
+  // after the work submitted before it. Control-plane: never shed.
   std::future<uint64_t> PublishSnapshot(const std::string& device_id);
 
-  // Blocks until every queued task (including tasks queued while draining)
-  // has finished.
+  // Blocks until every queued task (including pending batched inference and
+  // tasks queued while draining) has finished.
   void Drain();
 
   // Read-side access for tests/benches. Only safe when the device has no
@@ -121,13 +162,27 @@ class FleetServer {
     std::mutex mu;                                // guards queue + pumping
     std::deque<std::function<void()>> queue;
     bool pumping = false;  // a pool worker currently owns this session
+    // Outstanding tasks: queued here, pending in the batcher, or running.
+    // The admission-control gauge for max_queue_per_session.
+    std::atomic<int> depth{0};
   };
 
   // Enqueues a closure on the session's FIFO and schedules a pump if none
-  // is active.
-  void EnqueueOnSession(SessionState* state, std::function<void()> task);
+  // is active. `priority` is the pool-level class of the pump this task
+  // triggers (inference/snapshot = kHigh, calibration = kLow).
+  void EnqueueOnSession(SessionState* state, std::function<void()> task,
+                        TaskPriority priority);
   // Runs tasks for `state` until its queue is empty.
   void PumpSession(SessionState* state);
+
+  // InferenceBatcher sink: enqueues one session task that runs the whole
+  // group as a single forward pass and scatters results to the promises.
+  void FlushInferenceGroup(const std::string& device_id,
+                           std::vector<PendingInference> group);
+
+  // Admission control: reserves a slot in the session's depth gauge, or
+  // sheds (recording metrics) and returns false.
+  bool AdmitTask(SessionState* state, bool is_inference);
 
   SessionState* FindSession(const std::string& device_id);
 
@@ -150,9 +205,13 @@ class FleetServer {
   std::condition_variable drain_cv_;
   int in_flight_ = 0;
 
-  // Declared last: its destructor joins the workers, so every pump wrapper
-  // has finished before the sessions and drain primitives above are freed.
+  // Destruction order (reverse of declaration) is load-bearing:
+  //   1. batcher_ — joins the flusher and hands leftover groups to the
+  //      pool, which must still be alive;
+  //   2. pool_ — joins the workers, so every pump wrapper has finished
+  //      before the sessions and drain primitives above are freed.
   ThreadPool pool_;
+  std::unique_ptr<InferenceBatcher> batcher_;  // null unless enable_batching
 };
 
 }  // namespace qcore

@@ -27,6 +27,11 @@ std::vector<int> CalibrationSession::Predict(const Tensor& x) {
   return ArgMaxRows(logits);
 }
 
+std::vector<std::vector<int>> CalibrationSession::PredictBatch(
+    const std::vector<const Tensor*>& inputs) {
+  return model_->PredictBatched(inputs);
+}
+
 BatchStats CalibrationSession::Calibrate(const Dataset& batch,
                                          const Dataset& test_slice) {
   BatchStats stats = driver_->ProcessBatch(batch, test_slice);

@@ -45,6 +45,13 @@ class CalibrationSession {
   // requests never perturbs calibration determinism.
   std::vector<int> Predict(const Tensor& x);
 
+  // Coalesced form of Predict: one forward pass over every input's rows,
+  // scattered back to one label vector per input (bit-identical to calling
+  // Predict per input — see QuantizedModel::PredictBatched). Same no-Rng
+  // guarantee as Predict.
+  std::vector<std::vector<int>> PredictBatch(
+      const std::vector<const Tensor*>& inputs);
+
   // One continual-calibration step (Algorithms 3+4) on a stream batch,
   // evaluated on `test_slice`. Updates the model codes and resamples the
   // QCore in place.

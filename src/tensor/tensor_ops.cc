@@ -205,4 +205,26 @@ Tensor ConcatRows(const Tensor& a, const Tensor& b) {
   return out;
 }
 
+Tensor ConcatRows(const std::vector<const Tensor*>& parts) {
+  QCORE_CHECK(!parts.empty());
+  const Tensor& first = *parts[0];
+  int64_t rows = 0;
+  for (const Tensor* t : parts) {
+    QCORE_CHECK(t != nullptr);
+    QCORE_CHECK_EQ(t->ndim(), first.ndim());
+    for (int i = 1; i < first.ndim(); ++i) {
+      QCORE_CHECK_EQ(t->dim(i), first.dim(i));
+    }
+    rows += t->dim(0);
+  }
+  std::vector<int64_t> shape = first.shape();
+  shape[0] = rows;
+  Tensor out(shape);
+  float* dst = out.data();
+  for (const Tensor* t : parts) {
+    dst = std::copy(t->data(), t->data() + t->size(), dst);
+  }
+  return out;
+}
+
 }  // namespace qcore

@@ -52,6 +52,12 @@ Tensor Transpose2d(const Tensor& t);
 // Concatenates along axis 0; trailing dims must match.
 Tensor ConcatRows(const Tensor& a, const Tensor& b);
 
+// Concatenates any number of tensors along axis 0 in one allocation;
+// `parts` must be non-empty, all elements non-null with matching trailing
+// dims. This is the gather half of the serving-side inference batcher
+// (scatter is SliceRows on the result).
+Tensor ConcatRows(const std::vector<const Tensor*>& parts);
+
 }  // namespace qcore
 
 #endif  // QCORE_TENSOR_TENSOR_OPS_H_

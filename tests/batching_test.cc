@@ -1,0 +1,283 @@
+// Tests for cross-device inference batching: the batched path must be
+// bit-identical to the unbatched request-at-a-time path — same per-request
+// predictions (in the same per-device delivery order) and same final model
+// codes — across batch sizes and thread counts. Also pins down the flush
+// triggers: size (max_batch), deadline (max_delay_us), explicit barriers
+// (calibration/snapshot/drain), and the degenerate single-request batch.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/qcore_builder.h"
+#include "data/har_generator.h"
+#include "models/model_zoo.h"
+#include "serving/server.h"
+#include "tensor/tensor_ops.h"
+
+namespace qcore {
+namespace {
+
+// One server-side preparation shared across tests (the expensive part).
+struct FleetFixture {
+  HarSpec spec;
+  HarDomain source;
+  HarDomain target;
+  Dataset qcore;
+  std::unique_ptr<QuantizedModel> base;  // deployed edge form
+  std::unique_ptr<BitFlipNet> bf;
+  std::vector<Dataset> batches;
+  std::vector<Dataset> slices;
+  // Distinct single-row inference inputs: request i carrying input
+  // i % size must get back the prediction for that exact row, which is
+  // what catches scatter mixups and delivery reordering.
+  std::vector<Tensor> probes;
+};
+
+FleetFixture* GetFixture() {
+  static FleetFixture* fixture = []() {
+    auto* f = new FleetFixture();
+    f->spec = HarSpec::Usc();
+    f->spec.num_classes = 5;
+    f->spec.channels = 3;
+    f->spec.length = 24;
+    f->spec.train_per_class = 8;
+    f->spec.test_per_class = 4;
+    f->source = MakeHarDomain(f->spec, 0);
+    f->target = MakeHarDomain(f->spec, 1);
+
+    Rng rng(20250601);
+    auto model = MakeOmniScaleCnn(f->spec.channels, f->spec.num_classes,
+                                  &rng);
+    QCoreBuildOptions build;
+    build.size = 15;
+    build.train.epochs = 8;
+    build.train.sgd.lr = 0.03f;
+    auto built = BuildQCore(model.get(), f->source.train, build, &rng);
+    f->qcore = built.qcore;
+
+    f->base = std::make_unique<QuantizedModel>(*model, 4);
+    BitFlipTrainOptions bft;
+    bft.ste.epochs = 8;
+    bft.ste.batch_size = 16;
+    bft.augment_episodes = 1;
+    f->bf = std::make_unique<BitFlipNet>(
+        TrainBitFlipNet(f->base.get(), f->qcore, bft, &rng));
+    f->base->DropShadows();
+
+    Rng split_rng(404);
+    f->batches = SplitIntoStreamBatches(f->target.train, 3, &split_rng);
+    f->slices = SplitIntoStreamBatches(f->target.test, 3, &split_rng);
+    for (int i = 0; i < 6; ++i) {
+      f->probes.push_back(f->target.test.x().GatherRows(
+          {i % static_cast<int>(f->target.test.size())}));
+    }
+    return f;
+  }();
+  return fixture;
+}
+
+ContinualOptions TestContinualOptions() {
+  ContinualOptions opts;
+  opts.iterations = 2;
+  return opts;
+}
+
+// -------------------------------------------- model-level batched forward
+
+TEST(PredictBatchedTest, BitIdenticalToPerInputForward) {
+  FleetFixture* f = GetFixture();
+  auto model = f->base->Clone();
+  // Inputs of different row counts, including a full batch and single rows.
+  std::vector<Tensor> inputs;
+  inputs.push_back(f->target.test.x());
+  inputs.push_back(f->probes[0]);
+  inputs.push_back(f->target.test.x().SliceRows(2, 7));
+  inputs.push_back(f->probes[3]);
+
+  std::vector<const Tensor*> ptrs;
+  for (const Tensor& t : inputs) ptrs.push_back(&t);
+  const std::vector<std::vector<int>> batched = model->PredictBatched(ptrs);
+
+  ASSERT_EQ(batched.size(), inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const std::vector<int> alone =
+        ArgMaxRows(model->Forward(inputs[i], /*training=*/false));
+    EXPECT_EQ(batched[i], alone) << "input " << i;
+  }
+}
+
+// ------------------------------------------------- server-level workloads
+
+struct WorkloadResult {
+  // Per device, predictions of every inference request in submission order.
+  std::vector<std::vector<std::vector<int>>> predictions;
+  std::vector<std::vector<std::vector<int32_t>>> codes;
+};
+
+FleetServerOptions BatchedOptions(int threads, int max_batch,
+                                  double max_delay_us) {
+  FleetServerOptions opts;
+  opts.num_threads = threads;
+  opts.continual = TestContinualOptions();
+  opts.seed = 0x5EED;
+  opts.enable_batching = max_batch > 0;
+  opts.batching.max_batch = max_batch > 0 ? max_batch : 1;
+  opts.batching.max_delay_us = max_delay_us;
+  return opts;
+}
+
+// Interleaved workload: per stream batch and device, a burst of distinct
+// inference probes, one calibration step, one more probe. Exercises
+// size-trigger flushes (bursts), barrier flushes (calibration), and the
+// drain flush (trailing probes).
+WorkloadResult RunWorkload(const FleetServerOptions& opts) {
+  FleetFixture* f = GetFixture();
+  const std::vector<std::string> devices = {"dev-a", "dev-b"};
+  FleetServer server(*f->base, *f->bf, opts);
+  for (const auto& d : devices) server.RegisterDevice(d, f->qcore);
+
+  std::vector<std::vector<std::future<InferenceResult>>> futures(
+      devices.size());
+  for (size_t b = 0; b < f->batches.size(); ++b) {
+    for (size_t d = 0; d < devices.size(); ++d) {
+      for (size_t p = 0; p < 3; ++p) {
+        futures[d].push_back(server.SubmitInference(
+            devices[d], f->probes[(b + d + p) % f->probes.size()]));
+      }
+      server.SubmitCalibration(devices[d], f->batches[b], f->slices[b]);
+      futures[d].push_back(server.SubmitInference(
+          devices[d], f->probes[(b + d) % f->probes.size()]));
+    }
+  }
+  server.Drain();
+
+  WorkloadResult result;
+  for (size_t d = 0; d < devices.size(); ++d) {
+    result.predictions.emplace_back();
+    for (auto& fu : futures[d]) {
+      result.predictions.back().push_back(fu.get().predictions);
+    }
+    result.codes.push_back(server.session(devices[d])->model()->AllCodes());
+  }
+  return result;
+}
+
+TEST(InferenceBatchingTest, BitIdenticalAcrossBatchSizesAndThreadCounts) {
+  // Reference: unbatched, inline execution (the single-threaded pipeline
+  // equivalence is already covered by serving_test).
+  const WorkloadResult reference = RunWorkload(BatchedOptions(0, 0, 0.0));
+  ASSERT_FALSE(reference.predictions[0].empty());
+
+  for (int max_batch : {2, 4, 8}) {
+    for (int threads : {1, 8}) {
+      const WorkloadResult batched =
+          RunWorkload(BatchedOptions(threads, max_batch, 0.0));
+      EXPECT_EQ(batched.predictions, reference.predictions)
+          << "max_batch=" << max_batch << " threads=" << threads;
+      EXPECT_EQ(batched.codes, reference.codes)
+          << "max_batch=" << max_batch << " threads=" << threads;
+    }
+  }
+}
+
+TEST(InferenceBatchingTest, DeadlineFlushTimingDoesNotChangeResults) {
+  // A live deadline makes flush points timing-dependent; results must not
+  // be. 200us deadline with a multi-threaded pool races the flusher
+  // against barriers on purpose.
+  const WorkloadResult reference = RunWorkload(BatchedOptions(0, 0, 0.0));
+  const WorkloadResult batched = RunWorkload(BatchedOptions(2, 4, 200.0));
+  EXPECT_EQ(batched.predictions, reference.predictions);
+  EXPECT_EQ(batched.codes, reference.codes);
+}
+
+TEST(InferenceBatchingTest, DegenerateSingleRequestBatches) {
+  // max_batch=1: every request flushes by itself through the batched
+  // machinery; must equal the unbatched path and record occupancy-1
+  // batches only.
+  FleetFixture* f = GetFixture();
+  FleetServer server(*f->base, *f->bf, BatchedOptions(2, 1, 0.0));
+  server.RegisterDevice("dev", f->qcore);
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(server.SubmitInference("dev", f->probes[i]));
+  }
+  server.Drain();
+  auto single_model = f->base->Clone();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(futures[i].get().predictions,
+              ArgMaxRows(single_model->Forward(f->probes[i], false)));
+  }
+  EXPECT_EQ(server.metrics().batch_occupancy().CountAt(1), 5u);
+  EXPECT_EQ(server.metrics().batch_occupancy().CountAtLeast(2), 0u);
+}
+
+TEST(InferenceBatchingTest, SizeTriggerFlushesWithoutDrain) {
+  FleetFixture* f = GetFixture();
+  // No deadline, no barrier: only the size trigger can flush.
+  FleetServer server(*f->base, *f->bf, BatchedOptions(2, 3, 0.0));
+  server.RegisterDevice("dev", f->qcore);
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(server.SubmitInference("dev", f->probes[i]));
+  }
+  for (auto& fu : futures) {
+    ASSERT_EQ(fu.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+  }
+  EXPECT_EQ(server.metrics().batch_occupancy().CountAt(3), 1u);
+
+  // Two stragglers stay pending (below max_batch, nothing to flush them)…
+  auto s1 = server.SubmitInference("dev", f->probes[3]);
+  auto s2 = server.SubmitInference("dev", f->probes[4]);
+  EXPECT_EQ(s1.wait_for(std::chrono::milliseconds(50)),
+            std::future_status::timeout);
+  // …until Drain acts as the barrier.
+  server.Drain();
+  EXPECT_EQ(s1.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(s2.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(server.metrics().batch_occupancy().CountAt(2), 1u);
+}
+
+TEST(InferenceBatchingTest, DeadlineFlushResolvesASubMaxBatch) {
+  FleetFixture* f = GetFixture();
+  // Huge max_batch, 2ms deadline: only the flusher thread can resolve it.
+  FleetServer server(*f->base, *f->bf, BatchedOptions(2, 64, 2000.0));
+  server.RegisterDevice("dev", f->qcore);
+  auto fu = server.SubmitInference("dev", f->probes[0]);
+  ASSERT_EQ(fu.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  auto model = f->base->Clone();
+  EXPECT_EQ(fu.get().predictions,
+            ArgMaxRows(model->Forward(f->probes[0], false)));
+  EXPECT_EQ(server.metrics().batch_occupancy().CountAt(1), 1u);
+}
+
+TEST(InferenceBatchingTest, CalibrationBarrierPreservesModelVisibility) {
+  FleetFixture* f = GetFixture();
+  // No deadline: the inference submitted before calibration must be
+  // flushed BY the calibration barrier and see the pre-calibration model.
+  FleetServer server(*f->base, *f->bf, BatchedOptions(1, 64, 0.0));
+  server.RegisterDevice("dev", f->qcore);
+  auto before = server.SubmitInference("dev", f->probes[0]);
+  auto calib = server.SubmitCalibration("dev", f->batches[0], f->slices[0]);
+  auto after = server.SubmitInference("dev", f->probes[0]);
+  server.Drain();
+
+  auto pre_model = f->base->Clone();
+  EXPECT_EQ(before.get().predictions,
+            ArgMaxRows(pre_model->Forward(f->probes[0], false)));
+  calib.get();
+  // The post-calibration prediction must come from the calibrated model.
+  EXPECT_EQ(after.get().predictions,
+            ArgMaxRows(server.session("dev")->model()->Forward(
+                f->probes[0], false)));
+}
+
+}  // namespace
+}  // namespace qcore

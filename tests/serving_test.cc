@@ -350,6 +350,101 @@ TEST(FleetServerTest, PeriodicSnapshotsAndTrim) {
   EXPECT_EQ(server.snapshots().Latest()->version, latest);
 }
 
+// ---------------------------------------- randomized interleaving property
+
+// Property-style determinism harness: a seeded Rng generates a random
+// interleaving of calibration and inference submissions over several
+// devices; replaying the SAME interleaving at 1, 2, and 8 pool threads
+// (batching enabled) must yield identical per-device calibration stats,
+// identical per-request predictions, identical final codes, and identical
+// snapshot versions/bytes. Catches any scheduling path where concurrency
+// leaks into results.
+struct InterleavingOutcome {
+  std::vector<std::vector<std::pair<float, int>>> calib_stats;  // per device
+  std::vector<std::vector<std::vector<int>>> predictions;       // per device
+  std::vector<std::vector<std::vector<int32_t>>> codes;         // per device
+  std::vector<uint64_t> snapshot_versions;                      // per device
+  std::vector<std::vector<uint8_t>> snapshot_bytes;             // per device
+
+  bool operator==(const InterleavingOutcome& o) const {
+    return calib_stats == o.calib_stats && predictions == o.predictions &&
+           codes == o.codes && snapshot_versions == o.snapshot_versions &&
+           snapshot_bytes == o.snapshot_bytes;
+  }
+};
+
+InterleavingOutcome ReplayInterleaving(FleetFixture* f, uint64_t op_seed,
+                                       int threads) {
+  const std::vector<std::string> devices = {"p0", "p1", "p2"};
+  FleetServerOptions opts;
+  opts.num_threads = threads;
+  opts.continual = TestContinualOptions();
+  opts.seed = 0x5EED;
+  opts.enable_batching = true;  // the batcher must not break determinism
+  opts.batching.max_batch = 3;
+  opts.batching.max_delay_us = 50.0;
+  FleetServer server(*f->base, *f->bf, opts);
+  for (const auto& d : devices) server.RegisterDevice(d, f->qcore);
+
+  // The op stream depends only on op_seed, never on execution timing, so
+  // every replay submits the exact same sequence.
+  Rng op_rng(op_seed);
+  std::vector<std::vector<std::future<BatchStats>>> cal(devices.size());
+  std::vector<std::vector<std::future<InferenceResult>>> inf(devices.size());
+  std::vector<size_t> next_batch(devices.size(), 0);
+  for (int step = 0; step < 40; ++step) {
+    const size_t d =
+        static_cast<size_t>(op_rng.NextInt(0, static_cast<int>(
+                                                  devices.size()) -
+                                                  1));
+    if (op_rng.NextBool(0.4)) {
+      const size_t b = next_batch[d]++ % f->batches.size();
+      cal[d].push_back(
+          server.SubmitCalibration(devices[d], f->batches[b], f->slices[b]));
+    } else {
+      const int row = op_rng.NextInt(0, f->target.test.size() - 1);
+      inf[d].push_back(
+          server.SubmitInference(devices[d],
+                                 f->target.test.x().GatherRows({row})));
+    }
+  }
+  server.Drain();
+  // Snapshot publication order is forced (sequential .get()) so version
+  // numbers are comparable across replays.
+  InterleavingOutcome out;
+  for (const auto& d : devices) {
+    out.snapshot_versions.push_back(server.PublishSnapshot(d).get());
+    out.snapshot_bytes.push_back(
+        server.snapshots().LatestFor(d)->bytes);
+  }
+  for (size_t d = 0; d < devices.size(); ++d) {
+    out.calib_stats.emplace_back();
+    for (auto& fu : cal[d]) {
+      const BatchStats s = fu.get();
+      out.calib_stats.back().emplace_back(s.accuracy, s.qcore_changed);
+    }
+    out.predictions.emplace_back();
+    for (auto& fu : inf[d]) {
+      out.predictions.back().push_back(fu.get().predictions);
+    }
+    out.codes.push_back(server.session(devices[d])->model()->AllCodes());
+  }
+  return out;
+}
+
+TEST(FleetServerPropertyTest, SeededInterleavingsDeterministicAcrossThreads) {
+  FleetFixture* f = GetFixture();
+  for (uint64_t op_seed : {1001u, 1002u, 1003u}) {
+    const InterleavingOutcome ref = ReplayInterleaving(f, op_seed, 1);
+    EXPECT_FALSE(ref.codes.empty());
+    for (int threads : {2, 8}) {
+      const InterleavingOutcome got = ReplayInterleaving(f, op_seed, threads);
+      EXPECT_TRUE(got == ref)
+          << "op_seed=" << op_seed << " threads=" << threads;
+    }
+  }
+}
+
 // ---------------------------------------------------------------- metrics
 
 TEST(MetricsTest, HistogramQuantilesAreOrdered) {
@@ -362,6 +457,23 @@ TEST(MetricsTest, HistogramQuantilesAreOrdered) {
   EXPECT_LE(p50, p95);
   EXPECT_LE(p95, p99);
   EXPECT_NEAR(h.mean_seconds(), 0.050, 0.005);
+}
+
+TEST(MetricsTest, CountHistogramExactBucketsAndOverflow) {
+  CountHistogram h;
+  h.Record(1);
+  h.Record(1);
+  h.Record(3);
+  h.Record(500);  // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.CountAt(1), 2u);
+  EXPECT_EQ(h.CountAt(3), 1u);
+  EXPECT_EQ(h.CountAt(2), 0u);
+  EXPECT_EQ(h.CountAt(CountHistogram::kMaxTracked), 1u);
+  EXPECT_EQ(h.CountAtLeast(2), 2u);
+  EXPECT_EQ(h.max(), 500);
+  EXPECT_NEAR(h.mean(), (1 + 1 + 3 + 500) / 4.0, 1e-9);
+  EXPECT_FALSE(h.Summary().empty());
 }
 
 TEST(MetricsTest, AccuracyMeanIsExact) {

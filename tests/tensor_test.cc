@@ -167,6 +167,23 @@ TEST(TensorOpsTest, ConcatRows) {
   EXPECT_FLOAT_EQ(c.at(2, 0), 5.0f);
 }
 
+TEST(TensorOpsTest, ConcatRowsMany) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector({2, 2}, {3, 4, 5, 6});
+  Tensor c = Tensor::FromVector({1, 2}, {7, 8});
+  Tensor out = ConcatRows({&a, &b, &c});
+  ASSERT_EQ(out.dim(0), 4);
+  EXPECT_EQ(out.dim(1), 2);
+  // Rows land contiguously in input order — the gather half of the
+  // inference batcher.
+  const std::vector<float> expected = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(out.vec(), expected);
+  // Single-part concat is the identity.
+  Tensor single = ConcatRows({&b});
+  EXPECT_EQ(single.vec(), b.vec());
+  EXPECT_EQ(single.shape(), b.shape());
+}
+
 // Parameterized GEMM property: (A*B)*C == A*(B*C) within tolerance, across
 // sizes.
 class MatMulAssocTest : public ::testing::TestWithParam<int> {};
