@@ -2,8 +2,15 @@
 // dominate the paper experiments: GEMM, conv forward/backward, quantization,
 // Huffman coding, bit-flip feature extraction, and the quantized forward
 // pass of each model family.
+//
+// Every blocked kernel has a *Naive counterpart benchmarking the retained
+// seed implementation (qcore::naive), so the substrate speedup is measured
+// in-tree. bench/check_perf_regression.py consumes the JSON output
+// (--benchmark_format=json) and gates CI on both the blocked-vs-naive
+// speedup floors and regression against bench/baseline_micro.json.
 #include <benchmark/benchmark.h>
 
+#include "common/aligned.h"
 #include "common/huffman.h"
 #include "core/bitflip.h"
 #include "models/model_zoo.h"
@@ -11,6 +18,7 @@
 #include "nn/conv.h"
 #include "quant/quantized_model.h"
 #include "quant/quantizer.h"
+#include "tensor/kernels.h"
 #include "tensor/tensor_ops.h"
 
 namespace qcore {
@@ -26,7 +34,45 @@ void BM_MatMul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulNaive(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulNaive)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// The backward-pass GEMM shapes (one transposed operand) share the packed
+// microkernel; track one size each to catch lowering regressions.
+void BM_MatMulTransposedB(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulTransposedB(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulTransposedB)->Arg(128);
+
+void BM_MatMulTransposedA(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulTransposedA(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulTransposedA)->Arg(128);
 
 void BM_Conv1dForward(benchmark::State& state) {
   Rng rng(2);
@@ -37,6 +83,18 @@ void BM_Conv1dForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Conv1dForward);
+
+void BM_Conv1dForwardNaive(benchmark::State& state) {
+  Rng rng(2);
+  Conv1d conv(8, 16, 5, 1, 2, &rng);
+  const Tensor& w = conv.Params()[0]->value;
+  const Tensor& b = conv.Params()[1]->value;
+  Tensor x = Tensor::Randn({16, 8, 64}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive::Conv1dForward(x, w, b, 1, 2));
+  }
+}
+BENCHMARK(BM_Conv1dForwardNaive);
 
 void BM_Conv1dBackward(benchmark::State& state) {
   Rng rng(3);
@@ -50,6 +108,94 @@ void BM_Conv1dBackward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Conv1dBackward);
+
+void BM_Conv1dBackwardNaive(benchmark::State& state) {
+  Rng rng(3);
+  Conv1d conv(8, 16, 5, 1, 2, &rng);
+  const Tensor& w = conv.Params()[0]->value;
+  Tensor x = Tensor::Randn({16, 8, 64}, &rng);
+  Tensor y = conv.Forward(x, true);
+  Tensor g = Tensor::Randn(y.shape(), &rng);
+  Tensor dw = Tensor::Zeros(w.shape());
+  Tensor db = Tensor::Zeros({16});
+  for (auto _ : state) {
+    dw.SetZero();
+    db.SetZero();
+    benchmark::DoNotOptimize(naive::Conv1dBackward(x, w, g, 1, 2, &dw, &db));
+  }
+}
+BENCHMARK(BM_Conv1dBackwardNaive);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng(21);
+  Conv2d conv(8, 16, 3, 1, 1, &rng);
+  Tensor x = Tensor::Randn({8, 8, 16, 16}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x, false));
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_Conv2dForwardNaive(benchmark::State& state) {
+  Rng rng(21);
+  Conv2d conv(8, 16, 3, 1, 1, &rng);
+  const Tensor& w = conv.Params()[0]->value;
+  const Tensor& b = conv.Params()[1]->value;
+  Tensor x = Tensor::Randn({8, 8, 16, 16}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive::Conv2dForward(x, w, b, 1, 1));
+  }
+}
+BENCHMARK(BM_Conv2dForwardNaive);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  Rng rng(22);
+  Conv2d conv(8, 16, 3, 1, 1, &rng);
+  Tensor x = Tensor::Randn({8, 8, 16, 16}, &rng);
+  Tensor y = conv.Forward(x, true);
+  Tensor g = Tensor::Randn(y.shape(), &rng);
+  for (auto _ : state) {
+    conv.ZeroGrad();
+    benchmark::DoNotOptimize(conv.Backward(g));
+  }
+}
+BENCHMARK(BM_Conv2dBackward);
+
+void BM_Conv2dBackwardNaive(benchmark::State& state) {
+  Rng rng(22);
+  Conv2d conv(8, 16, 3, 1, 1, &rng);
+  const Tensor& w = conv.Params()[0]->value;
+  Tensor x = Tensor::Randn({8, 8, 16, 16}, &rng);
+  Tensor y = conv.Forward(x, true);
+  Tensor g = Tensor::Randn(y.shape(), &rng);
+  Tensor dw = Tensor::Zeros(w.shape());
+  Tensor db = Tensor::Zeros({16});
+  for (auto _ : state) {
+    dw.SetZero();
+    db.SetZero();
+    benchmark::DoNotOptimize(naive::Conv2dBackward(x, w, g, 1, 1, &dw, &db));
+  }
+}
+BENCHMARK(BM_Conv2dBackwardNaive);
+
+// The im2col pack on its own — the lowering overhead the GEMM win has to
+// amortize.
+void BM_Im2ColPack(benchmark::State& state) {
+  Rng rng(23);
+  const int64_t c = 8, h = 16, w = 16;
+  const int kernel = 3, stride = 1, pad = 1;
+  const int64_t ho = (h + 2 * pad - kernel) / stride + 1;
+  const int64_t wo = (w + 2 * pad - kernel) / stride + 1;
+  Tensor x = Tensor::Randn({c, h, w}, &rng);
+  AlignedFloatVec col(static_cast<size_t>(c * kernel * kernel * ho * wo));
+  for (auto _ : state) {
+    kernels::Im2Col2d(x.data(), c, h, w, kernel, stride, pad, ho, wo,
+                      col.data());
+    benchmark::DoNotOptimize(col.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(col.size()));
+}
+BENCHMARK(BM_Im2ColPack);
 
 void BM_Quantize(benchmark::State& state) {
   Rng rng(4);

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Perf CI gate for the blocked kernel substrate.
+
+Consumes two ``bench_micro_substrate --benchmark_format=json`` outputs — the
+committed baseline (bench/baseline_micro.json) and the current run — and
+fails (exit 1) when either:
+
+  1. a tracked blocked kernel regressed more than REGRESSION_TOLERANCE
+     against the committed baseline (cpu_time, median-of-repetitions when
+     aggregates are present), or
+  2. a blocked-vs-naive speedup floor no longer holds (these ratios are
+     measured within the current run only, so they are robust to host
+     differences between whoever committed the baseline and the CI runner).
+
+The absolute comparison (1) is only meaningful when the runner hardware
+matches the host that committed the baseline; on heterogeneous/shared
+runners set QCORE_PERF_BASELINE_STRICT=0 to downgrade absolute regressions
+to warnings while keeping the within-run speedup floors (2) hard.
+
+Regenerate the baseline on the CI host after an intentional kernel change:
+
+  ./build/bench_micro_substrate \
+      --benchmark_filter='MatMul|Conv|Im2Col' \
+      --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+      --benchmark_format=json > bench/baseline_micro.json
+"""
+
+import json
+import os
+import sys
+
+# Blocked kernels gated against the committed baseline.
+TRACKED = [
+    "BM_MatMul/32",
+    "BM_MatMul/64",
+    "BM_MatMul/128",
+    "BM_MatMul/256",
+    "BM_MatMulTransposedB/128",
+    "BM_MatMulTransposedA/128",
+    "BM_Conv1dForward",
+    "BM_Conv1dBackward",
+    "BM_Conv2dForward",
+    "BM_Conv2dBackward",
+    "BM_Im2ColPack",
+]
+
+# (blocked, naive) pairs and the minimum speedup each must sustain.
+SPEEDUP_FLOORS = [
+    ("BM_MatMul/128", "BM_MatMulNaive/128", 3.0),
+    ("BM_Conv1dForward", "BM_Conv1dForwardNaive", 2.0),
+    ("BM_Conv1dBackward", "BM_Conv1dBackwardNaive", 2.0),
+    ("BM_Conv2dForward", "BM_Conv2dForwardNaive", 2.0),
+    ("BM_Conv2dBackward", "BM_Conv2dBackwardNaive", 2.0),
+]
+
+REGRESSION_TOLERANCE = 0.15  # fail if >15% slower than baseline
+
+
+def load_times(path):
+    """name -> cpu_time in ns; prefers *_median aggregates when present."""
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for b in data.get("benchmarks", []):
+        name = b["name"]
+        if name.endswith(("_mean", "_stddev", "_cv", "_min", "_max")):
+            continue
+        if name.endswith("_median"):
+            name = name[: -len("_median")]
+        # A repetition entry and a median aggregate never share a name after
+        # stripping: aggregates_only runs emit aggregates only.
+        times[name] = float(b["cpu_time"])
+    return times
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} baseline.json current.json")
+        return 2
+    baseline = load_times(sys.argv[1])
+    current = load_times(sys.argv[2])
+    strict = os.environ.get("QCORE_PERF_BASELINE_STRICT", "1") != "0"
+    failures = []
+    warnings = []
+
+    print(f"{'benchmark':<28} {'baseline':>12} {'current':>12} {'delta':>8}")
+    for name in TRACKED:
+        if name not in current:
+            failures.append(f"{name}: missing from current run")
+            continue
+        if name not in baseline:
+            failures.append(f"{name}: missing from committed baseline "
+                            "(regenerate bench/baseline_micro.json)")
+            continue
+        base, cur = baseline[name], current[name]
+        delta = cur / base - 1.0
+        flag = ""
+        if delta > REGRESSION_TOLERANCE:
+            flag = "  << REGRESSION"
+            msg = (f"{name}: {delta:+.1%} vs baseline "
+                   f"({base:.0f} ns -> {cur:.0f} ns)")
+            (failures if strict else warnings).append(msg)
+        print(f"{name:<28} {base:>10.0f}ns {cur:>10.0f}ns {delta:>+7.1%}"
+              f"{flag}")
+
+    print()
+    print(f"{'speedup (blocked vs naive)':<40} {'floor':>6} {'actual':>8}")
+    for blocked, naive, floor in SPEEDUP_FLOORS:
+        if blocked not in current or naive not in current:
+            failures.append(f"speedup {blocked}/{naive}: benchmark missing")
+            continue
+        actual = current[naive] / current[blocked]
+        flag = ""
+        if actual < floor:
+            flag = "  << BELOW FLOOR"
+            failures.append(
+                f"{blocked}: {actual:.2f}x vs {naive}, floor {floor:.1f}x")
+        print(f"{blocked + ' vs naive':<40} {floor:>5.1f}x {actual:>7.2f}x"
+              f"{flag}")
+
+    if warnings:
+        print("\nbaseline regressions (non-strict mode, not gating):")
+        for w in warnings:
+            print(f"  - {w}")
+    if failures:
+        print("\nPERF GATE FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nperf gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

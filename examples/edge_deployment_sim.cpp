@@ -32,7 +32,7 @@ Status SaveDataset(const Dataset& d, const std::string& path) {
   BinaryWriter w;
   w.WriteI32(d.num_classes());
   w.WriteInt64s(d.x().shape());
-  w.WriteFloats(d.x().vec());
+  w.WriteFloats(d.x().data(), d.x().vec().size());
   std::vector<int32_t> labels(d.labels().begin(), d.labels().end());
   w.WriteInts(labels);
   return w.ToFile(path);

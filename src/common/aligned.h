@@ -1,0 +1,57 @@
+// 64-byte-aligned allocation for tensor storage and kernel pack buffers.
+// The blocked GEMM microkernels (tensor/kernels.cc) issue wide vector loads
+// against packed panels; starting every float buffer on a cache-line
+// boundary keeps those loads split-free and makes the panels exactly
+// cache-line-tiled. std::vector with this allocator is otherwise a drop-in
+// replacement for std::vector<float>.
+#ifndef QCORE_COMMON_ALIGNED_H_
+#define QCORE_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace qcore {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T, std::size_t Alignment = kCacheLineBytes>
+struct AlignedAllocator {
+  using value_type = T;
+
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not weaken the type's natural alignment");
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+// The storage type used by Tensor and by kernel scratch buffers.
+using AlignedFloatVec = std::vector<float, AlignedAllocator<float>>;
+
+}  // namespace qcore
+
+#endif  // QCORE_COMMON_ALIGNED_H_

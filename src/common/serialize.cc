@@ -28,8 +28,12 @@ void BinaryWriter::WriteString(const std::string& s) {
 }
 
 void BinaryWriter::WriteFloats(const std::vector<float>& v) {
-  WriteU64(v.size());
-  Raw(v.data(), v.size() * sizeof(float));
+  WriteFloats(v.data(), v.size());
+}
+
+void BinaryWriter::WriteFloats(const float* data, size_t n) {
+  WriteU64(n);
+  Raw(data, n * sizeof(float));
 }
 
 void BinaryWriter::WriteInts(const std::vector<int32_t>& v) {

@@ -24,6 +24,9 @@ class BinaryWriter {
   void WriteF64(double v);
   void WriteString(const std::string& s);
   void WriteFloats(const std::vector<float>& v);
+  // Pointer form for callers whose storage is not a plain std::vector<float>
+  // (e.g. Tensor's cache-line-aligned buffer).
+  void WriteFloats(const float* data, size_t n);
   void WriteInts(const std::vector<int32_t>& v);
   void WriteInt64s(const std::vector<int64_t>& v);
 

@@ -1,8 +1,20 @@
 #include "nn/conv.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "common/aligned.h"
+#include "tensor/kernels.h"
+
 namespace qcore {
+
+// Both conv layers lower onto the blocked GEMM substrate via im2col: each
+// sample's input plane is unfolded into a column matrix once, and the
+// forward pass / all three backward products become packed GEMM calls
+// instead of scalar loops with per-element bounds checks. Samples are
+// processed independently in batch order, so per-sample results are
+// bit-identical regardless of how rows were batched (the serving batcher's
+// bit-identity property), and gradient accumulation order is fixed.
 
 // ---------------------------------------------------------------------------
 // Conv1d
@@ -41,23 +53,18 @@ Tensor Conv1d::Forward(const Tensor& x, bool training) {
   const float* pw = weight_.value.data();
   const float* pb = bias_.value.data();
   float* po = out.data();
+  const int64_t ck = c * kernel_;
+  AlignedFloatVec col(static_cast<size_t>(ck * lo));
   for (int64_t i = 0; i < n; ++i) {
+    float* oplane = po + i * out_channels_ * lo;
     for (int64_t f = 0; f < out_channels_; ++f) {
-      float* orow = po + (i * out_channels_ + f) * lo;
-      for (int64_t o = 0; o < lo; ++o) orow[o] = pb[f];
-      for (int64_t ch = 0; ch < c; ++ch) {
-        const float* xrow = px + (i * c + ch) * l;
-        const float* wrow = pw + (f * c + ch) * kernel_;
-        for (int k = 0; k < kernel_; ++k) {
-          const float wv = wrow[k];
-          if (wv == 0.0f) continue;
-          for (int64_t o = 0; o < lo; ++o) {
-            const int64_t t = o * stride_ + k - pad_;
-            if (t >= 0 && t < l) orow[o] += wv * xrow[t];
-          }
-        }
-      }
+      for (int64_t o = 0; o < lo; ++o) oplane[f * lo + o] = pb[f];
     }
+    kernels::Im2Col1d(px + i * c * l, c, l, kernel_, stride_, pad_, lo,
+                      col.data());
+    // out_i[F, lo] (+)= W[F, C*K] * col[C*K, lo], on top of the bias fill.
+    kernels::Gemm(out_channels_, lo, ck, pw, ck, /*trans_a=*/false,
+                  col.data(), lo, /*trans_b=*/false, oplane, lo);
   }
   return out;
 }
@@ -78,30 +85,28 @@ Tensor Conv1d::Backward(const Tensor& grad_out) {
   float* pdw = weight_.grad.data();
   float* pdb = bias_.grad.data();
 
+  const int64_t ck = c * kernel_;
+  AlignedFloatVec col(static_cast<size_t>(ck * lo));
+  AlignedFloatVec dcol(static_cast<size_t>(ck * lo));
   for (int64_t i = 0; i < n; ++i) {
+    const float* gplane = pg + i * out_channels_ * lo;
+    // Bias gradient: plain row sums, double accumulator (reduction policy).
     for (int64_t f = 0; f < out_channels_; ++f) {
-      const float* grow = pg + (i * out_channels_ + f) * lo;
       double db = 0.0;
-      for (int64_t o = 0; o < lo; ++o) db += grow[o];
+      for (int64_t o = 0; o < lo; ++o) db += gplane[f * lo + o];
       pdb[f] += static_cast<float>(db);
-      for (int64_t ch = 0; ch < c; ++ch) {
-        const float* xrow = px + (i * c + ch) * l;
-        const float* wrow = pw + (f * c + ch) * kernel_;
-        float* girow = pgi + (i * c + ch) * l;
-        float* dwrow = pdw + (f * c + ch) * kernel_;
-        for (int k = 0; k < kernel_; ++k) {
-          double dw = 0.0;
-          const float wv = wrow[k];
-          for (int64_t o = 0; o < lo; ++o) {
-            const int64_t t = o * stride_ + k - pad_;
-            if (t < 0 || t >= l) continue;
-            dw += grow[o] * xrow[t];
-            girow[t] += wv * grow[o];
-          }
-          dwrow[k] += static_cast<float>(dw);
-        }
-      }
     }
+    kernels::Im2Col1d(px + i * c * l, c, l, kernel_, stride_, pad_, lo,
+                      col.data());
+    // dW[F, C*K] += dY_i[F, lo] * col[C*K, lo]^T, on top of running grads.
+    kernels::Gemm(out_channels_, ck, lo, gplane, lo, /*trans_a=*/false,
+                  col.data(), lo, /*trans_b=*/true, pdw, ck);
+    // dcol[C*K, lo] = W[F, C*K]^T * dY_i[F, lo], then fold back into dX_i.
+    std::fill(dcol.begin(), dcol.end(), 0.0f);
+    kernels::Gemm(ck, lo, out_channels_, pw, ck, /*trans_a=*/true, gplane,
+                  lo, /*trans_b=*/false, dcol.data(), lo);
+    kernels::Col2Im1d(dcol.data(), c, l, kernel_, stride_, pad_, lo,
+                      pgi + i * c * l);
   }
   return grad_in;
 }
@@ -157,31 +162,19 @@ Tensor Conv2d::Forward(const Tensor& x, bool training) {
   const float* pw = weight_.value.data();
   const float* pb = bias_.value.data();
   float* po = out.data();
+  const int64_t ckk = c * kernel_ * kernel_;
+  const int64_t howo = ho * wo;
+  AlignedFloatVec col(static_cast<size_t>(ckk * howo));
   for (int64_t i = 0; i < n; ++i) {
+    float* oplane = po + i * out_channels_ * howo;
     for (int64_t f = 0; f < out_channels_; ++f) {
-      float* oplane = po + (i * out_channels_ + f) * ho * wo;
-      for (int64_t o = 0; o < ho * wo; ++o) oplane[o] = pb[f];
-      for (int64_t ch = 0; ch < c; ++ch) {
-        const float* xplane = px + (i * c + ch) * h * w;
-        const float* wplane = pw + (f * c + ch) * kernel_ * kernel_;
-        for (int ky = 0; ky < kernel_; ++ky) {
-          for (int kx = 0; kx < kernel_; ++kx) {
-            const float wv = wplane[ky * kernel_ + kx];
-            if (wv == 0.0f) continue;
-            for (int64_t oy = 0; oy < ho; ++oy) {
-              const int64_t sy = oy * stride_ + ky - pad_;
-              if (sy < 0 || sy >= h) continue;
-              float* orow = oplane + oy * wo;
-              const float* xrow = xplane + sy * w;
-              for (int64_t ox = 0; ox < wo; ++ox) {
-                const int64_t sx = ox * stride_ + kx - pad_;
-                if (sx >= 0 && sx < w) orow[ox] += wv * xrow[sx];
-              }
-            }
-          }
-        }
-      }
+      for (int64_t o = 0; o < howo; ++o) oplane[f * howo + o] = pb[f];
     }
+    kernels::Im2Col2d(px + i * c * h * w, c, h, w, kernel_, stride_, pad_, ho,
+                      wo, col.data());
+    // out_i[F, Ho*Wo] (+)= W[F, C*K*K] * col[C*K*K, Ho*Wo].
+    kernels::Gemm(out_channels_, howo, ckk, pw, ckk, /*trans_a=*/false,
+                  col.data(), howo, /*trans_b=*/false, oplane, howo);
   }
   return out;
 }
@@ -202,39 +195,28 @@ Tensor Conv2d::Backward(const Tensor& grad_out) {
   float* pdw = weight_.grad.data();
   float* pdb = bias_.grad.data();
 
+  const int64_t ckk = c * kernel_ * kernel_;
+  const int64_t howo = ho * wo;
+  AlignedFloatVec col(static_cast<size_t>(ckk * howo));
+  AlignedFloatVec dcol(static_cast<size_t>(ckk * howo));
   for (int64_t i = 0; i < n; ++i) {
+    const float* gplane = pg + i * out_channels_ * howo;
     for (int64_t f = 0; f < out_channels_; ++f) {
-      const float* gplane = pg + (i * out_channels_ + f) * ho * wo;
       double db = 0.0;
-      for (int64_t o = 0; o < ho * wo; ++o) db += gplane[o];
+      for (int64_t o = 0; o < howo; ++o) db += gplane[f * howo + o];
       pdb[f] += static_cast<float>(db);
-      for (int64_t ch = 0; ch < c; ++ch) {
-        const float* xplane = px + (i * c + ch) * h * w;
-        const float* wplane = pw + (f * c + ch) * kernel_ * kernel_;
-        float* giplane = pgi + (i * c + ch) * h * w;
-        float* dwplane = pdw + (f * c + ch) * kernel_ * kernel_;
-        for (int ky = 0; ky < kernel_; ++ky) {
-          for (int kx = 0; kx < kernel_; ++kx) {
-            const float wv = wplane[ky * kernel_ + kx];
-            double dw = 0.0;
-            for (int64_t oy = 0; oy < ho; ++oy) {
-              const int64_t sy = oy * stride_ + ky - pad_;
-              if (sy < 0 || sy >= h) continue;
-              const float* grow = gplane + oy * wo;
-              const float* xrow = xplane + sy * w;
-              float* girow = giplane + sy * w;
-              for (int64_t ox = 0; ox < wo; ++ox) {
-                const int64_t sx = ox * stride_ + kx - pad_;
-                if (sx < 0 || sx >= w) continue;
-                dw += grow[ox] * xrow[sx];
-                girow[sx] += wv * grow[ox];
-              }
-            }
-            dwplane[ky * kernel_ + kx] += static_cast<float>(dw);
-          }
-        }
-      }
     }
+    kernels::Im2Col2d(px + i * c * h * w, c, h, w, kernel_, stride_, pad_, ho,
+                      wo, col.data());
+    // dW[F, C*K*K] += dY_i[F, Ho*Wo] * col[C*K*K, Ho*Wo]^T.
+    kernels::Gemm(out_channels_, ckk, howo, gplane, howo, /*trans_a=*/false,
+                  col.data(), howo, /*trans_b=*/true, pdw, ckk);
+    // dcol = W^T * dY_i, folded back into dX_i by col2im.
+    std::fill(dcol.begin(), dcol.end(), 0.0f);
+    kernels::Gemm(ckk, howo, out_channels_, pw, ckk, /*trans_a=*/true,
+                  gplane, howo, /*trans_b=*/false, dcol.data(), howo);
+    kernels::Col2Im2d(dcol.data(), c, h, w, kernel_, stride_, pad_, ho, wo,
+                      pgi + i * c * h * w);
   }
   return grad_in;
 }

@@ -1,5 +1,7 @@
-// 1-D and 2-D convolution layers (direct/naive loops — models in this repo
-// are deliberately small enough that im2col/GEMM buys little).
+// 1-D and 2-D convolution layers, lowered per sample onto the blocked GEMM
+// substrate via im2col/col2im (tensor/kernels.h). The scalar direct-loop
+// implementations survive as qcore::naive::Conv{1,2}dForward/Backward — the
+// oracle for kernels_test and the baseline for the perf CI gate.
 #ifndef QCORE_NN_CONV_H_
 #define QCORE_NN_CONV_H_
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels.h"
 #include "tensor/tensor_ops.h"
 
 namespace qcore {
@@ -27,13 +28,20 @@ Tensor Dense::Forward(const Tensor& x, bool training) {
   QCORE_CHECK_EQ(x.ndim(), 2);
   QCORE_CHECK_EQ(x.dim(1), in_features_);
   if (training) cached_input_ = x;
-  Tensor out = MatMulTransposedB(x, weight_.value);  // [N, out]
+  const int64_t n = x.dim(0);
+  // Broadcast the bias into the output and let the packed GEMM accumulate
+  // x * W^T on top — one pass, no separate bias-add sweep.
+  Tensor out({n, out_features_});
   float* po = out.data();
   const float* pb = bias_.value.data();
-  const int64_t n = out.dim(0);
   for (int64_t i = 0; i < n; ++i) {
-    for (int64_t j = 0; j < out_features_; ++j) po[i * out_features_ + j] += pb[j];
+    for (int64_t j = 0; j < out_features_; ++j) {
+      po[i * out_features_ + j] = pb[j];
+    }
   }
+  kernels::Gemm(n, out_features_, in_features_, x.data(), in_features_,
+                /*trans_a=*/false, weight_.value.data(), in_features_,
+                /*trans_b=*/true, po, out_features_);
   return out;
 }
 
@@ -41,9 +49,12 @@ Tensor Dense::Backward(const Tensor& grad_out) {
   QCORE_CHECK_EQ(grad_out.ndim(), 2);
   QCORE_CHECK_EQ(grad_out.dim(1), out_features_);
   QCORE_CHECK_MSG(cached_input_.size() > 0, "Backward before Forward");
-  // dW[o,i] = sum_n grad_out[n,o] * x[n,i]  => grad_out^T * x
-  Tensor dw = MatMulTransposedA(grad_out, cached_input_);
-  AddInPlace(&weight_.grad, dw);
+  // dW[o,i] = sum_n grad_out[n,o] * x[n,i] => grad_out^T * x, accumulated
+  // straight into the running gradient (it is the GEMM's preloaded C).
+  kernels::Gemm(out_features_, in_features_, grad_out.dim(0),
+                grad_out.data(), out_features_, /*trans_a=*/true,
+                cached_input_.data(), in_features_, /*trans_b=*/false,
+                weight_.grad.data(), in_features_);
   // db[o] = sum_n grad_out[n,o]
   const float* pg = grad_out.data();
   float* pdb = bias_.grad.data();

@@ -12,13 +12,13 @@ Status SaveModel(Layer* model, const std::string& path) {
   for (Parameter* p : params) {
     w.WriteString(p->name);
     w.WriteInt64s(p->value.shape());
-    w.WriteFloats(p->value.vec());
+    w.WriteFloats(p->value.data(), p->value.vec().size());
   }
   const std::vector<Tensor*> buffers = model->Buffers();
   w.WriteU64(buffers.size());
   for (Tensor* b : buffers) {
     w.WriteInt64s(b->shape());
-    w.WriteFloats(b->vec());
+    w.WriteFloats(b->data(), b->vec().size());
   }
   return w.ToFile(path);
 }
@@ -52,7 +52,8 @@ Status LoadModel(Layer* model, const std::string& path) {
     if (values.value().size() != p->value.vec().size()) {
       return Status::Corruption("parameter size mismatch for " + p->name);
     }
-    p->value.vec() = std::move(values).value();
+    const std::vector<float>& pv = values.value();
+    p->value.vec().assign(pv.begin(), pv.end());
   }
 
   auto num_buffers = r.ReadU64();
@@ -72,7 +73,8 @@ Status LoadModel(Layer* model, const std::string& path) {
     if (values.value().size() != b->vec().size()) {
       return Status::Corruption("buffer size mismatch");
     }
-    b->vec() = std::move(values).value();
+    const std::vector<float>& bv = values.value();
+    b->vec().assign(bv.begin(), bv.end());
   }
   return Status::OK();
 }

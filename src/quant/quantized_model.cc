@@ -192,11 +192,11 @@ void QuantizedModel::SerializeTo(BinaryWriter* out) const {
   w.WriteU64(fp_params.size());
   for (Parameter* p : fp_params) {
     w.WriteString(p->name);
-    w.WriteFloats(p->value.vec());
+    w.WriteFloats(p->value.data(), p->value.vec().size());
   }
   std::vector<Tensor*> buffers = model_->Buffers();
   w.WriteU64(buffers.size());
-  for (Tensor* b : buffers) w.WriteFloats(b->vec());
+  for (Tensor* b : buffers) w.WriteFloats(b->data(), b->vec().size());
 }
 
 Status QuantizedModel::Load(const std::string& path) {
@@ -307,10 +307,10 @@ Status QuantizedModel::DeserializeFrom(BinaryReader* in) {
     SyncParamFromCodes(static_cast<int>(i));
   }
   for (size_t i = 0; i < fp_params.size(); ++i) {
-    fp_params[i]->value.vec() = std::move(new_fp[i]);
+    fp_params[i]->value.vec().assign(new_fp[i].begin(), new_fp[i].end());
   }
   for (size_t i = 0; i < buffers.size(); ++i) {
-    buffers[i]->vec() = std::move(new_buffers[i]);
+    buffers[i]->vec().assign(new_buffers[i].begin(), new_buffers[i].end());
   }
   return Status::OK();
 }

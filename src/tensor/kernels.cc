@@ -1,0 +1,520 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+
+#include "common/aligned.h"
+
+// Function multi-versioning: the packed-GEMM driver is cloned for AVX-512,
+// AVX2+FMA, and baseline x86-64, with glibc ifunc picking the widest clone
+// the host supports. The clones differ only in vector width and mul+add vs
+// fused-FMA rounding — the accumulation ORDER is identical, so results are
+// bit-stable on a given host. ThreadSanitizer intercepts ifunc resolution
+// badly (resolver runs before the runtime is up), so sanitized builds use
+// the portable path; non-GCC-compatible or non-x86 builds likewise.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__)
+#define QCORE_GEMM_CLONES \
+  __attribute__((target_clones("arch=x86-64-v4", "arch=x86-64-v3", "default")))
+#else
+#define QCORE_GEMM_CLONES
+#endif
+
+namespace qcore {
+namespace kernels {
+namespace {
+
+// The wide-vector helpers below pass v8f by value between TU-internal
+// inline functions only, so the SSE2-vs-AVX calling-convention difference
+// GCC warns about (-Wpsabi) can never surface across an ABI boundary.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wpsabi"
+#endif
+
+// A generic 8-lane float vector; on the AVX2/AVX-512 clones this maps to one
+// ymm / half a zmm, on baseline x86-64 GCC splits it into two xmm ops.
+// aligned(4): packed panels are 64-byte aligned but C tile rows are not.
+typedef float v8f __attribute__((vector_size(32), aligned(4)));
+
+inline v8f LoadV8(const float* p) { return *reinterpret_cast<const v8f*>(p); }
+inline void StoreV8(float* p, v8f v) { *reinterpret_cast<v8f*>(p) = v; }
+
+// Packs a kc x nr column panel of B into pb (layout pb[p*kNR + j]),
+// zero-padding columns [nr, kNR). trans_b means B is stored [n, k].
+inline void PackPanelB(int64_t kc, int64_t nr, const float* b, int64_t ldb,
+                       bool trans_b, float* pb) {
+  if (!trans_b) {
+    for (int64_t p = 0; p < kc; ++p) {
+      const float* src = b + p * ldb;
+      float* dst = pb + p * kNR;
+      int64_t j = 0;
+      for (; j < nr; ++j) dst[j] = src[j];
+      for (; j < kNR; ++j) dst[j] = 0.0f;
+    }
+  } else {
+    for (int64_t p = 0; p < kc; ++p) {
+      float* dst = pb + p * kNR;
+      int64_t j = 0;
+      for (; j < nr; ++j) dst[j] = b[j * ldb + p];
+      for (; j < kNR; ++j) dst[j] = 0.0f;
+    }
+  }
+}
+
+// Packs a mr x kc row panel of A into pa (layout pa[p*kMR + i]),
+// zero-padding rows [mr, kMR). trans_a means A is stored [k, m].
+inline void PackPanelA(int64_t kc, int64_t mr, const float* a, int64_t lda,
+                       bool trans_a, float* pa) {
+  if (!trans_a) {
+    for (int64_t p = 0; p < kc; ++p) {
+      float* dst = pa + p * kMR;
+      int64_t i = 0;
+      for (; i < mr; ++i) dst[i] = a[i * lda + p];
+      for (; i < kMR; ++i) dst[i] = 0.0f;
+    }
+  } else {
+    for (int64_t p = 0; p < kc; ++p) {
+      const float* src = a + p * lda;
+      float* dst = pa + p * kMR;
+      int64_t i = 0;
+      for (; i < mr; ++i) dst[i] = src[i];
+      for (; i < kMR; ++i) dst[i] = 0.0f;
+    }
+  }
+}
+
+// kMR x kNR register-tile microkernel over one packed k-panel. Loads C,
+// accumulates k ascending, stores back: the per-element operation sequence
+// is (((c + a_0*b_0) + a_1*b_1) + ...) regardless of how the surrounding
+// loops were blocked. The accumulator tile (6 rows x 2 v8f) plus two B
+// vectors and a broadcast stays within the 16 ymm registers of AVX2.
+inline void MicroKernel(int64_t kc, const float* __restrict__ pa,
+                        const float* __restrict__ pb, float* __restrict__ c,
+                        int64_t ldc) {
+  v8f acc[kMR][2];
+  for (int i = 0; i < kMR; ++i) {
+    acc[i][0] = LoadV8(c + i * ldc);
+    acc[i][1] = LoadV8(c + i * ldc + 8);
+  }
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* a = pa + p * kMR;
+    const v8f b0 = LoadV8(pb + p * kNR);
+    const v8f b1 = LoadV8(pb + p * kNR + 8);
+    for (int i = 0; i < kMR; ++i) {
+      acc[i][0] += a[i] * b0;
+      acc[i][1] += a[i] * b1;
+    }
+  }
+  for (int i = 0; i < kMR; ++i) {
+    StoreV8(c + i * ldc, acc[i][0]);
+    StoreV8(c + i * ldc + 8, acc[i][1]);
+  }
+}
+
+// Edge tiles run the same microkernel against a stack buffer so the
+// accumulation sequence (and therefore rounding) matches interior tiles;
+// only the valid mr x nr region is copied in and out. The zero-padded pa
+// rows contribute exact +0.0f terms to the padded lanes, which are then
+// discarded.
+inline void MicroKernelEdge(int64_t kc, const float* __restrict__ pa,
+                            const float* __restrict__ pb, float* c,
+                            int64_t ldc, int64_t mr, int64_t nr) {
+  float buf[kMR * kNR];
+  for (int64_t i = 0; i < kMR; ++i) {
+    for (int64_t j = 0; j < kNR; ++j) {
+      buf[i * kNR + j] = (i < mr && j < nr) ? c[i * ldc + j] : 0.0f;
+    }
+  }
+  MicroKernel(kc, pa, pb, buf, kNR);
+  for (int64_t i = 0; i < mr; ++i) {
+    for (int64_t j = 0; j < nr; ++j) c[i * ldc + j] = buf[i * kNR + j];
+  }
+}
+
+QCORE_GEMM_CLONES
+void GemmImpl(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+              bool trans_a, const float* b, int64_t ldb, bool trans_b,
+              float* c, int64_t ldc) {
+  // Pack buffers are reused across calls; each worker thread owns its own,
+  // so concurrent sessions never share scratch.
+  thread_local AlignedFloatVec packed_a;
+  thread_local AlignedFloatVec packed_b;
+  const int64_t kc_max = std::min(kKC, k);
+  const int64_t nc_max =
+      std::min(kNC, (n + kNR - 1) / kNR * static_cast<int64_t>(kNR));
+  const int64_t mc_max =
+      std::min(kMC, (m + kMR - 1) / kMR * static_cast<int64_t>(kMR));
+  if (static_cast<int64_t>(packed_b.size()) < nc_max * kc_max) {
+    packed_b.resize(static_cast<size_t>(nc_max * kc_max));
+  }
+  if (static_cast<int64_t>(packed_a.size()) < mc_max * kc_max) {
+    packed_a.resize(static_cast<size_t>(mc_max * kc_max));
+  }
+  float* pb = packed_b.data();
+  float* pa = packed_a.data();
+
+  for (int64_t jc = 0; jc < n; jc += kNC) {
+    const int64_t nc = std::min(kNC, n - jc);
+    for (int64_t pc = 0; pc < k; pc += kKC) {
+      const int64_t kc = std::min(kKC, k - pc);
+      for (int64_t jr = 0; jr < nc; jr += kNR) {
+        const float* bsrc = trans_b ? b + (jc + jr) * ldb + pc
+                                    : b + pc * ldb + jc + jr;
+        PackPanelB(kc, std::min<int64_t>(kNR, nc - jr), bsrc, ldb, trans_b,
+                   pb + jr * kc);
+      }
+      for (int64_t ic = 0; ic < m; ic += kMC) {
+        const int64_t mc = std::min(kMC, m - ic);
+        for (int64_t ir = 0; ir < mc; ir += kMR) {
+          const float* asrc = trans_a ? a + pc * lda + ic + ir
+                                      : a + (ic + ir) * lda + pc;
+          PackPanelA(kc, std::min<int64_t>(kMR, mc - ir), asrc, lda, trans_a,
+                     pa + ir * kc);
+        }
+        for (int64_t jr = 0; jr < nc; jr += kNR) {
+          const int64_t nr = std::min<int64_t>(kNR, nc - jr);
+          for (int64_t ir = 0; ir < mc; ir += kMR) {
+            const int64_t mr = std::min<int64_t>(kMR, mc - ir);
+            float* ctile = c + (ic + ir) * ldc + jc + jr;
+            if (mr == kMR && nr == kNR) {
+              MicroKernel(kc, pa + ir * kc, pb + jr * kc, ctile, ldc);
+            } else {
+              MicroKernelEdge(kc, pa + ir * kc, pb + jr * kc, ctile, ldc, mr,
+                              nr);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Gemm(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+          bool trans_a, const float* b, int64_t ldb, bool trans_b, float* c,
+          int64_t ldc) {
+  QCORE_CHECK(m > 0 && n > 0 && k > 0);
+  GemmImpl(m, n, k, a, lda, trans_a, b, ldb, trans_b, c, ldc);
+}
+
+void Im2Col1d(const float* x, int64_t c, int64_t l, int kernel, int stride,
+              int pad, int64_t lo, float* col) {
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float* xrow = x + ch * l;
+    for (int kx = 0; kx < kernel; ++kx) {
+      float* crow = col + (ch * kernel + kx) * lo;
+      for (int64_t o = 0; o < lo; ++o) {
+        const int64_t t = o * stride + kx - pad;
+        crow[o] = (t >= 0 && t < l) ? xrow[t] : 0.0f;
+      }
+    }
+  }
+}
+
+void Col2Im1d(const float* col, int64_t c, int64_t l, int kernel, int stride,
+              int pad, int64_t lo, float* x) {
+  for (int64_t ch = 0; ch < c; ++ch) {
+    float* xrow = x + ch * l;
+    for (int kx = 0; kx < kernel; ++kx) {
+      const float* crow = col + (ch * kernel + kx) * lo;
+      for (int64_t o = 0; o < lo; ++o) {
+        const int64_t t = o * stride + kx - pad;
+        if (t >= 0 && t < l) xrow[t] += crow[o];
+      }
+    }
+  }
+}
+
+void Im2Col2d(const float* x, int64_t c, int64_t h, int64_t w, int kernel,
+              int stride, int pad, int64_t ho, int64_t wo, float* col) {
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float* xplane = x + ch * h * w;
+    for (int ky = 0; ky < kernel; ++ky) {
+      for (int kx = 0; kx < kernel; ++kx) {
+        float* cplane = col + ((ch * kernel + ky) * kernel + kx) * ho * wo;
+        for (int64_t oy = 0; oy < ho; ++oy) {
+          const int64_t sy = oy * stride + ky - pad;
+          float* crow = cplane + oy * wo;
+          if (sy < 0 || sy >= h) {
+            for (int64_t ox = 0; ox < wo; ++ox) crow[ox] = 0.0f;
+            continue;
+          }
+          const float* xrow = xplane + sy * w;
+          for (int64_t ox = 0; ox < wo; ++ox) {
+            const int64_t sx = ox * stride + kx - pad;
+            crow[ox] = (sx >= 0 && sx < w) ? xrow[sx] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Col2Im2d(const float* col, int64_t c, int64_t h, int64_t w, int kernel,
+              int stride, int pad, int64_t ho, int64_t wo, float* x) {
+  for (int64_t ch = 0; ch < c; ++ch) {
+    float* xplane = x + ch * h * w;
+    for (int ky = 0; ky < kernel; ++ky) {
+      for (int kx = 0; kx < kernel; ++kx) {
+        const float* cplane =
+            col + ((ch * kernel + ky) * kernel + kx) * ho * wo;
+        for (int64_t oy = 0; oy < ho; ++oy) {
+          const int64_t sy = oy * stride + ky - pad;
+          if (sy < 0 || sy >= h) continue;
+          const float* crow = cplane + oy * wo;
+          float* xrow = xplane + sy * w;
+          for (int64_t ox = 0; ox < wo; ++ox) {
+            const int64_t sx = ox * stride + kx - pad;
+            if (sx >= 0 && sx < w) xrow[sx] += crow[ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace kernels
+
+// ---------------------------------------------------------------------------
+// Naive references (seed kernels, zero-skip branches removed). These are the
+// oracle side of kernels_test and the baseline side of the perf CI gate —
+// keep them boring.
+// ---------------------------------------------------------------------------
+namespace naive {
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  QCORE_CHECK_EQ(a.ndim(), 2);
+  QCORE_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  QCORE_CHECK_EQ(k, b.dim(0));
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // i-k-j loop order: unit-stride inner loop over both B and C, float
+  // accumulation in ascending-k order (the kernel-layer policy).
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
+  QCORE_CHECK_EQ(a.ndim(), 2);
+  QCORE_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  QCORE_CHECK_EQ(k, b.dim(1));
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float s = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
+      pc[i * n + j] = s;
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
+  QCORE_CHECK_EQ(a.ndim(), 2);
+  QCORE_CHECK_EQ(b.ndim(), 2);
+  const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  QCORE_CHECK_EQ(k, b.dim(0));
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor Conv1dForward(const Tensor& x, const Tensor& w, const Tensor& bias,
+                     int stride, int pad) {
+  QCORE_CHECK_EQ(x.ndim(), 3);
+  QCORE_CHECK_EQ(w.ndim(), 3);
+  const int64_t n = x.dim(0), c = x.dim(1), l = x.dim(2);
+  const int64_t f = w.dim(0), kernel = w.dim(2);
+  QCORE_CHECK_EQ(w.dim(1), c);
+  const int64_t lo = (l + 2 * pad - kernel) / stride + 1;
+  QCORE_CHECK_GT(lo, 0);
+  Tensor out({n, f, lo});
+  const float* px = x.data();
+  const float* pw = w.data();
+  const float* pb = bias.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t fo = 0; fo < f; ++fo) {
+      float* orow = po + (i * f + fo) * lo;
+      for (int64_t o = 0; o < lo; ++o) orow[o] = pb[fo];
+      for (int64_t ch = 0; ch < c; ++ch) {
+        const float* xrow = px + (i * c + ch) * l;
+        const float* wrow = pw + (fo * c + ch) * kernel;
+        for (int64_t kx = 0; kx < kernel; ++kx) {
+          const float wv = wrow[kx];
+          for (int64_t o = 0; o < lo; ++o) {
+            const int64_t t = o * stride + kx - pad;
+            if (t >= 0 && t < l) orow[o] += wv * xrow[t];
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv1dBackward(const Tensor& x, const Tensor& w, const Tensor& grad_out,
+                      int stride, int pad, Tensor* dw, Tensor* db) {
+  const int64_t n = x.dim(0), c = x.dim(1), l = x.dim(2);
+  const int64_t f = w.dim(0), kernel = w.dim(2);
+  const int64_t lo = grad_out.dim(2);
+  QCORE_CHECK_EQ(grad_out.dim(0), n);
+  QCORE_CHECK_EQ(grad_out.dim(1), f);
+  Tensor grad_in(x.shape());
+  const float* px = x.data();
+  const float* pw = w.data();
+  const float* pg = grad_out.data();
+  float* pgi = grad_in.data();
+  float* pdw = dw->data();
+  float* pdb = db->data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t fo = 0; fo < f; ++fo) {
+      const float* grow = pg + (i * f + fo) * lo;
+      double bsum = 0.0;
+      for (int64_t o = 0; o < lo; ++o) bsum += grow[o];
+      pdb[fo] += static_cast<float>(bsum);
+      for (int64_t ch = 0; ch < c; ++ch) {
+        const float* xrow = px + (i * c + ch) * l;
+        const float* wrow = pw + (fo * c + ch) * kernel;
+        float* girow = pgi + (i * c + ch) * l;
+        float* dwrow = pdw + (fo * c + ch) * kernel;
+        for (int64_t kx = 0; kx < kernel; ++kx) {
+          float wsum = 0.0f;
+          const float wv = wrow[kx];
+          for (int64_t o = 0; o < lo; ++o) {
+            const int64_t t = o * stride + kx - pad;
+            if (t < 0 || t >= l) continue;
+            wsum += grow[o] * xrow[t];
+            girow[t] += wv * grow[o];
+          }
+          dwrow[kx] += wsum;
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+Tensor Conv2dForward(const Tensor& x, const Tensor& w, const Tensor& bias,
+                     int stride, int pad) {
+  QCORE_CHECK_EQ(x.ndim(), 4);
+  QCORE_CHECK_EQ(w.ndim(), 4);
+  const int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), wd = x.dim(3);
+  const int64_t f = w.dim(0), kernel = w.dim(2);
+  QCORE_CHECK_EQ(w.dim(1), c);
+  const int64_t ho = (h + 2 * pad - kernel) / stride + 1;
+  const int64_t wo = (wd + 2 * pad - kernel) / stride + 1;
+  QCORE_CHECK(ho > 0 && wo > 0);
+  Tensor out({n, f, ho, wo});
+  const float* px = x.data();
+  const float* pw = w.data();
+  const float* pb = bias.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t fo = 0; fo < f; ++fo) {
+      float* oplane = po + (i * f + fo) * ho * wo;
+      for (int64_t o = 0; o < ho * wo; ++o) oplane[o] = pb[fo];
+      for (int64_t ch = 0; ch < c; ++ch) {
+        const float* xplane = px + (i * c + ch) * h * wd;
+        const float* wplane = pw + (fo * c + ch) * kernel * kernel;
+        for (int64_t ky = 0; ky < kernel; ++ky) {
+          for (int64_t kx = 0; kx < kernel; ++kx) {
+            const float wv = wplane[ky * kernel + kx];
+            for (int64_t oy = 0; oy < ho; ++oy) {
+              const int64_t sy = oy * stride + ky - pad;
+              if (sy < 0 || sy >= h) continue;
+              float* orow = oplane + oy * wo;
+              const float* xrow = xplane + sy * wd;
+              for (int64_t ox = 0; ox < wo; ++ox) {
+                const int64_t sx = ox * stride + kx - pad;
+                if (sx >= 0 && sx < wd) orow[ox] += wv * xrow[sx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2dBackward(const Tensor& x, const Tensor& w, const Tensor& grad_out,
+                      int stride, int pad, Tensor* dw, Tensor* db) {
+  const int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), wd = x.dim(3);
+  const int64_t f = w.dim(0), kernel = w.dim(2);
+  const int64_t ho = grad_out.dim(2), wo = grad_out.dim(3);
+  QCORE_CHECK_EQ(grad_out.dim(0), n);
+  QCORE_CHECK_EQ(grad_out.dim(1), f);
+  Tensor grad_in(x.shape());
+  const float* px = x.data();
+  const float* pw = w.data();
+  const float* pg = grad_out.data();
+  float* pgi = grad_in.data();
+  float* pdw = dw->data();
+  float* pdb = db->data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t fo = 0; fo < f; ++fo) {
+      const float* gplane = pg + (i * f + fo) * ho * wo;
+      double bsum = 0.0;
+      for (int64_t o = 0; o < ho * wo; ++o) bsum += gplane[o];
+      pdb[fo] += static_cast<float>(bsum);
+      for (int64_t ch = 0; ch < c; ++ch) {
+        const float* xplane = px + (i * c + ch) * h * wd;
+        const float* wplane = pw + (fo * c + ch) * kernel * kernel;
+        float* giplane = pgi + (i * c + ch) * h * wd;
+        float* dwplane = pdw + (fo * c + ch) * kernel * kernel;
+        for (int64_t ky = 0; ky < kernel; ++ky) {
+          for (int64_t kx = 0; kx < kernel; ++kx) {
+            const float wv = wplane[ky * kernel + kx];
+            float wsum = 0.0f;
+            for (int64_t oy = 0; oy < ho; ++oy) {
+              const int64_t sy = oy * stride + ky - pad;
+              if (sy < 0 || sy >= h) continue;
+              const float* grow = gplane + oy * wo;
+              const float* xrow = xplane + sy * wd;
+              float* girow = giplane + sy * wd;
+              for (int64_t ox = 0; ox < wo; ++ox) {
+                const int64_t sx = ox * stride + kx - pad;
+                if (sx < 0 || sx >= wd) continue;
+                wsum += grow[ox] * xrow[sx];
+                girow[sx] += wv * grow[ox];
+              }
+            }
+            dwplane[ky * kernel + kx] += wsum;
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace naive
+}  // namespace qcore

@@ -1,0 +1,113 @@
+// Blocked/vectorized kernel substrate.
+//
+// Every GEMM-shaped workload in the tree (MatMul and both transposed
+// variants, Dense forward/backward, im2col-lowered conv forward/backward)
+// funnels into one cache-blocked, register-tiled packed kernel: Gemm().
+//
+// Tiling scheme (Goto-style, sized to this repo's L1/L2 targets):
+//   - B is packed into kNR-wide column panels, A into kMR-tall row panels;
+//     panels are zero-padded to full width so the microkernel is branch-free.
+//   - Loop nest: jc (kNC columns, keeps the packed B block under L2) ->
+//     pc (kKC of the reduction dim; one A panel + one B panel fit L1) ->
+//     ic (kMC rows of packed A, L2-resident) -> NR/MR register tiles.
+//   - The kMR x kNR microkernel keeps the full accumulator tile in vector
+//     registers and is written with GCC vector extensions so one source
+//     compiles to SSE2 / AVX2+FMA / AVX-512 clones (runtime-dispatched;
+//     disabled under ThreadSanitizer where ifunc resolution is unsupported).
+//
+// Accumulation policy (the one policy for the whole kernel layer):
+//   - GEMM accumulates in float, strictly ascending-k order per output
+//     element. The microkernel loads C, FMAs the k-panel in order, and
+//     stores back, so the per-element operation sequence is identical for
+//     every tile shape, edge tile, and matrix width. This is what makes the
+//     serving-layer bit-identity properties (batched == unbatched,
+//     thread-count-independent) hold on a given host.
+//   - No data-dependent control flow: kernel latency is a function of shape
+//     only, never of the values flowing through (the seed kernels' sparsity
+//     branches made timing input-dependent and are gone).
+//   - Standalone reductions that are not GEMMs (Dot/Norm, bias-gradient row
+//     sums, softmax denominators) accumulate in double, as before; they are
+//     vector-length sums where float accumulation genuinely loses digits.
+//   - Across hosts, clones may differ in mul+add vs fused-FMA rounding, so
+//     numeric tests compare blocked vs the retained naive references with a
+//     tolerance; within one host results are bit-stable run to run.
+//
+// The seed's naive kernels stay in tree under qcore::naive as the oracle
+// for property tests and as the baseline side of the perf CI gate.
+#ifndef QCORE_TENSOR_KERNELS_H_
+#define QCORE_TENSOR_KERNELS_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace qcore {
+namespace kernels {
+
+// Register tile (microkernel) shape and cache block sizes. kMR*kNR floats of
+// accumulator fit the 16 ymm registers of AVX2 with room for two B vectors
+// and an A broadcast; (kMR + kNR) * kKC * 4 bytes of packed panels fit a
+// 48 KiB L1; kNC * kKC * 4 bytes of packed B stays under a 2 MiB L2.
+inline constexpr int kMR = 6;
+inline constexpr int kNR = 16;
+inline constexpr int64_t kMC = 96;
+inline constexpr int64_t kKC = 240;
+inline constexpr int64_t kNC = 1024;
+
+// C[m,n] += op(A) * op(B), all row-major.
+//   trans_a == false: A is stored [m,k] with leading dimension lda.
+//   trans_a == true:  A is stored [k,m] (the product uses A^T).
+//   trans_b == false: B is stored [k,n].
+//   trans_b == true:  B is stored [n,k] (the product uses B^T).
+// C must be initialized by the caller (zeros, a bias broadcast, or a running
+// gradient accumulator) — the kernel always reads C first, which is also
+// what pins the accumulation order independent of blocking.
+void Gemm(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+          bool trans_a, const float* b, int64_t ldb, bool trans_b, float* c,
+          int64_t ldc);
+
+// Lowers one [c, l] input plane to a column matrix col[c*kernel, lo] with
+// col[(ch*kernel + kx) * lo + o] = x[ch, o*stride + kx - pad] (0 outside).
+void Im2Col1d(const float* x, int64_t c, int64_t l, int kernel, int stride,
+              int pad, int64_t lo, float* col);
+
+// Scatter-add inverse of Im2Col1d: x[c, l] += unfolded col. Iteration is
+// (ch, kx, o) ascending, so overlapping taps accumulate in a fixed order.
+void Col2Im1d(const float* col, int64_t c, int64_t l, int kernel, int stride,
+              int pad, int64_t lo, float* x);
+
+// 2-D variants over [c, h, w] planes with square kernels:
+// col[((ch*kernel + ky)*kernel + kx) * (ho*wo) + oy*wo + ox].
+void Im2Col2d(const float* x, int64_t c, int64_t h, int64_t w, int kernel,
+              int stride, int pad, int64_t ho, int64_t wo, float* col);
+void Col2Im2d(const float* col, int64_t c, int64_t h, int64_t w, int kernel,
+              int stride, int pad, int64_t ho, int64_t wo, float* x);
+
+}  // namespace kernels
+
+// The seed's scalar kernels, retained verbatim-in-spirit (minus the
+// data-dependent zero-skip branches) as the correctness oracle for
+// tests/kernels_test.cc and the naive side of bench_micro_substrate.
+namespace naive {
+
+Tensor MatMul(const Tensor& a, const Tensor& b);
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b);
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b);
+
+// x [n, c, l], w [f, c, kernel], bias [f] -> [n, f, lo].
+Tensor Conv1dForward(const Tensor& x, const Tensor& w, const Tensor& bias,
+                     int stride, int pad);
+// Returns grad_in and accumulates into *dw [f, c, kernel] / *db [f].
+Tensor Conv1dBackward(const Tensor& x, const Tensor& w, const Tensor& grad_out,
+                      int stride, int pad, Tensor* dw, Tensor* db);
+
+// x [n, c, h, w], w [f, c, kernel, kernel], bias [f] -> [n, f, ho, wo].
+Tensor Conv2dForward(const Tensor& x, const Tensor& w, const Tensor& bias,
+                     int stride, int pad);
+Tensor Conv2dBackward(const Tensor& x, const Tensor& w, const Tensor& grad_out,
+                      int stride, int pad, Tensor* dw, Tensor* db);
+
+}  // namespace naive
+}  // namespace qcore
+
+#endif  // QCORE_TENSOR_KERNELS_H_

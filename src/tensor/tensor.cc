@@ -34,7 +34,8 @@ Tensor Tensor::FromVector(std::vector<int64_t> shape,
   Tensor t;
   t.shape_ = std::move(shape);
   QCORE_CHECK_EQ(ShapeSize(t.shape_), static_cast<int64_t>(values.size()));
-  t.data_ = std::move(values);
+  // Copy into the aligned buffer rather than adopting the caller's storage.
+  t.data_.assign(values.begin(), values.end());
   return t;
 }
 

@@ -1,8 +1,9 @@
 // Dense row-major float tensor. This is the numeric foundation for the NN
-// substrate: models here are small (CPU-trainable), so a straightforward
-// contiguous std::vector<float> representation with checked accessors is the
-// right trade-off — hot loops (matmul/conv) operate on raw pointers inside
-// the ops/layers instead.
+// substrate: a contiguous buffer with checked accessors — hot loops
+// (matmul/conv) operate on raw pointers inside the ops/layers instead.
+// Storage is 64-byte aligned (common/aligned.h) so the blocked kernels in
+// tensor/kernels.cc can pack panels and issue wide vector loads without
+// cache-line splits.
 #ifndef QCORE_TENSOR_TENSOR_H_
 #define QCORE_TENSOR_TENSOR_H_
 
@@ -10,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/check.h"
 #include "common/rng.h"
 
@@ -48,8 +50,8 @@ class Tensor {
 
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
-  std::vector<float>& vec() { return data_; }
-  const std::vector<float>& vec() const { return data_; }
+  AlignedFloatVec& vec() { return data_; }
+  const AlignedFloatVec& vec() const { return data_; }
 
   // Flat element access (bounds-checked).
   float& operator[](int64_t i) {
@@ -102,7 +104,7 @@ class Tensor {
   int64_t FlatIndex4(int64_t i, int64_t j, int64_t k, int64_t l) const;
 
   std::vector<int64_t> shape_;
-  std::vector<float> data_;
+  AlignedFloatVec data_;
 };
 
 }  // namespace qcore

@@ -3,7 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels.h"
+
 namespace qcore {
+
+// All three MatMul variants lower onto the one blocked/packed kernel
+// (tensor/kernels.h): float accumulation, ascending-k order, no
+// data-dependent branching. The freshly constructed output tensor is the
+// zero-initialized C that kernels::Gemm accumulates into.
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   QCORE_CHECK_EQ(a.ndim(), 2);
@@ -11,19 +18,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   QCORE_CHECK_EQ(k, b.dim(0));
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // i-k-j loop order: unit-stride inner loop over both B and C.
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = pa[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* crow = pc + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  kernels::Gemm(m, n, k, a.data(), k, /*trans_a=*/false, b.data(), n,
+                /*trans_b=*/false, c.data(), n);
   return c;
 }
 
@@ -33,18 +29,8 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   QCORE_CHECK_EQ(k, b.dim(1));
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      double s = 0.0;
-      for (int64_t kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
-      pc[i * n + j] = static_cast<float>(s);
-    }
-  }
+  kernels::Gemm(m, n, k, a.data(), k, /*trans_a=*/false, b.data(), k,
+                /*trans_b=*/true, c.data(), n);
   return c;
 }
 
@@ -54,19 +40,8 @@ Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
   const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   QCORE_CHECK_EQ(k, b.dim(0));
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  kernels::Gemm(m, n, k, a.data(), m, /*trans_a=*/true, b.data(), n,
+                /*trans_b=*/false, c.data(), n);
   return c;
 }
 

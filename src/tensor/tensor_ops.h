@@ -10,7 +10,9 @@
 
 namespace qcore {
 
-// C = A[M,K] * B[K,N].
+// C = A[M,K] * B[K,N]. All three GEMM variants run on the blocked/packed
+// kernel substrate (tensor/kernels.h): float accumulation in ascending-k
+// order, deterministic for a given host independent of tile shape.
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
 // C = A[M,K] * B[N,K]^T — the common backward-pass shape.

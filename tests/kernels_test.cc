@@ -1,0 +1,265 @@
+// Property tests for the blocked kernel substrate (tensor/kernels.h):
+// blocked GEMM and im2col-lowered conv against the retained naive
+// references across awkward shapes, plus determinism and alignment
+// guarantees the serving layer depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned.h"
+#include "nn/conv.h"
+#include "tensor/kernels.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace qcore {
+namespace {
+
+// Blocked and naive paths share the ascending-k float accumulation order,
+// but may differ in fused-FMA vs separate mul+add rounding, so comparisons
+// are tolerance-based (scaled to the reduction length).
+void ExpectTensorsNear(const Tensor& got, const Tensor& want, double tol) {
+  ASSERT_TRUE(got.SameShape(want));
+  for (int64_t i = 0; i < got.size(); ++i) {
+    const double scale = std::max(1.0, static_cast<double>(std::fabs(want[i])));
+    ASSERT_NEAR(got[i], want[i], tol * scale) << "flat index " << i;
+  }
+}
+
+struct GemmShape {
+  int64_t m, n, k;
+};
+
+// Tile-non-divisible m/n/k, degenerate m=1/n=1/k=1, exact-tile shapes, and
+// shapes straddling the kMC/kKC/kNC cache-block boundaries.
+const GemmShape kShapes[] = {
+    {1, 1, 1},       {1, 7, 5},       {5, 1, 3},      {3, 4, 1},
+    {6, 16, 240},    {12, 32, 240},   {7, 17, 241},   {5, 15, 239},
+    {1, 129, 3},     {97, 1, 63},     {64, 64, 64},   {128, 128, 128},
+    {100, 130, 70},  {2, 300, 5},     {191, 33, 241}, {6, 1040, 7},
+    {97, 129, 250},
+};
+
+class BlockedGemmTest : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(BlockedGemmTest, MatchesNaiveAllVariants) {
+  const GemmShape s = GetParam();
+  Rng rng(s.m * 1000003 + s.n * 1009 + s.k);
+  const double tol = 1e-5 * std::sqrt(static_cast<double>(s.k));
+
+  Tensor a = Tensor::Randn({s.m, s.k}, &rng);
+  Tensor b = Tensor::Randn({s.k, s.n}, &rng);
+  ExpectTensorsNear(MatMul(a, b), naive::MatMul(a, b), tol);
+
+  Tensor bt = Tensor::Randn({s.n, s.k}, &rng);
+  ExpectTensorsNear(MatMulTransposedB(a, bt), naive::MatMulTransposedB(a, bt),
+                    tol);
+
+  Tensor at = Tensor::Randn({s.k, s.m}, &rng);
+  ExpectTensorsNear(MatMulTransposedA(at, b), naive::MatMulTransposedA(at, b),
+                    tol);
+}
+
+TEST_P(BlockedGemmTest, DeterministicRunToRun) {
+  const GemmShape s = GetParam();
+  Rng rng(7 + s.m + s.n + s.k);
+  Tensor a = Tensor::Randn({s.m, s.k}, &rng);
+  Tensor b = Tensor::Randn({s.k, s.n}, &rng);
+  Tensor c1 = MatMul(a, b);
+  Tensor c2 = MatMul(a, b);
+  for (int64_t i = 0; i < c1.size(); ++i) {
+    ASSERT_EQ(c1[i], c2[i]) << "nondeterministic at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BlockedGemmTest,
+                         ::testing::ValuesIn(kShapes));
+
+// The three lowered variants must agree bit-for-bit with each other when fed
+// the same mathematical operands: they pack into identical panels and run
+// the identical microkernel schedule.
+TEST(BlockedGemmTest, TransposedVariantsBitIdenticalToPlain) {
+  Rng rng(99);
+  Tensor a = Tensor::Randn({37, 53}, &rng);
+  Tensor b = Tensor::Randn({53, 29}, &rng);
+  Tensor plain = MatMul(a, b);
+  Tensor via_tb = MatMulTransposedB(a, Transpose2d(b));
+  Tensor via_ta = MatMulTransposedA(Transpose2d(a), b);
+  for (int64_t i = 0; i < plain.size(); ++i) {
+    ASSERT_EQ(plain[i], via_tb[i]);
+    ASSERT_EQ(plain[i], via_ta[i]);
+  }
+}
+
+// Accumulation order is independent of where the output element sits in the
+// tile grid: computing a wide product and slicing must equal computing the
+// slice alone. This is also the row-independence property the serving
+// batcher's bit-identity depends on.
+TEST(BlockedGemmTest, RowsIndependentOfBatchWidth) {
+  Rng rng(41);
+  Tensor a_all = Tensor::Randn({23, 31}, &rng);
+  Tensor b = Tensor::Randn({31, 45}, &rng);
+  Tensor full = MatMul(a_all, b);
+  for (int64_t r : {int64_t{0}, int64_t{7}, int64_t{22}}) {
+    Tensor row = a_all.SliceRows(r, r + 1);
+    Tensor single = MatMul(row, b);
+    for (int64_t j = 0; j < single.size(); ++j) {
+      ASSERT_EQ(single[j], full[r * 45 + j]) << "row " << r << " col " << j;
+    }
+  }
+}
+
+struct ConvCase {
+  int64_t n, c, l;
+  int kernel, stride, pad;
+};
+
+const ConvCase kConv1dCases[] = {
+    {2, 3, 16, 3, 1, 1},  // vanilla
+    {1, 1, 8, 3, 1, 1},   // single sample, single channel
+    {3, 4, 19, 5, 2, 2},  // stride > 1, odd length
+    {2, 2, 9, 3, 3, 0},   // stride == kernel, no pad
+    {2, 3, 7, 3, 1, 4},   // pad > kernel
+    {1, 5, 6, 6, 1, 5},   // kernel == length, pad >= kernel - 1
+    {4, 1, 33, 1, 1, 0},  // 1x1 kernel
+    {2, 8, 64, 5, 1, 2},  // the model-zoo hot shape
+};
+
+class Conv1dLoweringTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(Conv1dLoweringTest, ForwardBackwardMatchNaive) {
+  const ConvCase cc = GetParam();
+  Rng rng(cc.n * 31 + cc.c * 7 + cc.kernel);
+  Conv1d conv(cc.c, 4, cc.kernel, cc.stride, cc.pad, &rng);
+  Tensor x = Tensor::Randn({cc.n, cc.c, cc.l}, &rng);
+
+  const Tensor& w = conv.Params()[0]->value;
+  const Tensor& bias = conv.Params()[1]->value;
+  Tensor want_y = naive::Conv1dForward(x, w, bias, cc.stride, cc.pad);
+  Tensor got_y = conv.Forward(x, /*training=*/true);
+  const double tol = 1e-5 * std::sqrt(static_cast<double>(cc.c * cc.kernel));
+  ExpectTensorsNear(got_y, want_y, tol);
+
+  Tensor g = Tensor::Randn(want_y.shape(), &rng);
+  Tensor want_dw = Tensor::Zeros(w.shape());
+  Tensor want_db = Tensor::Zeros(bias.shape());
+  Tensor want_gin =
+      naive::Conv1dBackward(x, w, g, cc.stride, cc.pad, &want_dw, &want_db);
+  Tensor got_gin = conv.Backward(g);
+  const double btol =
+      1e-5 * std::sqrt(static_cast<double>(cc.n * got_y.dim(2)));
+  ExpectTensorsNear(got_gin, want_gin, tol);
+  ExpectTensorsNear(conv.Params()[0]->grad, want_dw, btol);
+  ExpectTensorsNear(conv.Params()[1]->grad, want_db, btol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, Conv1dLoweringTest,
+                         ::testing::ValuesIn(kConv1dCases));
+
+struct Conv2dCase {
+  int64_t n, c, h, w;
+  int kernel, stride, pad;
+};
+
+const Conv2dCase kConv2dCases[] = {
+    {2, 3, 8, 8, 3, 1, 1},   // vanilla
+    {1, 1, 5, 7, 3, 1, 1},   // single sample/channel, non-square input
+    {2, 2, 9, 9, 3, 2, 1},   // stride 2
+    {1, 3, 6, 6, 3, 1, 3},   // pad == kernel
+    {2, 4, 4, 4, 4, 1, 3},   // kernel == input size
+    {3, 1, 16, 16, 1, 1, 0},  // 1x1 kernel
+    {1, 3, 16, 16, 3, 1, 1},  // the model-zoo hot shape
+};
+
+class Conv2dLoweringTest : public ::testing::TestWithParam<Conv2dCase> {};
+
+TEST_P(Conv2dLoweringTest, ForwardBackwardMatchNaive) {
+  const Conv2dCase cc = GetParam();
+  Rng rng(cc.n * 17 + cc.c * 5 + cc.kernel);
+  Conv2d conv(cc.c, 5, cc.kernel, cc.stride, cc.pad, &rng);
+  Tensor x = Tensor::Randn({cc.n, cc.c, cc.h, cc.w}, &rng);
+
+  const Tensor& w = conv.Params()[0]->value;
+  const Tensor& bias = conv.Params()[1]->value;
+  Tensor want_y = naive::Conv2dForward(x, w, bias, cc.stride, cc.pad);
+  Tensor got_y = conv.Forward(x, /*training=*/true);
+  const double tol =
+      1e-5 * std::sqrt(static_cast<double>(cc.c) * cc.kernel * cc.kernel);
+  ExpectTensorsNear(got_y, want_y, tol);
+
+  Tensor g = Tensor::Randn(want_y.shape(), &rng);
+  Tensor want_dw = Tensor::Zeros(w.shape());
+  Tensor want_db = Tensor::Zeros(bias.shape());
+  Tensor want_gin =
+      naive::Conv2dBackward(x, w, g, cc.stride, cc.pad, &want_dw, &want_db);
+  Tensor got_gin = conv.Backward(g);
+  const double btol = 1e-5 * std::sqrt(static_cast<double>(
+                                 cc.n * got_y.dim(2) * got_y.dim(3)));
+  ExpectTensorsNear(got_gin, want_gin, tol);
+  ExpectTensorsNear(conv.Params()[0]->grad, want_dw, btol);
+  ExpectTensorsNear(conv.Params()[1]->grad, want_db, btol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, Conv2dLoweringTest,
+                         ::testing::ValuesIn(kConv2dCases));
+
+// im2col/col2im round-trip: col2im(im2col(x)) multiplies each input element
+// by the number of windows covering it; with kernel == stride == 1 and no
+// padding that count is exactly one.
+TEST(Im2ColTest, IdentityWhenKernelOneStrideOne) {
+  Rng rng(5);
+  Tensor x = Tensor::Randn({3, 11}, &rng);
+  AlignedFloatVec col(static_cast<size_t>(3 * 11));
+  kernels::Im2Col1d(x.data(), 3, 11, 1, 1, 0, 11, col.data());
+  for (int64_t i = 0; i < x.size(); ++i) ASSERT_EQ(col[i], x[i]);
+  Tensor back = Tensor::Zeros({3, 11});
+  kernels::Col2Im1d(col.data(), 3, 11, 1, 1, 0, 11, back.data());
+  for (int64_t i = 0; i < x.size(); ++i) ASSERT_EQ(back[i], x[i]);
+}
+
+TEST(Im2ColTest, PaddingProducesZeroColumns) {
+  Rng rng(6);
+  const int64_t c = 2, l = 4;
+  const int kernel = 3, stride = 1, pad = 3;  // pad >= kernel
+  const int64_t lo = (l + 2 * pad - kernel) / stride + 1;
+  Tensor x = Tensor::Full({c, l}, 1.0f);
+  AlignedFloatVec col(static_cast<size_t>(c * kernel * lo), -1.0f);
+  kernels::Im2Col1d(x.data(), c, l, kernel, stride, pad, lo, col.data());
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int kx = 0; kx < kernel; ++kx) {
+      for (int64_t o = 0; o < lo; ++o) {
+        const int64_t t = o * stride + kx - pad;
+        const float v = col[(ch * kernel + kx) * lo + o];
+        if (t < 0 || t >= l) {
+          ASSERT_EQ(v, 0.0f) << "padding tap not zeroed";
+        } else {
+          ASSERT_EQ(v, 1.0f);
+        }
+      }
+    }
+  }
+}
+
+// The aligned allocator must put every tensor buffer (and reallocations) on
+// a 64-byte boundary — the packed panels and wide vector loads assume it.
+TEST(AlignmentTest, TensorBuffersCacheLineAligned) {
+  for (int64_t n : {1, 3, 17, 63, 64, 65, 1000}) {
+    Tensor t({n});
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(t.data()) % kCacheLineBytes, 0u)
+        << "size " << n;
+  }
+  AlignedFloatVec v;
+  for (int i = 0; i < 12; ++i) {
+    v.resize(v.size() + 37);  // force growth/reallocation
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) % kCacheLineBytes, 0u);
+  }
+  Rng rng(3);
+  Tensor copy = Tensor::Randn({129}, &rng);
+  Tensor moved = std::move(copy);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(moved.data()) % kCacheLineBytes, 0u);
+}
+
+}  // namespace
+}  // namespace qcore

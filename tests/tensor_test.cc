@@ -2,7 +2,9 @@
 // operations (GEMM variants, elementwise, softmax, reductions).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
@@ -177,10 +179,11 @@ TEST(TensorOpsTest, ConcatRowsMany) {
   // Rows land contiguously in input order — the gather half of the
   // inference batcher.
   const std::vector<float> expected = {1, 2, 3, 4, 5, 6, 7, 8};
-  EXPECT_EQ(out.vec(), expected);
+  ASSERT_EQ(out.vec().size(), expected.size());
+  EXPECT_TRUE(std::equal(expected.begin(), expected.end(), out.vec().begin()));
   // Single-part concat is the identity.
   Tensor single = ConcatRows({&b});
-  EXPECT_EQ(single.vec(), b.vec());
+  EXPECT_TRUE(std::equal(b.vec().begin(), b.vec().end(), single.vec().begin()));
   EXPECT_EQ(single.shape(), b.shape());
 }
 
