@@ -1,25 +1,29 @@
 // Fleet serving throughput: one server-prepared model, a fleet of simulated
 // devices each streaming target-domain batches with interleaved inference
-// traffic, served by FleetServers with 1..N pool workers. Reports the
-// thread-scaling curve (aggregate calibration+inference throughput), then a
-// batched-vs-unbatched comparison at fixed thread count, and verifies that
-// every configuration is bit-identical to the single-threaded pipeline
-// (ContinualDriver driven directly with the same per-device seed) — and
-// that batching neither changes any per-request prediction nor reorders
-// per-device result delivery.
+// traffic, served through the FleetBackend interface. Reports the
+// thread-scaling curve of a single FleetServer (aggregate
+// calibration+inference throughput), a batched-vs-unbatched comparison at
+// fixed thread count, and a shard-scaling section (ShardedFleetServer at
+// 1/2/4 shards — independent per-shard pools and batchers behind the
+// consistent-hash router). Every configuration is verified bit-identical to
+// the single-threaded pipeline (ContinualDriver driven directly with the
+// same per-device seed) — thread counts, batching, and shard counts must
+// change wall-clock only, never a result or the per-device delivery order.
 //
 // Each request carries a simulated device-link RTT (the
 // FleetServerOptions::simulated_device_rtt_ms fleet knob): serving a fleet
 // is compute + per-device network wait, and the pool's win is overlapping
 // the two across sessions. A batched inference group pays the link ONCE for
-// the whole group, which is why batching lifts throughput even on a
-// single-core host. That is also what makes both curves meaningful on any
+// the whole group; a second shard brings a second pool whose workers
+// overlap independently — which is why both curves are meaningful on any
 // host, including single-core CI runners.
 //
 // QCORE_FAST=1 shrinks the fleet; QCORE_BENCH_THREADS caps the curve;
 // QCORE_BENCH_RTT_MS overrides the simulated link RTT (default 25).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,6 +36,8 @@
 #include "core/qcore_builder.h"
 #include "data/har_generator.h"
 #include "models/model_zoo.h"
+#include "serving/backend.h"
+#include "serving/router.h"
 #include "serving/server.h"
 
 using namespace qcore;
@@ -129,7 +135,7 @@ struct RunResult {
   std::vector<std::vector<std::vector<int>>> predictions;
 };
 
-RunResult RunFleet(const FleetSetup& setup, int threads, int max_batch) {
+FleetServerOptions MakeOptions(int threads, int max_batch) {
   FleetServerOptions opts;
   opts.num_threads = threads;
   opts.continual = BenchContinualOptions();
@@ -140,45 +146,65 @@ RunResult RunFleet(const FleetSetup& setup, int threads, int max_batch) {
     opts.batching.max_batch = max_batch;
     opts.batching.max_delay_us = 500.0;
   }
-  FleetServer server(*setup.base, *setup.bf, opts);
+  return opts;
+}
+
+// Drives the standard workload through any backend: per device and stream
+// batch, a burst of inference traffic, a calibration batch, one trailing
+// inference — the arrival pattern that gives a batcher something to
+// coalesce without starving calibration.
+RunResult RunFleet(const FleetSetup& setup, FleetBackend* server) {
   for (const auto& id : setup.device_ids) {
-    server.RegisterDevice(id, setup.qcore);
+    server->RegisterDevice(id, setup.qcore);
   }
 
   RunResult result;
   std::vector<std::vector<std::future<InferenceResult>>> futures(
       setup.device_ids.size());
   Stopwatch timer;
-  // Every device: a burst of inference traffic, a calibration batch, one
-  // trailing inference — the arrival pattern that gives a batcher
-  // something to coalesce without starving calibration.
   for (size_t d = 0; d < setup.device_ids.size(); ++d) {
     const std::string& id = setup.device_ids[d];
     for (size_t b = 0; b < setup.batches[d].size(); ++b) {
       for (int p = 0; p < kBurst; ++p) {
-        futures[d].push_back(server.SubmitInference(
+        futures[d].push_back(server->SubmitInference(
             id, setup.probes[(b + p) % setup.probes.size()]));
       }
-      server.SubmitCalibration(id, setup.batches[d][b],
-                               setup.slices[d][b]);
-      futures[d].push_back(server.SubmitInference(
+      server->SubmitCalibration(id, setup.batches[d][b],
+                                setup.slices[d][b]);
+      futures[d].push_back(server->SubmitInference(
           id, setup.probes[b % setup.probes.size()]));
     }
   }
-  server.Drain();
+  server->Drain();
   result.wall_seconds = timer.ElapsedSeconds();
-  result.calibrations = server.metrics().calibration_batches();
-  result.inferences = server.metrics().inference_requests();
-  result.mean_batch_occupancy = server.metrics().batch_occupancy().mean();
+  result.calibrations = server->metrics().calibration_batches();
+  result.inferences = server->metrics().inference_requests();
+  result.mean_batch_occupancy = server->metrics().batch_occupancy().mean();
   for (size_t d = 0; d < setup.device_ids.size(); ++d) {
-    result.final_codes.push_back(
-        server.session(setup.device_ids[d])->model()->AllCodes());
+    server->WithSessionQuiesced(
+        setup.device_ids[d], [&](CalibrationSession& session) {
+          result.final_codes.push_back(session.model()->AllCodes());
+        });
     result.predictions.emplace_back();
     for (auto& fu : futures[d]) {
       result.predictions.back().push_back(fu.get().predictions);
     }
   }
   return result;
+}
+
+RunResult RunSingle(const FleetSetup& setup, int threads, int max_batch) {
+  FleetServer server(*setup.base, *setup.bf, MakeOptions(threads, max_batch));
+  return RunFleet(setup, &server);
+}
+
+RunResult RunSharded(const FleetSetup& setup, int shards,
+                     int threads_per_shard, int max_batch) {
+  ShardedFleetServerOptions opts;
+  opts.num_shards = shards;
+  opts.shard = MakeOptions(threads_per_shard, max_batch);
+  ShardedFleetServer server(*setup.base, *setup.bf, opts);
+  return RunFleet(setup, &server);
 }
 
 // The single-threaded pipeline reference: ContinualDriver driven directly,
@@ -230,7 +256,7 @@ int main() {
   bool identical_across_threads = true;
 
   for (int threads : thread_counts) {
-    RunResult r = RunFleet(setup, threads, /*max_batch=*/0);
+    RunResult r = RunSingle(setup, threads, /*max_batch=*/0);
     const double tasks_per_sec = TasksPerSec(r);
     throughputs.push_back(tasks_per_sec);
     if (base_tasks_per_sec == 0.0) base_tasks_per_sec = tasks_per_sec;
@@ -270,7 +296,7 @@ int main() {
   std::printf("\n== Inference batching at %d threads ==\n\n", cmp_threads);
   TablePrinter btable({"MaxBatch", "Wall (s)", "Tasks/s", "Occupancy",
                        "Speedup"});
-  RunResult unbatched = RunFleet(setup, cmp_threads, /*max_batch=*/0);
+  RunResult unbatched = RunSingle(setup, cmp_threads, /*max_batch=*/0);
   const double unbatched_tps = TasksPerSec(unbatched);
   btable.AddRow({"off", TablePrinter::Num(unbatched.wall_seconds, 3),
                  TablePrinter::Num(unbatched_tps, 1),
@@ -280,7 +306,7 @@ int main() {
   bool batched_ordered = true;
   double batched4_tps = 0.0;
   for (int max_batch : {2, 4, 8}) {
-    RunResult r = RunFleet(setup, cmp_threads, max_batch);
+    RunResult r = RunSingle(setup, cmp_threads, max_batch);
     const double tps = TasksPerSec(r);
     if (max_batch == 4) batched4_tps = tps;
     // Bit-identity: the batched path must change neither the calibrated
@@ -308,14 +334,59 @@ int main() {
   std::printf("batching (max_batch=4) faster than unbatched:        %s\n",
               batched_faster ? "yes" : "NO");
 
+  // ---- shard scaling: independent per-shard pools -----------------------
+  // Fixed threads per shard, growing shard count: total workers grow with
+  // the fleet of pools, and every pool overlaps its own devices' link RTT
+  // independently (no shared mutex or queue between shards). 1 shard vs
+  // the plain FleetServer also measures the router's dispatch overhead
+  // (should be noise).
+  const int shard_threads = std::max(1, std::min(2, max_threads));
+  std::printf("\n== Shard scaling at %d threads per shard ==\n\n",
+              shard_threads);
+  TablePrinter stable({"Shards", "Wall (s)", "Tasks/s", "Speedup"});
+  RunResult shard_base = RunSingle(setup, shard_threads, /*max_batch=*/0);
+  const double shard_base_tps = TasksPerSec(shard_base);
+  stable.AddRow({"unsharded", TablePrinter::Num(shard_base.wall_seconds, 3),
+                 TablePrinter::Num(shard_base_tps, 1),
+                 TablePrinter::Num(1.0, 2)});
+  bool sharded_identical = true;
+  bool sharded_ordered = true;
+  double sharded_tps_max = 0.0;
+  for (int shards : {1, 2, 4}) {
+    RunResult r = RunSharded(setup, shards, shard_threads, /*max_batch=*/0);
+    const double tps = TasksPerSec(r);
+    sharded_tps_max = std::max(sharded_tps_max, tps);
+    // Exit-code-enforced bit-identity, exactly like the sections above:
+    // shard count must never change codes or per-device delivery order.
+    if (r.final_codes != shard_base.final_codes ||
+        r.final_codes != reference) {
+      sharded_identical = false;
+    }
+    if (r.predictions != shard_base.predictions) sharded_ordered = false;
+    stable.AddRow({std::to_string(shards),
+                   TablePrinter::Num(r.wall_seconds, 3),
+                   TablePrinter::Num(tps, 1),
+                   TablePrinter::Num(tps / shard_base_tps, 2)});
+  }
+  stable.Print();
+
+  const bool sharding_scales = sharded_tps_max > shard_base_tps;
+  std::printf("\nsharded codes bit-identical to unsharded + pipeline: %s\n",
+              sharded_identical ? "yes" : "NO");
+  std::printf("sharded per-device delivery order preserved:         %s\n",
+              sharded_ordered ? "yes" : "NO");
+  std::printf("best sharded throughput beats unsharded:             %s\n",
+              sharding_scales ? "yes" : "NO");
+
   // Exit codes separate correctness from timing: 2 = determinism or
   // ordering violated (always a bug), 1 = a timing property failed (the
-  // scaling curve not monotonic, or batching not faster) — expected e.g.
+  // scaling curves not improving, or batching not faster) — expected e.g.
   // with QCORE_BENCH_RTT_MS=0 on a single-core host, and tolerated by CI
   // on noisy shared runners.
   if (!identical_across_threads || first_run.final_codes != reference ||
-      !batched_identical || !batched_ordered) {
+      !batched_identical || !batched_ordered || !sharded_identical ||
+      !sharded_ordered) {
     return 2;
   }
-  return (monotonic && batched_faster) ? 0 : 1;
+  return (monotonic && batched_faster && sharding_scales) ? 0 : 1;
 }

@@ -28,31 +28,19 @@ constexpr char kModelPath[] = "/tmp/qcore_edge_model.bin";
 constexpr char kQCorePath[] = "/tmp/qcore_edge_subset.bin";
 constexpr int kBits = 4;
 
+// Datasets now serialize themselves (Dataset::SerializeTo/DeserializeFrom,
+// shared with the serving layer's session migration); these wrappers just
+// add the file framing.
 Status SaveDataset(const Dataset& d, const std::string& path) {
   BinaryWriter w;
-  w.WriteI32(d.num_classes());
-  w.WriteInt64s(d.x().shape());
-  w.WriteFloats(d.x().data(), d.x().vec().size());
-  std::vector<int32_t> labels(d.labels().begin(), d.labels().end());
-  w.WriteInts(labels);
+  d.SerializeTo(&w);
   return w.ToFile(path);
 }
 
 Result<Dataset> LoadDataset(const std::string& path) {
   auto reader = BinaryReader::FromFile(path);
   if (!reader.ok()) return reader.status();
-  BinaryReader& r = reader.value();
-  auto classes = r.ReadI32();
-  if (!classes.ok()) return classes.status();
-  auto shape = r.ReadInt64s();
-  if (!shape.ok()) return shape.status();
-  auto values = r.ReadFloats();
-  if (!values.ok()) return values.status();
-  auto labels = r.ReadInts();
-  if (!labels.ok()) return labels.status();
-  Tensor x = Tensor::FromVector(shape.value(), std::move(values).value());
-  std::vector<int> y(labels.value().begin(), labels.value().end());
-  return Dataset(std::move(x), std::move(y), classes.value());
+  return Dataset::DeserializeFrom(&reader.value());
 }
 
 }  // namespace

@@ -1,14 +1,20 @@
 // Fleet simulation: one server-prepared quantized model deployed to a large
 // fleet of simulated edge devices — HAR wearables (subject shift) and image
-// sensors (visual-domain shift) — all served concurrently by one FleetServer
-// over a shared thread pool. Each device streams its own shifted domain,
+// sensors (visual-domain shift) — served through the FleetBackend
+// interface. The large HAR cohort runs on a ShardedFleetServer (N
+// consistent-hash shards, each with its own pool and batcher; mid-run it
+// rebalances to a larger shard count live), the smaller image cohort on a
+// single FleetServer — the same driving code serves both, which is the
+// point of the API. Each device streams its own shifted domain,
 // interleaving inference traffic with continual calibration (Algorithms
-// 3+4); the server snapshots calibrated models into the copy-on-write
-// registry and aggregates fleet-wide metrics.
+// 3+4); the servers snapshot calibrated models into copy-on-write
+// registries and aggregate fleet-wide metrics (per-shard + rollup for the
+// sharded cohort).
 //
 // Build & run:  ./build/fleet_simulation
 // Environment:  QCORE_FLEET_DEVICES (default 200; HAR cohort, plus 1/4 as
-//               many image devices), QCORE_FLEET_THREADS (default 4),
+//               many image devices), QCORE_FLEET_THREADS (default 4, per
+//               shard for the HAR cohort), QCORE_FLEET_SHARDS (default 2),
 //               QCORE_FAST=1 shrinks everything for a quick smoke run.
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +29,8 @@
 #include "data/image_generator.h"
 #include "models/model_zoo.h"
 #include "quant/ste_calibrator.h"
+#include "serving/backend.h"
+#include "serving/router.h"
 #include "serving/server.h"
 
 using namespace qcore;
@@ -73,10 +81,11 @@ int main() {
   const int har_devices = EnvInt("QCORE_FLEET_DEVICES", Fast() ? 24 : 200);
   const int img_devices = std::max(1, har_devices / 4);
   const int threads = EnvInt("QCORE_FLEET_THREADS", 4);
+  const int shards = EnvInt("QCORE_FLEET_SHARDS", 2);
   const int stream_batches = 2;
-  std::printf("== Fleet simulation: %d HAR + %d image devices, %d worker "
-              "threads ==\n\n",
-              har_devices, img_devices, threads);
+  std::printf("== Fleet simulation: %d HAR devices on %d shards (x%d "
+              "threads) + %d image devices ==\n\n",
+              har_devices, shards, threads, img_devices);
 
   // --- Server-side preparation: one deployment per modality. -------------
   HarSpec har_spec = HarSpec::Usc();
@@ -105,8 +114,10 @@ int main() {
       MakeResNetTiny(img_spec.channels, img_spec.num_classes, &rng);
   Deployment img = Prepare(img_model.get(), img_source.train, &rng);
 
-  // --- Two servers share nothing but the process; each multiplexes its ----
-  // cohort over its own pool (a future PR can shard one pool).
+  // --- Two backends behind one interface: the big HAR cohort is sharded ---
+  // (independent pool + batcher per shard, consistent-hash placement), the
+  // small image cohort runs a single server. The driving code below only
+  // sees FleetBackend&.
   FleetServerOptions opts;
   opts.num_threads = threads;
   opts.continual.iterations = 1;
@@ -114,20 +125,25 @@ int main() {
   opts.snapshot_every = stream_batches;  // snapshot each device at the end
   // Serving-plane features: coalesce inference bursts into grouped forward
   // passes (results stay bit-identical to the unbatched path) and bound
-  // per-device queues — the report's occupancy/queue-depth/shed lines.
-  // Note the bound must stay above this example's per-device submission
-  // burst: the unconditional Submit* calls below abort on a full queue
+  // per-device queues — the report's occupancy/queue-depth/shed lines. The
+  // inference and calibration caps are independent (per-class bounds), and
+  // must stay above this example's per-device submission burst: the
+  // unconditional Submit* calls below abort on a full queue
   // (overload-aware callers use TrySubmit* and handle the shed status).
   opts.enable_batching = true;
   opts.batching.max_batch = 4;
   opts.batching.max_delay_us = 500.0;
-  opts.max_queue_per_session = 64;
-  FleetServer har_server(*har.base, *har.bf, opts);
+  opts.max_inference_queue_per_session = 48;
+  opts.max_calibration_queue_per_session = 16;
+  ShardedFleetServerOptions har_opts;
+  har_opts.num_shards = shards;
+  har_opts.shard = opts;
+  ShardedFleetServer har_server(*har.base, *har.bf, har_opts);
   FleetServer img_server(*img.base, *img.bf, opts);
 
   // --- Register the fleet: every device gets its own shifted domain. -----
   Stopwatch wall;
-  std::vector<std::pair<FleetServer*, std::string>> fleet;
+  std::vector<std::pair<FleetBackend*, std::string>> fleet;
   for (int d = 0; d < har_devices; ++d) {
     const std::string id = "har-" + std::to_string(d);
     har_server.RegisterDevice(id, har.qcore);
@@ -138,8 +154,12 @@ int main() {
     img_server.RegisterDevice(id, img.qcore);
     fleet.emplace_back(&img_server, id);
   }
-  std::printf("registered %zu sessions in %.2fs\n\n", fleet.size(),
-              wall.ElapsedSeconds());
+  std::printf("registered %zu sessions in %.2fs (HAR shard occupancy:",
+              fleet.size(), wall.ElapsedSeconds());
+  for (int s = 0; s < har_server.num_shards(); ++s) {
+    std::printf(" %d", har_server.SessionCountOnShard(s));
+  }
+  std::printf(")\n\n");
 
   // --- Drive the streams: per device, shifted batches + inference. -------
   // Pre/post accuracies come back through the calibration stats; device
@@ -147,6 +167,15 @@ int main() {
   wall.Restart();
   std::vector<std::future<BatchStats>> stats;
   for (int d = 0; d < har_devices; ++d) {
+    if (d == har_devices / 2) {
+      // Live rebalance mid-traffic: add a shard while futures are in
+      // flight. Sessions whose ring position changes migrate via barrier
+      // snapshot + continuation restore; results are bit-identical to
+      // never having moved (see tests/sharding_test.cc).
+      har_server.Rebalance(shards + 1);
+      std::printf("rebalanced HAR cohort to %d shards mid-stream\n",
+                  har_server.num_shards());
+    }
     const int subject = 1 + d % (har_spec.num_subjects - 1);
     HarDomain target = MakeHarDomain(har_spec, subject);
     Rng split_rng(opts.seed ^ static_cast<uint64_t>(d));
@@ -197,10 +226,27 @@ int main() {
   std::printf("served %zu calibration batches + inference traffic for %zu "
               "devices in %.2fs\n\n",
               stats.size(), fleet.size(), serve_seconds);
-  std::printf("-- HAR cohort --\n%s\n",
+  std::printf("-- HAR cohort (rollup of %d shards) --\n%s\n",
+              har_server.num_shards(),
               har_server.metrics().Report().c_str());
-  std::printf("-- image cohort --\n%s\n",
+  for (int s = 0; s < har_server.num_shards(); ++s) {
+    std::printf("   shard %d: %d sessions, %llu inferences, %llu "
+                "calibrations\n",
+                s, har_server.SessionCountOnShard(s),
+                static_cast<unsigned long long>(
+                    har_server.shard_metrics(s).inference_requests()),
+                static_cast<unsigned long long>(
+                    har_server.shard_metrics(s).calibration_batches()));
+  }
+  std::printf("\n-- image cohort --\n%s\n",
               img_server.metrics().Report().c_str());
+  // Cross-cohort rollup: the two backends are independent (different base
+  // models), so their metrics merge offline into one fleet-wide view.
+  ServingMetrics fleet_total;
+  fleet_total.MergeFrom(har_server.metrics());
+  fleet_total.MergeFrom(img_server.metrics());
+  std::printf("-- fleet total (both cohorts) --\n%s\n",
+              fleet_total.Report().c_str());
   std::printf("fleet mean accuracy, first stream batch: %.4f\n",
               first_batch_acc / static_cast<float>(n));
   std::printf("fleet mean accuracy, last stream batch:  %.4f\n",

@@ -124,4 +124,20 @@ int Rng::SampleWeighted(const std::vector<double>& weights) {
 
 Rng Rng::Split() { return Rng(NextUint64()); }
 
+Rng::State Rng::SaveState() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.has_cached_gaussian = has_cached_gaussian_;
+  state.cached_gaussian = cached_gaussian_;
+  return state;
+}
+
+void Rng::RestoreState(const State& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  QCORE_CHECK_MSG((s_[0] | s_[1] | s_[2] | s_[3]) != 0,
+                  "all-zero xoshiro state is invalid");
+  has_cached_gaussian_ = state.has_cached_gaussian;
+  cached_gaussian_ = state.cached_gaussian;
+}
+
 }  // namespace qcore

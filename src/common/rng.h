@@ -67,6 +67,18 @@ class Rng {
   // Derives an independent generator (for parallel-safe substreams).
   Rng Split();
 
+  // The complete generator state: xoshiro words plus the Box–Muller cache.
+  // Saving and later restoring it resumes the exact output stream — the
+  // primitive that lets a serving session migrate between shards without
+  // perturbing its randomness (serving/server.h session handoff).
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_gaussian = false;
+    double cached_gaussian = 0.0;
+  };
+  State SaveState() const;
+  void RestoreState(const State& state);
+
  private:
   uint64_t s_[4];
   bool has_cached_gaussian_ = false;

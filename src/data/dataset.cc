@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/serialize.h"
 #include "tensor/tensor_ops.h"
 
 namespace qcore {
@@ -64,6 +65,52 @@ Dataset Dataset::Shuffled(Rng* rng) const {
   for (int i = 0; i < size(); ++i) order[static_cast<size_t>(i)] = i;
   rng->Shuffle(&order);
   return Subset(order);
+}
+
+void Dataset::SerializeTo(BinaryWriter* w) const {
+  w->WriteI32(num_classes_);
+  w->WriteI32(size());
+  w->WriteInt64s(x_.shape());
+  if (empty()) return;  // shape alone reconstructs a zero-row dataset
+  w->WriteFloats(x_.data(), x_.vec().size());
+  std::vector<int32_t> labels(labels_.begin(), labels_.end());
+  w->WriteInts(labels);
+}
+
+Result<Dataset> Dataset::DeserializeFrom(BinaryReader* r) {
+  auto classes = r->ReadI32();
+  if (!classes.ok()) return classes.status();
+  auto count = r->ReadI32();
+  if (!count.ok()) return count.status();
+  auto shape = r->ReadInt64s();
+  if (!shape.ok()) return shape.status();
+  if (count.value() == 0) {
+    // Two empty flavors round-trip: the default dataset (no tensor, class
+    // count 0) and a zero-row dataset that still carries its shape and
+    // class count (e.g. an exhausted stream slice).
+    if (shape.value().empty() || classes.value() <= 0) return Dataset();
+    if (shape.value()[0] != 0) {
+      return Status::Corruption("dataset record is internally inconsistent");
+    }
+    return Dataset(Tensor::FromVector(std::move(shape).value(), {}), {},
+                   classes.value());
+  }
+  auto values = r->ReadFloats();
+  if (!values.ok()) return values.status();
+  auto labels = r->ReadInts();
+  if (!labels.ok()) return labels.status();
+  int64_t elements = 1;
+  for (int64_t d : shape.value()) elements *= d;
+  if (shape.value().empty() ||
+      shape.value()[0] != static_cast<int64_t>(count.value()) ||
+      labels.value().size() != static_cast<size_t>(count.value()) ||
+      values.value().size() != static_cast<size_t>(elements)) {
+    return Status::Corruption("dataset record is internally inconsistent");
+  }
+  Tensor x = Tensor::FromVector(std::move(shape).value(),
+                                std::move(values).value());
+  std::vector<int> y(labels.value().begin(), labels.value().end());
+  return Dataset(std::move(x), std::move(y), classes.value());
 }
 
 Dataset AugmentDomain(const Dataset& d, float strength, Rng* rng) {

@@ -7,9 +7,13 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "tensor/tensor.h"
 
 namespace qcore {
+
+class BinaryReader;
+class BinaryWriter;
 
 class Dataset {
  public:
@@ -41,6 +45,12 @@ class Dataset {
 
   // Uniformly shuffled copy.
   Dataset Shuffled(Rng* rng) const;
+
+  // Binary round trip (common/serialize): example tensor, labels, and class
+  // count. Used by the edge-deployment example to ship QCores to devices and
+  // by the serving layer to carry a session's resampled QCore across shards.
+  void SerializeTo(BinaryWriter* w) const;
+  static Result<Dataset> DeserializeFrom(BinaryReader* r);
 
  private:
   Tensor x_;

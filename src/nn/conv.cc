@@ -54,7 +54,9 @@ Tensor Conv1d::Forward(const Tensor& x, bool training) {
   const float* pb = bias_.value.data();
   float* po = out.data();
   const int64_t ck = c * kernel_;
-  AlignedFloatVec col(static_cast<size_t>(ck * lo));
+  const size_t pack_size = static_cast<size_t>(ck * lo);
+  if (col_scratch_.size() < pack_size) col_scratch_.resize(pack_size);
+  AlignedFloatVec& col = col_scratch_;
   for (int64_t i = 0; i < n; ++i) {
     float* oplane = po + i * out_channels_ * lo;
     for (int64_t f = 0; f < out_channels_; ++f) {
@@ -86,8 +88,11 @@ Tensor Conv1d::Backward(const Tensor& grad_out) {
   float* pdb = bias_.grad.data();
 
   const int64_t ck = c * kernel_;
-  AlignedFloatVec col(static_cast<size_t>(ck * lo));
-  AlignedFloatVec dcol(static_cast<size_t>(ck * lo));
+  const size_t pack_size = static_cast<size_t>(ck * lo);
+  if (col_scratch_.size() < pack_size) col_scratch_.resize(pack_size);
+  if (dcol_scratch_.size() < pack_size) dcol_scratch_.resize(pack_size);
+  AlignedFloatVec& col = col_scratch_;
+  AlignedFloatVec& dcol = dcol_scratch_;
   for (int64_t i = 0; i < n; ++i) {
     const float* gplane = pg + i * out_channels_ * lo;
     // Bias gradient: plain row sums, double accumulator (reduction policy).
@@ -102,7 +107,8 @@ Tensor Conv1d::Backward(const Tensor& grad_out) {
     kernels::Gemm(out_channels_, ck, lo, gplane, lo, /*trans_a=*/false,
                   col.data(), lo, /*trans_b=*/true, pdw, ck);
     // dcol[C*K, lo] = W[F, C*K]^T * dY_i[F, lo], then fold back into dX_i.
-    std::fill(dcol.begin(), dcol.end(), 0.0f);
+    std::fill(dcol.begin(), dcol.begin() + static_cast<int64_t>(pack_size),
+              0.0f);
     kernels::Gemm(ck, lo, out_channels_, pw, ck, /*trans_a=*/true, gplane,
                   lo, /*trans_b=*/false, dcol.data(), lo);
     kernels::Col2Im1d(dcol.data(), c, l, kernel_, stride_, pad_, lo,
@@ -164,7 +170,9 @@ Tensor Conv2d::Forward(const Tensor& x, bool training) {
   float* po = out.data();
   const int64_t ckk = c * kernel_ * kernel_;
   const int64_t howo = ho * wo;
-  AlignedFloatVec col(static_cast<size_t>(ckk * howo));
+  const size_t pack_size = static_cast<size_t>(ckk * howo);
+  if (col_scratch_.size() < pack_size) col_scratch_.resize(pack_size);
+  AlignedFloatVec& col = col_scratch_;
   for (int64_t i = 0; i < n; ++i) {
     float* oplane = po + i * out_channels_ * howo;
     for (int64_t f = 0; f < out_channels_; ++f) {
@@ -197,8 +205,11 @@ Tensor Conv2d::Backward(const Tensor& grad_out) {
 
   const int64_t ckk = c * kernel_ * kernel_;
   const int64_t howo = ho * wo;
-  AlignedFloatVec col(static_cast<size_t>(ckk * howo));
-  AlignedFloatVec dcol(static_cast<size_t>(ckk * howo));
+  const size_t pack_size = static_cast<size_t>(ckk * howo);
+  if (col_scratch_.size() < pack_size) col_scratch_.resize(pack_size);
+  if (dcol_scratch_.size() < pack_size) dcol_scratch_.resize(pack_size);
+  AlignedFloatVec& col = col_scratch_;
+  AlignedFloatVec& dcol = dcol_scratch_;
   for (int64_t i = 0; i < n; ++i) {
     const float* gplane = pg + i * out_channels_ * howo;
     for (int64_t f = 0; f < out_channels_; ++f) {
@@ -212,7 +223,8 @@ Tensor Conv2d::Backward(const Tensor& grad_out) {
     kernels::Gemm(out_channels_, ckk, howo, gplane, howo, /*trans_a=*/false,
                   col.data(), howo, /*trans_b=*/true, pdw, ckk);
     // dcol = W^T * dY_i, folded back into dX_i by col2im.
-    std::fill(dcol.begin(), dcol.end(), 0.0f);
+    std::fill(dcol.begin(), dcol.begin() + static_cast<int64_t>(pack_size),
+              0.0f);
     kernels::Gemm(ckk, howo, out_channels_, pw, ckk, /*trans_a=*/true,
                   gplane, howo, /*trans_b=*/false, dcol.data(), howo);
     kernels::Col2Im2d(dcol.data(), c, h, w, kernel_, stride_, pad_, ho, wo,

@@ -1,0 +1,29 @@
+#include "serving/backend.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace qcore {
+
+std::future<InferenceResult> FleetBackend::SubmitInference(
+    const std::string& device_id, Tensor x) {
+  Result<std::future<InferenceResult>> result =
+      TrySubmitInference(device_id, std::move(x));
+  QCORE_CHECK_MSG(result.ok(),
+                  "SubmitInference shed; use TrySubmitInference with "
+                  "bounded queues");
+  return std::move(result).value();
+}
+
+std::future<BatchStats> FleetBackend::SubmitCalibration(
+    const std::string& device_id, Dataset batch, Dataset test_slice) {
+  Result<std::future<BatchStats>> result = TrySubmitCalibration(
+      device_id, std::move(batch), std::move(test_slice));
+  QCORE_CHECK_MSG(result.ok(),
+                  "SubmitCalibration shed; use TrySubmitCalibration with "
+                  "bounded queues");
+  return std::move(result).value();
+}
+
+}  // namespace qcore

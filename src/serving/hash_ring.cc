@@ -1,0 +1,62 @@
+#include "serving/hash_ring.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace qcore {
+
+namespace {
+
+// FNV-1a over the bytes, finished with a full-avalanche mix — the same
+// recipe DeviceSeed uses, so ring positions inherit its dispersion.
+uint64_t HashBytes(const std::string& s) {
+  uint64_t h = 14695981039346656037ULL;  // FNV offset basis
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return SplitMix64Mix(h);
+}
+
+// A vnode's ring point depends only on (shard, vnode): two mix rounds over
+// the pair give well-dispersed, order-independent positions.
+uint64_t VnodePoint(int shard, int vnode) {
+  return SplitMix64Mix(
+      SplitMix64Mix(static_cast<uint64_t>(shard) * 0x9e3779b97f4a7c15ULL) ^
+      static_cast<uint64_t>(vnode));
+}
+
+}  // namespace
+
+HashRing::HashRing(int num_shards, int vnodes_per_shard)
+    : num_shards_(num_shards), vnodes_per_shard_(vnodes_per_shard) {
+  QCORE_CHECK_GT(num_shards, 0);
+  QCORE_CHECK_GT(vnodes_per_shard, 0);
+  ring_.reserve(static_cast<size_t>(num_shards) *
+                static_cast<size_t>(vnodes_per_shard));
+  for (int s = 0; s < num_shards; ++s) {
+    for (int v = 0; v < vnodes_per_shard; ++v) {
+      ring_.emplace_back(VnodePoint(s, v), s);
+    }
+  }
+  // Sort by point; break (astronomically unlikely) point collisions by
+  // shard index so the map stays deterministic either way.
+  std::sort(ring_.begin(), ring_.end());
+}
+
+uint64_t HashRing::HashKey(const std::string& key) { return HashBytes(key); }
+
+int HashRing::ShardFor(const std::string& key) const {
+  const uint64_t h = HashKey(key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), std::make_pair(h, 0),
+      [](const std::pair<uint64_t, int>& a, const std::pair<uint64_t, int>& b) {
+        return a.first < b.first;
+      });
+  if (it == ring_.end()) it = ring_.begin();  // wrap past the last point
+  return it->second;
+}
+
+}  // namespace qcore

@@ -1,0 +1,50 @@
+// Consistent-hash ring mapping device ids onto shard indices. Each shard
+// owns `vnodes_per_shard` pseudo-random points on a 64-bit ring; a device
+// routes to the shard owning the first point at or clockwise of the
+// device's hash. Properties the sharded router builds on:
+//   * Deterministic: point positions depend only on (shard index, vnode
+//     index), never on construction order or process state, so every
+//     replica computes the same device->shard map.
+//   * Stable under growth: ring(N+1) keeps every point of ring(N), so a
+//     device either stays put or moves to the NEW shard — Rebalance
+//     migrates the minimal set of sessions.
+//   * Balanced: with the default vnode count, shard loads concentrate
+//     around the mean (pinned by the hash-ring test suite).
+#ifndef QCORE_SERVING_HASH_RING_H_
+#define QCORE_SERVING_HASH_RING_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qcore {
+
+class HashRing {
+ public:
+  static constexpr int kDefaultVnodesPerShard = 64;
+
+  explicit HashRing(int num_shards,
+                    int vnodes_per_shard = kDefaultVnodesPerShard);
+
+  // Shard index in [0, num_shards) owning `key`'s ring position.
+  int ShardFor(const std::string& key) const;
+
+  int num_shards() const { return num_shards_; }
+  int vnodes_per_shard() const { return vnodes_per_shard_; }
+
+  // The ring position hashed for `key` (exposed so tests can pin the
+  // clockwise-successor rule independently of ShardFor).
+  static uint64_t HashKey(const std::string& key);
+
+ private:
+  int num_shards_;
+  int vnodes_per_shard_;
+  // Sorted (point, shard) pairs; lookup is a binary search for the first
+  // point >= hash, wrapping to the smallest point.
+  std::vector<std::pair<uint64_t, int>> ring_;
+};
+
+}  // namespace qcore
+
+#endif  // QCORE_SERVING_HASH_RING_H_

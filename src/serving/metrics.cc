@@ -99,6 +99,30 @@ double LatencyHistogram::QuantileSeconds(double q) const {
   return QuantileFromBuckets(buckets_, count_, q);
 }
 
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  if (&other == this) return;  // self-merge would double every bucket
+  uint64_t buckets[kNumBuckets];
+  uint64_t count;
+  double sum;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    std::memcpy(buckets, other.buckets_, sizeof(buckets));
+    count = other.count_;
+    sum = other.sum_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int b = 0; b < kNumBuckets; ++b) buckets_[b] += buckets[b];
+  count_ += count;
+  sum_ += sum;
+}
+
+void LatencyHistogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::memset(buckets_, 0, sizeof(buckets_));
+  count_ = 0;
+  sum_ = 0.0;
+}
+
 std::string LatencyHistogram::Summary() const {
   // One lock acquisition: the printed line must be internally consistent
   // even while pool workers keep recording.
@@ -168,6 +192,33 @@ uint64_t CountHistogram::CountAtLeast(int64_t value) const {
   return total;
 }
 
+void CountHistogram::MergeFrom(const CountHistogram& other) {
+  if (&other == this) return;  // self-merge would double every bucket
+  uint64_t buckets[kMaxTracked + 1];
+  uint64_t count;
+  int64_t sum, max;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    std::memcpy(buckets, other.buckets_, sizeof(buckets));
+    count = other.count_;
+    sum = other.sum_;
+    max = other.max_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int b = 0; b <= kMaxTracked; ++b) buckets_[b] += buckets[b];
+  count_ += count;
+  sum_ += sum;
+  if (max > max_) max_ = max;
+}
+
+void CountHistogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::memset(buckets_, 0, sizeof(buckets_));
+  count_ = 0;
+  sum_ = 0;
+  max_ = 0;
+}
+
 std::string CountHistogram::Summary() const {
   uint64_t count;
   int64_t sum, max;
@@ -185,6 +236,48 @@ std::string CountHistogram::Summary() const {
                                  static_cast<double>(count),
                 static_cast<long long>(max));
   return buf;
+}
+
+void ServingMetrics::MergeFrom(const ServingMetrics& other) {
+  if (&other == this) return;  // self-merge would double every counter
+  inference_latency_.MergeFrom(other.inference_latency_);
+  calibration_latency_.MergeFrom(other.calibration_latency_);
+  batch_occupancy_.MergeFrom(other.batch_occupancy_);
+  queue_depth_.MergeFrom(other.queue_depth_);
+  const auto add = [](std::atomic<uint64_t>& dst,
+                      const std::atomic<uint64_t>& src) {
+    dst.fetch_add(src.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  };
+  add(inference_requests_, other.inference_requests_);
+  add(inference_examples_, other.inference_examples_);
+  add(calibration_batches_, other.calibration_batches_);
+  add(calibration_examples_, other.calibration_examples_);
+  add(accuracy_micro_sum_, other.accuracy_micro_sum_);
+  add(accuracy_samples_, other.accuracy_samples_);
+  add(snapshots_, other.snapshots_);
+  add(accepted_inference_, other.accepted_inference_);
+  add(accepted_calibration_, other.accepted_calibration_);
+  add(shed_inference_, other.shed_inference_);
+  add(shed_calibration_, other.shed_calibration_);
+}
+
+void ServingMetrics::Reset() {
+  inference_latency_.Reset();
+  calibration_latency_.Reset();
+  batch_occupancy_.Reset();
+  queue_depth_.Reset();
+  inference_requests_.store(0, std::memory_order_relaxed);
+  inference_examples_.store(0, std::memory_order_relaxed);
+  calibration_batches_.store(0, std::memory_order_relaxed);
+  calibration_examples_.store(0, std::memory_order_relaxed);
+  accuracy_micro_sum_.store(0, std::memory_order_relaxed);
+  accuracy_samples_.store(0, std::memory_order_relaxed);
+  snapshots_.store(0, std::memory_order_relaxed);
+  accepted_inference_.store(0, std::memory_order_relaxed);
+  accepted_calibration_.store(0, std::memory_order_relaxed);
+  shed_inference_.store(0, std::memory_order_relaxed);
+  shed_calibration_.store(0, std::memory_order_relaxed);
 }
 
 float ServingMetrics::mean_accuracy() const {

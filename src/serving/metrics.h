@@ -32,6 +32,13 @@ class LatencyHistogram {
   // "count=12 mean=3.4ms p50=2.1ms p95=9.0ms p99=12.3ms"
   std::string Summary() const;
 
+  // Bucket-wise accumulation of another histogram (same fixed bounds), used
+  // by the sharded server's fleet rollup. Snapshot-consistent: `other` is
+  // copied under its own lock, then added under this one.
+  void MergeFrom(const LatencyHistogram& other);
+  // Zeroes the histogram (rollup rebuild).
+  void Reset();
+
   static constexpr int kNumBuckets = 48;
 
   // Upper bound of bucket b (seconds); last bucket is +inf.
@@ -68,6 +75,10 @@ class CountHistogram {
 
   // "count=12 mean=3.4 max=8".
   std::string Summary() const;
+
+  // Same merge/reset contract as LatencyHistogram.
+  void MergeFrom(const CountHistogram& other);
+  void Reset();
 
  private:
   mutable std::mutex mu_;
@@ -147,6 +158,15 @@ class ServingMetrics {
 
   // Mean of all recorded per-batch accuracies; 0 if none.
   float mean_accuracy() const;
+
+  // Accumulates another instance's counters and histograms into this one.
+  // The source keeps recording concurrently; each counter is read once, so
+  // the merged totals are a consistent-enough snapshot for reporting. This
+  // is how ShardedFleetServer builds its fleet rollup from per-shard
+  // metrics.
+  void MergeFrom(const ServingMetrics& other);
+  // Zeroes every counter and histogram (rollup rebuild between merges).
+  void Reset();
 
   // Multi-line human-readable report.
   std::string Report() const;

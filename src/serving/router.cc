@@ -1,0 +1,188 @@
+#include "serving/router.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace qcore {
+
+ShardedFleetServer::ShardedFleetServer(const QuantizedModel& base_model,
+                                       const BitFlipNet& base_bf,
+                                       ShardedFleetServerOptions options)
+    : base_model_(base_model),
+      base_bf_(base_bf),
+      options_(std::move(options)),
+      ring_(options_.num_shards, options_.vnodes_per_shard) {
+  QCORE_CHECK_GT(options_.num_shards, 0);
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(MakeShard());
+  }
+}
+
+ShardedFleetServer::~ShardedFleetServer() {
+  // Each shard's destructor drains its own pool; nothing shared to tear
+  // down first (the registry outlives shards_ by declaration order).
+}
+
+std::unique_ptr<FleetServer> ShardedFleetServer::MakeShard() {
+  return std::make_unique<FleetServer>(base_model_, base_bf_, options_.shard,
+                                       &snapshots_, &rollup_);
+}
+
+int ShardedFleetServer::ShardIndexFor(const std::string& device_id) const {
+  auto it = device_shard_.find(device_id);
+  QCORE_CHECK_MSG(it != device_shard_.end(),
+                  ("unknown device: " + device_id).c_str());
+  return it->second;
+}
+
+void ShardedFleetServer::RegisterDevice(const std::string& device_id,
+                                        Dataset qcore) {
+  // Control-plane, like migration: the clone-heavy session construction
+  // runs under the exclusive routing lock so registration can never race a
+  // Rebalance (a session on a shard the map does not know about — or vice
+  // versa — would break retirement's empty-shard invariant). Fleets
+  // register devices up front or at device-arrival rate, not per request.
+  std::unique_lock<std::shared_mutex> lock(route_mu_);
+  QCORE_CHECK_MSG(device_shard_.count(device_id) == 0,
+                  ("device registered twice: " + device_id).c_str());
+  const int shard = ring_.ShardFor(device_id);
+  shards_[static_cast<size_t>(shard)]->RegisterDevice(device_id,
+                                                      std::move(qcore));
+  device_shard_[device_id] = shard;
+}
+
+bool ShardedFleetServer::HasDevice(const std::string& device_id) const {
+  std::shared_lock<std::shared_mutex> lock(route_mu_);
+  return device_shard_.count(device_id) > 0;
+}
+
+int ShardedFleetServer::num_sessions() const {
+  std::shared_lock<std::shared_mutex> lock(route_mu_);
+  return static_cast<int>(device_shard_.size());
+}
+
+Result<std::future<InferenceResult>> ShardedFleetServer::TrySubmitInference(
+    const std::string& device_id, Tensor x) {
+  std::shared_lock<std::shared_mutex> lock(route_mu_);
+  return shards_[static_cast<size_t>(ShardIndexFor(device_id))]
+      ->TrySubmitInference(device_id, std::move(x));
+}
+
+Result<std::future<BatchStats>> ShardedFleetServer::TrySubmitCalibration(
+    const std::string& device_id, Dataset batch, Dataset test_slice) {
+  std::shared_lock<std::shared_mutex> lock(route_mu_);
+  return shards_[static_cast<size_t>(ShardIndexFor(device_id))]
+      ->TrySubmitCalibration(device_id, std::move(batch),
+                             std::move(test_slice));
+}
+
+std::future<uint64_t> ShardedFleetServer::PublishSnapshot(
+    const std::string& device_id) {
+  std::shared_lock<std::shared_mutex> lock(route_mu_);
+  return shards_[static_cast<size_t>(ShardIndexFor(device_id))]
+      ->PublishSnapshot(device_id);
+}
+
+void ShardedFleetServer::Drain() {
+  // The shared lock keeps the shard list stable (a concurrent Rebalance
+  // waits until the drain finishes); shard drains are independent, so
+  // sequential order is fine — each one only waits on its own work.
+  std::shared_lock<std::shared_mutex> lock(route_mu_);
+  for (auto& shard : shards_) shard->Drain();
+}
+
+void ShardedFleetServer::WithSessionQuiesced(
+    const std::string& device_id,
+    const std::function<void(CalibrationSession&)>& fn) {
+  std::shared_lock<std::shared_mutex> lock(route_mu_);
+  shards_[static_cast<size_t>(ShardIndexFor(device_id))]->WithSessionQuiesced(
+      device_id, fn);
+}
+
+// The rollup is write-through (shards record into it directly), so both
+// accessors are plain reads — always consistent, no locks, no rebuild.
+ServingMetrics& ShardedFleetServer::metrics() { return rollup_; }
+
+const ServingMetrics& ShardedFleetServer::metrics() const { return rollup_; }
+
+uint64_t ShardedFleetServer::MoveDevice(const std::string& device_id,
+                                        int target_shard) {
+  std::unique_lock<std::shared_mutex> lock(route_mu_);
+  QCORE_CHECK(target_shard >= 0 &&
+              target_shard < static_cast<int>(shards_.size()));
+  const int source = ShardIndexFor(device_id);
+  if (source == target_shard) {
+    // Degenerate move: still publish the barrier (callers rely on getting a
+    // version back), but skip the detach/attach.
+    return shards_[static_cast<size_t>(source)]
+        ->PublishSnapshot(device_id)
+        .get();
+  }
+  const uint64_t version = MigrateLocked(device_id, source, target_shard);
+  device_shard_[device_id] = target_shard;
+  return version;
+}
+
+uint64_t ShardedFleetServer::MigrateLocked(const std::string& device_id,
+                                           int source, int target) {
+  SessionHandoff handoff =
+      shards_[static_cast<size_t>(source)]->DetachSession(device_id);
+  shards_[static_cast<size_t>(target)]->AttachSession(handoff);
+  return handoff.barrier_version;
+}
+
+void ShardedFleetServer::Rebalance(int new_shard_count) {
+  std::unique_lock<std::shared_mutex> lock(route_mu_);
+  QCORE_CHECK_GT(new_shard_count, 0);
+  HashRing new_ring(new_shard_count, options_.vnodes_per_shard);
+  while (static_cast<int>(shards_.size()) < new_shard_count) {
+    shards_.push_back(MakeShard());
+  }
+  // Migrate exactly the devices whose ring position changed. Iteration is
+  // map order (deterministic), so barrier-snapshot versions are too.
+  for (auto& [device_id, shard] : device_shard_) {
+    const int target = new_ring.ShardFor(device_id);
+    if (target != shard) {
+      MigrateLocked(device_id, shard, target);
+      shard = target;
+    }
+  }
+  // Retire surplus shards: every session has been migrated off; drain any
+  // straggling control work, then destroy. Their events already live in
+  // the write-through rollup, so fleet totals never regress.
+  while (static_cast<int>(shards_.size()) > new_shard_count) {
+    FleetServer* shard = shards_.back().get();
+    QCORE_CHECK_MSG(shard->num_sessions() == 0,
+                    "Rebalance: retiring a shard that still owns sessions");
+    shard->Drain();
+    shards_.pop_back();
+  }
+  ring_ = std::move(new_ring);
+  options_.num_shards = new_shard_count;
+}
+
+int ShardedFleetServer::num_shards() const {
+  std::shared_lock<std::shared_mutex> lock(route_mu_);
+  return static_cast<int>(shards_.size());
+}
+
+int ShardedFleetServer::ShardOf(const std::string& device_id) const {
+  std::shared_lock<std::shared_mutex> lock(route_mu_);
+  return ShardIndexFor(device_id);
+}
+
+int ShardedFleetServer::SessionCountOnShard(int shard) const {
+  std::shared_lock<std::shared_mutex> lock(route_mu_);
+  QCORE_CHECK(shard >= 0 && shard < static_cast<int>(shards_.size()));
+  return shards_[static_cast<size_t>(shard)]->num_sessions();
+}
+
+const ServingMetrics& ShardedFleetServer::shard_metrics(int shard) const {
+  std::shared_lock<std::shared_mutex> lock(route_mu_);
+  QCORE_CHECK(shard >= 0 && shard < static_cast<int>(shards_.size()));
+  return shards_[static_cast<size_t>(shard)]->metrics();
+}
+
+}  // namespace qcore

@@ -1,0 +1,152 @@
+// ShardedFleetServer: the scale-out FleetBackend. N independent FleetServer
+// shards — each with its own ThreadPool, session mutex map, and (when
+// batching is enabled) its own InferenceBatcher — behind a consistent-hash
+// ring mapping device_id -> shard. Sessions never talk across shards, so
+// the per-shard pool/mutex pressure that bounded a single FleetServer now
+// divides by N, while the API and every determinism property stay exactly
+// those of FleetBackend: per-device results are bit-identical to a single
+// unsharded server (and to the single-threaded pipeline) for any shard
+// count — sessions are seeded by device id, never by placement.
+//
+// Shared planes:
+//   * SnapshotRegistry — ONE federated registry, passed into every shard,
+//     so versions are globally monotonic and a snapshot published by any
+//     shard is restorable on any other (which is what makes live
+//     rebalancing possible).
+//   * ServingMetrics — write-through rollup: every shard records each
+//     event into its own metrics AND the router's fleet rollup, so
+//     metrics() is always consistent to read concurrently (no rebuild or
+//     reset anywhere) and totals trivially survive shard retirement.
+//     Per-shard views stay available through shard_metrics().
+//
+// Live rebalancing (MoveDevice / Rebalance): under the exclusive routing
+// lock the source shard publishes a barrier snapshot for the device
+// (flushing its pending batched inference group first, then waiting out
+// its queue), serializes the session's continuation state, and drops the
+// session; the target shard restores the session from that registry
+// version plus the continuation. Submissions after the lock releases route
+// to the new shard. Because the barrier runs in the device's submission
+// order and the restored session resumes the exact model codes, QCore, and
+// Rng position, the device's subsequent results are provably bit-identical
+// to never having moved (pinned by tests/sharding_test.cc). Note the cost:
+// while a migration waits out the moving device's queued backlog, the
+// exclusive lock holds ALL new submissions (in-flight shard work keeps
+// running) — rebalancing is a control-plane pause, sized by the deepest
+// moving queue. A per-device migration pin that keeps unrelated devices
+// admitting is the known follow-up (ROADMAP).
+#ifndef QCORE_SERVING_ROUTER_H_
+#define QCORE_SERVING_ROUTER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "serving/backend.h"
+#include "serving/hash_ring.h"
+#include "serving/server.h"
+
+namespace qcore {
+
+struct ShardedFleetServerOptions {
+  // Shard count at construction; Rebalance() can change it live.
+  int num_shards = 2;
+  // Ring granularity (see serving/hash_ring.h).
+  int vnodes_per_shard = HashRing::kDefaultVnodesPerShard;
+  // Per-shard configuration: every shard gets its own pool of
+  // `shard.num_threads` workers, its own batcher, and the same seed (device
+  // seeds depend on the device id only, so placement never affects
+  // results).
+  FleetServerOptions shard;
+};
+
+class ShardedFleetServer : public FleetBackend {
+ public:
+  ShardedFleetServer(const QuantizedModel& base_model,
+                     const BitFlipNet& base_bf,
+                     ShardedFleetServerOptions options);
+
+  ShardedFleetServer(const ShardedFleetServer&) = delete;
+  ShardedFleetServer& operator=(const ShardedFleetServer&) = delete;
+
+  // Drains every shard (each shard's destructor drains its own pool).
+  ~ShardedFleetServer() override;
+
+  // FleetBackend: routing wrappers. Submissions take the routing lock
+  // shared, resolve the device's shard, and delegate; registration places
+  // the device by ring position.
+  void RegisterDevice(const std::string& device_id, Dataset qcore) override;
+  bool HasDevice(const std::string& device_id) const override;
+  int num_sessions() const override;
+  Result<std::future<InferenceResult>> TrySubmitInference(
+      const std::string& device_id, Tensor x) override;
+  Result<std::future<BatchStats>> TrySubmitCalibration(
+      const std::string& device_id, Dataset batch,
+      Dataset test_slice) override;
+  std::future<uint64_t> PublishSnapshot(const std::string& device_id) override;
+  void Drain() override;
+  void WithSessionQuiesced(
+      const std::string& device_id,
+      const std::function<void(CalibrationSession&)>& fn) override;
+  ServingMetrics& metrics() override;
+  const ServingMetrics& metrics() const override;
+  SnapshotRegistry& snapshots() override { return snapshots_; }
+
+  // --- Rebalancing control plane -----------------------------------------
+
+  // Migrates one device to `target_shard` (see the file comment for the
+  // barrier-snapshot protocol). Returns the barrier snapshot's registry
+  // version. The pin lasts until the next Rebalance(), which re-derives
+  // placement from the ring.
+  uint64_t MoveDevice(const std::string& device_id, int target_shard);
+
+  // Changes the shard count live: builds the new ring, creates any new
+  // shards, migrates exactly the devices whose ring position changed
+  // (growth moves devices only onto new shards — the consistent-hash
+  // minimal-movement property), then drains and retires surplus shards
+  // (folding their metrics into the rollup). Existing futures stay valid;
+  // subsequent submissions route by the new map.
+  void Rebalance(int new_shard_count);
+
+  // --- Introspection (benches, tests, reports) ---------------------------
+
+  int num_shards() const;
+  // Current shard of a registered device.
+  int ShardOf(const std::string& device_id) const;
+  int SessionCountOnShard(int shard) const;
+  // Per-shard metrics view (the rollup is metrics()). The reference is
+  // valid only until the next Rebalance() — a retired shard's metrics die
+  // with it (their events remain in the rollup); read, don't retain.
+  const ServingMetrics& shard_metrics(int shard) const;
+
+ private:
+  std::unique_ptr<FleetServer> MakeShard();
+  // Caller holds route_mu_ exclusive.
+  uint64_t MigrateLocked(const std::string& device_id, int source,
+                         int target);
+  int ShardIndexFor(const std::string& device_id) const;  // shared lock held
+
+  const QuantizedModel& base_model_;
+  const BitFlipNet& base_bf_;
+  ShardedFleetServerOptions options_;
+
+  // Federated across shards; declared before shards_ so they outlive them.
+  SnapshotRegistry snapshots_;
+  // Write-through fleet rollup: every shard records each event here as
+  // well as in its own metrics (see FleetServer's rollup_metrics). Never
+  // reset, so concurrent readers always see consistent, monotone totals.
+  ServingMetrics rollup_;
+
+  // Guards ring_/shards_/device_shard_. Shared: submissions, queries.
+  // Exclusive: registration, MoveDevice, Rebalance.
+  mutable std::shared_mutex route_mu_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<FleetServer>> shards_;
+  std::map<std::string, int> device_shard_;
+};
+
+}  // namespace qcore
+
+#endif  // QCORE_SERVING_ROUTER_H_

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/serialize.h"
 #include "common/stopwatch.h"
 
 namespace qcore {
@@ -21,10 +22,15 @@ void SimulateDeviceLink(double rtt_ms) {
 
 FleetServer::FleetServer(const QuantizedModel& base_model,
                          const BitFlipNet& base_bf,
-                         FleetServerOptions options)
+                         FleetServerOptions options,
+                         SnapshotRegistry* shared_registry,
+                         ServingMetrics* rollup_metrics)
     : base_model_(base_model),
       base_bf_(base_bf),
       options_(std::move(options)),
+      rollup_metrics_(rollup_metrics),
+      registry_(shared_registry != nullptr ? shared_registry
+                                           : &owned_registry_),
       pool_(options_.num_threads) {
   if (options_.enable_batching) {
     batcher_ = std::make_unique<InferenceBatcher>(
@@ -68,29 +74,73 @@ FleetServer::SessionState* FleetServer::FindSession(
   return it->second.get();
 }
 
-CalibrationSession* FleetServer::session(const std::string& device_id) {
-  return &FindSession(device_id)->session;
+std::unique_lock<std::mutex> FleetServer::QuiesceSession(
+    const std::string& device_id, SessionState* state) {
+  // Pending batched requests live outside the session FIFO; hand them to
+  // the sink first so the idle wait below covers them.
+  if (batcher_) batcher_->FlushDevice(device_id);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->idle_cv.wait(lock, [state]() {
+    return state->queue.empty() && !state->pumping;
+  });
+  return lock;
+}
+
+void FleetServer::WithSessionQuiesced(
+    const std::string& device_id,
+    const std::function<void(CalibrationSession&)>& fn) {
+  SessionState* state = FindSession(device_id);
+  // Holding the session lock across `fn` gives exclusive access: a pump
+  // cannot pop (or start) a task, and concurrent submissions for the device
+  // block in EnqueueOnSession until `fn` returns.
+  std::unique_lock<std::mutex> lock = QuiesceSession(device_id, state);
+  fn(state->session);
 }
 
 bool FleetServer::AdmitTask(SessionState* state, bool is_inference) {
+  std::atomic<int>& class_depth =
+      is_inference ? state->depth_inference : state->depth_calibration;
+  const int class_bound = is_inference
+                              ? options_.max_inference_queue_per_session
+                              : options_.max_calibration_queue_per_session;
+  // The shared gauge is reserved first and strictly (single fetch_add), so
+  // the recorded queue-depth samples can never exceed a configured shared
+  // bound; the class gauge is reserved second and undone on either shed.
   const int depth = state->depth.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (options_.max_queue_per_session > 0 &&
-      depth > options_.max_queue_per_session) {
+  const int class_depth_now =
+      class_depth.fetch_add(1, std::memory_order_relaxed) + 1;
+  const bool shed = (options_.max_queue_per_session > 0 &&
+                     depth > options_.max_queue_per_session) ||
+                    (class_bound > 0 && class_depth_now > class_bound);
+  if (shed) {
+    class_depth.fetch_sub(1, std::memory_order_relaxed);
     state->depth.fetch_sub(1, std::memory_order_relaxed);
-    if (is_inference) {
-      metrics_.AddShedInference();
-    } else {
-      metrics_.AddShedCalibration();
-    }
+    RecordMetrics([is_inference](ServingMetrics& m) {
+      if (is_inference) {
+        m.AddShedInference();
+      } else {
+        m.AddShedCalibration();
+      }
+    });
     return false;
   }
-  if (is_inference) {
-    metrics_.AddAcceptedInference();
-  } else {
-    metrics_.AddAcceptedCalibration();
-  }
-  metrics_.queue_depth().Record(depth);
+  RecordMetrics([is_inference, depth](ServingMetrics& m) {
+    if (is_inference) {
+      m.AddAcceptedInference();
+    } else {
+      m.AddAcceptedCalibration();
+    }
+    m.queue_depth().Record(depth);
+  });
   return true;
+}
+
+void FleetServer::ReleaseTask(SessionState* state, bool is_inference,
+                              int count) {
+  std::atomic<int>& class_depth =
+      is_inference ? state->depth_inference : state->depth_calibration;
+  class_depth.fetch_sub(count, std::memory_order_relaxed);
+  state->depth.fetch_sub(count, std::memory_order_relaxed);
 }
 
 Result<std::future<InferenceResult>> FleetServer::TrySubmitInference(
@@ -120,24 +170,16 @@ Result<std::future<InferenceResult>> FleetServer::TrySubmitInference(
         InferenceResult r;
         r.predictions = state->session.Predict(x);
         r.latency_seconds = timer.ElapsedSeconds();
-        metrics_.inference_latency().Record(r.latency_seconds);
-        metrics_.AddInference(static_cast<uint64_t>(x.dim(0)));
-        metrics_.batch_occupancy().Record(1);
+        RecordMetrics([&r, &x](ServingMetrics& m) {
+          m.inference_latency().Record(r.latency_seconds);
+          m.AddInference(static_cast<uint64_t>(x.dim(0)));
+          m.batch_occupancy().Record(1);
+        });
         promise->set_value(std::move(r));
-        state->depth.fetch_sub(1, std::memory_order_relaxed);
+        ReleaseTask(state, /*is_inference=*/true, 1);
       },
       TaskPriority::kHigh);
   return result;
-}
-
-std::future<InferenceResult> FleetServer::SubmitInference(
-    const std::string& device_id, Tensor x) {
-  Result<std::future<InferenceResult>> result =
-      TrySubmitInference(device_id, std::move(x));
-  QCORE_CHECK_MSG(result.ok(),
-                  "SubmitInference shed; use TrySubmitInference with "
-                  "bounded queues");
-  return std::move(result).value();
 }
 
 void FleetServer::FlushInferenceGroup(const std::string& device_id,
@@ -155,18 +197,21 @@ void FleetServer::FlushInferenceGroup(const std::string& device_id,
         for (const PendingInference& p : group) inputs.push_back(&p.input);
         std::vector<std::vector<int>> labels =
             state->session.PredictBatch(inputs);
-        metrics_.batch_occupancy().Record(
-            static_cast<int64_t>(group.size()));
+        RecordMetrics([&group](ServingMetrics& m) {
+          m.batch_occupancy().Record(static_cast<int64_t>(group.size()));
+        });
         for (size_t i = 0; i < group.size(); ++i) {
           InferenceResult r;
           r.predictions = std::move(labels[i]);
           r.latency_seconds = group[i].timer.ElapsedSeconds();
-          metrics_.inference_latency().Record(r.latency_seconds);
-          metrics_.AddInference(static_cast<uint64_t>(group[i].input.dim(0)));
+          RecordMetrics([&r, &group, i](ServingMetrics& m) {
+            m.inference_latency().Record(r.latency_seconds);
+            m.AddInference(static_cast<uint64_t>(group[i].input.dim(0)));
+          });
           group[i].promise->set_value(std::move(r));
         }
-        state->depth.fetch_sub(static_cast<int>(group.size()),
-                               std::memory_order_relaxed);
+        ReleaseTask(state, /*is_inference=*/true,
+                    static_cast<int>(group.size()));
       },
       TaskPriority::kHigh);
 }
@@ -192,32 +237,25 @@ Result<std::future<BatchStats>> FleetServer::TrySubmitCalibration(
        test_slice = std::move(test_slice)]() {
         SimulateDeviceLink(options_.simulated_device_rtt_ms);
         BatchStats stats = state->session.Calibrate(batch, test_slice);
-        metrics_.calibration_latency().Record(timer.ElapsedSeconds());
-        metrics_.AddCalibration(static_cast<uint64_t>(batch.size()));
-        metrics_.AddAccuracySample(stats.accuracy);
+        const double latency = timer.ElapsedSeconds();
+        RecordMetrics([&stats, &batch, latency](ServingMetrics& m) {
+          m.calibration_latency().Record(latency);
+          m.AddCalibration(static_cast<uint64_t>(batch.size()));
+          m.AddAccuracySample(stats.accuracy);
+        });
         if (options_.snapshot_every > 0 &&
             state->session.batches_processed() %
                     static_cast<uint64_t>(options_.snapshot_every) ==
                 0) {
-          snapshots_.Publish(*state->session.model(), device_id,
+          registry_->Publish(*state->session.model(), device_id,
                              state->session.batches_processed());
-          metrics_.AddSnapshot();
+          RecordMetrics([](ServingMetrics& m) { m.AddSnapshot(); });
         }
         promise->set_value(stats);
-        state->depth.fetch_sub(1, std::memory_order_relaxed);
+        ReleaseTask(state, /*is_inference=*/false, 1);
       },
       TaskPriority::kLow);
   return result;
-}
-
-std::future<BatchStats> FleetServer::SubmitCalibration(
-    const std::string& device_id, Dataset batch, Dataset test_slice) {
-  Result<std::future<BatchStats>> result = TrySubmitCalibration(
-      device_id, std::move(batch), std::move(test_slice));
-  QCORE_CHECK_MSG(result.ok(),
-                  "SubmitCalibration shed; use TrySubmitCalibration with "
-                  "bounded queues");
-  return std::move(result).value();
 }
 
 std::future<uint64_t> FleetServer::PublishSnapshot(
@@ -232,13 +270,54 @@ std::future<uint64_t> FleetServer::PublishSnapshot(
       state,
       [this, device_id, state, promise]() {
         const uint64_t version =
-            snapshots_.Publish(*state->session.model(), device_id,
+            registry_->Publish(*state->session.model(), device_id,
                                state->session.batches_processed());
-        metrics_.AddSnapshot();
+        RecordMetrics([](ServingMetrics& m) { m.AddSnapshot(); });
         promise->set_value(version);
       },
       TaskPriority::kHigh);
   return result;
+}
+
+SessionHandoff FleetServer::DetachSession(const std::string& device_id) {
+  SessionHandoff handoff;
+  handoff.device_id = device_id;
+  // Barrier snapshot: flushes the device's pending batched group (the PR 2
+  // follow-up — a group left pending would otherwise resolve against a
+  // session that moved shards) and, by session FIFO order, captures the
+  // model only after every previously submitted task has run.
+  handoff.barrier_version = PublishSnapshot(device_id).get();
+  SessionState* state = FindSession(device_id);
+  {
+    // The publish future resolves inside the task; wait for the pump to
+    // fully release the session before serializing and freeing it.
+    std::unique_lock<std::mutex> lock = QuiesceSession(device_id, state);
+    BinaryWriter w;
+    state->session.SerializeContinuation(&w);
+    handoff.continuation = w.TakeBuffer();
+  }
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.erase(device_id);
+  return handoff;
+}
+
+void FleetServer::AttachSession(const SessionHandoff& handoff) {
+  std::shared_ptr<const ModelSnapshot> snap =
+      registry_->Get(handoff.barrier_version);
+  QCORE_CHECK_MSG(snap != nullptr,
+                  "AttachSession: barrier snapshot not in this server's "
+                  "registry (shards must share one)");
+  BinaryReader r(handoff.continuation);
+  auto state = std::make_unique<SessionState>(
+      handoff.device_id, base_model_, base_bf_, options_.continual, *snap,
+      &r);
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  const bool inserted =
+      sessions_.emplace(handoff.device_id, std::move(state)).second;
+  QCORE_CHECK_MSG(inserted,
+                  ("AttachSession: device already present: " +
+                   handoff.device_id)
+                      .c_str());
 }
 
 void FleetServer::EnqueueOnSession(SessionState* state,
@@ -274,6 +353,10 @@ void FleetServer::PumpSession(SessionState* state) {
       std::lock_guard<std::mutex> lock(state->mu);
       if (state->queue.empty()) {
         state->pumping = false;
+        // Wake quiesce waiters (WithSessionQuiesced, DetachSession) only
+        // once the session is fully released; after the unlock below the
+        // pump never touches `state` again.
+        state->idle_cv.notify_all();
         return;
       }
       task = std::move(state->queue.front());

@@ -1,7 +1,9 @@
-// FleetServer: multiplexes many per-device CalibrationSessions over one
-// shared ThreadPool, interleaving quantized-inference requests with
-// background continual-calibration work (the serving-runtime analogue of the
-// paper's single-device loop, scaled out).
+// FleetServer: the single-shard FleetBackend — multiplexes many per-device
+// CalibrationSessions over one shared ThreadPool, interleaving
+// quantized-inference requests with background continual-calibration work
+// (the serving-runtime analogue of the paper's single-device loop, scaled
+// out). The sharded backend (serving/router.h) composes N of these behind a
+// consistent-hash router.
 //
 // Scheduling model: each session is an actor. Work for a device goes into
 // that device's FIFO; a session is "pumped" by at most one pool worker at a
@@ -26,15 +28,25 @@
 //     overload the pool serves inference first and calibration backlogs
 //     instead (two-level queue in runtime/thread_pool). Priority reorders
 //     work only ACROSS sessions, never within one, so determinism holds.
-//   * Backpressure (opt-in): with max_queue_per_session > 0, TrySubmit*
-//     fast-fails with Status kResourceExhausted once a device's
-//     outstanding work hits the bound; shed/accepted counts and queue-depth
-//     samples land in ServingMetrics.
+//   * Backpressure (opt-in): with a queue bound set, TrySubmit* fast-fails
+//     with Status kResourceExhausted once a device's outstanding work hits
+//     the bound. Bounds come in a legacy shared form
+//     (max_queue_per_session, both classes together) and per-class forms
+//     (inference and calibration capped independently); shed/accepted
+//     counts and queue-depth samples land in ServingMetrics.
 //
 // Results come back through std::future; the ServingMetrics instance
 // aggregates latency histograms and counters across all sessions, and
-// calibrated models can be published into the SnapshotRegistry as immutable
-// copy-on-write versions.
+// calibrated models can be published into the SnapshotRegistry (owned, or
+// shared with sibling shards) as immutable copy-on-write versions.
+//
+// Session migration: DetachSession publishes a barrier snapshot (flushing
+// any pending batched group first), waits for the session to quiesce,
+// serializes its continuation state (Rng position, resampled QCore, batch
+// counter), and removes it; AttachSession reconstructs the session from the
+// registry version plus that continuation — bit-identical to never having
+// moved. The sharded router drives these two under its routing lock to
+// rebalance devices across shards live.
 #ifndef QCORE_SERVING_SERVER_H_
 #define QCORE_SERVING_SERVER_H_
 
@@ -53,6 +65,7 @@
 #include "common/status.h"
 #include "core/continual.h"
 #include "runtime/thread_pool.h"
+#include "serving/backend.h"
 #include "serving/batcher.h"
 #include "serving/metrics.h"
 #include "serving/session.h"
@@ -66,7 +79,8 @@ struct FleetServerOptions {
   int num_threads = 4;
   // Per-session continual-calibration configuration (Algorithms 3+4).
   ContinualOptions continual;
-  // Fleet seed; each session's Rng seed is DeviceSeed(seed, device_id).
+  // Fleet seed; each session's Rng seed is DeviceSeed(seed, device_id) —
+  // independent of which shard hosts the session.
   uint64_t seed = 0x5EED;
   // Publish a session snapshot every k calibration batches (0 = never;
   // PublishSnapshot remains available on demand).
@@ -84,74 +98,91 @@ struct FleetServerOptions {
   // compare against.
   bool enable_batching = false;
   InferenceBatcherOptions batching;
-  // Overload bound: maximum outstanding tasks per session (queued, pending
-  // in the batcher, or running). 0 = unbounded. When the bound is hit,
-  // TrySubmitInference/TrySubmitCalibration shed the request with
-  // kResourceExhausted instead of queueing it.
+  // Legacy shared overload bound: maximum outstanding tasks per session of
+  // EITHER class (queued, pending in the batcher, or running). 0 =
+  // unbounded. Kept as the "both classes together" bound for compatibility;
+  // the per-class bounds below compose with it (admission requires every
+  // configured bound to hold).
   int max_queue_per_session = 0;
+  // Per-class bounds (ROADMAP backpressure follow-up): cap outstanding
+  // inference and calibration independently, so a calibration backlog can
+  // never consume the admission budget of latency-sensitive inference (and
+  // vice versa). 0 = that class unbounded by its own cap.
+  int max_inference_queue_per_session = 0;
+  int max_calibration_queue_per_session = 0;
 };
 
-class FleetServer {
+// Everything needed to re-create a session on another FleetServer,
+// bit-identically: the registry version of the barrier snapshot that holds
+// its model codes, plus the serialized continuation state (see
+// CalibrationSession::SerializeContinuation). Producing one requires the
+// source and target to share a SnapshotRegistry (the sharded router's
+// federated registry).
+struct SessionHandoff {
+  std::string device_id;
+  uint64_t barrier_version = 0;
+  std::vector<uint8_t> continuation;
+};
+
+class FleetServer : public FleetBackend {
  public:
   // `base_model` is the server-prepared deployed model (quantize + initial
   // calibration done, shadows dropped) and `base_bf` its trained
   // bit-flipping net; every registered device starts from clones of these.
   // Both are held by reference and re-cloned on every RegisterDevice, so
-  // they must outlive the server.
+  // they must outlive the server. `shared_registry` (optional) makes this
+  // server publish into an external registry instead of its own — the
+  // sharded router passes its federated registry so versions are globally
+  // monotonic across shards. `rollup_metrics` (optional) is a second
+  // ServingMetrics every event is recorded into besides this server's own
+  // — the router's write-through fleet rollup, which therefore needs no
+  // locked rebuild and survives shard retirement by construction. Both
+  // must outlive the server.
   FleetServer(const QuantizedModel& base_model, const BitFlipNet& base_bf,
-              FleetServerOptions options);
+              FleetServerOptions options,
+              SnapshotRegistry* shared_registry = nullptr,
+              ServingMetrics* rollup_metrics = nullptr);
 
   FleetServer(const FleetServer&) = delete;
   FleetServer& operator=(const FleetServer&) = delete;
 
   // Drains all in-flight work, then stops the pool.
-  ~FleetServer();
+  ~FleetServer() override;
 
-  // Creates the device's session (clone of the base model + net, QCore
-  // copy, deterministic per-device seed). Must not already exist.
-  void RegisterDevice(const std::string& device_id, Dataset qcore);
+  void RegisterDevice(const std::string& device_id, Dataset qcore) override;
 
-  bool HasDevice(const std::string& device_id) const;
-  int num_sessions() const;
+  bool HasDevice(const std::string& device_id) const override;
+  int num_sessions() const override;
 
-  // Admission-controlled async quantized inference on the device's current
-  // model. Sheds with kResourceExhausted when the session's queue bound is
-  // hit (never blocks, never deadlocks — the overload fast-fail).
   Result<std::future<InferenceResult>> TrySubmitInference(
-      const std::string& device_id, Tensor x);
+      const std::string& device_id, Tensor x) override;
 
-  // Admission-controlled async continual-calibration step on one stream
-  // batch; the test slice is evaluated after calibration (accuracy feeds
-  // the metrics). Sheds like TrySubmitInference under overload.
   Result<std::future<BatchStats>> TrySubmitCalibration(
-      const std::string& device_id, Dataset batch, Dataset test_slice);
+      const std::string& device_id, Dataset batch,
+      Dataset test_slice) override;
 
-  // Unconditional submission forms, for servers without a queue bound.
-  // With max_queue_per_session set, a shed submission is a programming
-  // error here (checked) — overload-aware callers use TrySubmit*.
-  std::future<InferenceResult> SubmitInference(const std::string& device_id,
-                                               Tensor x);
-  std::future<BatchStats> SubmitCalibration(const std::string& device_id,
-                                            Dataset batch,
-                                            Dataset test_slice);
-
-  // Async snapshot publish of the device's current model; resolves to the
-  // assigned version. Runs in the session's task order (a pending batched
-  // inference group is flushed first), so it captures the model exactly
-  // after the work submitted before it. Control-plane: never shed.
-  std::future<uint64_t> PublishSnapshot(const std::string& device_id);
+  std::future<uint64_t> PublishSnapshot(const std::string& device_id) override;
 
   // Blocks until every queued task (including pending batched inference and
   // tasks queued while draining) has finished.
-  void Drain();
+  void Drain() override;
 
-  // Read-side access for tests/benches. Only safe when the device has no
-  // in-flight work (e.g. after Drain()).
-  CalibrationSession* session(const std::string& device_id);
+  void WithSessionQuiesced(
+      const std::string& device_id,
+      const std::function<void(CalibrationSession&)>& fn) override;
 
-  ServingMetrics& metrics() { return metrics_; }
-  const ServingMetrics& metrics() const { return metrics_; }
-  SnapshotRegistry& snapshots() { return snapshots_; }
+  // Session migration (the sharded router's rebalancing primitives; see the
+  // file comment). The caller must guarantee no concurrent submissions for
+  // the device — the router holds its routing lock in exclusive mode.
+  // DetachSession publishes the barrier snapshot, quiesces, serializes, and
+  // removes the session; AttachSession re-creates it from the handoff
+  // (whose barrier_version must resolve in this server's snapshots()).
+  SessionHandoff DetachSession(const std::string& device_id);
+  void AttachSession(const SessionHandoff& handoff);
+
+  ServingMetrics& metrics() override { return metrics_; }
+  const ServingMetrics& metrics() const override { return metrics_; }
+  SnapshotRegistry& snapshots() override { return *registry_; }
 
  private:
   struct SessionState {
@@ -160,11 +191,16 @@ class FleetServer {
         : session(std::forward<Args>(args)...) {}
     CalibrationSession session;
     std::mutex mu;                                // guards queue + pumping
+    std::condition_variable idle_cv;  // signaled when pumping stops
     std::deque<std::function<void()>> queue;
     bool pumping = false;  // a pool worker currently owns this session
     // Outstanding tasks: queued here, pending in the batcher, or running.
-    // The admission-control gauge for max_queue_per_session.
+    // `depth` is the shared gauge (both classes) for the legacy bound and
+    // the queue-depth histogram; the per-class gauges back the independent
+    // inference/calibration bounds.
     std::atomic<int> depth{0};
+    std::atomic<int> depth_inference{0};
+    std::atomic<int> depth_calibration{0};
   };
 
   // Enqueues a closure on the session's FIFO and schedules a pump if none
@@ -180,11 +216,20 @@ class FleetServer {
   void FlushInferenceGroup(const std::string& device_id,
                            std::vector<PendingInference> group);
 
-  // Admission control: reserves a slot in the session's depth gauge, or
+  // Admission control: reserves a slot in the session's depth gauges, or
   // sheds (recording metrics) and returns false.
   bool AdmitTask(SessionState* state, bool is_inference);
+  // Releases `count` slots of the given class (task completion).
+  void ReleaseTask(SessionState* state, bool is_inference, int count);
 
   SessionState* FindSession(const std::string& device_id);
+
+  // Flushes the device's pending batched group (if any), then blocks until
+  // the session's FIFO is empty and no pump owns it; returns holding the
+  // session lock so the caller has exclusive access. Must not run on a pool
+  // worker (it would wait for itself).
+  std::unique_lock<std::mutex> QuiesceSession(const std::string& device_id,
+                                              SessionState* state);
 
   // In-flight accounting: a task counts from EnqueueOnSession until its
   // closure has run. Drain() waits on this, not on the pool, because a task
@@ -192,11 +237,23 @@ class FleetServer {
   // pump being handed to the pool.
   void TaskFinished();
 
+  // Applies a recording closure to this server's metrics and, when the
+  // router provided one, to the shared fleet rollup. Double recording per
+  // event is the price of a rollup that is always consistent to read
+  // concurrently (no rebuild, no reset).
+  template <typename Fn>
+  void RecordMetrics(const Fn& fn) {
+    fn(metrics_);
+    if (rollup_metrics_ != nullptr) fn(*rollup_metrics_);
+  }
+
   const QuantizedModel& base_model_;
   const BitFlipNet& base_bf_;
   FleetServerOptions options_;
   ServingMetrics metrics_;
-  SnapshotRegistry snapshots_;
+  ServingMetrics* rollup_metrics_;  // null unless owned by a router
+  SnapshotRegistry owned_registry_;  // used unless a shared one was passed
+  SnapshotRegistry* registry_;
 
   mutable std::mutex sessions_mu_;  // guards the map, not the sessions
   std::map<std::string, std::unique_ptr<SessionState>> sessions_;

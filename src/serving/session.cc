@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/serialize.h"
 #include "quant/ste_calibrator.h"
 #include "tensor/tensor_ops.h"
 
@@ -14,12 +15,63 @@ CalibrationSession::CalibrationSession(std::string device_id,
                                        const ContinualOptions& options,
                                        uint64_t seed)
     : device_id_(std::move(device_id)),
+      options_(options),
       model_(base_model.Clone()),
       rng_(seed) {
-  if (options.use_bitflip) bitflip_.emplace(base_bf.Clone());
+  if (options_.use_bitflip) bitflip_.emplace(base_bf.Clone());
+  BuildDriver(std::move(qcore));
+}
+
+CalibrationSession::CalibrationSession(std::string device_id,
+                                       const QuantizedModel& base_model,
+                                       const BitFlipNet& base_bf,
+                                       const ContinualOptions& options,
+                                       const ModelSnapshot& snapshot,
+                                       BinaryReader* continuation)
+    : device_id_(std::move(device_id)),
+      options_(options),
+      model_(base_model.Clone()),
+      rng_(0) {  // placeholder; the restored state below replaces it
+  QCORE_CHECK(continuation != nullptr);
+  const Status restored = SnapshotRegistry::RestoreInto(snapshot, model_.get());
+  QCORE_CHECK_MSG(restored.ok(), "session restore: bad model snapshot");
+  if (options_.use_bitflip) bitflip_.emplace(base_bf.Clone());
+
+  auto batches = continuation->ReadU64();
+  QCORE_CHECK_MSG(batches.ok(), "session restore: truncated continuation");
+  batches_processed_ = batches.value();
+  Rng::State state;
+  for (uint64_t& word : state.s) {
+    auto s = continuation->ReadU64();
+    QCORE_CHECK_MSG(s.ok(), "session restore: truncated Rng state");
+    word = s.value();
+  }
+  auto has_cached = continuation->ReadU32();
+  auto cached = continuation->ReadF64();
+  QCORE_CHECK_MSG(has_cached.ok() && cached.ok(),
+                  "session restore: truncated Rng state");
+  state.has_cached_gaussian = has_cached.value() != 0;
+  state.cached_gaussian = cached.value();
+  rng_.RestoreState(state);
+
+  auto qcore = Dataset::DeserializeFrom(continuation);
+  QCORE_CHECK_MSG(qcore.ok(), "session restore: bad QCore record");
+  BuildDriver(std::move(qcore).value());
+}
+
+void CalibrationSession::BuildDriver(Dataset qcore) {
   driver_ = std::make_unique<ContinualDriver>(
       model_.get(), bitflip_.has_value() ? &*bitflip_ : nullptr,
-      std::move(qcore), options, &rng_);
+      std::move(qcore), options_, &rng_);
+}
+
+void CalibrationSession::SerializeContinuation(BinaryWriter* w) const {
+  w->WriteU64(batches_processed_);
+  const Rng::State state = rng_.SaveState();
+  for (uint64_t word : state.s) w->WriteU64(word);
+  w->WriteU32(state.has_cached_gaussian ? 1 : 0);
+  w->WriteF64(state.cached_gaussian);
+  driver_->qcore().SerializeTo(w);
 }
 
 std::vector<int> CalibrationSession::Predict(const Tensor& x) {

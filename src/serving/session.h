@@ -23,8 +23,12 @@
 #include "core/bitflip.h"
 #include "data/dataset.h"
 #include "quant/quantized_model.h"
+#include "serving/snapshot.h"
 
 namespace qcore {
+
+class BinaryReader;
+class BinaryWriter;
 
 class CalibrationSession {
  public:
@@ -34,6 +38,20 @@ class CalibrationSession {
   CalibrationSession(std::string device_id, const QuantizedModel& base_model,
                      const BitFlipNet& base_bf, Dataset qcore,
                      const ContinualOptions& options, uint64_t seed);
+
+  // Restore constructor: resumes a session elsewhere (e.g. on another shard)
+  // from a published model snapshot plus a continuation blob written by
+  // SerializeContinuation. The restored session is bit-identical to the one
+  // that was serialized: same model codes (from the snapshot), same QCore
+  // contents, same Rng stream position, same batch counter — so the streams
+  // it processes next produce exactly the results the original would have.
+  // Malformed inputs are programming errors (checked), not statuses: the
+  // blob never leaves the process.
+  CalibrationSession(std::string device_id, const QuantizedModel& base_model,
+                     const BitFlipNet& base_bf,
+                     const ContinualOptions& options,
+                     const ModelSnapshot& snapshot,
+                     BinaryReader* continuation);
 
   CalibrationSession(const CalibrationSession&) = delete;
   CalibrationSession& operator=(const CalibrationSession&) = delete;
@@ -65,8 +83,18 @@ class CalibrationSession {
   const QuantizedModel& model() const { return *model_; }
   const Dataset& qcore() const { return driver_->qcore(); }
 
+  // Writes the continuation state that is NOT captured by a model snapshot:
+  // the batch counter, the Rng stream position, and the current (resampled)
+  // QCore. Together with a snapshot of the model, this is everything a
+  // restore constructor needs to continue the session bit-identically. The
+  // caller must guarantee the session is quiescent (no task running).
+  void SerializeContinuation(BinaryWriter* w) const;
+
  private:
+  void BuildDriver(Dataset qcore);
+
   std::string device_id_;
+  ContinualOptions options_;
   std::unique_ptr<QuantizedModel> model_;
   // Cloned only when the continual options use bit-flipping (the NoBF
   // ablation runs without one).

@@ -1,8 +1,10 @@
 // Overload-control tests: bounded per-session queues must shed with
 // kResourceExhausted instead of queueing unboundedly (and never deadlock),
+// per-class bounds must cap inference and calibration independently,
 // inference must be prioritized over background calibration at the pool,
 // and the shed/accepted counters must reconcile exactly with what callers
-// observed. Runs under ThreadSanitizer in CI alongside serving_test.
+// observed — against both FleetBackend implementations. Runs under
+// ThreadSanitizer in CI alongside serving_test.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -18,6 +20,8 @@
 #include "data/har_generator.h"
 #include "models/model_zoo.h"
 #include "runtime/thread_pool.h"
+#include "serving/backend.h"
+#include "serving/router.h"
 #include "serving/server.h"
 
 namespace qcore {
@@ -135,43 +139,130 @@ ContinualOptions FastContinualOptions() {
   return opts;
 }
 
+// `num_shards` == 0 selects the single-pool FleetServer; > 0 the sharded
+// router (bounds apply per session regardless of placement).
+std::unique_ptr<FleetBackend> MakeBackend(FleetFixture* f,
+                                          const FleetServerOptions& opts,
+                                          int num_shards) {
+  if (num_shards <= 0) {
+    return std::make_unique<FleetServer>(*f->base, *f->bf, opts);
+  }
+  ShardedFleetServerOptions sopts;
+  sopts.num_shards = num_shards;
+  sopts.shard = opts;
+  return std::make_unique<ShardedFleetServer>(*f->base, *f->bf, sopts);
+}
+
 // ------------------------------------------------------- load shedding
 
 TEST(BackpressureTest, ShedsWithResourceExhaustedWhenQueueFull) {
   FleetFixture* f = GetFixture();
+  for (int num_shards : {0, 2}) {
+    SCOPED_TRACE(num_shards == 0 ? "FleetServer" : "ShardedFleetServer");
+    FleetServerOptions opts;
+    opts.num_threads = 1;
+    opts.continual = FastContinualOptions();
+    opts.max_queue_per_session = 1;
+    // Slow the admitted task down so the second submission deterministically
+    // finds the queue full.
+    opts.simulated_device_rtt_ms = 50.0;
+    auto server = MakeBackend(f, opts, num_shards);
+    server->RegisterDevice("dev", f->qcore);
+
+    auto first = server->TrySubmitInference("dev", f->target.test.x());
+    ASSERT_TRUE(first.ok());
+    auto second = server->TrySubmitInference("dev", f->target.test.x());
+    ASSERT_FALSE(second.ok());
+    EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_NE(second.status().message().find("dev"), std::string::npos);
+    auto third =
+        server->TrySubmitCalibration("dev", f->batches[0], f->slices[0]);
+    ASSERT_FALSE(third.ok());
+    EXPECT_EQ(third.status().code(), StatusCode::kResourceExhausted);
+
+    // The shed request's slot was released: after the first completes, the
+    // session accepts again.
+    std::move(first).value().get();
+    server->Drain();
+    auto fourth = server->TrySubmitInference("dev", f->target.test.x());
+    EXPECT_TRUE(fourth.ok());
+    server->Drain();
+
+    EXPECT_EQ(server->metrics().shed_inference(), 1u);
+    EXPECT_EQ(server->metrics().shed_calibration(), 1u);
+    EXPECT_EQ(server->metrics().accepted_inference(), 2u);
+    EXPECT_EQ(server->metrics().queue_depth().max(), 1);
+  }
+}
+
+// Per-class bounds: a calibration backlog must not consume inference's
+// admission budget, and vice versa — each class sheds against its own cap.
+TEST(BackpressureTest, PerClassBoundsShedIndependently) {
+  FleetFixture* f = GetFixture();
   FleetServerOptions opts;
   opts.num_threads = 1;
   opts.continual = FastContinualOptions();
-  opts.max_queue_per_session = 1;
-  // Slow the admitted task down so the second submission deterministically
-  // finds the queue full.
+  opts.max_inference_queue_per_session = 1;
+  opts.max_calibration_queue_per_session = 2;
+  // No shared bound: only the per-class caps act.
+  opts.max_queue_per_session = 0;
   opts.simulated_device_rtt_ms = 50.0;
   FleetServer server(*f->base, *f->bf, opts);
   server.RegisterDevice("dev", f->qcore);
 
-  auto first = server.TrySubmitInference("dev", f->target.test.x());
-  ASSERT_TRUE(first.ok());
-  auto second = server.TrySubmitInference("dev", f->target.test.x());
-  ASSERT_FALSE(second.ok());
-  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
-  EXPECT_NE(second.status().message().find("dev"), std::string::npos);
-  auto third =
-      server.TrySubmitCalibration("dev", f->batches[0], f->slices[0]);
-  ASSERT_FALSE(third.ok());
-  EXPECT_EQ(third.status().code(), StatusCode::kResourceExhausted);
+  // Inference cap 1: the second submission sheds...
+  auto inf1 = server.TrySubmitInference("dev", f->target.test.x());
+  ASSERT_TRUE(inf1.ok());
+  auto inf2 = server.TrySubmitInference("dev", f->target.test.x());
+  ASSERT_FALSE(inf2.ok());
+  EXPECT_EQ(inf2.status().code(), StatusCode::kResourceExhausted);
+  // ...but calibration admission is untouched by the inference backlog:
+  // cap 2 admits two and sheds the third.
+  auto cal1 = server.TrySubmitCalibration("dev", f->batches[0], f->slices[0]);
+  auto cal2 = server.TrySubmitCalibration("dev", f->batches[1], f->slices[1]);
+  ASSERT_TRUE(cal1.ok());
+  ASSERT_TRUE(cal2.ok());
+  auto cal3 = server.TrySubmitCalibration("dev", f->batches[2], f->slices[2]);
+  ASSERT_FALSE(cal3.ok());
+  EXPECT_EQ(cal3.status().code(), StatusCode::kResourceExhausted);
 
-  // The shed request's slot was released: after the first completes, the
-  // session accepts again.
-  std::move(first).value().get();
   server.Drain();
-  auto fourth = server.TrySubmitInference("dev", f->target.test.x());
-  EXPECT_TRUE(fourth.ok());
-  server.Drain();
-
   EXPECT_EQ(server.metrics().shed_inference(), 1u);
   EXPECT_EQ(server.metrics().shed_calibration(), 1u);
-  EXPECT_EQ(server.metrics().accepted_inference(), 2u);
-  EXPECT_EQ(server.metrics().queue_depth().max(), 1);
+  EXPECT_EQ(server.metrics().accepted_inference(), 1u);
+  EXPECT_EQ(server.metrics().accepted_calibration(), 2u);
+  // Completion counters reconcile with admission.
+  EXPECT_EQ(server.metrics().inference_requests(), 1u);
+  EXPECT_EQ(server.metrics().calibration_batches(), 2u);
+}
+
+// The legacy shared bound composes with per-class caps: admission requires
+// every configured bound to hold.
+TEST(BackpressureTest, SharedBoundComposesWithPerClassBounds) {
+  FleetFixture* f = GetFixture();
+  FleetServerOptions opts;
+  opts.num_threads = 1;
+  opts.continual = FastContinualOptions();
+  opts.max_queue_per_session = 2;             // total cap
+  opts.max_calibration_queue_per_session = 8;  // loose class cap
+  opts.simulated_device_rtt_ms = 50.0;
+  FleetServer server(*f->base, *f->bf, opts);
+  server.RegisterDevice("dev", f->qcore);
+
+  // Two calibrations fill the SHARED bound even though the class cap (8)
+  // has room — the third sheds on the total.
+  auto cal1 = server.TrySubmitCalibration("dev", f->batches[0], f->slices[0]);
+  auto cal2 = server.TrySubmitCalibration("dev", f->batches[1], f->slices[1]);
+  ASSERT_TRUE(cal1.ok());
+  ASSERT_TRUE(cal2.ok());
+  auto cal3 = server.TrySubmitCalibration("dev", f->batches[2], f->slices[2]);
+  ASSERT_FALSE(cal3.ok());
+  // And inference (no class cap at all) sheds on the shared bound too.
+  auto inf = server.TrySubmitInference("dev", f->target.test.x());
+  ASSERT_FALSE(inf.ok());
+  EXPECT_EQ(inf.status().code(), StatusCode::kResourceExhausted);
+  server.Drain();
+  EXPECT_LE(server.metrics().queue_depth().max(), 2);
 }
 
 // Floods a bounded server from several submitter threads at once; every
@@ -180,6 +271,8 @@ TEST(BackpressureTest, ShedsWithResourceExhaustedWhenQueueFull) {
 // matching acceptance.
 TEST(BackpressureTest, FloodReconcilesAcceptedPlusShed) {
   FleetFixture* f = GetFixture();
+  for (int num_shards : {0, 2}) {
+  SCOPED_TRACE(num_shards == 0 ? "FleetServer" : "ShardedFleetServer");
   FleetServerOptions opts;
   opts.num_threads = 2;
   opts.continual = FastContinualOptions();
@@ -188,7 +281,8 @@ TEST(BackpressureTest, FloodReconcilesAcceptedPlusShed) {
   opts.enable_batching = true;         // flood through the batcher too
   opts.batching.max_batch = 4;
   opts.batching.max_delay_us = 100.0;
-  FleetServer server(*f->base, *f->bf, opts);
+  auto server_ptr = MakeBackend(f, opts, num_shards);
+  FleetBackend& server = *server_ptr;
   const int kDevices = 4;
   for (int d = 0; d < kDevices; ++d) {
     server.RegisterDevice("dev-" + std::to_string(d), f->qcore);
@@ -265,6 +359,7 @@ TEST(BackpressureTest, FloodReconcilesAcceptedPlusShed) {
   // The bound was actually exercised and never exceeded.
   EXPECT_LE(m.queue_depth().max(), 3);
   EXPECT_FALSE(m.Report().empty());
+  }
 }
 
 // Under overload, the pool must serve inference before the calibration

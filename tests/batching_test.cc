@@ -1,9 +1,12 @@
 // Tests for cross-device inference batching: the batched path must be
 // bit-identical to the unbatched request-at-a-time path — same per-request
 // predictions (in the same per-device delivery order) and same final model
-// codes — across batch sizes and thread counts. Also pins down the flush
-// triggers: size (max_batch), deadline (max_delay_us), explicit barriers
-// (calibration/snapshot/drain), and the degenerate single-request batch.
+// codes — across batch sizes, thread counts, and backends (the workload
+// harness runs against the FleetBackend interface, so the single-pool
+// FleetServer and the sharded router with its per-shard batchers are both
+// pinned). Also covers the flush triggers: size (max_batch), deadline
+// (max_delay_us), explicit barriers (calibration/snapshot/drain), and the
+// degenerate single-request batch.
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -15,6 +18,8 @@
 #include "core/qcore_builder.h"
 #include "data/har_generator.h"
 #include "models/model_zoo.h"
+#include "serving/backend.h"
+#include "serving/router.h"
 #include "serving/server.h"
 #include "tensor/tensor_ops.h"
 
@@ -130,30 +135,45 @@ FleetServerOptions BatchedOptions(int threads, int max_batch,
   return opts;
 }
 
+// `num_shards` == 0 selects the single-pool FleetServer; > 0 the sharded
+// router (each shard with its own batcher).
+std::unique_ptr<FleetBackend> MakeBackend(FleetFixture* f,
+                                          const FleetServerOptions& opts,
+                                          int num_shards) {
+  if (num_shards <= 0) {
+    return std::make_unique<FleetServer>(*f->base, *f->bf, opts);
+  }
+  ShardedFleetServerOptions sopts;
+  sopts.num_shards = num_shards;
+  sopts.shard = opts;
+  return std::make_unique<ShardedFleetServer>(*f->base, *f->bf, sopts);
+}
+
 // Interleaved workload: per stream batch and device, a burst of distinct
 // inference probes, one calibration step, one more probe. Exercises
 // size-trigger flushes (bursts), barrier flushes (calibration), and the
 // drain flush (trailing probes).
-WorkloadResult RunWorkload(const FleetServerOptions& opts) {
+WorkloadResult RunWorkload(const FleetServerOptions& opts,
+                           int num_shards = 0) {
   FleetFixture* f = GetFixture();
   const std::vector<std::string> devices = {"dev-a", "dev-b"};
-  FleetServer server(*f->base, *f->bf, opts);
-  for (const auto& d : devices) server.RegisterDevice(d, f->qcore);
+  auto server = MakeBackend(f, opts, num_shards);
+  for (const auto& d : devices) server->RegisterDevice(d, f->qcore);
 
   std::vector<std::vector<std::future<InferenceResult>>> futures(
       devices.size());
   for (size_t b = 0; b < f->batches.size(); ++b) {
     for (size_t d = 0; d < devices.size(); ++d) {
       for (size_t p = 0; p < 3; ++p) {
-        futures[d].push_back(server.SubmitInference(
+        futures[d].push_back(server->SubmitInference(
             devices[d], f->probes[(b + d + p) % f->probes.size()]));
       }
-      server.SubmitCalibration(devices[d], f->batches[b], f->slices[b]);
-      futures[d].push_back(server.SubmitInference(
+      server->SubmitCalibration(devices[d], f->batches[b], f->slices[b]);
+      futures[d].push_back(server->SubmitInference(
           devices[d], f->probes[(b + d) % f->probes.size()]));
     }
   }
-  server.Drain();
+  server->Drain();
 
   WorkloadResult result;
   for (size_t d = 0; d < devices.size(); ++d) {
@@ -161,7 +181,9 @@ WorkloadResult RunWorkload(const FleetServerOptions& opts) {
     for (auto& fu : futures[d]) {
       result.predictions.back().push_back(fu.get().predictions);
     }
-    result.codes.push_back(server.session(devices[d])->model()->AllCodes());
+    server->WithSessionQuiesced(devices[d], [&](CalibrationSession& s) {
+      result.codes.push_back(s.model()->AllCodes());
+    });
   }
   return result;
 }
@@ -181,6 +203,21 @@ TEST(InferenceBatchingTest, BitIdenticalAcrossBatchSizesAndThreadCounts) {
       EXPECT_EQ(batched.codes, reference.codes)
           << "max_batch=" << max_batch << " threads=" << threads;
     }
+  }
+}
+
+TEST(InferenceBatchingTest, ShardedBatchersStayBitIdentical) {
+  // Per-shard batchers must not change anything either: the same workload
+  // through the sharded router (batched, multi-threaded shards) equals the
+  // unbatched inline reference.
+  const WorkloadResult reference = RunWorkload(BatchedOptions(0, 0, 0.0));
+  for (int num_shards : {2, 3}) {
+    const WorkloadResult sharded =
+        RunWorkload(BatchedOptions(2, 4, 0.0), num_shards);
+    EXPECT_EQ(sharded.predictions, reference.predictions)
+        << "num_shards=" << num_shards;
+    EXPECT_EQ(sharded.codes, reference.codes)
+        << "num_shards=" << num_shards;
   }
 }
 
@@ -274,9 +311,11 @@ TEST(InferenceBatchingTest, CalibrationBarrierPreservesModelVisibility) {
             ArgMaxRows(pre_model->Forward(f->probes[0], false)));
   calib.get();
   // The post-calibration prediction must come from the calibrated model.
-  EXPECT_EQ(after.get().predictions,
-            ArgMaxRows(server.session("dev")->model()->Forward(
-                f->probes[0], false)));
+  std::vector<int> calibrated_prediction;
+  server.WithSessionQuiesced("dev", [&](CalibrationSession& s) {
+    calibrated_prediction = ArgMaxRows(s.model()->Forward(f->probes[0], false));
+  });
+  EXPECT_EQ(after.get().predictions, calibrated_prediction);
 }
 
 }  // namespace

@@ -1,19 +1,29 @@
 // Tests for the fleet serving runtime: thread-pool semantics, per-session
 // determinism (bit-identical to the single-threaded ContinualDriver),
 // session isolation, concurrent correctness under a multi-threaded pool,
-// snapshot copy-on-write, and metrics accounting.
+// snapshot copy-on-write, and metrics accounting. The server-level tests
+// run against the FleetBackend interface and are replayed on BOTH
+// implementations — the single-pool FleetServer and the consistent-hash
+// ShardedFleetServer — so the API contract, not one concrete class, is
+// what gets pinned. (Shard-count bit-identity and rebalancing live in
+// tests/sharding_test.cc.)
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <memory>
 #include <vector>
+
+#include "common/serialize.h"
 
 #include "core/pipeline.h"
 #include "core/qcore_builder.h"
 #include "data/har_generator.h"
 #include "models/model_zoo.h"
 #include "runtime/thread_pool.h"
+#include "serving/backend.h"
+#include "serving/router.h"
 #include "serving/server.h"
 #include "serving/session.h"
 #include "serving/snapshot.h"
@@ -135,6 +145,38 @@ ContinualOptions TestContinualOptions() {
   return opts;
 }
 
+// Both implementations of the serving API; suite-level loops replay each
+// backend-generic test against every kind.
+enum class BackendKind { kSingle, kSharded };
+
+const BackendKind kAllBackends[] = {BackendKind::kSingle,
+                                    BackendKind::kSharded};
+
+const char* KindName(BackendKind kind) {
+  return kind == BackendKind::kSingle ? "FleetServer" : "ShardedFleetServer";
+}
+
+std::unique_ptr<FleetBackend> MakeBackend(BackendKind kind, FleetFixture* f,
+                                          const FleetServerOptions& opts,
+                                          int num_shards = 2) {
+  if (kind == BackendKind::kSingle) {
+    return std::make_unique<FleetServer>(*f->base, *f->bf, opts);
+  }
+  ShardedFleetServerOptions sopts;
+  sopts.num_shards = num_shards;
+  sopts.shard = opts;
+  return std::make_unique<ShardedFleetServer>(*f->base, *f->bf, sopts);
+}
+
+std::vector<std::vector<int32_t>> CodesOf(FleetBackend* backend,
+                                          const std::string& device_id) {
+  std::vector<std::vector<int32_t>> codes;
+  backend->WithSessionQuiesced(device_id, [&](CalibrationSession& session) {
+    codes = session.model()->AllCodes();
+  });
+  return codes;
+}
+
 // ----------------------------------------------------- session determinism
 
 TEST(CalibrationSessionTest, MatchesSingleThreadedContinualDriver) {
@@ -183,7 +225,47 @@ TEST(CalibrationSessionTest, PredictDoesNotPerturbCalibration) {
   EXPECT_EQ(plain.model()->AllCodes(), interleaved.model()->AllCodes());
 }
 
-// ------------------------------------------------------------- FleetServer
+// A session serialized mid-stream and restored from its snapshot +
+// continuation blob must continue bit-identically — the primitive behind
+// shard rebalancing (end-to-end coverage in sharding_test.cc).
+TEST(CalibrationSessionTest, ContinuationRoundTripResumesBitIdentically) {
+  FleetFixture* f = GetFixture();
+  const uint64_t seed = DeviceSeed(0xABCD, "migrant");
+
+  CalibrationSession original("migrant", *f->base, *f->bf, f->qcore,
+                              TestContinualOptions(), seed);
+  original.Calibrate(f->batches[0], f->slices[0]);
+
+  // Capture: model snapshot (registry blob) + continuation state.
+  SnapshotRegistry registry;
+  const uint64_t version =
+      registry.Publish(*original.model(), "migrant",
+                       original.batches_processed());
+  BinaryWriter w;
+  original.SerializeContinuation(&w);
+  std::vector<uint8_t> continuation = w.TakeBuffer();
+
+  BinaryReader r(std::move(continuation));
+  CalibrationSession restored("migrant", *f->base, *f->bf,
+                              TestContinualOptions(), *registry.Get(version),
+                              &r);
+  EXPECT_EQ(restored.batches_processed(), original.batches_processed());
+  EXPECT_EQ(restored.model()->AllCodes(), original.model()->AllCodes());
+
+  // Both must now evolve identically: same stats, same codes, same
+  // predictions — the restored Rng stream position is what makes this hold.
+  for (size_t b = 1; b < f->batches.size(); ++b) {
+    const BatchStats s0 = original.Calibrate(f->batches[b], f->slices[b]);
+    const BatchStats s1 = restored.Calibrate(f->batches[b], f->slices[b]);
+    EXPECT_FLOAT_EQ(s0.accuracy, s1.accuracy);
+    EXPECT_EQ(s0.qcore_changed, s1.qcore_changed);
+  }
+  EXPECT_EQ(restored.model()->AllCodes(), original.model()->AllCodes());
+  EXPECT_EQ(restored.Predict(f->target.test.x()),
+            original.Predict(f->target.test.x()));
+}
+
+// ------------------------------------------------------------ FleetBackend
 
 FleetServerOptions ServerOptions(int threads) {
   FleetServerOptions opts;
@@ -193,128 +275,170 @@ FleetServerOptions ServerOptions(int threads) {
   return opts;
 }
 
-TEST(FleetServerTest, ThreadCountDoesNotChangeSessionResults) {
+TEST(FleetBackendTest, ThreadCountDoesNotChangeSessionResults) {
   FleetFixture* f = GetFixture();
   const std::vector<std::string> devices = {"dev-a", "dev-b", "dev-c"};
 
-  auto run = [&](int threads) {
-    auto stats = std::vector<std::vector<BatchStats>>(devices.size());
-    std::vector<std::vector<std::vector<int32_t>>> codes;
-    FleetServer server(*f->base, *f->bf, ServerOptions(threads));
-    for (const auto& d : devices) server.RegisterDevice(d, f->qcore);
-    std::vector<std::future<BatchStats>> futures;
-    for (size_t b = 0; b < f->batches.size(); ++b) {
+  for (BackendKind kind : kAllBackends) {
+    SCOPED_TRACE(KindName(kind));
+    auto run = [&](int threads) {
+      auto stats = std::vector<std::vector<BatchStats>>(devices.size());
+      std::vector<std::vector<std::vector<int32_t>>> codes;
+      auto server = MakeBackend(kind, f, ServerOptions(threads));
+      for (const auto& d : devices) server->RegisterDevice(d, f->qcore);
+      std::vector<std::future<BatchStats>> futures;
+      for (size_t b = 0; b < f->batches.size(); ++b) {
+        for (const auto& d : devices) {
+          futures.push_back(
+              server->SubmitCalibration(d, f->batches[b], f->slices[b]));
+        }
+      }
+      size_t fi = 0;
+      for (size_t b = 0; b < f->batches.size(); ++b) {
+        for (size_t d = 0; d < devices.size(); ++d) {
+          stats[d].push_back(futures[fi++].get());
+        }
+      }
+      server->Drain();
       for (const auto& d : devices) {
-        futures.push_back(
-            server.SubmitCalibration(d, f->batches[b], f->slices[b]));
+        codes.push_back(CodesOf(server.get(), d));
       }
-    }
-    size_t fi = 0;
-    for (size_t b = 0; b < f->batches.size(); ++b) {
-      for (size_t d = 0; d < devices.size(); ++d) {
-        stats[d].push_back(futures[fi++].get());
+      return std::make_pair(stats, codes);
+    };
+
+    auto [stats0, codes0] = run(0);  // inline reference execution
+    auto [stats4, codes4] = run(4);  // multi-threaded pool(s)
+
+    for (size_t d = 0; d < devices.size(); ++d) {
+      ASSERT_EQ(stats0[d].size(), stats4[d].size());
+      for (size_t b = 0; b < stats0[d].size(); ++b) {
+        EXPECT_FLOAT_EQ(stats0[d][b].accuracy, stats4[d][b].accuracy);
+        EXPECT_EQ(stats0[d][b].qcore_changed, stats4[d][b].qcore_changed);
       }
+      EXPECT_EQ(codes0[d], codes4[d]);
     }
-    server.Drain();
-    for (const auto& d : devices) {
-      codes.push_back(server.session(d)->model()->AllCodes());
-    }
-    return std::make_pair(stats, codes);
-  };
-
-  auto [stats0, codes0] = run(0);  // inline reference execution
-  auto [stats4, codes4] = run(4);  // multi-threaded pool
-
-  for (size_t d = 0; d < devices.size(); ++d) {
-    ASSERT_EQ(stats0[d].size(), stats4[d].size());
-    for (size_t b = 0; b < stats0[d].size(); ++b) {
-      EXPECT_FLOAT_EQ(stats0[d][b].accuracy, stats4[d][b].accuracy);
-      EXPECT_EQ(stats0[d][b].qcore_changed, stats4[d][b].qcore_changed);
-    }
-    EXPECT_EQ(codes0[d], codes4[d]);
   }
 }
 
-TEST(FleetServerTest, SessionsAreIsolated) {
+TEST(FleetBackendTest, SessionsAreIsolated) {
   FleetFixture* f = GetFixture();
-  FleetServer server(*f->base, *f->bf, ServerOptions(2));
-  server.RegisterDevice("calibrating", f->qcore);
-  server.RegisterDevice("idle", f->qcore);
+  for (BackendKind kind : kAllBackends) {
+    SCOPED_TRACE(KindName(kind));
+    auto server = MakeBackend(kind, f, ServerOptions(2));
+    server->RegisterDevice("calibrating", f->qcore);
+    server->RegisterDevice("idle", f->qcore);
 
-  server.SubmitCalibration("calibrating", f->batches[0], f->slices[0]).get();
-  server.Drain();
+    server->SubmitCalibration("calibrating", f->batches[0], f->slices[0])
+        .get();
+    server->Drain();
 
-  // The idle device still serves the untouched base model.
-  EXPECT_EQ(server.session("idle")->model()->AllCodes(), f->base->AllCodes());
-  // And the calibrating device diverged from it (codes actually moved).
-  EXPECT_NE(server.session("calibrating")->model()->AllCodes(),
-            f->base->AllCodes());
+    // The idle device still serves the untouched base model.
+    EXPECT_EQ(CodesOf(server.get(), "idle"), f->base->AllCodes());
+    // And the calibrating device diverged from it (codes actually moved).
+    EXPECT_NE(CodesOf(server.get(), "calibrating"), f->base->AllCodes());
+  }
 }
 
-TEST(FleetServerTest, ConcurrentInferenceAndCalibration) {
+TEST(FleetBackendTest, WithSessionQuiescedWaitsOutQueuedWork) {
   FleetFixture* f = GetFixture();
-  FleetServer server(*f->base, *f->bf, ServerOptions(4));
-  const int kDevices = 6;
-  for (int d = 0; d < kDevices; ++d) {
-    server.RegisterDevice("dev-" + std::to_string(d), f->qcore);
-  }
+  for (BackendKind kind : kAllBackends) {
+    SCOPED_TRACE(KindName(kind));
+    FleetServerOptions opts = ServerOptions(2);
+    opts.simulated_device_rtt_ms = 10.0;  // keep work in flight
+    auto server = MakeBackend(kind, f, opts);
+    server->RegisterDevice("dev", f->qcore);
 
-  std::vector<std::future<InferenceResult>> inferences;
-  std::vector<std::future<BatchStats>> calibrations;
-  for (int d = 0; d < kDevices; ++d) {
-    const std::string id = "dev-" + std::to_string(d);
-    inferences.push_back(server.SubmitInference(id, f->target.test.x()));
-    calibrations.push_back(
-        server.SubmitCalibration(id, f->batches[0], f->slices[0]));
-    inferences.push_back(server.SubmitInference(id, f->target.test.x()));
+    // No Drain: the accessor itself must wait for the queued calibration
+    // and inference to finish before granting access.
+    auto calib = server->SubmitCalibration("dev", f->batches[0], f->slices[0]);
+    auto inf = server->SubmitInference("dev", f->target.test.x());
+    uint64_t seen_batches = 0;
+    std::vector<std::vector<int32_t>> codes;
+    server->WithSessionQuiesced("dev", [&](CalibrationSession& session) {
+      seen_batches = session.batches_processed();
+      codes = session.model()->AllCodes();
+    });
+    EXPECT_EQ(seen_batches, 1u);
+    // Both futures must already be resolved — quiescing ran the queue dry.
+    EXPECT_EQ(calib.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(inf.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_NE(codes, f->base->AllCodes());
+    server->Drain();
   }
-  for (auto& fu : inferences) {
-    InferenceResult r = fu.get();
-    EXPECT_EQ(static_cast<int>(r.predictions.size()),
-              f->target.test.size());
-  }
-  for (auto& fu : calibrations) {
-    BatchStats s = fu.get();
-    EXPECT_GE(s.accuracy, 0.0f);
-    EXPECT_LE(s.accuracy, 1.0f);
-  }
-  server.Drain();
-
-  const ServingMetrics& m = server.metrics();
-  EXPECT_EQ(m.inference_requests(), static_cast<uint64_t>(2 * kDevices));
-  EXPECT_EQ(m.calibration_batches(), static_cast<uint64_t>(kDevices));
-  EXPECT_EQ(m.inference_latency().count(),
-            static_cast<uint64_t>(2 * kDevices));
-  EXPECT_GT(m.mean_accuracy(), 0.0f);
 }
 
-TEST(FleetServerTest, SnapshotsAreCopyOnWriteAndRestorable) {
+TEST(FleetBackendTest, ConcurrentInferenceAndCalibration) {
   FleetFixture* f = GetFixture();
-  FleetServer server(*f->base, *f->bf, ServerOptions(2));
-  server.RegisterDevice("dev", f->qcore);
+  for (BackendKind kind : kAllBackends) {
+    SCOPED_TRACE(KindName(kind));
+    auto server = MakeBackend(kind, f, ServerOptions(4));
+    const int kDevices = 6;
+    for (int d = 0; d < kDevices; ++d) {
+      server->RegisterDevice("dev-" + std::to_string(d), f->qcore);
+    }
 
-  const uint64_t v1 = server.PublishSnapshot("dev").get();
-  server.SubmitCalibration("dev", f->batches[0], f->slices[0]).get();
-  const uint64_t v2 = server.PublishSnapshot("dev").get();
-  server.Drain();
+    std::vector<std::future<InferenceResult>> inferences;
+    std::vector<std::future<BatchStats>> calibrations;
+    for (int d = 0; d < kDevices; ++d) {
+      const std::string id = "dev-" + std::to_string(d);
+      inferences.push_back(server->SubmitInference(id, f->target.test.x()));
+      calibrations.push_back(
+          server->SubmitCalibration(id, f->batches[0], f->slices[0]));
+      inferences.push_back(server->SubmitInference(id, f->target.test.x()));
+    }
+    for (auto& fu : inferences) {
+      InferenceResult r = fu.get();
+      EXPECT_EQ(static_cast<int>(r.predictions.size()),
+                f->target.test.size());
+    }
+    for (auto& fu : calibrations) {
+      BatchStats s = fu.get();
+      EXPECT_GE(s.accuracy, 0.0f);
+      EXPECT_LE(s.accuracy, 1.0f);
+    }
+    server->Drain();
 
-  EXPECT_LT(v1, v2);
-  auto snap1 = server.snapshots().Get(v1);
-  auto snap2 = server.snapshots().Get(v2);
-  ASSERT_NE(snap1, nullptr);
-  ASSERT_NE(snap2, nullptr);
-  EXPECT_EQ(server.snapshots().LatestFor("dev")->version, v2);
-  EXPECT_NE(snap1->bytes, snap2->bytes);  // calibration changed the model
+    const ServingMetrics& m = server->metrics();
+    EXPECT_EQ(m.inference_requests(), static_cast<uint64_t>(2 * kDevices));
+    EXPECT_EQ(m.calibration_batches(), static_cast<uint64_t>(kDevices));
+    EXPECT_EQ(m.inference_latency().count(),
+              static_cast<uint64_t>(2 * kDevices));
+    EXPECT_GT(m.mean_accuracy(), 0.0f);
+  }
+}
 
-  // Restoring v1 into a fresh clone reproduces the pre-calibration codes.
-  auto restored = f->base->Clone();
-  ASSERT_TRUE(SnapshotRegistry::RestoreInto(*snap1, restored.get()).ok());
-  EXPECT_EQ(restored->AllCodes(), f->base->AllCodes());
+TEST(FleetBackendTest, SnapshotsAreCopyOnWriteAndRestorable) {
+  FleetFixture* f = GetFixture();
+  for (BackendKind kind : kAllBackends) {
+    SCOPED_TRACE(KindName(kind));
+    auto server = MakeBackend(kind, f, ServerOptions(2));
+    server->RegisterDevice("dev", f->qcore);
 
-  // Restoring v2 reproduces the session's current codes.
-  auto restored2 = f->base->Clone();
-  ASSERT_TRUE(SnapshotRegistry::RestoreInto(*snap2, restored2.get()).ok());
-  EXPECT_EQ(restored2->AllCodes(), server.session("dev")->model()->AllCodes());
+    const uint64_t v1 = server->PublishSnapshot("dev").get();
+    server->SubmitCalibration("dev", f->batches[0], f->slices[0]).get();
+    const uint64_t v2 = server->PublishSnapshot("dev").get();
+    server->Drain();
+
+    EXPECT_LT(v1, v2);
+    auto snap1 = server->snapshots().Get(v1);
+    auto snap2 = server->snapshots().Get(v2);
+    ASSERT_NE(snap1, nullptr);
+    ASSERT_NE(snap2, nullptr);
+    EXPECT_EQ(server->snapshots().LatestFor("dev")->version, v2);
+    EXPECT_NE(snap1->bytes, snap2->bytes);  // calibration changed the model
+
+    // Restoring v1 into a fresh clone reproduces the pre-calibration codes.
+    auto restored = f->base->Clone();
+    ASSERT_TRUE(SnapshotRegistry::RestoreInto(*snap1, restored.get()).ok());
+    EXPECT_EQ(restored->AllCodes(), f->base->AllCodes());
+
+    // Restoring v2 reproduces the session's current codes.
+    auto restored2 = f->base->Clone();
+    ASSERT_TRUE(SnapshotRegistry::RestoreInto(*snap2, restored2.get()).ok());
+    EXPECT_EQ(restored2->AllCodes(), CodesOf(server.get(), "dev"));
+  }
 }
 
 TEST(FleetServerTest, FailedRestoreLeavesModelUntouched) {
@@ -332,22 +456,25 @@ TEST(FleetServerTest, FailedRestoreLeavesModelUntouched) {
   EXPECT_EQ(target->AllCodes(), before);
 }
 
-TEST(FleetServerTest, PeriodicSnapshotsAndTrim) {
+TEST(FleetBackendTest, PeriodicSnapshotsAndTrim) {
   FleetFixture* f = GetFixture();
-  FleetServerOptions opts = ServerOptions(2);
-  opts.snapshot_every = 1;  // snapshot after every calibration batch
-  FleetServer server(*f->base, *f->bf, opts);
-  server.RegisterDevice("dev", f->qcore);
-  for (size_t b = 0; b < f->batches.size(); ++b) {
-    server.SubmitCalibration("dev", f->batches[b], f->slices[b]);
+  for (BackendKind kind : kAllBackends) {
+    SCOPED_TRACE(KindName(kind));
+    FleetServerOptions opts = ServerOptions(2);
+    opts.snapshot_every = 1;  // snapshot after every calibration batch
+    auto server = MakeBackend(kind, f, opts);
+    server->RegisterDevice("dev", f->qcore);
+    for (size_t b = 0; b < f->batches.size(); ++b) {
+      server->SubmitCalibration("dev", f->batches[b], f->slices[b]);
+    }
+    server->Drain();
+    EXPECT_EQ(server->snapshots().size(), f->batches.size());
+    const uint64_t latest = server->snapshots().Latest()->version;
+    // Trimming keeps the device's latest version even when below the floor.
+    server->snapshots().TrimBelow(latest + 1);
+    EXPECT_EQ(server->snapshots().size(), 1u);
+    EXPECT_EQ(server->snapshots().Latest()->version, latest);
   }
-  server.Drain();
-  EXPECT_EQ(server.snapshots().size(), f->batches.size());
-  const uint64_t latest = server.snapshots().Latest()->version;
-  // Trimming keeps the device's latest version even when below the floor.
-  server.snapshots().TrimBelow(latest + 1);
-  EXPECT_EQ(server.snapshots().size(), 1u);
-  EXPECT_EQ(server.snapshots().Latest()->version, latest);
 }
 
 // ---------------------------------------- randomized interleaving property
@@ -355,10 +482,10 @@ TEST(FleetServerTest, PeriodicSnapshotsAndTrim) {
 // Property-style determinism harness: a seeded Rng generates a random
 // interleaving of calibration and inference submissions over several
 // devices; replaying the SAME interleaving at 1, 2, and 8 pool threads
-// (batching enabled) must yield identical per-device calibration stats,
-// identical per-request predictions, identical final codes, and identical
-// snapshot versions/bytes. Catches any scheduling path where concurrency
-// leaks into results.
+// (batching enabled) — and on the sharded backend — must yield identical
+// per-device calibration stats, identical per-request predictions,
+// identical final codes, and identical snapshot versions/bytes. Catches
+// any scheduling path where concurrency leaks into results.
 struct InterleavingOutcome {
   std::vector<std::vector<std::pair<float, int>>> calib_stats;  // per device
   std::vector<std::vector<std::vector<int>>> predictions;       // per device
@@ -374,7 +501,7 @@ struct InterleavingOutcome {
 };
 
 InterleavingOutcome ReplayInterleaving(FleetFixture* f, uint64_t op_seed,
-                                       int threads) {
+                                       BackendKind kind, int threads) {
   const std::vector<std::string> devices = {"p0", "p1", "p2"};
   FleetServerOptions opts;
   opts.num_threads = threads;
@@ -383,8 +510,8 @@ InterleavingOutcome ReplayInterleaving(FleetFixture* f, uint64_t op_seed,
   opts.enable_batching = true;  // the batcher must not break determinism
   opts.batching.max_batch = 3;
   opts.batching.max_delay_us = 50.0;
-  FleetServer server(*f->base, *f->bf, opts);
-  for (const auto& d : devices) server.RegisterDevice(d, f->qcore);
+  auto server = MakeBackend(kind, f, opts);
+  for (const auto& d : devices) server->RegisterDevice(d, f->qcore);
 
   // The op stream depends only on op_seed, never on execution timing, so
   // every replay submits the exact same sequence.
@@ -400,22 +527,22 @@ InterleavingOutcome ReplayInterleaving(FleetFixture* f, uint64_t op_seed,
     if (op_rng.NextBool(0.4)) {
       const size_t b = next_batch[d]++ % f->batches.size();
       cal[d].push_back(
-          server.SubmitCalibration(devices[d], f->batches[b], f->slices[b]));
+          server->SubmitCalibration(devices[d], f->batches[b], f->slices[b]));
     } else {
       const int row = op_rng.NextInt(0, f->target.test.size() - 1);
       inf[d].push_back(
-          server.SubmitInference(devices[d],
-                                 f->target.test.x().GatherRows({row})));
+          server->SubmitInference(devices[d],
+                                  f->target.test.x().GatherRows({row})));
     }
   }
-  server.Drain();
+  server->Drain();
   // Snapshot publication order is forced (sequential .get()) so version
   // numbers are comparable across replays.
   InterleavingOutcome out;
   for (const auto& d : devices) {
-    out.snapshot_versions.push_back(server.PublishSnapshot(d).get());
+    out.snapshot_versions.push_back(server->PublishSnapshot(d).get());
     out.snapshot_bytes.push_back(
-        server.snapshots().LatestFor(d)->bytes);
+        server->snapshots().LatestFor(d)->bytes);
   }
   for (size_t d = 0; d < devices.size(); ++d) {
     out.calib_stats.emplace_back();
@@ -427,7 +554,7 @@ InterleavingOutcome ReplayInterleaving(FleetFixture* f, uint64_t op_seed,
     for (auto& fu : inf[d]) {
       out.predictions.back().push_back(fu.get().predictions);
     }
-    out.codes.push_back(server.session(devices[d])->model()->AllCodes());
+    out.codes.push_back(CodesOf(server.get(), devices[d]));
   }
   return out;
 }
@@ -435,13 +562,21 @@ InterleavingOutcome ReplayInterleaving(FleetFixture* f, uint64_t op_seed,
 TEST(FleetServerPropertyTest, SeededInterleavingsDeterministicAcrossThreads) {
   FleetFixture* f = GetFixture();
   for (uint64_t op_seed : {1001u, 1002u, 1003u}) {
-    const InterleavingOutcome ref = ReplayInterleaving(f, op_seed, 1);
+    const InterleavingOutcome ref =
+        ReplayInterleaving(f, op_seed, BackendKind::kSingle, 1);
     EXPECT_FALSE(ref.codes.empty());
     for (int threads : {2, 8}) {
-      const InterleavingOutcome got = ReplayInterleaving(f, op_seed, threads);
+      const InterleavingOutcome got =
+          ReplayInterleaving(f, op_seed, BackendKind::kSingle, threads);
       EXPECT_TRUE(got == ref)
           << "op_seed=" << op_seed << " threads=" << threads;
     }
+    // The sharded backend must replay the same interleaving to the same
+    // outcome — including snapshot versions, which the shards assign from
+    // one federated registry.
+    const InterleavingOutcome sharded =
+        ReplayInterleaving(f, op_seed, BackendKind::kSharded, 2);
+    EXPECT_TRUE(sharded == ref) << "op_seed=" << op_seed << " sharded";
   }
 }
 
@@ -482,6 +617,40 @@ TEST(MetricsTest, AccuracyMeanIsExact) {
   m.AddAccuracySample(0.75f);
   EXPECT_FLOAT_EQ(m.mean_accuracy(), 0.5f);
   EXPECT_FALSE(m.Report().empty());
+}
+
+TEST(MetricsTest, MergeFromAccumulatesCountersAndHistograms) {
+  ServingMetrics a;
+  a.AddInference(3);
+  a.AddAccuracySample(0.5f);
+  a.inference_latency().Record(0.001);
+  a.batch_occupancy().Record(2);
+  a.queue_depth().Record(5);
+  ServingMetrics b;
+  b.AddInference(1);
+  b.AddCalibration(4);
+  b.AddAccuracySample(1.0f);
+  b.inference_latency().Record(0.002);
+  b.queue_depth().Record(3);
+
+  ServingMetrics rollup;
+  rollup.MergeFrom(a);
+  rollup.MergeFrom(b);
+  EXPECT_EQ(rollup.inference_requests(), 2u);
+  EXPECT_EQ(rollup.inference_examples(), 4u);
+  EXPECT_EQ(rollup.calibration_batches(), 1u);
+  EXPECT_EQ(rollup.inference_latency().count(), 2u);
+  EXPECT_EQ(rollup.batch_occupancy().CountAt(2), 1u);
+  EXPECT_EQ(rollup.queue_depth().max(), 5);
+  EXPECT_FLOAT_EQ(rollup.mean_accuracy(), 0.75f);
+
+  // Reset + re-merge (the rollup rebuild pattern) must not double count.
+  rollup.Reset();
+  EXPECT_EQ(rollup.inference_requests(), 0u);
+  EXPECT_EQ(rollup.inference_latency().count(), 0u);
+  rollup.MergeFrom(a);
+  EXPECT_EQ(rollup.inference_requests(), 1u);
+  EXPECT_EQ(rollup.queue_depth().max(), 5);
 }
 
 }  // namespace

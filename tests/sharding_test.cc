@@ -1,0 +1,358 @@
+// Sharding determinism suite: ShardedFleetServer must be a pure routing
+// layer — results (inference labels, per-batch calibration stats, final
+// model codes, published snapshot versions and bytes) are bit-identical to
+// a single unsharded FleetServer for any shard count, and remain
+// bit-identical across live rebalancing (MoveDevice / Rebalance) in the
+// middle of a stream, with and without inference batching. Also pins the
+// operational properties of the router: ring-driven placement, metrics
+// rollup across shard retirement, and the barrier-snapshot protocol of a
+// migration.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/qcore_builder.h"
+#include "data/har_generator.h"
+#include "models/model_zoo.h"
+#include "serving/backend.h"
+#include "serving/hash_ring.h"
+#include "serving/router.h"
+#include "serving/server.h"
+
+namespace qcore {
+namespace {
+
+struct FleetFixture {
+  HarSpec spec;
+  HarDomain source;
+  HarDomain target;
+  Dataset qcore;
+  std::unique_ptr<QuantizedModel> base;  // deployed edge form
+  std::unique_ptr<BitFlipNet> bf;
+  std::vector<Dataset> batches;
+  std::vector<Dataset> slices;
+  std::vector<Tensor> probes;  // distinct single-row inference inputs
+};
+
+FleetFixture* GetFixture() {
+  static FleetFixture* fixture = []() {
+    auto* f = new FleetFixture();
+    f->spec = HarSpec::Usc();
+    f->spec.num_classes = 5;
+    f->spec.channels = 3;
+    f->spec.length = 24;
+    f->spec.train_per_class = 8;
+    f->spec.test_per_class = 4;
+    f->source = MakeHarDomain(f->spec, 0);
+    f->target = MakeHarDomain(f->spec, 1);
+
+    Rng rng(20260101);
+    auto model = MakeOmniScaleCnn(f->spec.channels, f->spec.num_classes,
+                                  &rng);
+    QCoreBuildOptions build;
+    build.size = 15;
+    build.train.epochs = 8;
+    build.train.sgd.lr = 0.03f;
+    auto built = BuildQCore(model.get(), f->source.train, build, &rng);
+    f->qcore = built.qcore;
+
+    f->base = std::make_unique<QuantizedModel>(*model, 4);
+    BitFlipTrainOptions bft;
+    bft.ste.epochs = 8;
+    bft.ste.batch_size = 16;
+    bft.augment_episodes = 1;
+    f->bf = std::make_unique<BitFlipNet>(
+        TrainBitFlipNet(f->base.get(), f->qcore, bft, &rng));
+    f->base->DropShadows();
+
+    Rng split_rng(909);
+    f->batches = SplitIntoStreamBatches(f->target.train, 3, &split_rng);
+    f->slices = SplitIntoStreamBatches(f->target.test, 3, &split_rng);
+    for (int i = 0; i < 6; ++i) {
+      f->probes.push_back(f->target.test.x().GatherRows(
+          {i % static_cast<int>(f->target.test.size())}));
+    }
+    return f;
+  }();
+  return fixture;
+}
+
+ContinualOptions FastContinualOptions() {
+  ContinualOptions opts;
+  opts.iterations = 1;
+  return opts;
+}
+
+FleetServerOptions ShardOptions(int threads, bool batching) {
+  FleetServerOptions opts;
+  opts.num_threads = threads;
+  opts.continual = FastContinualOptions();
+  opts.seed = 0x5EED;
+  opts.enable_batching = batching;
+  opts.batching.max_batch = 3;
+  opts.batching.max_delay_us = 100.0;
+  return opts;
+}
+
+const std::vector<std::string>& Devices() {
+  static const std::vector<std::string> devices = {"s0", "s1", "s2", "s3",
+                                                   "s4"};
+  return devices;
+}
+
+// Everything a run produces; two runs are interchangeable iff == holds.
+struct StreamOutcome {
+  std::vector<std::vector<std::pair<float, int>>> stats;   // per device
+  std::vector<std::vector<std::vector<int>>> predictions;  // per device
+  std::vector<std::vector<std::vector<int32_t>>> codes;    // per device
+  std::vector<uint64_t> versions;                          // final publishes
+  std::vector<std::vector<uint8_t>> bytes;                 // their blobs
+
+  bool operator==(const StreamOutcome& o) const {
+    return stats == o.stats && predictions == o.predictions &&
+           codes == o.codes && versions == o.versions && bytes == o.bytes;
+  }
+};
+
+// Fixed interleaved workload: per stream batch and device, two probe
+// inferences, one calibration, one trailing probe. `mid_action` (optional)
+// runs between stream batches 1 and 2, with futures still in flight —
+// that is where the rebalance tests inject MoveDevice/Rebalance.
+StreamOutcome DriveStream(FleetBackend* server,
+                          const std::function<void()>& mid_action = nullptr) {
+  FleetFixture* f = GetFixture();
+  const auto& devices = Devices();
+  for (const auto& d : devices) server->RegisterDevice(d, f->qcore);
+
+  std::vector<std::vector<std::future<BatchStats>>> cal(devices.size());
+  std::vector<std::vector<std::future<InferenceResult>>> inf(devices.size());
+  for (size_t b = 0; b < f->batches.size(); ++b) {
+    if (b == 2 && mid_action) mid_action();
+    for (size_t d = 0; d < devices.size(); ++d) {
+      for (size_t p = 0; p < 2; ++p) {
+        inf[d].push_back(server->SubmitInference(
+            devices[d], f->probes[(b + d + p) % f->probes.size()]));
+      }
+      cal[d].push_back(
+          server->SubmitCalibration(devices[d], f->batches[b], f->slices[b]));
+      inf[d].push_back(server->SubmitInference(
+          devices[d], f->probes[(b + d) % f->probes.size()]));
+    }
+  }
+  server->Drain();
+
+  StreamOutcome out;
+  // Publication order is forced (sequential .get()) so version numbers are
+  // comparable across runs.
+  for (const auto& d : devices) {
+    out.versions.push_back(server->PublishSnapshot(d).get());
+    out.bytes.push_back(server->snapshots().LatestFor(d)->bytes);
+  }
+  for (size_t d = 0; d < devices.size(); ++d) {
+    out.stats.emplace_back();
+    for (auto& fu : cal[d]) {
+      const BatchStats s = fu.get();
+      out.stats.back().emplace_back(s.accuracy, s.qcore_changed);
+    }
+    out.predictions.emplace_back();
+    for (auto& fu : inf[d]) {
+      out.predictions.back().push_back(fu.get().predictions);
+    }
+    server->WithSessionQuiesced(devices[d], [&](CalibrationSession& s) {
+      out.codes.push_back(s.model()->AllCodes());
+    });
+  }
+  return out;
+}
+
+StreamOutcome RunSharded(int num_shards, int threads, bool batching,
+                         std::function<void(ShardedFleetServer&)> mid =
+                             nullptr) {
+  FleetFixture* f = GetFixture();
+  ShardedFleetServerOptions opts;
+  opts.num_shards = num_shards;
+  opts.shard = ShardOptions(threads, batching);
+  ShardedFleetServer server(*f->base, *f->bf, opts);
+  if (mid) {
+    return DriveStream(&server, [&]() { mid(server); });
+  }
+  return DriveStream(&server);
+}
+
+StreamOutcome RunUnsharded(int threads, bool batching) {
+  FleetFixture* f = GetFixture();
+  FleetServer server(*f->base, *f->bf, ShardOptions(threads, batching));
+  return DriveStream(&server);
+}
+
+// Equality minus version numbers: a rebalanced run's migrations consume
+// registry versions for their barrier snapshots, so its explicit publish
+// versions are offset from a never-rebalanced run's — everything else
+// (stats, labels, codes, published model bytes) must still match exactly.
+// Version determinism for rebalanced runs is pinned separately below.
+void ExpectSameResults(const StreamOutcome& got, const StreamOutcome& want,
+                       const std::string& label) {
+  EXPECT_EQ(got.stats, want.stats) << label;
+  EXPECT_EQ(got.predictions, want.predictions) << label;
+  EXPECT_EQ(got.codes, want.codes) << label;
+  EXPECT_EQ(got.bytes, want.bytes) << label;
+}
+
+// ------------------------------------------------- shard-count bit-identity
+
+TEST(ShardingDeterminismTest, ShardCounts124MatchUnshardedBitIdentically) {
+  const StreamOutcome reference = RunUnsharded(/*threads=*/0,
+                                               /*batching=*/false);
+  ASSERT_FALSE(reference.codes.empty());
+  for (int shards : {1, 2, 4}) {
+    const StreamOutcome sharded =
+        RunSharded(shards, /*threads=*/2, /*batching=*/false);
+    EXPECT_TRUE(sharded == reference) << "shards=" << shards;
+  }
+  // Per-shard batchers on top must change nothing either.
+  for (int shards : {1, 2, 4}) {
+    const StreamOutcome batched =
+        RunSharded(shards, /*threads=*/2, /*batching=*/true);
+    EXPECT_TRUE(batched == reference) << "batched shards=" << shards;
+  }
+}
+
+// ------------------------------------------------------- live rebalancing
+
+TEST(ShardingDeterminismTest, MoveDeviceMidStreamIsBitIdentical) {
+  const StreamOutcome reference = RunUnsharded(0, false);
+  FleetFixture* f = GetFixture();
+  for (bool batching : {false, true}) {
+    ShardedFleetServerOptions opts;
+    opts.num_shards = 2;
+    opts.shard = ShardOptions(/*threads=*/2, batching);
+    ShardedFleetServer server(*f->base, *f->bf, opts);
+    uint64_t barrier_version = 0;
+    int source_shard = -1;
+    const StreamOutcome moved = DriveStream(&server, [&]() {
+      // Mid-stream, with futures in flight (and, when batching, possibly a
+      // pending group — the barrier must flush it): move s0 to the other
+      // shard.
+      source_shard = server.ShardOf("s0");
+      barrier_version = server.MoveDevice("s0", 1 - source_shard);
+    });
+    ExpectSameResults(moved, reference,
+                      batching ? "move batched" : "move unbatched");
+    EXPECT_EQ(server.ShardOf("s0"), 1 - source_shard);
+    // The barrier snapshot is a real registry version capturing the
+    // mid-stream model: published by s0 after its first two calibrations.
+    auto snap = server.snapshots().Get(barrier_version);
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->device_id, "s0");
+    EXPECT_EQ(snap->batches_seen, 2u);
+    auto restored = f->base->Clone();
+    ASSERT_TRUE(SnapshotRegistry::RestoreInto(*snap, restored.get()).ok());
+    EXPECT_NE(restored->AllCodes(), f->base->AllCodes());
+  }
+}
+
+TEST(ShardingDeterminismTest, RebalanceMidStreamIsBitIdentical) {
+  const StreamOutcome reference = RunUnsharded(0, false);
+  // Grow 1 -> 3 mid-stream: every device that the 3-shard ring places off
+  // shard 0 migrates, streams keep flowing afterwards.
+  const auto grow = [](ShardedFleetServer& s) { s.Rebalance(3); };
+  ExpectSameResults(RunSharded(1, 2, /*batching=*/false, grow), reference,
+                    "grow 1->3");
+  ExpectSameResults(RunSharded(1, 2, /*batching=*/true, grow), reference,
+                    "grow 1->3 batched");
+
+  // Shrink 4 -> 2 mid-stream: shards 2 and 3 hand every session off and
+  // retire.
+  const auto shrink = [](ShardedFleetServer& s) {
+    s.Rebalance(2);
+    EXPECT_EQ(s.num_shards(), 2);
+  };
+  ExpectSameResults(RunSharded(4, 2, /*batching=*/false, shrink), reference,
+                    "shrink 4->2");
+  ExpectSameResults(RunSharded(4, 2, /*batching=*/true, shrink), reference,
+                    "shrink 4->2 batched");
+}
+
+// Snapshot versions across rebalanced runs: a migration consumes registry
+// versions for its barrier snapshots, so a rebalanced run's version
+// numbers differ from a never-rebalanced one — but they must be fully
+// deterministic: identical across replays and identical whether or not
+// batching is enabled (the barrier count depends only on the schedule).
+TEST(ShardingDeterminismTest, RebalancedSnapshotVersionsAreDeterministic) {
+  const auto grow = [](ShardedFleetServer& s) { s.Rebalance(3); };
+  const StreamOutcome a = RunSharded(1, 2, /*batching=*/false, grow);
+  const StreamOutcome b = RunSharded(1, 2, /*batching=*/false, grow);
+  EXPECT_TRUE(a == b) << "replay";
+  const StreamOutcome c = RunSharded(1, 2, /*batching=*/true, grow);
+  EXPECT_EQ(a.versions, c.versions) << "batching changed version assignment";
+  EXPECT_EQ(a.bytes, c.bytes);
+}
+
+// --------------------------------------------------- router operationality
+
+TEST(ShardedFleetServerTest, PlacementFollowsTheRingAndCoversShards) {
+  FleetFixture* f = GetFixture();
+  ShardedFleetServerOptions opts;
+  opts.num_shards = 4;
+  opts.shard = ShardOptions(/*threads=*/1, /*batching=*/false);
+  ShardedFleetServer server(*f->base, *f->bf, opts);
+  HashRing ring(4);
+  const int kDevices = 64;
+  for (int i = 0; i < kDevices; ++i) {
+    const std::string id = "device-" + std::to_string(i);
+    server.RegisterDevice(id, f->qcore);
+    EXPECT_EQ(server.ShardOf(id), ring.ShardFor(id)) << id;
+    EXPECT_TRUE(server.HasDevice(id));
+  }
+  EXPECT_EQ(server.num_sessions(), kDevices);
+  int total = 0;
+  for (int s = 0; s < server.num_shards(); ++s) {
+    const int on_shard = server.SessionCountOnShard(s);
+    EXPECT_GT(on_shard, 0) << "shard " << s << " owns no sessions";
+    total += on_shard;
+  }
+  EXPECT_EQ(total, kDevices);
+}
+
+TEST(ShardedFleetServerTest, RollupSurvivesShardRetirement) {
+  FleetFixture* f = GetFixture();
+  ShardedFleetServerOptions opts;
+  opts.num_shards = 3;
+  opts.shard = ShardOptions(/*threads=*/2, /*batching=*/false);
+  ShardedFleetServer server(*f->base, *f->bf, opts);
+  const auto& devices = Devices();
+  for (const auto& d : devices) server.RegisterDevice(d, f->qcore);
+  for (const auto& d : devices) {
+    server.SubmitInference(d, f->probes[0]);
+    server.SubmitCalibration(d, f->batches[0], f->slices[0]);
+  }
+  server.Drain();
+  const uint64_t inferences = server.metrics().inference_requests();
+  const uint64_t calibrations = server.metrics().calibration_batches();
+  EXPECT_EQ(inferences, devices.size());
+  EXPECT_EQ(calibrations, devices.size());
+
+  // Retiring shards must fold their counters into the rollup, not lose
+  // them; the migrations' barrier snapshots add to the snapshot counter
+  // but never subtract elsewhere.
+  server.Rebalance(1);
+  EXPECT_EQ(server.num_shards(), 1);
+  EXPECT_EQ(server.metrics().inference_requests(), inferences);
+  EXPECT_EQ(server.metrics().calibration_batches(), calibrations);
+  // Every device still serves from the surviving shard.
+  for (const auto& d : devices) {
+    EXPECT_EQ(server.ShardOf(d), 0);
+    server.SubmitInference(d, f->probes[1]);
+  }
+  server.Drain();
+  EXPECT_EQ(server.metrics().inference_requests(),
+            inferences + devices.size());
+}
+
+}  // namespace
+}  // namespace qcore
