@@ -39,6 +39,8 @@
 #include "serving/backend.h"
 #include "serving/router.h"
 #include "serving/server.h"
+#include "serving/snapshot.h"
+#include "serving/snapshot_store.h"
 
 using namespace qcore;
 using namespace qcore::bench;
@@ -378,6 +380,79 @@ int main() {
   std::printf("best sharded throughput beats unsharded:             %s\n",
               sharding_scales ? "yes" : "NO");
 
+  // ---- durable snapshot publish overhead --------------------------------
+  // Same Publish stream into three registry configurations: in-memory, a
+  // CRC-framed WAL without fsync (survives process death), and the WAL
+  // with fsync-on-publish (survives power loss). The delta between rows is
+  // the price of each durability level; the recovered-bit-identical line
+  // is exit-code-enforced like every other correctness property here.
+  const int num_publishes = FastMode() ? 32 : 128;
+  const double blob_kib = [&]() {
+    SnapshotRegistry probe;
+    probe.Publish(*setup.base, "probe", 0);
+    return static_cast<double>(probe.Latest()->bytes.size()) / 1024.0;
+  }();
+  std::printf("\n== Durable snapshot publish: %d publishes of a %.1f KiB "
+              "model blob ==\n\n",
+              num_publishes, blob_kib);
+  auto publish_stream = [&](SnapshotRegistry* registry) {
+    Stopwatch timer;
+    for (int i = 0; i < num_publishes; ++i) {
+      registry->Publish(*setup.base,
+                        "bench-dev-" + std::to_string(i % num_devices),
+                        static_cast<uint64_t>(i));
+    }
+    return timer.ElapsedSeconds();
+  };
+  const std::string wal_path = "/tmp/qcore_bench_snapshots.wal";
+  TablePrinter dtable({"Store", "Wall (s)", "Publish/s", "vs memory"});
+  SnapshotRegistry memory_registry;
+  const double memory_seconds = publish_stream(&memory_registry);
+  dtable.AddRow({"memory", TablePrinter::Num(memory_seconds, 3),
+                 TablePrinter::Num(num_publishes / memory_seconds, 1),
+                 TablePrinter::Num(1.0, 2)});
+  bool durable_recovers = true;
+  for (bool fsync : {false, true}) {
+    std::remove(wal_path.c_str());
+    double seconds = 0.0;
+    {
+      DurableSnapshotStoreOptions dopts;
+      dopts.path = wal_path;
+      dopts.fsync_on_publish = fsync;
+      auto store = DurableSnapshotStore::Open(std::move(dopts));
+      if (!store.ok()) {
+        std::printf("WAL open failed: %s\n",
+                    store.status().ToString().c_str());
+        return 2;
+      }
+      SnapshotRegistry durable(std::move(store).value());
+      seconds = publish_stream(&durable);
+    }
+    // Recovery check: reopen the log and compare against the in-memory run.
+    {
+      DurableSnapshotStoreOptions dopts;
+      dopts.path = wal_path;
+      auto store = DurableSnapshotStore::Open(std::move(dopts));
+      if (!store.ok()) {
+        durable_recovers = false;
+      } else {
+        SnapshotRegistry recovered(std::move(store).value());
+        if (recovered.size() != static_cast<size_t>(num_publishes) ||
+            recovered.Latest()->bytes != memory_registry.Latest()->bytes) {
+          durable_recovers = false;
+        }
+      }
+    }
+    dtable.AddRow({fsync ? "wal+fsync" : "wal",
+                   TablePrinter::Num(seconds, 3),
+                   TablePrinter::Num(num_publishes / seconds, 1),
+                   TablePrinter::Num(memory_seconds / seconds, 2)});
+  }
+  std::remove(wal_path.c_str());
+  dtable.Print();
+  std::printf("\nWAL reopen recovers publishes bit-identically:       %s\n",
+              durable_recovers ? "yes" : "NO");
+
   // Exit codes separate correctness from timing: 2 = determinism or
   // ordering violated (always a bug), 1 = a timing property failed (the
   // scaling curves not improving, or batching not faster) — expected e.g.
@@ -385,7 +460,7 @@ int main() {
   // on noisy shared runners.
   if (!identical_across_threads || first_run.final_codes != reference ||
       !batched_identical || !batched_ordered || !sharded_identical ||
-      !sharded_ordered) {
+      !sharded_ordered || !durable_recovers) {
     return 2;
   }
   return (monotonic && batched_faster && sharding_scales) ? 0 : 1;

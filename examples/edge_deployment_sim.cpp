@@ -3,10 +3,13 @@
 // files:
 //
 //   Phase 1 (server): train, build QCore, quantize, calibrate, train the
-//     bit-flipping network; persist the quantized model (integer codes +
-//     scales) and the QCore to disk.
-//   Phase 2 (edge): reconstruct both from disk, never touching full
-//     precision, and run continual calibration on a streamed domain.
+//     bit-flipping network; publish the quantized model (integer codes +
+//     scales) into a SnapshotRegistry and persist a registry delta
+//     (ExportDelta — CRC-framed snapshot records) plus the QCore to disk.
+//   Phase 2 (edge): import the delta into its own registry, warm-start the
+//     model from the cohort-nearest snapshot (the server's publish), never
+//     touching full precision, and run continual calibration on a streamed
+//     domain.
 //
 // Build & run:  ./build/examples/edge_deployment_sim
 #include <cstdio>
@@ -19,12 +22,13 @@
 #include "models/model_zoo.h"
 #include "nn/model_io.h"
 #include "nn/training.h"
+#include "serving/snapshot.h"
 
 using namespace qcore;
 
 namespace {
 
-constexpr char kModelPath[] = "/tmp/qcore_edge_model.bin";
+constexpr char kDeltaPath[] = "/tmp/qcore_edge_registry_delta.bin";
 constexpr char kQCorePath[] = "/tmp/qcore_edge_subset.bin";
 constexpr int kBits = 4;
 
@@ -70,7 +74,15 @@ int main() {
     BitFlipNet bf = TrainBitFlipNet(&qm, build.qcore, bf_opts, &rng);
     (void)bf;  // the edge retrains its own copy below; see the note there
 
-    Status s = qm.Save(kModelPath);
+    // Publish into a registry and ship the registry itself: the delta file
+    // is the same CRC-framed unit fleet servers exchange for cross-process
+    // warm starts, so "deploy a model" and "replicate a registry" are one
+    // mechanism.
+    SnapshotRegistry registry;
+    registry.Publish(qm, "server-rack-0", 0);
+    BinaryWriter delta_writer;
+    delta_writer.WriteBytes(registry.ExportDelta(0));
+    Status s = delta_writer.ToFile(kDeltaPath);
     if (!s.ok()) {
       std::printf("save failed: %s\n", s.ToString().c_str());
       return 1;
@@ -80,8 +92,8 @@ int main() {
       std::printf("save failed: %s\n", s.ToString().c_str());
       return 1;
     }
-    std::printf("[server] persisted %lld quantized codes (%.1f KiB) and a "
-                "%d-example QCore\n",
+    std::printf("[server] published v1 (%lld quantized codes, %.1f KiB) as "
+                "a registry delta, plus a %d-example QCore\n",
                 static_cast<long long>(qm.TotalCodeCount()),
                 static_cast<double>(qm.SizeBits()) / 8.0 / 1024.0,
                 build.qcore.size());
@@ -89,15 +101,46 @@ int main() {
 
   // -------------------------- Phase 2: edge --------------------------
   {
-    std::printf("\n[edge] loading quantized model + QCore from disk...\n");
+    std::printf("\n[edge] importing registry delta + QCore from disk...\n");
     Rng rng(777);
     auto arch = MakeOmniScaleCnn(spec.channels, spec.num_classes, &rng);
     QuantizedModel qm(*arch, kBits);
-    Status s = qm.Load(kModelPath);
-    if (!s.ok()) {
-      std::printf("load failed: %s\n", s.ToString().c_str());
+    auto delta_reader = BinaryReader::FromFile(kDeltaPath);
+    if (!delta_reader.ok()) {
+      std::printf("load failed: %s\n",
+                  delta_reader.status().ToString().c_str());
       return 1;
     }
+    auto delta = delta_reader.value().ReadBytes();
+    if (!delta.ok()) {
+      std::printf("load failed: %s\n", delta.status().ToString().c_str());
+      return 1;
+    }
+    // Merge the server's registry and warm-start from the cohort-nearest
+    // snapshot — this edge device never published, so that resolves to the
+    // server's v1.
+    SnapshotRegistry registry;
+    auto imported = registry.ImportDelta(delta.value());
+    if (!imported.ok()) {
+      std::printf("import failed: %s\n",
+                  imported.status().ToString().c_str());
+      return 1;
+    }
+    auto snapshot = registry.NearestFor("edge-device-7");
+    if (snapshot == nullptr) {
+      std::printf("import failed: empty registry\n");
+      return 1;
+    }
+    Status s = SnapshotRegistry::RestoreInto(*snapshot, &qm);
+    if (!s.ok()) {
+      std::printf("restore failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("[edge] warm-started from %s v%llu (%zu snapshot(s) "
+                "imported)\n",
+                snapshot->device_id.c_str(),
+                static_cast<unsigned long long>(snapshot->version),
+                imported.value());
     auto qcore = LoadDataset(kQCorePath);
     if (!qcore.ok()) {
       std::printf("load failed: %s\n", qcore.status().ToString().c_str());
@@ -126,7 +169,7 @@ int main() {
                 AverageAccuracy(stats), stats[0].calibration_seconds);
   }
 
-  std::remove(kModelPath);
+  std::remove(kDeltaPath);
   std::remove(kQCorePath);
   return 0;
 }

@@ -32,6 +32,8 @@
 #include "serving/backend.h"
 #include "serving/router.h"
 #include "serving/server.h"
+#include "serving/snapshot.h"
+#include "serving/snapshot_store.h"
 
 using namespace qcore;
 
@@ -254,5 +256,96 @@ int main() {
   std::printf("snapshot registry: %zu HAR + %zu image versions "
               "(copy-on-write)\n",
               har_server.snapshots().size(), img_server.snapshots().size());
+
+  // --- Kill-and-restart: durable snapshots survive the server. -----------
+  // A small HAR cohort serves over a registry backed by a CRC-framed
+  // write-ahead log. The server is then destroyed ("killed") with its whole
+  // in-memory world, and a second server is constructed over the same log:
+  // the registry replays every device's latest calibrated snapshot
+  // bit-identically, resumes the version counter monotonically, and
+  // warm-starts the re-registered sessions from the recovered codes instead
+  // of the factory base model.
+  const std::string wal_path = "/tmp/qcore_fleet_snapshots.wal";
+  std::remove(wal_path.c_str());
+  const int wal_devices = std::min(6, har_devices);
+  std::printf("\n== Kill-and-restart: %d devices over a WAL-backed "
+              "registry ==\n",
+              wal_devices);
+  uint64_t pre_kill_latest = 0;
+  size_t pre_kill_versions = 0;
+  {
+    auto store = DurableSnapshotStore::Open({wal_path, false});
+    if (!store.ok()) {
+      std::printf("WAL open failed: %s\n", store.status().ToString().c_str());
+      return 1;
+    }
+    SnapshotRegistry durable(std::move(store).value());
+    FleetServerOptions wopts = opts;
+    wopts.snapshot_every = 0;  // explicit publishes below
+    FleetServer server(*har.base, *har.bf, wopts, &durable);
+    for (int d = 0; d < wal_devices; ++d) {
+      const std::string id = "wal-" + std::to_string(d);
+      server.RegisterDevice(id, har.qcore);
+      const int subject = 1 + d % (har_spec.num_subjects - 1);
+      HarDomain target = MakeHarDomain(har_spec, subject);
+      Rng split_rng(opts.seed ^ static_cast<uint64_t>(5000 + d));
+      auto batches = SplitIntoStreamBatches(target.train, 1, &split_rng);
+      auto slices = SplitIntoStreamBatches(target.test, 1, &split_rng);
+      server.SubmitCalibration(id, batches[0], slices[0]);
+      server.PublishSnapshot(id);
+    }
+    server.Drain();
+    pre_kill_latest = durable.Latest()->version;
+    pre_kill_versions = durable.size();
+    std::printf("calibrated + published %zu versions, then killed the "
+                "server\n",
+                pre_kill_versions);
+  }  // server and registry destroyed: only the log file remains
+  {
+    auto store = DurableSnapshotStore::Open({wal_path, false});
+    if (!store.ok()) {
+      std::printf("WAL reopen failed: %s\n",
+                  store.status().ToString().c_str());
+      return 1;
+    }
+    SnapshotRegistry recovered(std::move(store).value());
+    auto latest = recovered.Latest();
+    if (latest == nullptr) {
+      std::printf("WAL reopen recovered nothing (log truncated to its "
+                  "header?)\n");
+      return 1;
+    }
+    std::printf("reopened the WAL: recovered %zu/%zu versions "
+                "(latest v%llu)\n",
+                recovered.size(), pre_kill_versions,
+                static_cast<unsigned long long>(latest->version));
+    FleetServerOptions wopts = opts;
+    wopts.warm_start_from_registry = true;
+    FleetServer server(*har.base, *har.bf, wopts, &recovered);
+    int warm_started = 0;
+    for (int d = 0; d < wal_devices; ++d) {
+      const std::string id = "wal-" + std::to_string(d);
+      server.RegisterDevice(id, har.qcore);
+      auto snap = recovered.LatestFor(id);
+      if (snap == nullptr) continue;  // e.g. its only record was the torn tail
+      auto restored = har.base->Clone();
+      if (SnapshotRegistry::RestoreInto(*snap, restored.get()).ok()) {
+        server.WithSessionQuiesced(id, [&](CalibrationSession& s) {
+          if (s.model()->AllCodes() == restored->AllCodes()) ++warm_started;
+        });
+      }
+    }
+    std::printf("%d/%d sessions warm-started from their recovered "
+                "snapshots\n",
+                warm_started, wal_devices);
+    const uint64_t resumed =
+        server.PublishSnapshot("wal-0").get();
+    std::printf("publishing resumed at v%llu (> pre-kill v%llu: %s)\n",
+                static_cast<unsigned long long>(resumed),
+                static_cast<unsigned long long>(pre_kill_latest),
+                resumed > pre_kill_latest ? "yes" : "NO");
+    server.Drain();
+  }
+  std::remove(wal_path.c_str());
   return 0;
 }

@@ -10,6 +10,60 @@ constexpr uint32_t kMagic = 0x51434F52;  // "QCOR"
 constexpr uint32_t kVersion = 1;
 }  // namespace
 
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  // Table-driven byte-at-a-time CRC; the table is built once on first use
+  // (thread-safe static initialization).
+  static const uint32_t* table = []() {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void AppendFramedRecord(const std::vector<uint8_t>& payload,
+                        std::vector<uint8_t>* out) {
+  const auto size = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  const auto* sp = reinterpret_cast<const uint8_t*>(&size);
+  const auto* cp = reinterpret_cast<const uint8_t*>(&crc);
+  out->insert(out->end(), sp, sp + sizeof(size));
+  out->insert(out->end(), cp, cp + sizeof(crc));
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+Result<std::vector<uint8_t>> ReadFramedRecord(const std::vector<uint8_t>& buf,
+                                              size_t* pos) {
+  const size_t remaining = buf.size() - *pos;
+  if (remaining < 2 * sizeof(uint32_t)) {
+    return Status::Corruption("truncated frame header");
+  }
+  uint32_t size = 0, crc = 0;
+  std::memcpy(&size, buf.data() + *pos, sizeof(size));
+  std::memcpy(&crc, buf.data() + *pos + sizeof(size), sizeof(crc));
+  if (size > remaining - 2 * sizeof(uint32_t)) {
+    return Status::Corruption("truncated frame payload");
+  }
+  const uint8_t* payload = buf.data() + *pos + 2 * sizeof(uint32_t);
+  if (Crc32(payload, size) != crc) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  std::vector<uint8_t> out(payload, payload + size);
+  *pos += 2 * sizeof(uint32_t) + size;
+  return out;
+}
+
 void BinaryWriter::Raw(const void* data, size_t n) {
   const auto* p = static_cast<const uint8_t*>(data);
   buffer_.insert(buffer_.end(), p, p + n);
@@ -44,6 +98,11 @@ void BinaryWriter::WriteInts(const std::vector<int32_t>& v) {
 void BinaryWriter::WriteInt64s(const std::vector<int64_t>& v) {
   WriteU64(v.size());
   Raw(v.data(), v.size() * sizeof(int64_t));
+}
+
+void BinaryWriter::WriteBytes(const std::vector<uint8_t>& v) {
+  WriteU64(v.size());
+  Raw(v.data(), v.size());
 }
 
 Status BinaryWriter::ToFile(const std::string& path) const {
@@ -175,6 +234,21 @@ Result<std::vector<int32_t>> BinaryReader::ReadInts() {
   std::vector<int32_t> v(n.value());
   if (!v.empty()) {
     QCORE_RETURN_NOT_OK(Raw(v.data(), v.size() * sizeof(int32_t)));
+  }
+  return v;
+}
+
+Result<std::vector<uint8_t>> BinaryReader::ReadBytes() {
+  auto n = ReadU64();
+  if (!n.ok()) return n.status();
+  // Validate the length prefix against the remaining bytes BEFORE
+  // allocating: a bit-rotted prefix must yield Corruption, not bad_alloc.
+  if (n.value() > buffer_.size() - pos_) {
+    return Status::Corruption("length prefix exceeds buffer");
+  }
+  std::vector<uint8_t> v(n.value());
+  if (!v.empty()) {
+    QCORE_RETURN_NOT_OK(Raw(v.data(), v.size()));
   }
   return v;
 }

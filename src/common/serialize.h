@@ -5,6 +5,7 @@
 #ifndef QCORE_COMMON_SERIALIZE_H_
 #define QCORE_COMMON_SERIALIZE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -12,6 +13,27 @@
 #include "common/status.h"
 
 namespace qcore {
+
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `n` bytes.
+// `seed` chains partial checksums: Crc32(b, n2, Crc32(a, n1)) equals the
+// checksum of a||b. Used to frame write-ahead-log records so a torn or
+// bit-rotted record is detected on replay.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+// Framed records: [u32 payload_size][u32 crc32(payload)][payload bytes].
+// The frame is the unit of the snapshot WAL (serving/snapshot_store) and of
+// registry deltas shipped across process boundaries — length-prefixed so a
+// reader can skip records it does not understand, checksummed so torn tails
+// and corruption are detected instead of silently mis-parsed.
+void AppendFramedRecord(const std::vector<uint8_t>& payload,
+                        std::vector<uint8_t>* out);
+
+// Reads the frame starting at `*pos` in `buf` and advances `*pos` past it.
+// Returns Corruption — with `*pos` untouched — when the bytes at `*pos` do
+// not hold a complete frame (torn tail) or the payload fails its checksum,
+// so a log replayer can truncate at the exact failure offset.
+Result<std::vector<uint8_t>> ReadFramedRecord(const std::vector<uint8_t>& buf,
+                                              size_t* pos);
 
 // Append-only binary buffer writer.
 class BinaryWriter {
@@ -29,6 +51,9 @@ class BinaryWriter {
   void WriteFloats(const float* data, size_t n);
   void WriteInts(const std::vector<int32_t>& v);
   void WriteInt64s(const std::vector<int64_t>& v);
+  // Length-prefixed opaque byte blob (e.g. a serialized model snapshot
+  // nested inside a WAL record or registry delta).
+  void WriteBytes(const std::vector<uint8_t>& v);
 
   const std::vector<uint8_t>& buffer() const { return buffer_; }
 
@@ -65,6 +90,7 @@ class BinaryReader {
   Result<std::vector<float>> ReadFloats();
   Result<std::vector<int32_t>> ReadInts();
   Result<std::vector<int64_t>> ReadInt64s();
+  Result<std::vector<uint8_t>> ReadBytes();
 
   bool AtEnd() const { return pos_ == buffer_.size(); }
 

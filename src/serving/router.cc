@@ -8,10 +8,13 @@ namespace qcore {
 
 ShardedFleetServer::ShardedFleetServer(const QuantizedModel& base_model,
                                        const BitFlipNet& base_bf,
-                                       ShardedFleetServerOptions options)
+                                       ShardedFleetServerOptions options,
+                                       SnapshotRegistry* shared_registry)
     : base_model_(base_model),
       base_bf_(base_bf),
       options_(std::move(options)),
+      snapshots_(shared_registry != nullptr ? shared_registry
+                                            : &owned_snapshots_),
       ring_(options_.num_shards, options_.vnodes_per_shard) {
   QCORE_CHECK_GT(options_.num_shards, 0);
   shards_.reserve(static_cast<size_t>(options_.num_shards));
@@ -27,7 +30,7 @@ ShardedFleetServer::~ShardedFleetServer() {
 
 std::unique_ptr<FleetServer> ShardedFleetServer::MakeShard() {
   return std::make_unique<FleetServer>(base_model_, base_bf_, options_.shard,
-                                       &snapshots_, &rollup_);
+                                       snapshots_, &rollup_);
 }
 
 int ShardedFleetServer::ShardIndexFor(const std::string& device_id) const {
@@ -113,6 +116,9 @@ uint64_t ShardedFleetServer::MoveDevice(const std::string& device_id,
   QCORE_CHECK(target_shard >= 0 &&
               target_shard < static_cast<int>(shards_.size()));
   const int source = ShardIndexFor(device_id);
+  // An explicit move is an operator decision; record it as a persistent
+  // placement override so Rebalance keeps honoring it.
+  pinned_[device_id] = target_shard;
   if (source == target_shard) {
     // Degenerate move: still publish the barrier (callers rely on getting a
     // version back), but skip the detach/attach.
@@ -123,6 +129,11 @@ uint64_t ShardedFleetServer::MoveDevice(const std::string& device_id,
   const uint64_t version = MigrateLocked(device_id, source, target_shard);
   device_shard_[device_id] = target_shard;
   return version;
+}
+
+void ShardedFleetServer::ClearPin(const std::string& device_id) {
+  std::unique_lock<std::shared_mutex> lock(route_mu_);
+  pinned_.erase(device_id);
 }
 
 uint64_t ShardedFleetServer::MigrateLocked(const std::string& device_id,
@@ -140,10 +151,20 @@ void ShardedFleetServer::Rebalance(int new_shard_count) {
   while (static_cast<int>(shards_.size()) < new_shard_count) {
     shards_.push_back(MakeShard());
   }
-  // Migrate exactly the devices whose ring position changed. Iteration is
-  // map order (deterministic), so barrier-snapshot versions are too.
+  // Migrate exactly the devices whose placement changed: a pin from
+  // MoveDevice overrides the ring, unless its target shard is being
+  // retired by this shrink — then the pin is dropped and the device
+  // rehomes by ring position. Iteration is map order (deterministic), so
+  // barrier-snapshot versions are too.
   for (auto& [device_id, shard] : device_shard_) {
-    const int target = new_ring.ShardFor(device_id);
+    int target;
+    auto pin = pinned_.find(device_id);
+    if (pin != pinned_.end() && pin->second < new_shard_count) {
+      target = pin->second;
+    } else {
+      if (pin != pinned_.end()) pinned_.erase(pin);
+      target = new_ring.ShardFor(device_id);
+    }
     if (target != shard) {
       MigrateLocked(device_id, shard, target);
       shard = target;

@@ -64,9 +64,15 @@ struct ShardedFleetServerOptions {
 
 class ShardedFleetServer : public FleetBackend {
  public:
+  // `shared_registry` (optional) makes every shard publish into an external
+  // registry instead of the router's own federated one — e.g. a registry
+  // constructed over a DurableSnapshotStore, so the whole sharded fleet's
+  // snapshots survive the process and restore on the next construction
+  // (the registry must outlive the router).
   ShardedFleetServer(const QuantizedModel& base_model,
                      const BitFlipNet& base_bf,
-                     ShardedFleetServerOptions options);
+                     ShardedFleetServerOptions options,
+                     SnapshotRegistry* shared_registry = nullptr);
 
   ShardedFleetServer(const ShardedFleetServer&) = delete;
   ShardedFleetServer& operator=(const ShardedFleetServer&) = delete;
@@ -92,20 +98,29 @@ class ShardedFleetServer : public FleetBackend {
       const std::function<void(CalibrationSession&)>& fn) override;
   ServingMetrics& metrics() override;
   const ServingMetrics& metrics() const override;
-  SnapshotRegistry& snapshots() override { return snapshots_; }
+  SnapshotRegistry& snapshots() override { return *snapshots_; }
 
   // --- Rebalancing control plane -----------------------------------------
 
   // Migrates one device to `target_shard` (see the file comment for the
   // barrier-snapshot protocol). Returns the barrier snapshot's registry
-  // version. The pin lasts until the next Rebalance(), which re-derives
-  // placement from the ring.
+  // version. The move records a persistent placement pin: every subsequent
+  // Rebalance() keeps the device on the pinned shard instead of re-deriving
+  // its placement from the ring, until ClearPin() — unless the pinned shard
+  // itself is retired by a shrink, which drops the pin and rehomes the
+  // device by ring position.
   uint64_t MoveDevice(const std::string& device_id, int target_shard);
 
+  // Drops the placement pin MoveDevice recorded for `device_id` (no-op if
+  // none). The device stays where it is until the next Rebalance(), which
+  // re-derives its placement from the ring again.
+  void ClearPin(const std::string& device_id);
+
   // Changes the shard count live: builds the new ring, creates any new
-  // shards, migrates exactly the devices whose ring position changed
+  // shards, migrates exactly the devices whose placement changed — pinned
+  // devices stay on their pinned shard; everyone else follows the ring
   // (growth moves devices only onto new shards — the consistent-hash
-  // minimal-movement property), then drains and retires surplus shards
+  // minimal-movement property) — then drains and retires surplus shards
   // (folding their metrics into the rollup). Existing futures stay valid;
   // subsequent submissions route by the new map.
   void Rebalance(int new_shard_count);
@@ -133,7 +148,10 @@ class ShardedFleetServer : public FleetBackend {
   ShardedFleetServerOptions options_;
 
   // Federated across shards; declared before shards_ so they outlive them.
-  SnapshotRegistry snapshots_;
+  // Used unless the constructor received an external (e.g. durable)
+  // registry, which snapshots_ then points at instead.
+  SnapshotRegistry owned_snapshots_;
+  SnapshotRegistry* snapshots_;
   // Write-through fleet rollup: every shard records each event here as
   // well as in its own metrics (see FleetServer's rollup_metrics). Never
   // reset, so concurrent readers always see consistent, monotone totals.
@@ -145,6 +163,10 @@ class ShardedFleetServer : public FleetBackend {
   HashRing ring_;
   std::vector<std::unique_ptr<FleetServer>> shards_;
   std::map<std::string, int> device_shard_;
+  // Placement overrides from MoveDevice, consulted before the ring on every
+  // Rebalance (the policy layer the ROADMAP asked for). Guarded by
+  // route_mu_ like the rest of the routing state.
+  std::map<std::string, int> pinned_;
 };
 
 }  // namespace qcore

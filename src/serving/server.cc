@@ -49,6 +49,18 @@ void FleetServer::RegisterDevice(const std::string& device_id,
   auto state = std::make_unique<SessionState>(
       device_id, base_model_, base_bf_, std::move(qcore), options_.continual,
       DeviceSeed(options_.seed, device_id));
+  if (options_.warm_start_from_registry) {
+    // Seed the session from calibrated state instead of the factory model:
+    // its own latest version (restart recovery) or the cohort-nearest
+    // device's (cross-process warm start via an imported delta). No
+    // registry content — or a snapshot from an incompatible architecture
+    // (a shared/imported registry can hold foreign fleets' models) — means
+    // a plain cold start: RestoreInto fails atomically, leaving the
+    // freshly cloned base model untouched.
+    if (auto snap = registry_->NearestFor(device_id)) {
+      (void)SnapshotRegistry::RestoreInto(*snap, state->session.model());
+    }
+  }
   std::lock_guard<std::mutex> lock(sessions_mu_);
   const bool inserted =
       sessions_.emplace(device_id, std::move(state)).second;

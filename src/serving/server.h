@@ -110,6 +110,18 @@ struct FleetServerOptions {
   // vice versa). 0 = that class unbounded by its own cap.
   int max_inference_queue_per_session = 0;
   int max_calibration_queue_per_session = 0;
+  // Snapshot-distribution warm starts: when set, RegisterDevice seeds the
+  // new session's model from the registry instead of the factory base
+  // model — the device's own latest snapshot when one exists (restart
+  // recovery over a durable registry), else the cohort-nearest device's
+  // latest (published by a sibling or merged in via
+  // SnapshotRegistry::ImportDelta), else — including when the nearest
+  // snapshot is from an incompatible architecture — the base model as
+  // before. Only
+  // the model codes warm-start; the session's Rng/QCore state is fresh —
+  // continuation state travels via DetachSession/AttachSession, not
+  // snapshots.
+  bool warm_start_from_registry = false;
 };
 
 // Everything needed to re-create a session on another FleetServer,

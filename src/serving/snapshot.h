@@ -5,12 +5,22 @@
 // no reader ever observes a half-written model. This is the hand-off point
 // between the serving plane (sessions mutating codes) and everything that
 // wants a consistent model: checkpointing, rollback, cross-device warm
-// starts, future replication.
+// starts, replication.
+//
+// The registry is a thin versioning facade: it assigns monotonic versions
+// and owns the lock, while the snapshots themselves live in a pluggable
+// SnapshotStore (serving/snapshot_store.h) — in-memory by default,
+// WAL-backed via DurableSnapshotStore so a fleet's calibrated models
+// survive the process that produced them. Two distribution primitives ship
+// registry contents across process boundaries: ExportDelta serializes every
+// version after a watermark into CRC-framed records, and ImportDelta merges
+// such records into another registry (idempotently), after which
+// RegisterDevice can warm-start new sessions from the cohort-nearest
+// imported snapshot.
 #ifndef QCORE_SERVING_SNAPSHOT_H_
 #define QCORE_SERVING_SNAPSHOT_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -20,6 +30,8 @@
 #include "quant/quantized_model.h"
 
 namespace qcore {
+
+class SnapshotStore;
 
 // One immutable published model version.
 struct ModelSnapshot {
@@ -31,8 +43,21 @@ struct ModelSnapshot {
 
 class SnapshotRegistry {
  public:
+  // Over a fresh MemorySnapshotStore — the pre-durability semantics.
+  SnapshotRegistry();
+  // Over an explicit store. A DurableSnapshotStore that recovered published
+  // versions from its log resumes numbering at max recovered version + 1,
+  // so versions stay monotonic across a process restart.
+  explicit SnapshotRegistry(std::unique_ptr<SnapshotStore> store);
+  ~SnapshotRegistry();
+
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
   // Serializes `qm` and registers it as the next version. Thread-safe;
-  // returns the assigned version number (monotonic from 1).
+  // returns the assigned version number (monotonic from 1). A durable
+  // store's write failure is fatal (checked): a registry that claimed
+  // durability it does not have would corrupt recovery.
   uint64_t Publish(const QuantizedModel& qm, const std::string& device_id,
                    uint64_t batches_seen);
 
@@ -43,6 +68,14 @@ class SnapshotRegistry {
       const std::string& device_id) const;
   std::shared_ptr<const ModelSnapshot> Get(uint64_t version) const;
 
+  // Warm-start lookup: the device's own latest snapshot if it has one
+  // (restart recovery), else the latest snapshot of the cohort-nearest
+  // device — clockwise successor on the same 64-bit ring the sharded
+  // router hashes with (serving/hash_ring.h), so "nearest" is
+  // deterministic and placement-consistent. nullptr when empty.
+  std::shared_ptr<const ModelSnapshot> NearestFor(
+      const std::string& device_id) const;
+
   // Restores a snapshot into a model of the same architecture/bit-width.
   static Status RestoreInto(const ModelSnapshot& snapshot, QuantizedModel* qm);
 
@@ -50,14 +83,30 @@ class SnapshotRegistry {
 
   // Drops all versions below `min_version` that are not a device's latest
   // (simple retention; holders keep their shared_ptrs alive regardless).
-  // Returns the number of versions dropped.
+  // A durable store compacts its log here. Returns the number of versions
+  // dropped.
   size_t TrimBelow(uint64_t min_version);
+
+  // --- Distribution: ship registry contents across a process boundary ----
+
+  // Serializes every snapshot with version > `since_version`, ascending,
+  // as CRC-framed records under a small delta header. ExportDelta(0) is a
+  // full registry image.
+  std::vector<uint8_t> ExportDelta(uint64_t since_version) const;
+
+  // Merges a blob produced by ExportDelta (possibly from another process).
+  // Versions already present are skipped, so re-importing is idempotent;
+  // the next published version advances past every imported one, keeping
+  // monotonicity fleet-wide. Returns the number of snapshots imported. A
+  // malformed delta is rejected whole (validated before any mutation); a
+  // durable store's write failure mid-import can leave a prefix applied —
+  // recover by retrying the same delta, which skips what landed.
+  Result<size_t> ImportDelta(const std::vector<uint8_t>& delta);
 
  private:
   mutable std::mutex mu_;
   uint64_t next_version_ = 1;
-  std::map<uint64_t, std::shared_ptr<const ModelSnapshot>> by_version_;
-  std::map<std::string, std::shared_ptr<const ModelSnapshot>> by_device_;
+  std::unique_ptr<SnapshotStore> store_;
 };
 
 }  // namespace qcore

@@ -233,6 +233,78 @@ TEST(SerializeTest, RoundTripAllTypes) {
   EXPECT_TRUE(r.AtEnd());
 }
 
+TEST(SerializeTest, BytesRoundTripAndTruncation) {
+  BinaryWriter w;
+  w.WriteBytes({0x00, 0xFF, 0x42});
+  w.WriteBytes({});
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.ReadBytes().value(), (std::vector<uint8_t>{0x00, 0xFF, 0x42}));
+  EXPECT_TRUE(r.ReadBytes().value().empty());
+  EXPECT_TRUE(r.AtEnd());
+
+  BinaryWriter bad;
+  bad.WriteU64(1000);  // length prefix promising bytes that are not there
+  BinaryReader rb(bad.buffer());
+  auto bytes = rb.ReadBytes();
+  EXPECT_FALSE(bytes.ok());
+  EXPECT_EQ(bytes.status().code(), StatusCode::kCorruption);
+}
+
+TEST(Crc32Test, KnownVectorAndChaining) {
+  // The canonical IEEE CRC32 check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+  // Chained partial checksums equal the checksum of the concatenation.
+  const uint32_t partial = Crc32("12345", 5);
+  EXPECT_EQ(Crc32("6789", 4, partial), 0xCBF43926u);
+  // Any single-byte change moves the checksum.
+  EXPECT_NE(Crc32("123456780", 9), 0xCBF43926u);
+}
+
+TEST(FramedRecordTest, RoundTripMultipleRecords) {
+  std::vector<uint8_t> buf;
+  const std::vector<uint8_t> a = {1, 2, 3};
+  const std::vector<uint8_t> b = {};  // empty payloads frame fine
+  const std::vector<uint8_t> c(300, 0xAB);
+  AppendFramedRecord(a, &buf);
+  AppendFramedRecord(b, &buf);
+  AppendFramedRecord(c, &buf);
+
+  size_t pos = 0;
+  EXPECT_EQ(ReadFramedRecord(buf, &pos).value(), a);
+  EXPECT_EQ(ReadFramedRecord(buf, &pos).value(), b);
+  EXPECT_EQ(ReadFramedRecord(buf, &pos).value(), c);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(FramedRecordTest, CorruptByteIsDetected) {
+  std::vector<uint8_t> buf;
+  AppendFramedRecord({10, 20, 30, 40, 50}, &buf);
+  // Flip one payload byte: the CRC must catch it and leave pos untouched.
+  std::vector<uint8_t> corrupt = buf;
+  corrupt[corrupt.size() - 2] ^= 0x01;
+  size_t pos = 0;
+  auto r = ReadFramedRecord(corrupt, &pos);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(pos, 0u);
+}
+
+TEST(FramedRecordTest, TornTailIsDetected) {
+  std::vector<uint8_t> buf;
+  AppendFramedRecord({10, 20, 30, 40, 50}, &buf);
+  // A record cut mid-payload (and one cut mid-header) must both read as
+  // Corruption without advancing — the WAL truncation signal.
+  for (size_t cut : {buf.size() - 1, size_t{3}}) {
+    std::vector<uint8_t> torn(buf.begin(),
+                              buf.begin() + static_cast<long>(cut));
+    size_t pos = 0;
+    auto r = ReadFramedRecord(torn, &pos);
+    EXPECT_FALSE(r.ok()) << "cut=" << cut;
+    EXPECT_EQ(pos, 0u);
+  }
+}
+
 TEST(SerializeTest, TruncationIsError) {
   BinaryWriter w;
   w.WriteU64(1000);  // length prefix promising data that is not there

@@ -319,6 +319,71 @@ TEST(ShardedFleetServerTest, PlacementFollowsTheRingAndCoversShards) {
   EXPECT_EQ(total, kDevices);
 }
 
+// MoveDevice records a persistent placement pin: Rebalance keeps the device
+// on the pinned shard instead of re-deriving from the ring, ClearPin
+// restores ring placement, and a pin to a retired shard is dropped —
+// closing the old "pins last only until the next Rebalance" caveat. Results
+// stay bit-identical throughout (migration is still the barrier-snapshot
+// protocol, wherever the device lands).
+TEST(ShardedFleetServerTest, PlacementPinSurvivesRebalance) {
+  const StreamOutcome reference = RunUnsharded(0, false);
+  FleetFixture* f = GetFixture();
+  ShardedFleetServerOptions opts;
+  opts.num_shards = 2;
+  opts.shard = ShardOptions(/*threads=*/2, /*batching=*/false);
+  ShardedFleetServer server(*f->base, *f->bf, opts);
+  // Pin s0 to a shard the 3-shard ring would NOT choose, so the pin (not
+  // the ring) demonstrably decides placement after the rebalance.
+  const int ring3_home = HashRing(3).ShardFor("s0");
+  const int pin_target = ring3_home == 0 ? 1 : 0;
+  const StreamOutcome moved = DriveStream(&server, [&]() {
+    server.MoveDevice("s0", pin_target);
+    server.Rebalance(3);
+  });
+  ExpectSameResults(moved, reference, "pinned move + rebalance");
+  EXPECT_EQ(server.ShardOf("s0"), pin_target);
+  ASSERT_NE(server.ShardOf("s0"), ring3_home);
+
+  // A second rebalance still honors the pin...
+  server.Rebalance(3);
+  EXPECT_EQ(server.ShardOf("s0"), pin_target);
+  // ...until ClearPin, after which placement is the ring's again.
+  server.ClearPin("s0");
+  EXPECT_EQ(server.ShardOf("s0"), pin_target);  // ClearPin itself moves nothing
+  server.Rebalance(3);
+  EXPECT_EQ(server.ShardOf("s0"), ring3_home);
+  // The device kept serving through every placement change.
+  server.SubmitInference("s0", f->probes[0]).get();
+  server.Drain();
+}
+
+TEST(ShardedFleetServerTest, PinToRetiredShardIsDroppedOnShrink) {
+  FleetFixture* f = GetFixture();
+  ShardedFleetServerOptions opts;
+  opts.num_shards = 4;
+  opts.shard = ShardOptions(/*threads=*/1, /*batching=*/false);
+  ShardedFleetServer server(*f->base, *f->bf, opts);
+  const auto& devices = Devices();
+  for (const auto& d : devices) server.RegisterDevice(d, f->qcore);
+  server.MoveDevice("s1", 3);
+  EXPECT_EQ(server.ShardOf("s1"), 3);
+
+  // Shrinking away shard 3 drops the pin: the device rehomes by the
+  // 2-shard ring like everyone else, and the retiring shard ends empty.
+  server.Rebalance(2);
+  EXPECT_EQ(server.num_shards(), 2);
+  HashRing ring2(2);
+  for (const auto& d : devices) {
+    EXPECT_EQ(server.ShardOf(d), ring2.ShardFor(d)) << d;
+  }
+  // The dropped pin stays dropped: growing again follows the ring, not the
+  // stale override.
+  server.Rebalance(4);
+  HashRing ring4(4);
+  EXPECT_EQ(server.ShardOf("s1"), ring4.ShardFor("s1"));
+  server.Drain();
+}
+
 TEST(ShardedFleetServerTest, RollupSurvivesShardRetirement) {
   FleetFixture* f = GetFixture();
   ShardedFleetServerOptions opts;
