@@ -19,10 +19,13 @@
 // host, including single-core CI runners.
 //
 // QCORE_FAST=1 shrinks the fleet; QCORE_BENCH_THREADS caps the curve;
-// QCORE_BENCH_RTT_MS overrides the simulated link RTT (default 25).
+// QCORE_BENCH_RTT_MS overrides the simulated link RTT (default 25);
+// QCORE_BENCH_JSON=<path> writes the macro serving numbers (tasks/s, p99,
+// traced-vs-untraced throughput) as JSON for bench/check_perf_regression.py.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -36,6 +39,7 @@
 #include "core/qcore_builder.h"
 #include "data/har_generator.h"
 #include "models/model_zoo.h"
+#include "obs/trace.h"
 #include "serving/backend.h"
 #include "serving/router.h"
 #include "serving/server.h"
@@ -131,6 +135,7 @@ struct RunResult {
   uint64_t calibrations = 0;
   uint64_t inferences = 0;
   double mean_batch_occupancy = 0.0;
+  double p99_inference_seconds = 0.0;
   std::vector<std::vector<std::vector<int32_t>>> final_codes;  // per device
   // Per device, every inference result in submission order — the delivery-
   // order regression signal for the batched path.
@@ -182,6 +187,8 @@ RunResult RunFleet(const FleetSetup& setup, FleetBackend* server) {
   result.calibrations = server->metrics().calibration_batches();
   result.inferences = server->metrics().inference_requests();
   result.mean_batch_occupancy = server->metrics().batch_occupancy().mean();
+  result.p99_inference_seconds =
+      server->metrics().inference_latency().QuantileSeconds(0.99);
   for (size_t d = 0; d < setup.device_ids.size(); ++d) {
     server->WithSessionQuiesced(
         setup.device_ids[d], [&](CalibrationSession& session) {
@@ -453,15 +460,82 @@ int main() {
   std::printf("\nWAL reopen recovers publishes bit-identically:       %s\n",
               durable_recovers ? "yes" : "NO");
 
+  // ---- tracing overhead: the macro perf gate ----------------------------
+  // TraceRing is always-on in production, so the macro numbers that gate
+  // the serving path are measured WITH tracing enabled; the untraced run
+  // exists to prove the instrumentation is overhead-neutral (per-thread
+  // rings, relaxed-atomic enabled check — the gate keeps it honest).
+  // Tracing must also never perturb results: both runs are bit-identity
+  // checked like every other configuration axis in this bench.
+  const int gate_threads = std::min(4, max_threads);
+  std::printf("\n== Tracing overhead at %d threads, max_batch=4 ==\n\n",
+              gate_threads);
+  TraceRing::Global().SetEnabled(false);
+  RunResult untraced = RunSingle(setup, gate_threads, /*max_batch=*/4);
+  TraceRing::Global().SetEnabled(true);
+  TraceRing::Global().Clear();
+  RunResult traced = RunSingle(setup, gate_threads, /*max_batch=*/4);
+  const double untraced_tps = TasksPerSec(untraced);
+  const double traced_tps = TasksPerSec(traced);
+  TablePrinter ttable({"Tracing", "Wall (s)", "Tasks/s", "p99 (ms)",
+                       "vs off"});
+  ttable.AddRow({"off", TablePrinter::Num(untraced.wall_seconds, 3),
+                 TablePrinter::Num(untraced_tps, 1),
+                 TablePrinter::Num(untraced.p99_inference_seconds * 1e3, 1),
+                 TablePrinter::Num(1.0, 2)});
+  ttable.AddRow({"on", TablePrinter::Num(traced.wall_seconds, 3),
+                 TablePrinter::Num(traced_tps, 1),
+                 TablePrinter::Num(traced.p99_inference_seconds * 1e3, 1),
+                 TablePrinter::Num(traced_tps / untraced_tps, 2)});
+  ttable.Print();
+
+  const bool tracing_identical =
+      traced.final_codes == untraced.final_codes &&
+      traced.final_codes == reference &&
+      traced.predictions == untraced.predictions;
+  const bool tracing_cheap = traced_tps >= 0.85 * untraced_tps;
+  std::printf("\ntraced codes bit-identical to untraced + pipeline:   %s\n",
+              tracing_identical ? "yes" : "NO");
+  std::printf("tracing overhead within gate (>=0.85x untraced):     %s\n",
+              tracing_cheap ? "yes" : "NO");
+
+  // Macro numbers for the perf CI gate (bench/check_perf_regression.py
+  // compares them against the committed bench/baseline_serving.json). The
+  // gated run is the traced one — tracing is the production configuration.
+  if (const char* json_path = std::getenv("QCORE_BENCH_JSON")) {
+    std::ofstream out(json_path);
+    out << "{\n  \"serving\": {\n"
+        << "    \"tasks_per_sec\": " << traced_tps << ",\n"
+        << "    \"p99_inference_ms\": "
+        << traced.p99_inference_seconds * 1e3 << ",\n"
+        << "    \"traced_tasks_per_sec\": " << traced_tps << ",\n"
+        << "    \"untraced_tasks_per_sec\": " << untraced_tps << ",\n"
+        << "    \"devices\": " << num_devices << ",\n"
+        << "    \"batches_per_device\": " << batches_per_device << ",\n"
+        << "    \"threads\": " << gate_threads << ",\n"
+        << "    \"max_batch\": 4,\n"
+        << "    \"rtt_ms\": " << BenchRttMs() << "\n"
+        << "  }\n}\n";
+    if (!out.good()) {
+      std::printf("failed to write QCORE_BENCH_JSON to %s\n", json_path);
+      return 2;
+    }
+    std::printf("\nwrote macro serving numbers to %s\n", json_path);
+  }
+
   // Exit codes separate correctness from timing: 2 = determinism or
   // ordering violated (always a bug), 1 = a timing property failed (the
-  // scaling curves not improving, or batching not faster) — expected e.g.
-  // with QCORE_BENCH_RTT_MS=0 on a single-core host, and tolerated by CI
-  // on noisy shared runners.
+  // scaling curves not improving, batching not faster, or tracing costing
+  // more than the gate allows) — expected e.g. with QCORE_BENCH_RTT_MS=0
+  // on a single-core host, and tolerated by CI on noisy shared runners
+  // (the hard tracing-overhead gate lives in check_perf_regression.py,
+  // fed by QCORE_BENCH_JSON).
   if (!identical_across_threads || first_run.final_codes != reference ||
       !batched_identical || !batched_ordered || !sharded_identical ||
-      !sharded_ordered || !durable_recovers) {
+      !sharded_ordered || !durable_recovers || !tracing_identical) {
     return 2;
   }
-  return (monotonic && batched_faster && sharding_scales) ? 0 : 1;
+  return (monotonic && batched_faster && sharding_scales && tracing_cheap)
+             ? 0
+             : 1;
 }

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""Perf CI gate for the blocked kernel substrate.
+"""Perf CI gate: blocked kernel substrate + macro serving path.
 
-Consumes two ``bench_micro_substrate --benchmark_format=json`` outputs — the
-committed baseline (bench/baseline_micro.json) and the current run — and
-fails (exit 1) when either:
+Micro: consumes two ``bench_micro_substrate --benchmark_format=json``
+outputs — the committed baseline (bench/baseline_micro.json) and the
+current run — and fails (exit 1) when either:
 
   1. a tracked blocked kernel regressed more than REGRESSION_TOLERANCE
      against the committed baseline (cpu_time, median-of-repetitions when
@@ -12,19 +12,33 @@ fails (exit 1) when either:
      measured within the current run only, so they are robust to host
      differences between whoever committed the baseline and the CI runner).
 
-The absolute comparison (1) is only meaningful when the runner hardware
-matches the host that committed the baseline; on heterogeneous/shared
-runners set QCORE_PERF_BASELINE_STRICT=0 to downgrade absolute regressions
-to warnings while keeping the within-run speedup floors (2) hard.
+Macro (optional, ``--serving-baseline``/``--serving-current``): consumes
+two ``bench_serving_throughput`` QCORE_BENCH_JSON outputs — the committed
+baseline (bench/baseline_serving.json) and the current run — and gates:
 
-Regenerate the baseline on the CI host after an intentional kernel change:
+  3. serving tasks/s >= SERVING_TPS_FLOOR x baseline and p99 inference
+     latency <= SERVING_P99_CEILING x baseline (absolute, so downgraded
+     with the micro comparisons in non-strict mode), and
+  4. traced tasks/s >= TRACING_OVERHEAD_FLOOR x untraced tasks/s — the
+     tracing-overhead before/after check. Within-run ratio, always hard:
+     observability must stay cheap enough to leave on in production.
+
+The absolute comparisons (1, 3) are only meaningful when the runner
+hardware matches the host that committed the baseline; on
+heterogeneous/shared runners set QCORE_PERF_BASELINE_STRICT=0 to downgrade
+them to warnings while keeping the within-run ratios (2, 4) hard.
+
+Regenerate the baselines on the CI host after an intentional change:
 
   ./build/bench_micro_substrate \
       --benchmark_filter='MatMul|Conv|Im2Col' \
       --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
       --benchmark_format=json > bench/baseline_micro.json
+  QCORE_FAST=1 QCORE_BENCH_JSON=bench/baseline_serving.json \
+      ./build/bench_serving_throughput
 """
 
+import argparse
 import json
 import os
 import sys
@@ -55,6 +69,14 @@ SPEEDUP_FLOORS = [
 
 REGRESSION_TOLERANCE = 0.15  # fail if >15% slower than baseline
 
+# Macro serving gates (see module docstring). Throughput and latency get
+# wider tolerances than the micro kernels: the macro numbers fold in
+# thread scheduling and simulated-RTT overlap, which are noisier than a
+# single kernel's cpu_time.
+SERVING_TPS_FLOOR = 0.75       # tasks/s must stay >= 75% of baseline
+SERVING_P99_CEILING = 1.25     # p99 latency must stay <= 125% of baseline
+TRACING_OVERHEAD_FLOOR = 0.85  # traced tasks/s >= 85% of untraced, hard
+
 
 def load_times(path):
     """name -> cpu_time in ns; prefers *_median aggregates when present."""
@@ -73,12 +95,71 @@ def load_times(path):
     return times
 
 
+def load_serving(path):
+    """Returns the "serving" object from a QCORE_BENCH_JSON file."""
+    with open(path) as f:
+        data = json.load(f)
+    serving = data.get("serving")
+    if not isinstance(serving, dict):
+        raise ValueError(f"{path}: no \"serving\" object")
+    return serving
+
+
+def check_serving(baseline_path, current_path, strict, failures, warnings):
+    baseline = load_serving(baseline_path)
+    current = load_serving(current_path)
+
+    print()
+    print(f"{'serving (macro)':<24} {'baseline':>12} {'current':>12} "
+          f"{'gate':>16}")
+
+    def gate(name, base, cur, ok, gate_desc, hard):
+        flag = "" if ok else "  << GATE FAILED"
+        print(f"{name:<24} {base:>12.2f} {cur:>12.2f} {gate_desc:>16}{flag}")
+        if not ok:
+            msg = f"serving {name}: {cur:.2f} vs baseline {base:.2f}, {gate_desc}"
+            (failures if hard else warnings).append(msg)
+
+    base_tps = float(baseline["tasks_per_sec"])
+    cur_tps = float(current["tasks_per_sec"])
+    gate("tasks_per_sec", base_tps, cur_tps,
+         cur_tps >= SERVING_TPS_FLOOR * base_tps,
+         f">= {SERVING_TPS_FLOOR:.2f}x base", strict)
+
+    base_p99 = float(baseline["p99_inference_ms"])
+    cur_p99 = float(current["p99_inference_ms"])
+    gate("p99_inference_ms", base_p99, cur_p99,
+         cur_p99 <= SERVING_P99_CEILING * base_p99,
+         f"<= {SERVING_P99_CEILING:.2f}x base", strict)
+
+    # Within the current run only — hard regardless of strictness, exactly
+    # like the blocked-vs-naive speedup floors.
+    untraced = float(current["untraced_tasks_per_sec"])
+    traced = float(current["traced_tasks_per_sec"])
+    ratio = traced / untraced if untraced > 0 else 0.0
+    flag = "" if ratio >= TRACING_OVERHEAD_FLOOR else "  << GATE FAILED"
+    print(f"{'traced/untraced tasks/s':<24} {'-':>12} {ratio:>12.2f} "
+          f"{'>= %.2f (hard)' % TRACING_OVERHEAD_FLOOR:>16}{flag}")
+    if ratio < TRACING_OVERHEAD_FLOOR:
+        failures.append(
+            f"serving tracing overhead: traced/untraced = {ratio:.2f}, "
+            f"floor {TRACING_OVERHEAD_FLOOR:.2f}")
+
+
 def main():
-    if len(sys.argv) != 3:
-        print(f"usage: {sys.argv[0]} baseline.json current.json")
-        return 2
-    baseline = load_times(sys.argv[1])
-    current = load_times(sys.argv[2])
+    parser = argparse.ArgumentParser(
+        description="Perf CI gate: micro kernels + macro serving path")
+    parser.add_argument("micro_baseline")
+    parser.add_argument("micro_current")
+    parser.add_argument("--serving-baseline",
+                        help="committed bench/baseline_serving.json")
+    parser.add_argument("--serving-current",
+                        help="QCORE_BENCH_JSON output of the current run")
+    args = parser.parse_args()
+    if bool(args.serving_baseline) != bool(args.serving_current):
+        parser.error("--serving-baseline and --serving-current go together")
+    baseline = load_times(args.micro_baseline)
+    current = load_times(args.micro_current)
     strict = os.environ.get("QCORE_PERF_BASELINE_STRICT", "1") != "0"
     failures = []
     warnings = []
@@ -117,6 +198,13 @@ def main():
                 f"{blocked}: {actual:.2f}x vs {naive}, floor {floor:.1f}x")
         print(f"{blocked + ' vs naive':<40} {floor:>5.1f}x {actual:>7.2f}x"
               f"{flag}")
+
+    if args.serving_baseline:
+        try:
+            check_serving(args.serving_baseline, args.serving_current,
+                          strict, failures, warnings)
+        except (OSError, ValueError, KeyError) as e:
+            failures.append(f"serving gate: {e}")
 
     if warnings:
         print("\nbaseline regressions (non-strict mode, not gating):")

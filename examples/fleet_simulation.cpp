@@ -11,6 +11,13 @@
 // registries and aggregate fleet-wide metrics (per-shard + rollup for the
 // sharded cohort).
 //
+// Observability: after each phase (registration, serving, kill-and-restart)
+// the fleet whiteboard is dumped — one row per shard and per device,
+// maintained write-through by the serving layers — and the mid-stream
+// rebalance window is captured through the TraceRing and written as
+// chrome://tracing JSON to /tmp/qcore_fleet_rebalance_trace.json (open it
+// at chrome://tracing or ui.perfetto.dev).
+//
 // Build & run:  ./build/fleet_simulation
 // Environment:  QCORE_FLEET_DEVICES (default 200; HAR cohort, plus 1/4 as
 //               many image devices), QCORE_FLEET_THREADS (default 4, per
@@ -18,6 +25,7 @@
 //               QCORE_FAST=1 shrinks everything for a quick smoke run.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -28,6 +36,8 @@
 #include "data/har_generator.h"
 #include "data/image_generator.h"
 #include "models/model_zoo.h"
+#include "obs/trace.h"
+#include "obs/whiteboard.h"
 #include "quant/ste_calibrator.h"
 #include "serving/backend.h"
 #include "serving/router.h"
@@ -162,6 +172,8 @@ int main() {
     std::printf(" %d", har_server.SessionCountOnShard(s));
   }
   std::printf(")\n\n");
+  std::printf("-- whiteboard after registration (HAR cohort) --\n%s\n",
+              har_server.whiteboard().Read().ToTable(8).c_str());
 
   // --- Drive the streams: per device, shifted batches + inference. -------
   // Pre/post accuracies come back through the calibration stats; device
@@ -173,7 +185,11 @@ int main() {
       // Live rebalance mid-traffic: add a shard while futures are in
       // flight. Sessions whose ring position changes migrate via barrier
       // snapshot + continuation restore; results are bit-identical to
-      // never having moved (see tests/sharding_test.cc).
+      // never having moved (see tests/sharding_test.cc). Clear() opens a
+      // trace capture window here; it stays open until the stream drains,
+      // so the exported timeline holds every migration's detach/attach
+      // pair plus the request lifecycles that overlapped the rebalance.
+      TraceRing::Global().Clear();
       har_server.Rebalance(shards + 1);
       std::printf("rebalanced HAR cohort to %d shards mid-stream\n",
                   har_server.num_shards());
@@ -224,6 +240,16 @@ int main() {
   img_server.Drain();
   const double serve_seconds = wall.ElapsedSeconds();
 
+  // Close the rebalance capture window: everything traced since the
+  // Clear() above — migrations and the traffic that overlapped them —
+  // exports as one chrome://tracing timeline.
+  const std::string trace_path = "/tmp/qcore_fleet_rebalance_trace.json";
+  {
+    std::ofstream trace_out(trace_path);
+    trace_out << TraceRing::Global().ToChromeJson();
+  }
+  std::printf("wrote rebalance-window trace to %s\n", trace_path.c_str());
+
   // --- Fleet report. -----------------------------------------------------
   std::printf("served %zu calibration batches + inference traffic for %zu "
               "devices in %.2fs\n\n",
@@ -256,6 +282,9 @@ int main() {
   std::printf("snapshot registry: %zu HAR + %zu image versions "
               "(copy-on-write)\n",
               har_server.snapshots().size(), img_server.snapshots().size());
+  std::printf("\n-- whiteboard after serving (HAR cohort; the shard added "
+              "by the rebalance has its own row) --\n%s\n",
+              har_server.whiteboard().Read().ToTable(8).c_str());
 
   // --- Kill-and-restart: durable snapshots survive the server. -----------
   // A small HAR cohort serves over a registry backed by a CRC-framed
@@ -345,6 +374,10 @@ int main() {
                 static_cast<unsigned long long>(pre_kill_latest),
                 resumed > pre_kill_latest ? "yes" : "NO");
     server.Drain();
+    // The restarted server's whiteboard shows warm=ownSnapshot rows and the
+    // WAL health line sourced from the durable registry.
+    std::printf("\n-- whiteboard after kill-and-restart --\n%s\n",
+                server.whiteboard().Read().ToTable(8).c_str());
   }
   std::remove(wal_path.c_str());
   return 0;

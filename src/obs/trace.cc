@@ -1,0 +1,207 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+namespace qcore {
+
+namespace {
+
+std::atomic<uint64_t> g_next_span{1};
+thread_local uint64_t t_current_span = 0;
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kSubmitInference: return "submitInference";
+    case TraceKind::kSubmitCalibration: return "submitCalibration";
+    case TraceKind::kShed: return "shed";
+    case TraceKind::kBatchEnqueue: return "batchEnqueue";
+    case TraceKind::kBatchFlush: return "batchFlush";
+    case TraceKind::kBarrierFlush: return "barrierFlush";
+    case TraceKind::kExecStart: return "exec";
+    case TraceKind::kExecEnd: return "exec";
+    case TraceKind::kComplete: return "complete";
+    case TraceKind::kSnapshotPublish: return "snapshotPublish";
+    case TraceKind::kWalAppend: return "walAppend";
+    case TraceKind::kDetach: return "detach";
+    case TraceKind::kAttach: return "attach";
+  }
+  return "unknown";
+}
+
+TraceRing& TraceRing::Global() {
+  // Leaky singleton: serving threads may record during static teardown.
+  static TraceRing* ring = new TraceRing();
+  return *ring;
+}
+
+uint64_t TraceRing::NextSpan() {
+  return g_next_span.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t TraceRing::CurrentSpan() { return t_current_span; }
+
+TraceRing::Ring* TraceRing::LocalRing() {
+  // One ring per (thread, TraceRing) pair, created on first use and kept
+  // registered after the thread exits so late Collects still see its
+  // events. The shared_ptr keeps the ring alive past thread teardown.
+  thread_local std::shared_ptr<Ring> ring;
+  if (ring == nullptr) {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    ring = std::make_shared<Ring>(static_cast<uint32_t>(rings_.size() + 1),
+                                  capacity_.load(std::memory_order_relaxed));
+    rings_.push_back(ring);
+  }
+  return ring.get();
+}
+
+void TraceRing::Record(TraceKind kind, uint64_t span, uint64_t arg0,
+                       uint64_t arg1) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  Ring* ring = LocalRing();
+  TraceEvent ev;
+  ev.ts_ns = NowNs();
+  ev.span = span;
+  ev.arg0 = arg0;
+  ev.arg1 = arg1;
+  ev.ring = ring->id;
+  ev.kind = kind;
+  std::lock_guard<std::mutex> lock(ring->mu);
+  if (ring->buf.size() < ring->capacity) {
+    ring->buf.push_back(ev);
+  } else {
+    ring->buf[ring->total % ring->capacity] = ev;
+  }
+  ++ring->total;
+}
+
+uint32_t TraceRing::Intern(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = intern_.find(name);
+  if (it != intern_.end()) return it->second;
+  names_.push_back(name);
+  const uint32_t id = static_cast<uint32_t>(names_.size());
+  intern_[name] = id;
+  return id;
+}
+
+std::string TraceRing::NameOf(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  if (id == 0 || id > names_.size()) return "";
+  return names_[id - 1];
+}
+
+void TraceRing::SetEnabled(bool enabled) {
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+bool TraceRing::enabled() const {
+  return enabled_.load(std::memory_order_relaxed);
+}
+
+void TraceRing::SetCapacityPerThread(size_t capacity) {
+  capacity_.store(capacity == 0 ? 1 : capacity, std::memory_order_relaxed);
+}
+
+void TraceRing::Clear() {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    rings = rings_;
+  }
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    ring->buf.clear();
+    ring->total = 0;
+  }
+}
+
+std::vector<TraceEvent> TraceRing::Collect() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    rings = rings_;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    // Oldest-first within the ring: once wrapped, the slot at total %
+    // capacity is the oldest surviving event.
+    const size_t n = ring->buf.size();
+    const size_t start = ring->total > n ? ring->total % ring->capacity : 0;
+    for (size_t i = 0; i < n; ++i) {
+      events.push_back(ring->buf[(start + i) % n]);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return events;
+}
+
+std::vector<TraceEvent> TraceRing::CollectSpan(uint64_t span) const {
+  std::vector<TraceEvent> events = Collect();
+  events.erase(std::remove_if(events.begin(), events.end(),
+                              [span](const TraceEvent& ev) {
+                                return ev.span != span;
+                              }),
+               events.end());
+  return events;
+}
+
+uint64_t TraceRing::dropped_events() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    rings = rings_;
+  }
+  uint64_t dropped = 0;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    dropped += ring->total - ring->buf.size();
+  }
+  return dropped;
+}
+
+std::string TraceRing::ToChromeJson() const {
+  const std::vector<TraceEvent> events = Collect();
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out << ",";
+    first = false;
+    const char* ph = ev.kind == TraceKind::kExecStart ? "B"
+                     : ev.kind == TraceKind::kExecEnd ? "E"
+                                                      : "i";
+    out << "{\"name\":\"" << TraceKindName(ev.kind) << "\",\"ph\":\"" << ph
+        << "\",\"pid\":1,\"tid\":" << ev.ring << ",\"ts\":"
+        << static_cast<double>(ev.ts_ns) / 1000.0;
+    if (ph[0] == 'i') out << ",\"s\":\"t\"";
+    out << ",\"args\":{\"span\":" << ev.span;
+    const std::string device = NameOf(ev.arg0);
+    if (!device.empty()) out << ",\"device\":\"" << device << "\"";
+    out << ",\"arg\":" << ev.arg1 << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+ScopedTraceSpan::ScopedTraceSpan(uint64_t span) : prev_(t_current_span) {
+  t_current_span = span;
+}
+
+ScopedTraceSpan::~ScopedTraceSpan() { t_current_span = prev_; }
+
+}  // namespace qcore

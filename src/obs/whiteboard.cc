@@ -1,0 +1,418 @@
+#include "obs/whiteboard.h"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "common/serialize.h"
+#include "common/table_printer.h"
+
+namespace qcore {
+
+namespace {
+
+constexpr uint32_t kWhiteboardMagic = 0x44425751;  // "QWBD"
+constexpr uint32_t kWhiteboardVersion = 1;
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void WriteStatus(BinaryWriter* w, const Status& status) {
+  w->WriteU32(static_cast<uint32_t>(status.code()));
+  w->WriteString(status.message());
+}
+
+// Result<Status> cannot instantiate (ambiguous constructors), so the
+// decoded status comes back through `out`.
+Status ReadStatus(BinaryReader* r, Status* out) {
+  auto code = r->ReadU32();
+  if (!code.ok()) return code.status();
+  auto message = r->ReadString();
+  if (!message.ok()) return message.status();
+  *out = Status(static_cast<StatusCode>(code.value()),
+                std::move(message).value());
+  return Status::OK();
+}
+
+std::vector<uint8_t> EncodeShardRow(const ShardRow& row) {
+  BinaryWriter w;
+  w.WriteU32(static_cast<uint32_t>(row.shard));
+  w.WriteU32(row.retired ? 1 : 0);
+  w.WriteU64(row.sessions);
+  w.WriteU64(row.inference_requests);
+  w.WriteU64(row.calibration_batches);
+  w.WriteU64(row.snapshots_published);
+  w.WriteU64(row.accepted_inference);
+  w.WriteU64(row.accepted_calibration);
+  w.WriteU64(row.shed_inference);
+  w.WriteU64(row.shed_calibration);
+  w.WriteU64(row.barrier_flushes);
+  WriteStatus(&w, row.last_error);
+  w.WriteU64(row.last_error_ns);
+  return w.TakeBuffer();
+}
+
+Result<ShardRow> DecodeShardRow(std::vector<uint8_t> payload) {
+  BinaryReader r(std::move(payload));
+  ShardRow row;
+#define QCORE_WB_READ(field, reader)                      \
+  do {                                                    \
+    auto v = r.reader();                                  \
+    if (!v.ok()) return v.status();                       \
+    row.field = std::move(v).value();                     \
+  } while (0)
+  auto shard = r.ReadU32();
+  if (!shard.ok()) return shard.status();
+  row.shard = static_cast<int>(shard.value());
+  auto retired = r.ReadU32();
+  if (!retired.ok()) return retired.status();
+  row.retired = retired.value() != 0;
+  QCORE_WB_READ(sessions, ReadU64);
+  QCORE_WB_READ(inference_requests, ReadU64);
+  QCORE_WB_READ(calibration_batches, ReadU64);
+  QCORE_WB_READ(snapshots_published, ReadU64);
+  QCORE_WB_READ(accepted_inference, ReadU64);
+  QCORE_WB_READ(accepted_calibration, ReadU64);
+  QCORE_WB_READ(shed_inference, ReadU64);
+  QCORE_WB_READ(shed_calibration, ReadU64);
+  QCORE_WB_READ(barrier_flushes, ReadU64);
+  QCORE_RETURN_NOT_OK(ReadStatus(&r, &row.last_error));
+  QCORE_WB_READ(last_error_ns, ReadU64);
+  if (!r.AtEnd()) return Status::Corruption("shard row: trailing bytes");
+  return row;
+}
+
+std::vector<uint8_t> EncodeDeviceRow(const DeviceRow& row) {
+  BinaryWriter w;
+  w.WriteString(row.device_id);
+  w.WriteU32(static_cast<uint32_t>(row.shard));
+  w.WriteU32(static_cast<uint32_t>(row.activity));
+  w.WriteU32(static_cast<uint32_t>(row.warm_start));
+  w.WriteU64(row.queue_inference);
+  w.WriteU64(row.queue_calibration);
+  w.WriteU64(row.accepted_inference);
+  w.WriteU64(row.accepted_calibration);
+  w.WriteU64(row.shed_inference);
+  w.WriteU64(row.shed_calibration);
+  w.WriteU64(row.last_batch_occupancy);
+  w.WriteU64(row.batches_processed);
+  w.WriteU64(row.snapshot_version);
+  WriteStatus(&w, row.last_error);
+  w.WriteU64(row.last_error_ns);
+  return w.TakeBuffer();
+}
+
+Result<DeviceRow> DecodeDeviceRow(std::vector<uint8_t> payload) {
+  BinaryReader r(std::move(payload));
+  DeviceRow row;
+  auto device = r.ReadString();
+  if (!device.ok()) return device.status();
+  row.device_id = std::move(device).value();
+  auto shard = r.ReadU32();
+  if (!shard.ok()) return shard.status();
+  row.shard = static_cast<int>(shard.value());
+  auto activity = r.ReadU32();
+  if (!activity.ok()) return activity.status();
+  row.activity = static_cast<SessionActivity>(activity.value());
+  auto warm = r.ReadU32();
+  if (!warm.ok()) return warm.status();
+  row.warm_start = static_cast<WarmStartOrigin>(warm.value());
+  QCORE_WB_READ(queue_inference, ReadU64);
+  QCORE_WB_READ(queue_calibration, ReadU64);
+  QCORE_WB_READ(accepted_inference, ReadU64);
+  QCORE_WB_READ(accepted_calibration, ReadU64);
+  QCORE_WB_READ(shed_inference, ReadU64);
+  QCORE_WB_READ(shed_calibration, ReadU64);
+  QCORE_WB_READ(last_batch_occupancy, ReadU64);
+  QCORE_WB_READ(batches_processed, ReadU64);
+  QCORE_WB_READ(snapshot_version, ReadU64);
+  QCORE_RETURN_NOT_OK(ReadStatus(&r, &row.last_error));
+  QCORE_WB_READ(last_error_ns, ReadU64);
+#undef QCORE_WB_READ
+  if (!r.AtEnd()) return Status::Corruption("device row: trailing bytes");
+  return row;
+}
+
+std::string ErrorCell(const Status& status) {
+  if (status.ok()) return "-";
+  // Code name only: messages carry device ids and queue depths that would
+  // blow up the column width; the full text is in the binary dump.
+  return StatusCodeName(status.code());
+}
+
+}  // namespace
+
+const char* WarmStartOriginName(WarmStartOrigin origin) {
+  switch (origin) {
+    case WarmStartOrigin::kCold: return "cold";
+    case WarmStartOrigin::kOwnSnapshot: return "own";
+    case WarmStartOrigin::kCohortSnapshot: return "cohort";
+  }
+  return "unknown";
+}
+
+const char* SessionActivityName(SessionActivity activity) {
+  switch (activity) {
+    case SessionActivity::kIdle: return "idle";
+    case SessionActivity::kActive: return "active";
+    case SessionActivity::kMigrating: return "migrating";
+  }
+  return "unknown";
+}
+
+// ------------------------------------------------------------ Device / Shard
+
+void Whiteboard::Device::RecordError(const Status& status) {
+  if (status.ok()) return;
+  std::lock_guard<std::mutex> lock(error_mu_);
+  last_error_ = status;
+  last_error_ns_ = NowNs();
+}
+
+DeviceRow Whiteboard::Device::Snapshot() const {
+  DeviceRow row;
+  row.device_id = device_id_;
+  row.shard = shard_.load(kRelaxed);
+  row.warm_start = static_cast<WarmStartOrigin>(warm_start_.load(kRelaxed));
+  row.queue_inference = queue_inference_.load(kRelaxed);
+  row.queue_calibration = queue_calibration_.load(kRelaxed);
+  row.accepted_inference = accepted_inference_.load(kRelaxed);
+  row.accepted_calibration = accepted_calibration_.load(kRelaxed);
+  row.shed_inference = shed_inference_.load(kRelaxed);
+  row.shed_calibration = shed_calibration_.load(kRelaxed);
+  row.last_batch_occupancy = last_batch_occupancy_.load(kRelaxed);
+  row.batches_processed = batches_processed_.load(kRelaxed);
+  row.snapshot_version = snapshot_version_.load(kRelaxed);
+  if (migrating_.load(kRelaxed)) {
+    row.activity = SessionActivity::kMigrating;
+  } else if (row.queue_inference + row.queue_calibration > 0) {
+    row.activity = SessionActivity::kActive;
+  } else {
+    row.activity = SessionActivity::kIdle;
+  }
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    row.last_error = last_error_;
+    row.last_error_ns = last_error_ns_;
+  }
+  return row;
+}
+
+void Whiteboard::Shard::RecordError(const Status& status) {
+  if (status.ok()) return;
+  std::lock_guard<std::mutex> lock(error_mu_);
+  last_error_ = status;
+  last_error_ns_ = NowNs();
+}
+
+ShardRow Whiteboard::Shard::Snapshot() const {
+  ShardRow row;
+  row.shard = index_;
+  row.retired = retired_.load(kRelaxed);
+  row.sessions = sessions_.load(kRelaxed);
+  row.inference_requests = inference_requests_.load(kRelaxed);
+  row.calibration_batches = calibration_batches_.load(kRelaxed);
+  row.snapshots_published = snapshots_.load(kRelaxed);
+  row.accepted_inference = accepted_inference_.load(kRelaxed);
+  row.accepted_calibration = accepted_calibration_.load(kRelaxed);
+  row.shed_inference = shed_inference_.load(kRelaxed);
+  row.shed_calibration = shed_calibration_.load(kRelaxed);
+  row.barrier_flushes = barrier_flushes_.load(kRelaxed);
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    row.last_error = last_error_;
+    row.last_error_ns = last_error_ns_;
+  }
+  return row;
+}
+
+// ---------------------------------------------------------------- Whiteboard
+
+Whiteboard::Device* Whiteboard::UpsertDevice(const std::string& device_id,
+                                             int shard,
+                                             WarmStartOrigin origin) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = devices_.find(device_id);
+  if (it == devices_.end()) {
+    auto device = std::unique_ptr<Device>(new Device(device_id));
+    device->set_shard(shard);
+    device->set_warm_start(origin);
+    it = devices_.emplace(device_id, std::move(device)).first;
+  } else {
+    // Re-attach after a migration or restart: the row (and its history)
+    // persists; only the placement changes.
+    it->second->set_shard(shard);
+    it->second->set_migrating(false);
+  }
+  return it->second.get();
+}
+
+Whiteboard::Shard* Whiteboard::RegisterShard(int index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = shards_.find(index);
+  if (it == shards_.end()) {
+    it = shards_.emplace(index, std::unique_ptr<Shard>(new Shard(index))).first;
+  } else {
+    // A shrink-then-grow rebalance can bring a retired index back to life;
+    // the revived shard keeps the old row (and its history) but is live.
+    it->second->retired_.store(false, Shard::kRelaxed);
+  }
+  return it->second.get();
+}
+
+void Whiteboard::SetWalStatsProvider(std::function<WalRow()> provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wal_provider_ = std::move(provider);
+}
+
+WhiteboardImage Whiteboard::Read() const {
+  WhiteboardImage image;
+  std::function<WalRow()> wal_provider;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    image.shards.reserve(shards_.size());
+    for (const auto& [index, shard] : shards_) {
+      image.shards.push_back(shard->Snapshot());
+    }
+    image.devices.reserve(devices_.size());
+    for (const auto& [id, device] : devices_) {
+      image.devices.push_back(device->Snapshot());
+    }
+    wal_provider = wal_provider_;
+  }
+  // The provider reaches into the snapshot registry, which takes its own
+  // lock — call it outside mu_ to keep lock ordering trivially acyclic.
+  if (wal_provider) image.wal = wal_provider();
+  return image;
+}
+
+// ----------------------------------------------------------- WhiteboardImage
+
+std::string WhiteboardImage::ToTable(size_t max_devices) const {
+  std::ostringstream out;
+  TablePrinter shard_table({"shard", "state", "sessions", "inf_req",
+                            "cal_batches", "snapshots", "shed", "barrier",
+                            "last_error"});
+  for (const ShardRow& row : shards) {
+    shard_table.AddRow({std::to_string(row.shard),
+                        row.retired ? "retired" : "live",
+                        std::to_string(row.sessions),
+                        std::to_string(row.inference_requests),
+                        std::to_string(row.calibration_batches),
+                        std::to_string(row.snapshots_published),
+                        std::to_string(row.shed_inference +
+                                       row.shed_calibration),
+                        std::to_string(row.barrier_flushes),
+                        ErrorCell(row.last_error)});
+  }
+  out << shard_table.ToString();
+
+  TablePrinter device_table({"device", "shard", "state", "warm", "q_inf",
+                             "q_cal", "acc_inf", "acc_cal", "shed", "occ",
+                             "batches", "snap_ver", "last_error"});
+  size_t shown = 0;
+  for (const DeviceRow& row : devices) {
+    if (max_devices > 0 && shown == max_devices) break;
+    ++shown;
+    device_table.AddRow(
+        {row.device_id, std::to_string(row.shard),
+         SessionActivityName(row.activity),
+         WarmStartOriginName(row.warm_start),
+         std::to_string(row.queue_inference),
+         std::to_string(row.queue_calibration),
+         std::to_string(row.accepted_inference),
+         std::to_string(row.accepted_calibration),
+         std::to_string(row.shed_inference + row.shed_calibration),
+         std::to_string(row.last_batch_occupancy),
+         std::to_string(row.batches_processed),
+         std::to_string(row.snapshot_version), ErrorCell(row.last_error)});
+  }
+  out << device_table.ToString();
+  if (max_devices > 0 && devices.size() > shown) {
+    out << "  ... " << (devices.size() - shown) << " more devices\n";
+  }
+  out << "wal: appends=" << wal.appends << " bytes=" << wal.appended_bytes
+      << " fsyncs=" << wal.fsyncs << " compactions=" << wal.compactions
+      << "\n";
+  return out.str();
+}
+
+std::vector<uint8_t> WhiteboardImage::Serialize() const {
+  std::vector<uint8_t> out;
+  BinaryWriter header;
+  header.WriteU32(kWhiteboardMagic);
+  header.WriteU32(kWhiteboardVersion);
+  header.WriteU32(static_cast<uint32_t>(shards.size()));
+  header.WriteU32(static_cast<uint32_t>(devices.size()));
+  header.WriteU64(wal.appends);
+  header.WriteU64(wal.appended_bytes);
+  header.WriteU64(wal.fsyncs);
+  header.WriteU64(wal.compactions);
+  AppendFramedRecord(header.TakeBuffer(), &out);
+  for (const ShardRow& row : shards) {
+    AppendFramedRecord(EncodeShardRow(row), &out);
+  }
+  for (const DeviceRow& row : devices) {
+    AppendFramedRecord(EncodeDeviceRow(row), &out);
+  }
+  return out;
+}
+
+Result<WhiteboardImage> WhiteboardImage::Deserialize(
+    const std::vector<uint8_t>& raw) {
+  size_t pos = 0;
+  auto header_frame = ReadFramedRecord(raw, &pos);
+  if (!header_frame.ok()) return header_frame.status();
+  BinaryReader header(std::move(header_frame).value());
+  auto magic = header.ReadU32();
+  if (!magic.ok()) return magic.status();
+  if (magic.value() != kWhiteboardMagic) {
+    return Status::Corruption("whiteboard dump: bad magic");
+  }
+  auto version = header.ReadU32();
+  if (!version.ok()) return version.status();
+  if (version.value() != kWhiteboardVersion) {
+    return Status::Corruption("whiteboard dump: unsupported version");
+  }
+  auto num_shards = header.ReadU32();
+  if (!num_shards.ok()) return num_shards.status();
+  auto num_devices = header.ReadU32();
+  if (!num_devices.ok()) return num_devices.status();
+
+  WhiteboardImage image;
+  auto read_u64 = [&header](uint64_t* out_field) -> Status {
+    auto v = header.ReadU64();
+    if (!v.ok()) return v.status();
+    *out_field = v.value();
+    return Status::OK();
+  };
+  QCORE_RETURN_NOT_OK(read_u64(&image.wal.appends));
+  QCORE_RETURN_NOT_OK(read_u64(&image.wal.appended_bytes));
+  QCORE_RETURN_NOT_OK(read_u64(&image.wal.fsyncs));
+  QCORE_RETURN_NOT_OK(read_u64(&image.wal.compactions));
+
+  for (uint32_t i = 0; i < num_shards.value(); ++i) {
+    auto frame = ReadFramedRecord(raw, &pos);
+    if (!frame.ok()) return frame.status();
+    auto row = DecodeShardRow(std::move(frame).value());
+    if (!row.ok()) return row.status();
+    image.shards.push_back(std::move(row).value());
+  }
+  for (uint32_t i = 0; i < num_devices.value(); ++i) {
+    auto frame = ReadFramedRecord(raw, &pos);
+    if (!frame.ok()) return frame.status();
+    auto row = DecodeDeviceRow(std::move(frame).value());
+    if (!row.ok()) return row.status();
+    image.devices.push_back(std::move(row).value());
+  }
+  if (pos != raw.size()) {
+    return Status::Corruption("whiteboard dump: trailing bytes");
+  }
+  return image;
+}
+
+}  // namespace qcore

@@ -1,0 +1,232 @@
+// Fleet whiteboard: one plain-struct row per shard and per device, kept
+// write-through by the serving layers (the node-whiteboard idiom from YDB's
+// node_whiteboard.cpp — state is PUSHED by the component that owns it the
+// moment it changes, never scraped). Hot-path writers update relaxed
+// atomics through a stable row handle they capture once at registration;
+// readers take the registry lock and copy every row, so a Read() is a
+// snapshot-consistent image of the fleet without stalling admission.
+//
+// The image renders two ways: ToTable() for humans (common/table_printer)
+// and Serialize()/Deserialize() for machines (common/serialize framed
+// records), so a whiteboard dump can cross a process boundary exactly like
+// a model snapshot does.
+#ifndef QCORE_OBS_WHITEBOARD_H_
+#define QCORE_OBS_WHITEBOARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qcore {
+
+// How a device's session got its initial model when it registered.
+enum class WarmStartOrigin : uint8_t {
+  kCold = 0,       // fresh calibrator state, no snapshot found
+  kOwnSnapshot,    // restored from this device's own latest snapshot
+  kCohortSnapshot  // warm-started from a cohort neighbour's snapshot
+};
+
+const char* WarmStartOriginName(WarmStartOrigin origin);
+
+// Derived, not stored: what the device's session is doing right now.
+enum class SessionActivity : uint8_t { kIdle = 0, kActive, kMigrating };
+
+const char* SessionActivityName(SessionActivity activity);
+
+// Copied-out view of one device row (what Read() returns).
+struct DeviceRow {
+  std::string device_id;
+  int shard = 0;
+  SessionActivity activity = SessionActivity::kIdle;
+  WarmStartOrigin warm_start = WarmStartOrigin::kCold;
+  uint64_t queue_inference = 0;    // tasks admitted, not yet executed
+  uint64_t queue_calibration = 0;
+  uint64_t accepted_inference = 0;
+  uint64_t accepted_calibration = 0;
+  uint64_t shed_inference = 0;
+  uint64_t shed_calibration = 0;
+  uint64_t last_batch_occupancy = 0;  // size of the last inference group
+  uint64_t batches_processed = 0;     // calibration batches consumed
+  uint64_t snapshot_version = 0;      // latest version this device published
+  Status last_error;                  // most recent non-OK status, or OK
+  uint64_t last_error_ns = 0;         // steady-clock ns of that status
+};
+
+// Copied-out view of one shard row.
+struct ShardRow {
+  int shard = 0;
+  bool retired = false;  // the shard's server has been torn down
+  uint64_t sessions = 0;
+  uint64_t inference_requests = 0;
+  uint64_t calibration_batches = 0;
+  uint64_t snapshots_published = 0;
+  uint64_t accepted_inference = 0;
+  uint64_t accepted_calibration = 0;
+  uint64_t shed_inference = 0;
+  uint64_t shed_calibration = 0;
+  uint64_t barrier_flushes = 0;  // batches forced out by a barrier
+  Status last_error;
+  uint64_t last_error_ns = 0;
+};
+
+// Aggregate snapshot-WAL health, filled in by the durable store's owner.
+struct WalRow {
+  uint64_t appends = 0;
+  uint64_t appended_bytes = 0;
+  uint64_t fsyncs = 0;
+  uint64_t compactions = 0;
+};
+
+// The snapshot-consistent image Read() produces.
+struct WhiteboardImage {
+  std::vector<ShardRow> shards;    // shard-index order
+  std::vector<DeviceRow> devices;  // device-id order
+  WalRow wal;
+
+  // Human rendering: a shard table, a device table (truncated to
+  // `max_devices` rows when non-zero), and a one-line WAL summary.
+  std::string ToTable(size_t max_devices = 0) const;
+
+  // Binary dump via common/serialize framing (magic + one framed record per
+  // row), round-trippable with Deserialize.
+  std::vector<uint8_t> Serialize() const;
+  static Result<WhiteboardImage> Deserialize(const std::vector<uint8_t>& raw);
+};
+
+class Whiteboard {
+ public:
+  // Live, internally-synchronized handle to one device's row. Writers are
+  // the owning shard's serving threads; all counters are relaxed atomics
+  // (each is independently meaningful — cross-field consistency is
+  // established by Read() under the registry lock only in the sense that
+  // the row set itself is stable).
+  class Device {
+   public:
+    void set_shard(int shard) { shard_.store(shard, kRelaxed); }
+    void set_warm_start(WarmStartOrigin origin) {
+      warm_start_.store(static_cast<uint8_t>(origin), kRelaxed);
+    }
+    void set_migrating(bool migrating) { migrating_.store(migrating, kRelaxed); }
+    void set_queue_depths(uint64_t inference, uint64_t calibration) {
+      queue_inference_.store(inference, kRelaxed);
+      queue_calibration_.store(calibration, kRelaxed);
+    }
+    void add_accepted_inference() { accepted_inference_.fetch_add(1, kRelaxed); }
+    void add_accepted_calibration() {
+      accepted_calibration_.fetch_add(1, kRelaxed);
+    }
+    void add_shed_inference() { shed_inference_.fetch_add(1, kRelaxed); }
+    void add_shed_calibration() { shed_calibration_.fetch_add(1, kRelaxed); }
+    void set_last_batch_occupancy(uint64_t n) {
+      last_batch_occupancy_.store(n, kRelaxed);
+    }
+    void add_batches_processed(uint64_t n) {
+      batches_processed_.fetch_add(n, kRelaxed);
+    }
+    void set_snapshot_version(uint64_t version) {
+      snapshot_version_.store(version, kRelaxed);
+    }
+    // Records a non-OK status with a steady-clock timestamp. OK statuses
+    // are ignored so a success never erases the last failure.
+    void RecordError(const Status& status);
+
+   private:
+    friend class Whiteboard;
+    static constexpr auto kRelaxed = std::memory_order_relaxed;
+
+    explicit Device(std::string device_id) : device_id_(std::move(device_id)) {}
+    DeviceRow Snapshot() const;
+
+    const std::string device_id_;
+    std::atomic<int> shard_{0};
+    std::atomic<uint8_t> warm_start_{0};
+    std::atomic<bool> migrating_{false};
+    std::atomic<uint64_t> queue_inference_{0};
+    std::atomic<uint64_t> queue_calibration_{0};
+    std::atomic<uint64_t> accepted_inference_{0};
+    std::atomic<uint64_t> accepted_calibration_{0};
+    std::atomic<uint64_t> shed_inference_{0};
+    std::atomic<uint64_t> shed_calibration_{0};
+    std::atomic<uint64_t> last_batch_occupancy_{0};
+    std::atomic<uint64_t> batches_processed_{0};
+    std::atomic<uint64_t> snapshot_version_{0};
+    mutable std::mutex error_mu_;
+    Status last_error_;
+    uint64_t last_error_ns_ = 0;
+  };
+
+  // Live handle to one shard's row; same write discipline as Device.
+  class Shard {
+   public:
+    void set_sessions(uint64_t n) { sessions_.store(n, kRelaxed); }
+    void add_inference_request() { inference_requests_.fetch_add(1, kRelaxed); }
+    void add_calibration_batch() { calibration_batches_.fetch_add(1, kRelaxed); }
+    void add_snapshot_published() { snapshots_.fetch_add(1, kRelaxed); }
+    void add_accepted_inference() { accepted_inference_.fetch_add(1, kRelaxed); }
+    void add_accepted_calibration() {
+      accepted_calibration_.fetch_add(1, kRelaxed);
+    }
+    void add_shed_inference() { shed_inference_.fetch_add(1, kRelaxed); }
+    void add_shed_calibration() { shed_calibration_.fetch_add(1, kRelaxed); }
+    void add_barrier_flush() { barrier_flushes_.fetch_add(1, kRelaxed); }
+    void set_retired() { retired_.store(true, kRelaxed); }
+    void RecordError(const Status& status);
+
+   private:
+    friend class Whiteboard;
+    static constexpr auto kRelaxed = std::memory_order_relaxed;
+
+    explicit Shard(int index) : index_(index) {}
+    ShardRow Snapshot() const;
+
+    const int index_;
+    std::atomic<bool> retired_{false};
+    std::atomic<uint64_t> sessions_{0};
+    std::atomic<uint64_t> inference_requests_{0};
+    std::atomic<uint64_t> calibration_batches_{0};
+    std::atomic<uint64_t> snapshots_{0};
+    std::atomic<uint64_t> accepted_inference_{0};
+    std::atomic<uint64_t> accepted_calibration_{0};
+    std::atomic<uint64_t> shed_inference_{0};
+    std::atomic<uint64_t> shed_calibration_{0};
+    std::atomic<uint64_t> barrier_flushes_{0};
+    mutable std::mutex error_mu_;
+    Status last_error_;
+    uint64_t last_error_ns_ = 0;
+  };
+
+  // Returns the row handle for `device_id`, creating it on first sight.
+  // Re-upserting (a session re-attaching after migration or restart) keeps
+  // the existing counters and warm-start origin — history survives moves —
+  // but adopts the new shard. Handles stay valid for the whiteboard's
+  // lifetime; rows are never removed, matching the "retired, not erased"
+  // shard discipline.
+  Device* UpsertDevice(const std::string& device_id, int shard,
+                       WarmStartOrigin origin);
+  // Row handle for shard `index`, creating it on first sight (idempotent).
+  Shard* RegisterShard(int index);
+
+  // Supplies the WAL row for Read() images; the FleetServer owning a
+  // durable registry installs a provider over registry->wal_stats().
+  void SetWalStatsProvider(std::function<WalRow()> provider);
+
+  // Snapshot-consistent copy of every row.
+  WhiteboardImage Read() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Device>> devices_;
+  std::map<int, std::unique_ptr<Shard>> shards_;
+  std::function<WalRow()> wal_provider_;
+};
+
+}  // namespace qcore
+
+#endif  // QCORE_OBS_WHITEBOARD_H_

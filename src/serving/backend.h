@@ -25,6 +25,7 @@
 #include "common/status.h"
 #include "core/continual.h"
 #include "data/dataset.h"
+#include "obs/whiteboard.h"
 #include "serving/batcher.h"
 #include "serving/metrics.h"
 #include "serving/session.h"
@@ -91,6 +92,13 @@ class FleetBackend {
   virtual ServingMetrics& metrics() = 0;
   virtual const ServingMetrics& metrics() const = 0;
   virtual SnapshotRegistry& snapshots() = 0;
+
+  // Per-shard/per-device introspection rows, maintained write-through by
+  // the serving layers (obs/whiteboard.h). For sharded backends this is the
+  // one fleet-wide board every shard writes into; whiteboard().Read() is a
+  // snapshot-consistent image at any moment, including mid-rebalance.
+  virtual Whiteboard& whiteboard() = 0;
+  virtual const Whiteboard& whiteboard() const = 0;
 };
 
 }  // namespace qcore

@@ -42,11 +42,11 @@ void InferenceBatcher::Add(const std::string& device_id,
   }
 }
 
-void InferenceBatcher::FlushDevice(const std::string& device_id) {
+bool InferenceBatcher::FlushDevice(const std::string& device_id) {
   std::unique_lock<std::mutex> lock(mu_);
   auto it = queues_.find(device_id);
-  if (it == queues_.end()) return;
-  FlushLocked(device_id, &it->second, lock);
+  if (it == queues_.end()) return false;
+  return FlushLocked(device_id, &it->second, lock);
 }
 
 void InferenceBatcher::FlushAll() {
@@ -66,14 +66,14 @@ void InferenceBatcher::FlushAll() {
   }
 }
 
-void InferenceBatcher::FlushLocked(const std::string& device_id,
+bool InferenceBatcher::FlushLocked(const std::string& device_id,
                                    DeviceQueue* dq,
                                    std::unique_lock<std::mutex>& lock) {
   // Serialize flushes per device: never extract a later group while an
   // earlier one is still being handed to the sink, or the session FIFO
   // could receive them out of submission order.
   flush_done_cv_.wait(lock, [dq]() { return !dq->in_flush; });
-  if (dq->requests.empty()) return;
+  if (dq->requests.empty()) return false;
   std::vector<PendingInference> group = std::move(dq->requests);
   dq->requests.clear();
   dq->in_flush = true;
@@ -85,6 +85,7 @@ void InferenceBatcher::FlushLocked(const std::string& device_id,
   // while a group is in limbo between extraction and enqueue.
   dq->in_flush = false;
   flush_done_cv_.notify_all();
+  return true;
 }
 
 void InferenceBatcher::FlusherLoop() {

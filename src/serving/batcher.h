@@ -45,6 +45,9 @@ namespace qcore {
 struct InferenceResult {
   std::vector<int> predictions;
   double latency_seconds = 0.0;
+  // The request's trace span (obs/trace.h) — callers correlate this result
+  // with its submit→batch→flush→complete timeline in the TraceRing.
+  uint64_t trace_span = 0;
 };
 
 struct InferenceBatcherOptions {
@@ -64,6 +67,9 @@ struct PendingInference {
   Tensor input;
   std::shared_ptr<std::promise<InferenceResult>> promise;
   Stopwatch timer;
+  // Trace span allocated at submission; rides along so the flush sink can
+  // link the request into its group's exec events.
+  uint64_t span = 0;
 };
 
 class InferenceBatcher {
@@ -89,8 +95,11 @@ class InferenceBatcher {
 
   // Synchronous barrier: when this returns, every request previously added
   // for `device_id` has been handed to the sink (including a flush of the
-  // device already in progress on another thread).
-  void FlushDevice(const std::string& device_id);
+  // device already in progress on another thread). Returns true iff THIS
+  // call extracted a non-empty pending group — i.e. the barrier forced a
+  // flush that neither trigger had fired yet (the barrier-flush count the
+  // serving metrics track).
+  bool FlushDevice(const std::string& device_id);
 
   // Barrier over every device. Used by FleetServer::Drain and shutdown.
   void FlushAll();
@@ -106,7 +115,8 @@ class InferenceBatcher {
 
   // Waits out any in-progress flush of the device, then (if anything is
   // pending) extracts the group and runs the sink. Caller holds `lock`.
-  void FlushLocked(const std::string& device_id, DeviceQueue* dq,
+  // Returns true iff a non-empty group was extracted and handed over.
+  bool FlushLocked(const std::string& device_id, DeviceQueue* dq,
                    std::unique_lock<std::mutex>& lock);
 
   void FlusherLoop();

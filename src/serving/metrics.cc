@@ -260,6 +260,7 @@ void ServingMetrics::MergeFrom(const ServingMetrics& other) {
   add(accepted_calibration_, other.accepted_calibration_);
   add(shed_inference_, other.shed_inference_);
   add(shed_calibration_, other.shed_calibration_);
+  add(barrier_flushes_, other.barrier_flushes_);
 }
 
 void ServingMetrics::Reset() {
@@ -278,6 +279,7 @@ void ServingMetrics::Reset() {
   accepted_calibration_.store(0, std::memory_order_relaxed);
   shed_inference_.store(0, std::memory_order_relaxed);
   shed_calibration_.store(0, std::memory_order_relaxed);
+  barrier_flushes_.store(0, std::memory_order_relaxed);
 }
 
 float ServingMetrics::mean_accuracy() const {
@@ -308,8 +310,10 @@ std::string ServingMetrics::Report() const {
                 mean_accuracy(),
                 static_cast<unsigned long long>(snapshots()));
   out += buf;
-  std::snprintf(buf, sizeof(buf), "batching:    occupancy[%s]\n",
-                batch_occupancy_.Summary().c_str());
+  std::snprintf(buf, sizeof(buf),
+                "batching:    occupancy[%s] barrier_flushes=%llu\n",
+                batch_occupancy_.Summary().c_str(),
+                static_cast<unsigned long long>(barrier_flushes()));
   out += buf;
   std::snprintf(
       buf, sizeof(buf),

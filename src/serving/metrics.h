@@ -141,6 +141,13 @@ class ServingMetrics {
   void AddShedCalibration() {
     shed_calibration_.fetch_add(1, std::memory_order_relaxed);
   }
+  // A model-mutating submission (calibration, snapshot, quiesce) forced a
+  // pending batched inference group out before it hit its size or deadline
+  // trigger. High rates mean the workload's mutation cadence is defeating
+  // batching — occupancy will sit near 1 no matter what max_batch is.
+  void AddBarrierFlush() {
+    barrier_flushes_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   uint64_t inference_requests() const { return inference_requests_.load(); }
   uint64_t inference_examples() const { return inference_examples_.load(); }
@@ -155,6 +162,7 @@ class ServingMetrics {
   }
   uint64_t shed_inference() const { return shed_inference_.load(); }
   uint64_t shed_calibration() const { return shed_calibration_.load(); }
+  uint64_t barrier_flushes() const { return barrier_flushes_.load(); }
 
   // Mean of all recorded per-batch accuracies; 0 if none.
   float mean_accuracy() const;
@@ -187,6 +195,7 @@ class ServingMetrics {
   std::atomic<uint64_t> accepted_calibration_{0};
   std::atomic<uint64_t> shed_inference_{0};
   std::atomic<uint64_t> shed_calibration_{0};
+  std::atomic<uint64_t> barrier_flushes_{0};
 };
 
 }  // namespace qcore

@@ -19,7 +19,7 @@ ShardedFleetServer::ShardedFleetServer(const QuantizedModel& base_model,
   QCORE_CHECK_GT(options_.num_shards, 0);
   shards_.reserve(static_cast<size_t>(options_.num_shards));
   for (int s = 0; s < options_.num_shards; ++s) {
-    shards_.push_back(MakeShard());
+    shards_.push_back(MakeShard(s));
   }
 }
 
@@ -28,9 +28,10 @@ ShardedFleetServer::~ShardedFleetServer() {
   // down first (the registry outlives shards_ by declaration order).
 }
 
-std::unique_ptr<FleetServer> ShardedFleetServer::MakeShard() {
+std::unique_ptr<FleetServer> ShardedFleetServer::MakeShard(int index) {
   return std::make_unique<FleetServer>(base_model_, base_bf_, options_.shard,
-                                       snapshots_, &rollup_);
+                                       snapshots_, &rollup_, &whiteboard_,
+                                       index);
 }
 
 int ShardedFleetServer::ShardIndexFor(const std::string& device_id) const {
@@ -149,7 +150,7 @@ void ShardedFleetServer::Rebalance(int new_shard_count) {
   QCORE_CHECK_GT(new_shard_count, 0);
   HashRing new_ring(new_shard_count, options_.vnodes_per_shard);
   while (static_cast<int>(shards_.size()) < new_shard_count) {
-    shards_.push_back(MakeShard());
+    shards_.push_back(MakeShard(static_cast<int>(shards_.size())));
   }
   // Migrate exactly the devices whose placement changed: a pin from
   // MoveDevice overrides the ring, unless its target shard is being

@@ -99,6 +99,10 @@ class ShardedFleetServer : public FleetBackend {
   ServingMetrics& metrics() override;
   const ServingMetrics& metrics() const override;
   SnapshotRegistry& snapshots() override { return *snapshots_; }
+  // One fleet-wide board: every shard writes its rows here (shard index =
+  // position in shards_), so a single Read() images the whole fleet.
+  Whiteboard& whiteboard() override { return whiteboard_; }
+  const Whiteboard& whiteboard() const override { return whiteboard_; }
 
   // --- Rebalancing control plane -----------------------------------------
 
@@ -137,7 +141,7 @@ class ShardedFleetServer : public FleetBackend {
   const ServingMetrics& shard_metrics(int shard) const;
 
  private:
-  std::unique_ptr<FleetServer> MakeShard();
+  std::unique_ptr<FleetServer> MakeShard(int index);
   // Caller holds route_mu_ exclusive.
   uint64_t MigrateLocked(const std::string& device_id, int source,
                          int target);
@@ -156,6 +160,10 @@ class ShardedFleetServer : public FleetBackend {
   // well as in its own metrics (see FleetServer's rollup_metrics). Never
   // reset, so concurrent readers always see consistent, monotone totals.
   ServingMetrics rollup_;
+  // Fleet whiteboard, same write-through discipline: shards hold row
+  // handles into it, so it must outlive shards_ (declared before it; a
+  // retiring shard's destructor still flags its row retired).
+  Whiteboard whiteboard_;
 
   // Guards ring_/shards_/device_shard_. Shared: submissions, queries.
   // Exclusive: registration, MoveDevice, Rebalance.

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/serialize.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace qcore {
 
@@ -24,14 +25,33 @@ FleetServer::FleetServer(const QuantizedModel& base_model,
                          const BitFlipNet& base_bf,
                          FleetServerOptions options,
                          SnapshotRegistry* shared_registry,
-                         ServingMetrics* rollup_metrics)
+                         ServingMetrics* rollup_metrics,
+                         Whiteboard* shared_whiteboard, int shard_index)
     : base_model_(base_model),
       base_bf_(base_bf),
       options_(std::move(options)),
       rollup_metrics_(rollup_metrics),
       registry_(shared_registry != nullptr ? shared_registry
                                            : &owned_registry_),
+      whiteboard_(shared_whiteboard != nullptr ? shared_whiteboard
+                                               : &owned_whiteboard_),
+      wb_shard_(whiteboard_->RegisterShard(shard_index)),
+      shard_index_(shard_index),
       pool_(options_.num_threads) {
+  // The WAL row reflects whatever store backs the registry (all zeros over
+  // a memory store). With a shared whiteboard every shard installs an
+  // equivalent provider over the same shared registry — last one wins,
+  // harmlessly. The captured registry outlives the board by the owners'
+  // declaration orders (server and router both).
+  whiteboard_->SetWalStatsProvider([registry = registry_]() {
+    const WalStats stats = registry->wal_stats();
+    WalRow row;
+    row.appends = stats.appends;
+    row.appended_bytes = stats.appended_bytes;
+    row.fsyncs = stats.fsyncs;
+    row.compactions = stats.compactions;
+    return row;
+  });
   if (options_.enable_batching) {
     batcher_ = std::make_unique<InferenceBatcher>(
         options_.batching,
@@ -42,13 +62,20 @@ FleetServer::FleetServer(const QuantizedModel& base_model,
   }
 }
 
-FleetServer::~FleetServer() { Drain(); }
+FleetServer::~FleetServer() {
+  Drain();
+  // On a shared (router) whiteboard the row outlives this server; flag it
+  // so dumps distinguish a retired shard from a quiet one. Counters stay —
+  // history survives retirement like it survives migration.
+  wb_shard_->set_retired();
+}
 
 void FleetServer::RegisterDevice(const std::string& device_id,
                                  Dataset qcore) {
   auto state = std::make_unique<SessionState>(
       device_id, base_model_, base_bf_, std::move(qcore), options_.continual,
       DeviceSeed(options_.seed, device_id));
+  WarmStartOrigin origin = WarmStartOrigin::kCold;
   if (options_.warm_start_from_registry) {
     // Seed the session from calibrated state instead of the factory model:
     // its own latest version (restart recovery) or the cohort-nearest
@@ -58,13 +85,22 @@ void FleetServer::RegisterDevice(const std::string& device_id,
     // a plain cold start: RestoreInto fails atomically, leaving the
     // freshly cloned base model untouched.
     if (auto snap = registry_->NearestFor(device_id)) {
-      (void)SnapshotRegistry::RestoreInto(*snap, state->session.model());
+      if (SnapshotRegistry::RestoreInto(*snap, state->session.model())
+              .ok()) {
+        origin = snap->device_id == device_id
+                     ? WarmStartOrigin::kOwnSnapshot
+                     : WarmStartOrigin::kCohortSnapshot;
+      }
     }
   }
+  state->wb = whiteboard_->UpsertDevice(device_id, shard_index_, origin);
+  state->wb->set_warm_start(origin);  // re-registration re-derives origin
+  state->trace_name = TraceRing::Global().Intern(device_id);
   std::lock_guard<std::mutex> lock(sessions_mu_);
   const bool inserted =
       sessions_.emplace(device_id, std::move(state)).second;
   QCORE_CHECK_MSG(inserted, ("device registered twice: " + device_id).c_str());
+  wb_shard_->set_sessions(sessions_.size());
 }
 
 bool FleetServer::HasDevice(const std::string& device_id) const {
@@ -86,11 +122,26 @@ FleetServer::SessionState* FleetServer::FindSession(
   return it->second.get();
 }
 
+void FleetServer::BarrierFlush(const std::string& device_id,
+                               SessionState* state, uint64_t span) {
+  if (!batcher_) return;
+  if (batcher_->FlushDevice(device_id)) {
+    // A group actually left early because of this barrier — the signal
+    // that mutation cadence is cutting batches short.
+    RecordMetrics([](ServingMetrics& m) { m.AddBarrierFlush(); });
+    wb_shard_->add_barrier_flush();
+    TraceRing::Global().Record(TraceKind::kBarrierFlush, span,
+                               state->trace_name);
+  }
+}
+
 std::unique_lock<std::mutex> FleetServer::QuiesceSession(
     const std::string& device_id, SessionState* state) {
   // Pending batched requests live outside the session FIFO; hand them to
-  // the sink first so the idle wait below covers them.
-  if (batcher_) batcher_->FlushDevice(device_id);
+  // the sink first so the idle wait below covers them. Quiesce is a
+  // barrier like any other model-mutating entry point; its span is the
+  // caller's current one (0 when quiescing outside any request).
+  BarrierFlush(device_id, state, TraceRing::CurrentSpan());
   std::unique_lock<std::mutex> lock(state->mu);
   state->idle_cv.wait(lock, [state]() {
     return state->queue.empty() && !state->pumping;
@@ -109,7 +160,9 @@ void FleetServer::WithSessionQuiesced(
   fn(state->session);
 }
 
-bool FleetServer::AdmitTask(SessionState* state, bool is_inference) {
+Status FleetServer::AdmitTask(SessionState* state,
+                              const std::string& device_id, bool is_inference,
+                              uint64_t span) {
   std::atomic<int>& class_depth =
       is_inference ? state->depth_inference : state->depth_calibration;
   const int class_bound = is_inference
@@ -134,7 +187,22 @@ bool FleetServer::AdmitTask(SessionState* state, bool is_inference) {
         m.AddShedCalibration();
       }
     });
-    return false;
+    // The concrete status lands on both whiteboard rows (the last-error
+    // plumbing the counters used to swallow) before the caller sees it.
+    Status status = Status::ResourceExhausted(
+        std::string(is_inference ? "inference" : "calibration") +
+        " queue full for device " + device_id);
+    state->wb->RecordError(status);
+    if (is_inference) {
+      state->wb->add_shed_inference();
+      wb_shard_->add_shed_inference();
+    } else {
+      state->wb->add_shed_calibration();
+      wb_shard_->add_shed_calibration();
+    }
+    wb_shard_->RecordError(status);
+    TraceRing::Global().Record(TraceKind::kShed, span, state->trace_name);
+    return status;
   }
   RecordMetrics([is_inference, depth](ServingMetrics& m) {
     if (is_inference) {
@@ -144,7 +212,19 @@ bool FleetServer::AdmitTask(SessionState* state, bool is_inference) {
     }
     m.queue_depth().Record(depth);
   });
-  return true;
+  if (is_inference) {
+    state->wb->add_accepted_inference();
+    wb_shard_->add_accepted_inference();
+  } else {
+    state->wb->add_accepted_calibration();
+    wb_shard_->add_accepted_calibration();
+  }
+  state->wb->set_queue_depths(
+      static_cast<uint64_t>(
+          state->depth_inference.load(std::memory_order_relaxed)),
+      static_cast<uint64_t>(
+          state->depth_calibration.load(std::memory_order_relaxed)));
+  return Status::OK();
 }
 
 void FleetServer::ReleaseTask(SessionState* state, bool is_inference,
@@ -153,40 +233,59 @@ void FleetServer::ReleaseTask(SessionState* state, bool is_inference,
       is_inference ? state->depth_inference : state->depth_calibration;
   class_depth.fetch_sub(count, std::memory_order_relaxed);
   state->depth.fetch_sub(count, std::memory_order_relaxed);
+  state->wb->set_queue_depths(
+      static_cast<uint64_t>(
+          state->depth_inference.load(std::memory_order_relaxed)),
+      static_cast<uint64_t>(
+          state->depth_calibration.load(std::memory_order_relaxed)));
 }
 
 Result<std::future<InferenceResult>> FleetServer::TrySubmitInference(
     const std::string& device_id, Tensor x) {
   SessionState* state = FindSession(device_id);
-  if (!AdmitTask(state, /*is_inference=*/true)) {
-    return Status::ResourceExhausted("inference queue full for device " +
-                                     device_id);
-  }
+  const uint64_t span = TraceRing::NextSpan();
+  TraceRing::Global().Record(TraceKind::kSubmitInference, span,
+                             state->trace_name);
+  QCORE_RETURN_NOT_OK(AdmitTask(state, device_id, /*is_inference=*/true,
+                                span));
   auto promise = std::make_shared<std::promise<InferenceResult>>();
   std::future<InferenceResult> result = promise->get_future();
   // Latency clocks start at submission so the histograms include batching
   // delay and queue wait — the signal that actually shows overload.
   Stopwatch timer;
   if (batcher_) {
+    TraceRing::Global().Record(TraceKind::kBatchEnqueue, span,
+                               state->trace_name);
     PendingInference pending;
     pending.input = std::move(x);
     pending.promise = std::move(promise);
     pending.timer = timer;
+    pending.span = span;
     batcher_->Add(device_id, std::move(pending));
     return result;
   }
   EnqueueOnSession(
       state,
-      [this, state, promise, timer, x = std::move(x)]() {
+      [this, state, promise, timer, span, x = std::move(x)]() {
+        ScopedTraceSpan scope(span);
+        TraceRing::Global().Record(TraceKind::kExecStart, span,
+                                   state->trace_name, 1);
         SimulateDeviceLink(options_.simulated_device_rtt_ms);
         InferenceResult r;
         r.predictions = state->session.Predict(x);
         r.latency_seconds = timer.ElapsedSeconds();
+        r.trace_span = span;
         RecordMetrics([&r, &x](ServingMetrics& m) {
           m.inference_latency().Record(r.latency_seconds);
           m.AddInference(static_cast<uint64_t>(x.dim(0)));
           m.batch_occupancy().Record(1);
         });
+        state->wb->set_last_batch_occupancy(1);
+        wb_shard_->add_inference_request();
+        TraceRing::Global().Record(TraceKind::kExecEnd, span,
+                                   state->trace_name);
+        TraceRing::Global().Record(TraceKind::kComplete, span,
+                                   state->trace_name);
         promise->set_value(std::move(r));
         ReleaseTask(state, /*is_inference=*/true, 1);
       },
@@ -198,9 +297,20 @@ void FleetServer::FlushInferenceGroup(const std::string& device_id,
                                       std::vector<PendingInference> group) {
   QCORE_CHECK(!group.empty());
   SessionState* state = FindSession(device_id);
+  // The group gets its own span for the shared forward pass; each member's
+  // batchFlush event carries it (arg1), linking request spans to the group
+  // exec they rode in.
+  const uint64_t group_span = TraceRing::NextSpan();
+  for (const PendingInference& p : group) {
+    TraceRing::Global().Record(TraceKind::kBatchFlush, p.span,
+                               state->trace_name, group_span);
+  }
   EnqueueOnSession(
       state,
-      [this, state, group = std::move(group)]() {
+      [this, state, group_span, group = std::move(group)]() {
+        ScopedTraceSpan scope(group_span);
+        TraceRing::Global().Record(TraceKind::kExecStart, group_span,
+                                   state->trace_name, group.size());
         // One device-link round trip and one forward pass for the whole
         // group — the amortization that makes batching pay.
         SimulateDeviceLink(options_.simulated_device_rtt_ms);
@@ -212,16 +322,23 @@ void FleetServer::FlushInferenceGroup(const std::string& device_id,
         RecordMetrics([&group](ServingMetrics& m) {
           m.batch_occupancy().Record(static_cast<int64_t>(group.size()));
         });
+        state->wb->set_last_batch_occupancy(group.size());
         for (size_t i = 0; i < group.size(); ++i) {
           InferenceResult r;
           r.predictions = std::move(labels[i]);
           r.latency_seconds = group[i].timer.ElapsedSeconds();
+          r.trace_span = group[i].span;
           RecordMetrics([&r, &group, i](ServingMetrics& m) {
             m.inference_latency().Record(r.latency_seconds);
             m.AddInference(static_cast<uint64_t>(group[i].input.dim(0)));
           });
+          wb_shard_->add_inference_request();
+          TraceRing::Global().Record(TraceKind::kComplete, group[i].span,
+                                     state->trace_name, group_span);
           group[i].promise->set_value(std::move(r));
         }
+        TraceRing::Global().Record(TraceKind::kExecEnd, group_span,
+                                   state->trace_name);
         ReleaseTask(state, /*is_inference=*/true,
                     static_cast<int>(group.size()));
       },
@@ -231,22 +348,26 @@ void FleetServer::FlushInferenceGroup(const std::string& device_id,
 Result<std::future<BatchStats>> FleetServer::TrySubmitCalibration(
     const std::string& device_id, Dataset batch, Dataset test_slice) {
   SessionState* state = FindSession(device_id);
-  if (!AdmitTask(state, /*is_inference=*/false)) {
-    return Status::ResourceExhausted("calibration queue full for device " +
-                                     device_id);
-  }
+  const uint64_t span = TraceRing::NextSpan();
+  TraceRing::Global().Record(TraceKind::kSubmitCalibration, span,
+                             state->trace_name);
+  QCORE_RETURN_NOT_OK(AdmitTask(state, device_id, /*is_inference=*/false,
+                                span));
   // Ordering barrier: calibration mutates the model, so every inference
   // submitted before it must run first — flush the device's pending group
   // ahead of enqueueing. This is what keeps batched results bit-identical
   // to the unbatched path for any interleaving.
-  if (batcher_) batcher_->FlushDevice(device_id);
+  BarrierFlush(device_id, state, span);
   auto promise = std::make_shared<std::promise<BatchStats>>();
   std::future<BatchStats> result = promise->get_future();
   Stopwatch timer;  // includes queue wait, like the inference clock
   EnqueueOnSession(
       state,
-      [this, device_id, state, promise, timer, batch = std::move(batch),
-       test_slice = std::move(test_slice)]() {
+      [this, device_id, state, promise, timer, span,
+       batch = std::move(batch), test_slice = std::move(test_slice)]() {
+        ScopedTraceSpan scope(span);
+        TraceRing::Global().Record(TraceKind::kExecStart, span,
+                                   state->trace_name);
         SimulateDeviceLink(options_.simulated_device_rtt_ms);
         BatchStats stats = state->session.Calibrate(batch, test_slice);
         const double latency = timer.ElapsedSeconds();
@@ -255,14 +376,25 @@ Result<std::future<BatchStats>> FleetServer::TrySubmitCalibration(
           m.AddCalibration(static_cast<uint64_t>(batch.size()));
           m.AddAccuracySample(stats.accuracy);
         });
+        state->wb->add_batches_processed(1);
+        wb_shard_->add_calibration_batch();
         if (options_.snapshot_every > 0 &&
             state->session.batches_processed() %
                     static_cast<uint64_t>(options_.snapshot_every) ==
                 0) {
-          registry_->Publish(*state->session.model(), device_id,
-                             state->session.batches_processed());
+          TraceRing::Global().Record(TraceKind::kSnapshotPublish, span,
+                                     state->trace_name);
+          const uint64_t version =
+              registry_->Publish(*state->session.model(), device_id,
+                                 state->session.batches_processed());
           RecordMetrics([](ServingMetrics& m) { m.AddSnapshot(); });
+          state->wb->set_snapshot_version(version);
+          wb_shard_->add_snapshot_published();
         }
+        TraceRing::Global().Record(TraceKind::kExecEnd, span,
+                                   state->trace_name);
+        TraceRing::Global().Record(TraceKind::kComplete, span,
+                                   state->trace_name);
         promise->set_value(stats);
         ReleaseTask(state, /*is_inference=*/false, 1);
       },
@@ -275,16 +407,26 @@ std::future<uint64_t> FleetServer::PublishSnapshot(
   auto promise = std::make_shared<std::promise<uint64_t>>();
   std::future<uint64_t> result = promise->get_future();
   SessionState* state = FindSession(device_id);
+  const uint64_t span = TraceRing::NextSpan();
   // Same barrier as calibration: the snapshot must capture the model in
   // the session's submission order.
-  if (batcher_) batcher_->FlushDevice(device_id);
+  BarrierFlush(device_id, state, span);
   EnqueueOnSession(
       state,
-      [this, device_id, state, promise]() {
+      [this, device_id, state, promise, span]() {
+        // The scope hands the span to the WAL append inside Publish, so the
+        // snapshotPublish → walAppend chain reconstructs from the ring.
+        ScopedTraceSpan scope(span);
+        TraceRing::Global().Record(TraceKind::kSnapshotPublish, span,
+                                   state->trace_name);
         const uint64_t version =
             registry_->Publish(*state->session.model(), device_id,
                                state->session.batches_processed());
         RecordMetrics([](ServingMetrics& m) { m.AddSnapshot(); });
+        state->wb->set_snapshot_version(version);
+        wb_shard_->add_snapshot_published();
+        TraceRing::Global().Record(TraceKind::kComplete, span,
+                                   state->trace_name, version);
         promise->set_value(version);
       },
       TaskPriority::kHigh);
@@ -294,6 +436,13 @@ std::future<uint64_t> FleetServer::PublishSnapshot(
 SessionHandoff FleetServer::DetachSession(const std::string& device_id) {
   SessionHandoff handoff;
   handoff.device_id = device_id;
+  handoff.trace_span = TraceRing::NextSpan();
+  {
+    SessionState* pre = FindSession(device_id);
+    TraceRing::Global().Record(TraceKind::kDetach, handoff.trace_span,
+                               pre->trace_name, shard_index_);
+    pre->wb->set_migrating(true);
+  }
   // Barrier snapshot: flushes the device's pending batched group (the PR 2
   // follow-up — a group left pending would otherwise resolve against a
   // session that moved shards) and, by session FIFO order, captures the
@@ -310,6 +459,7 @@ SessionHandoff FleetServer::DetachSession(const std::string& device_id) {
   }
   std::lock_guard<std::mutex> lock(sessions_mu_);
   sessions_.erase(device_id);
+  wb_shard_->set_sessions(sessions_.size());
   return handoff;
 }
 
@@ -323,6 +473,15 @@ void FleetServer::AttachSession(const SessionHandoff& handoff) {
   auto state = std::make_unique<SessionState>(
       handoff.device_id, base_model_, base_bf_, options_.continual, *snap,
       &r);
+  // The row already exists on a shared (router) whiteboard — UpsertDevice
+  // rehomes it to this shard and clears the migrating flag, keeping the
+  // device's counters and warm-start origin across the move.
+  state->wb = whiteboard_->UpsertDevice(handoff.device_id, shard_index_,
+                                        WarmStartOrigin::kCold);
+  state->wb->set_snapshot_version(handoff.barrier_version);
+  state->trace_name = TraceRing::Global().Intern(handoff.device_id);
+  TraceRing::Global().Record(TraceKind::kAttach, handoff.trace_span,
+                             state->trace_name, shard_index_);
   std::lock_guard<std::mutex> lock(sessions_mu_);
   const bool inserted =
       sessions_.emplace(handoff.device_id, std::move(state)).second;
@@ -330,6 +489,7 @@ void FleetServer::AttachSession(const SessionHandoff& handoff) {
                   ("AttachSession: device already present: " +
                    handoff.device_id)
                       .c_str());
+  wb_shard_->set_sessions(sessions_.size());
 }
 
 void FleetServer::EnqueueOnSession(SessionState* state,

@@ -134,6 +134,10 @@ struct SessionHandoff {
   std::string device_id;
   uint64_t barrier_version = 0;
   std::vector<uint8_t> continuation;
+  // Trace span covering the whole migration (detach event on the source,
+  // attach event on the target), so a rebalance window reconstructs as one
+  // timeline per moved device.
+  uint64_t trace_span = 0;
 };
 
 class FleetServer : public FleetBackend {
@@ -149,11 +153,15 @@ class FleetServer : public FleetBackend {
   // ServingMetrics every event is recorded into besides this server's own
   // — the router's write-through fleet rollup, which therefore needs no
   // locked rebuild and survives shard retirement by construction. Both
-  // must outlive the server.
+  // must outlive the server. `shared_whiteboard` (optional) follows the
+  // same pattern for introspection rows: the router passes its fleet-wide
+  // board (and this server's `shard_index` on it) so every shard writes
+  // into one place; standalone servers own their board as shard 0.
   FleetServer(const QuantizedModel& base_model, const BitFlipNet& base_bf,
               FleetServerOptions options,
               SnapshotRegistry* shared_registry = nullptr,
-              ServingMetrics* rollup_metrics = nullptr);
+              ServingMetrics* rollup_metrics = nullptr,
+              Whiteboard* shared_whiteboard = nullptr, int shard_index = 0);
 
   FleetServer(const FleetServer&) = delete;
   FleetServer& operator=(const FleetServer&) = delete;
@@ -195,6 +203,8 @@ class FleetServer : public FleetBackend {
   ServingMetrics& metrics() override { return metrics_; }
   const ServingMetrics& metrics() const override { return metrics_; }
   SnapshotRegistry& snapshots() override { return *registry_; }
+  Whiteboard& whiteboard() override { return *whiteboard_; }
+  const Whiteboard& whiteboard() const override { return *whiteboard_; }
 
  private:
   struct SessionState {
@@ -213,6 +223,10 @@ class FleetServer : public FleetBackend {
     std::atomic<int> depth{0};
     std::atomic<int> depth_inference{0};
     std::atomic<int> depth_calibration{0};
+    // Whiteboard row handle + interned trace name, captured once at
+    // registration so hot-path writes are a pointer chase, not a map walk.
+    Whiteboard::Device* wb = nullptr;
+    uint32_t trace_name = 0;
   };
 
   // Enqueues a closure on the session's FIFO and schedules a pump if none
@@ -229,10 +243,19 @@ class FleetServer : public FleetBackend {
                            std::vector<PendingInference> group);
 
   // Admission control: reserves a slot in the session's depth gauges, or
-  // sheds (recording metrics) and returns false.
-  bool AdmitTask(SessionState* state, bool is_inference);
+  // sheds — recording metrics, the whiteboard last-error, and a kShed trace
+  // event — and returns the concrete kResourceExhausted status.
+  Status AdmitTask(SessionState* state, const std::string& device_id,
+                   bool is_inference, uint64_t span);
   // Releases `count` slots of the given class (task completion).
   void ReleaseTask(SessionState* state, bool is_inference, int count);
+
+  // Flushes the device's pending batched group ahead of model-mutating work
+  // (calibration, snapshot, quiesce) and accounts the flush when one was
+  // actually forced (metrics counter, shard row, trace event). No-op
+  // without a batcher.
+  void BarrierFlush(const std::string& device_id, SessionState* state,
+                    uint64_t span);
 
   SessionState* FindSession(const std::string& device_id);
 
@@ -266,6 +289,10 @@ class FleetServer : public FleetBackend {
   ServingMetrics* rollup_metrics_;  // null unless owned by a router
   SnapshotRegistry owned_registry_;  // used unless a shared one was passed
   SnapshotRegistry* registry_;
+  Whiteboard owned_whiteboard_;  // used unless a shared one was passed
+  Whiteboard* whiteboard_;
+  Whiteboard::Shard* wb_shard_;  // this server's row on whiteboard_
+  const int shard_index_;
 
   mutable std::mutex sessions_mu_;  // guards the map, not the sessions
   std::map<std::string, std::unique_ptr<SessionState>> sessions_;

@@ -107,6 +107,11 @@ size_t SnapshotRegistry::size() const {
   return store_->size();
 }
 
+WalStats SnapshotRegistry::wal_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_->wal_stats();
+}
+
 size_t SnapshotRegistry::TrimBelow(uint64_t min_version) {
   std::lock_guard<std::mutex> lock(mu_);
   auto dropped = store_->TrimBelow(min_version);

@@ -41,6 +41,15 @@ struct ModelSnapshot {
   std::vector<uint8_t> bytes;  // QuantizedModel::SerializeTo output
 };
 
+// Write-ahead-log health counters, exposed by a durable store (all zero for
+// a memory store) and surfaced on the fleet whiteboard's WAL row.
+struct WalStats {
+  uint64_t appends = 0;         // records appended since open
+  uint64_t appended_bytes = 0;  // framed bytes those appends wrote
+  uint64_t fsyncs = 0;          // explicit fsyncs (publishes + compactions)
+  uint64_t compactions = 0;     // segment rewrites (TrimBelow)
+};
+
 class SnapshotRegistry {
  public:
   // Over a fresh MemorySnapshotStore — the pre-durability semantics.
@@ -80,6 +89,9 @@ class SnapshotRegistry {
   static Status RestoreInto(const ModelSnapshot& snapshot, QuantizedModel* qm);
 
   size_t size() const;
+
+  // The store's WAL counters (zeros over a memory store) — whiteboard feed.
+  WalStats wal_stats() const;
 
   // Drops all versions below `min_version` that are not a device's latest
   // (simple retention; holders keep their shared_ptrs alive regardless).

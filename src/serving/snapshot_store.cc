@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/serialize.h"
+#include "obs/trace.h"
 
 namespace qcore {
 
@@ -255,7 +256,17 @@ Status DurableSnapshotStore::AppendRecord(const ModelSnapshot& snap) {
   if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
     return Status::IoError("snapshot log: append failed: " + options_.path);
   }
-  return FlushFile(file_, options_.fsync_on_publish);
+  QCORE_RETURN_NOT_OK(FlushFile(file_, options_.fsync_on_publish));
+  ++wal_.appends;
+  wal_.appended_bytes += frame.size();
+  if (options_.fsync_on_publish) ++wal_.fsyncs;
+  // The publish that drove this append set the thread's trace span
+  // (ScopedTraceSpan in the session task), linking the snapshotPublish
+  // event to its durable landing without plumbing the span down here.
+  TraceRing::Global().Record(TraceKind::kWalAppend, TraceRing::CurrentSpan(),
+                             TraceRing::Global().Intern(snap.device_id),
+                             frame.size());
+  return Status::OK();
 }
 
 Status DurableSnapshotStore::Put(std::shared_ptr<const ModelSnapshot> snap) {
@@ -315,6 +326,8 @@ Status DurableSnapshotStore::RewriteSegment() {
     return Status::IoError("snapshot log: reopen after compaction failed: " +
                            options_.path);
   }
+  ++wal_.compactions;
+  ++wal_.fsyncs;  // the segment's FlushFile(sync=true) above
   return Status::OK();
 }
 

@@ -75,6 +75,9 @@ class SnapshotStore {
   // Drops all versions below `min_version` that are not a device's latest;
   // returns the number dropped. A durable store compacts its log here.
   virtual Result<size_t> TrimBelow(uint64_t min_version) = 0;
+
+  // WAL health counters; all zero for stores without a log.
+  virtual WalStats wal_stats() const { return {}; }
 };
 
 class MemorySnapshotStore : public SnapshotStore {
@@ -139,6 +142,10 @@ class DurableSnapshotStore : public MemorySnapshotStore {
   // diagnostics for operators and tests.
   uint64_t truncated_tail_bytes() const { return truncated_tail_bytes_; }
 
+  // Plain counters: the owning registry serializes every store call under
+  // its mutex, so no atomics are needed (matching the rest of the store).
+  WalStats wal_stats() const override { return wal_; }
+
  private:
   explicit DurableSnapshotStore(DurableSnapshotStoreOptions options)
       : options_(std::move(options)) {}
@@ -149,6 +156,7 @@ class DurableSnapshotStore : public MemorySnapshotStore {
   DurableSnapshotStoreOptions options_;
   std::FILE* file_ = nullptr;  // append handle, positioned at the tail
   uint64_t truncated_tail_bytes_ = 0;
+  WalStats wal_;
 };
 
 }  // namespace qcore

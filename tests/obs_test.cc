@@ -1,0 +1,681 @@
+// Tests for the observability layer (src/obs/): whiteboard rows staying
+// write-through-consistent with ServingMetrics under concurrent load,
+// surviving migration / rebalance / shard retirement, last-error and
+// barrier-flush plumbing, the serialize/table renderings, and TraceRing
+// request-lifecycle reconstruction (batched and unbatched chains, snapshot
+// publish -> WAL append, ring wraparound, chrome://tracing export).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/qcore_builder.h"
+#include "data/har_generator.h"
+#include "models/model_zoo.h"
+#include "obs/trace.h"
+#include "obs/whiteboard.h"
+#include "serving/backend.h"
+#include "serving/router.h"
+#include "serving/server.h"
+#include "serving/snapshot.h"
+#include "serving/snapshot_store.h"
+
+namespace qcore {
+namespace {
+
+// Same one-time expensive preparation as serving_test.cc: train the FP
+// model + QCore, quantize, train the bit-flipping net, drop shadows.
+struct FleetFixture {
+  HarSpec spec;
+  HarDomain source;
+  HarDomain target;
+  Dataset qcore;
+  std::unique_ptr<QuantizedModel> base;
+  std::unique_ptr<BitFlipNet> bf;
+  std::vector<Dataset> batches;
+  std::vector<Dataset> slices;
+};
+
+FleetFixture* GetFixture() {
+  static FleetFixture* fixture = []() {
+    auto* f = new FleetFixture();
+    f->spec = HarSpec::Usc();
+    f->spec.num_classes = 5;
+    f->spec.channels = 3;
+    f->spec.length = 24;
+    f->spec.train_per_class = 8;
+    f->spec.test_per_class = 4;
+    f->source = MakeHarDomain(f->spec, 0);
+    f->target = MakeHarDomain(f->spec, 1);
+
+    Rng rng(20240901);
+    auto model = MakeOmniScaleCnn(f->spec.channels, f->spec.num_classes,
+                                  &rng);
+    QCoreBuildOptions build;
+    build.size = 15;
+    build.train.epochs = 8;
+    build.train.sgd.lr = 0.03f;
+    auto built = BuildQCore(model.get(), f->source.train, build, &rng);
+    f->qcore = built.qcore;
+
+    f->base = std::make_unique<QuantizedModel>(*model, 4);
+    BitFlipTrainOptions bft;
+    bft.ste.epochs = 8;
+    bft.ste.batch_size = 16;
+    bft.augment_episodes = 1;
+    f->bf = std::make_unique<BitFlipNet>(
+        TrainBitFlipNet(f->base.get(), f->qcore, bft, &rng));
+    f->base->DropShadows();
+
+    Rng split_rng(777);
+    f->batches = SplitIntoStreamBatches(f->target.train, 3, &split_rng);
+    f->slices = SplitIntoStreamBatches(f->target.test, 3, &split_rng);
+    return f;
+  }();
+  return fixture;
+}
+
+ContinualOptions TestContinualOptions() {
+  ContinualOptions opts;
+  opts.iterations = 2;
+  return opts;
+}
+
+FleetServerOptions ServerOptions(int threads) {
+  FleetServerOptions opts;
+  opts.num_threads = threads;
+  opts.continual = TestContinualOptions();
+  opts.seed = 0x5EED;
+  return opts;
+}
+
+const DeviceRow* FindDevice(const WhiteboardImage& image,
+                            const std::string& device_id) {
+  for (const auto& row : image.devices) {
+    if (row.device_id == device_id) return &row;
+  }
+  return nullptr;
+}
+
+const ShardRow* FindShard(const WhiteboardImage& image, int shard) {
+  for (const auto& row : image.shards) {
+    if (row.shard == shard) return &row;
+  }
+  return nullptr;
+}
+
+// Index of the first event of `kind`, or -1.
+int IndexOf(const std::vector<TraceEvent>& events, TraceKind kind) {
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].kind == kind) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+// ------------------------------------------------------ whiteboard dumps
+
+// The acceptance scenario: a 4-shard fleet under concurrent client load;
+// after Drain the whiteboard image must reconcile exactly with the metrics
+// rollup, the router's placement, and the snapshot registry.
+TEST(WhiteboardTest, FourShardDumpConsistentWithMetricsUnderLoad) {
+  FleetFixture* f = GetFixture();
+  ShardedFleetServerOptions sopts;
+  sopts.num_shards = 4;
+  sopts.shard = ServerOptions(2);
+  ShardedFleetServer server(*f->base, *f->bf, sopts);
+
+  const int kDevices = 8;
+  std::vector<std::string> devices;
+  for (int d = 0; d < kDevices; ++d) {
+    devices.push_back("dev-" + std::to_string(d));
+    server.RegisterDevice(devices.back(), f->qcore);
+  }
+
+  // Concurrent clients: each thread drives its own slice of the fleet.
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c]() {
+      for (int d = c; d < kDevices; d += 2) {
+        server.SubmitInference(devices[d], f->target.test.x());
+        server.SubmitCalibration(devices[d], f->batches[0], f->slices[0]);
+        server.SubmitInference(devices[d], f->target.test.x());
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.Drain();
+  std::vector<uint64_t> versions;
+  for (const auto& d : devices) {
+    versions.push_back(server.PublishSnapshot(d).get());
+  }
+
+  const WhiteboardImage image = server.whiteboard().Read();
+  ASSERT_EQ(image.shards.size(), 4u);
+  ASSERT_EQ(image.devices.size(), static_cast<size_t>(kDevices));
+
+  // Shard rows match the router's placement view.
+  uint64_t sessions_total = 0;
+  for (const auto& row : image.shards) {
+    EXPECT_FALSE(row.retired);
+    EXPECT_EQ(row.sessions,
+              static_cast<uint64_t>(server.SessionCountOnShard(row.shard)));
+    sessions_total += row.sessions;
+  }
+  EXPECT_EQ(sessions_total, static_cast<uint64_t>(kDevices));
+
+  // Device rows sum to the fleet rollup, per counter class.
+  uint64_t acc_inf = 0, acc_cal = 0, batches = 0, q_inf = 0, q_cal = 0;
+  for (const auto& row : image.devices) {
+    acc_inf += row.accepted_inference;
+    acc_cal += row.accepted_calibration;
+    batches += row.batches_processed;
+    q_inf += row.queue_inference;
+    q_cal += row.queue_calibration;
+    EXPECT_TRUE(row.last_error.ok());
+    EXPECT_EQ(row.activity, SessionActivity::kIdle);  // drained
+  }
+  const ServingMetrics& m = server.metrics();
+  EXPECT_EQ(acc_inf, m.accepted_inference());
+  EXPECT_EQ(acc_cal, m.accepted_calibration());
+  EXPECT_EQ(batches, m.calibration_batches());
+  EXPECT_EQ(q_inf, 0u);  // nothing outstanding after Drain
+  EXPECT_EQ(q_cal, 0u);
+
+  // Shard rows sum to the same rollup.
+  uint64_t shard_inf = 0, shard_cal = 0, shard_snaps = 0;
+  for (const auto& row : image.shards) {
+    shard_inf += row.inference_requests;
+    shard_cal += row.calibration_batches;
+    shard_snaps += row.snapshots_published;
+  }
+  EXPECT_EQ(shard_inf, m.inference_requests());
+  EXPECT_EQ(shard_cal, m.calibration_batches());
+  EXPECT_EQ(shard_snaps, static_cast<uint64_t>(kDevices));
+
+  // Each device row carries the registry's latest version for it.
+  for (int d = 0; d < kDevices; ++d) {
+    const DeviceRow* row = FindDevice(image, devices[d]);
+    ASSERT_NE(row, nullptr);
+    EXPECT_EQ(row->shard, server.ShardOf(devices[d]));
+    EXPECT_EQ(row->snapshot_version,
+              server.snapshots().LatestFor(devices[d])->version);
+    EXPECT_EQ(row->snapshot_version, versions[d]);
+  }
+
+  // Human rendering mentions every shard and device; truncation works.
+  const std::string table = image.ToTable();
+  for (const auto& d : devices) {
+    EXPECT_NE(table.find(d), std::string::npos) << table;
+  }
+  const std::string truncated = image.ToTable(/*max_devices=*/2);
+  EXPECT_NE(truncated.find("more devices"), std::string::npos);
+}
+
+TEST(WhiteboardTest, RowsSurviveMoveRebalanceAndRetirement) {
+  FleetFixture* f = GetFixture();
+  ShardedFleetServerOptions sopts;
+  sopts.num_shards = 2;
+  sopts.shard = ServerOptions(2);
+  ShardedFleetServer server(*f->base, *f->bf, sopts);
+  for (int d = 0; d < 4; ++d) {
+    server.RegisterDevice("mig-" + std::to_string(d), f->qcore);
+  }
+  server.SubmitCalibration("mig-0", f->batches[0], f->slices[0]).get();
+  server.Drain();
+
+  const DeviceRow before = *FindDevice(server.whiteboard().Read(), "mig-0");
+  EXPECT_EQ(before.accepted_calibration, 1u);
+  EXPECT_EQ(before.batches_processed, 1u);
+
+  // MoveDevice: the row follows the session to the target shard with its
+  // history intact.
+  const int target = 1 - server.ShardOf("mig-0");
+  server.MoveDevice("mig-0", target);
+  {
+    const WhiteboardImage image = server.whiteboard().Read();
+    const DeviceRow* row = FindDevice(image, "mig-0");
+    ASSERT_NE(row, nullptr);
+    EXPECT_EQ(row->shard, target);
+    EXPECT_EQ(row->activity, SessionActivity::kIdle);  // move completed
+    EXPECT_EQ(row->accepted_calibration, before.accepted_calibration);
+    EXPECT_EQ(row->batches_processed, before.batches_processed);
+    // The migration barrier published a snapshot; the row tracks it.
+    EXPECT_EQ(row->snapshot_version,
+              server.snapshots().LatestFor("mig-0")->version);
+  }
+
+  // Shrink to one shard: every device rehomes to shard 0, shard 1's row is
+  // flagged retired (not erased), and no device history is lost.
+  server.Rebalance(1);
+  {
+    const WhiteboardImage image = server.whiteboard().Read();
+    ASSERT_EQ(image.shards.size(), 2u);
+    EXPECT_FALSE(FindShard(image, 0)->retired);
+    EXPECT_TRUE(FindShard(image, 1)->retired);
+    EXPECT_EQ(FindShard(image, 0)->sessions, 4u);
+    EXPECT_EQ(image.devices.size(), 4u);
+    for (const auto& row : image.devices) {
+      EXPECT_EQ(row.shard, 0);
+    }
+    const DeviceRow* row = FindDevice(image, "mig-0");
+    EXPECT_EQ(row->accepted_calibration, before.accepted_calibration);
+  }
+
+  // Grow again: shard index 1 is reused and its row un-retires.
+  server.Rebalance(2);
+  {
+    const WhiteboardImage image = server.whiteboard().Read();
+    EXPECT_FALSE(FindShard(image, 1)->retired);
+  }
+  // The fleet still serves after the churn (rows didn't dangle).
+  server.SubmitCalibration("mig-0", f->batches[1], f->slices[1]).get();
+  server.Drain();
+  EXPECT_EQ(FindDevice(server.whiteboard().Read(), "mig-0")
+                ->accepted_calibration,
+            before.accepted_calibration + 1);
+}
+
+TEST(WhiteboardTest, ShedRecordsLastErrorAndCountsMatchMetrics) {
+  FleetFixture* f = GetFixture();
+  FleetServerOptions opts = ServerOptions(2);
+  opts.max_inference_queue_per_session = 1;
+  opts.simulated_device_rtt_ms = 30.0;  // keep the one slot occupied
+  FleetServer server(*f->base, *f->bf, opts);
+  server.RegisterDevice("bounded", f->qcore);
+
+  std::vector<std::future<InferenceResult>> accepted;
+  uint64_t shed = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto r = server.TrySubmitInference("bounded", f->target.test.x());
+    if (r.ok()) {
+      accepted.push_back(std::move(r).value());
+    } else {
+      EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+      ++shed;
+    }
+  }
+  ASSERT_GT(shed, 0u);  // the bound actually bit
+  server.Drain();
+
+  const WhiteboardImage image = server.whiteboard().Read();
+  const DeviceRow* row = FindDevice(image, "bounded");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->shed_inference, shed);
+  EXPECT_EQ(row->shed_inference, server.metrics().shed_inference());
+  EXPECT_EQ(row->accepted_inference, accepted.size());
+  // The concrete status landed on both the device and its shard row.
+  EXPECT_EQ(row->last_error.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(row->last_error.message().find("bounded"), std::string::npos);
+  EXPECT_GT(row->last_error_ns, 0u);
+  const ShardRow* shard = FindShard(image, 0);
+  EXPECT_EQ(shard->shed_inference, shed);
+  EXPECT_EQ(shard->last_error.code(), StatusCode::kResourceExhausted);
+  // And it renders in the dump.
+  EXPECT_NE(image.ToTable().find("ResourceExhausted"), std::string::npos);
+}
+
+TEST(WhiteboardTest, BarrierFlushCountedOnShardRowAndMetrics) {
+  FleetFixture* f = GetFixture();
+  FleetServerOptions opts = ServerOptions(2);
+  opts.enable_batching = true;
+  opts.batching.max_batch = 8;
+  opts.batching.max_delay_us = 1e6;  // only a barrier can flush the group
+  FleetServer server(*f->base, *f->bf, opts);
+  server.RegisterDevice("dev", f->qcore);
+
+  auto i1 = server.SubmitInference("dev", f->target.test.x());
+  auto i2 = server.SubmitInference("dev", f->target.test.x());
+  // Model-mutating submission: must force the parked group out first.
+  server.SubmitCalibration("dev", f->batches[0], f->slices[0]).get();
+  i1.get();
+  i2.get();
+  server.Drain();
+
+  EXPECT_GE(server.metrics().barrier_flushes(), 1u);
+  const WhiteboardImage image = server.whiteboard().Read();
+  EXPECT_EQ(FindShard(image, 0)->barrier_flushes,
+            server.metrics().barrier_flushes());
+  const DeviceRow* row = FindDevice(image, "dev");
+  EXPECT_EQ(row->last_batch_occupancy, 2u);  // the barrier-flushed group
+}
+
+TEST(WhiteboardTest, WarmStartOriginReported) {
+  FleetFixture* f = GetFixture();
+  SnapshotRegistry shared;
+  {
+    FleetServer seeder(*f->base, *f->bf, ServerOptions(1), &shared);
+    seeder.RegisterDevice("veteran", f->qcore);
+    seeder.SubmitCalibration("veteran", f->batches[0], f->slices[0]).get();
+    seeder.PublishSnapshot("veteran").get();
+    seeder.Drain();
+  }
+
+  FleetServerOptions opts = ServerOptions(1);
+  opts.warm_start_from_registry = true;
+  FleetServer server(*f->base, *f->bf, opts, &shared);
+  server.RegisterDevice("veteran", f->qcore);   // own snapshot exists
+  server.RegisterDevice("newcomer", f->qcore);  // cohort snapshot only
+  const WhiteboardImage image = server.whiteboard().Read();
+  EXPECT_EQ(FindDevice(image, "veteran")->warm_start,
+            WarmStartOrigin::kOwnSnapshot);
+  EXPECT_EQ(FindDevice(image, "newcomer")->warm_start,
+            WarmStartOrigin::kCohortSnapshot);
+
+  FleetServer cold(*f->base, *f->bf, ServerOptions(1));
+  cold.RegisterDevice("fresh", f->qcore);
+  EXPECT_EQ(FindDevice(cold.whiteboard().Read(), "fresh")->warm_start,
+            WarmStartOrigin::kCold);
+}
+
+TEST(WhiteboardTest, WalRowPopulatedOverDurableStore) {
+  FleetFixture* f = GetFixture();
+  const std::string path = "/tmp/qcore_obs_test_snapshots.wal";
+  std::remove(path.c_str());
+  {
+    DurableSnapshotStoreOptions dopts;
+    dopts.path = path;
+    dopts.fsync_on_publish = true;
+    auto store = DurableSnapshotStore::Open(std::move(dopts));
+    ASSERT_TRUE(store.ok());
+    SnapshotRegistry durable(std::move(store).value());
+
+    FleetServer server(*f->base, *f->bf, ServerOptions(1), &durable);
+    server.RegisterDevice("dev", f->qcore);
+    server.PublishSnapshot("dev").get();
+    server.PublishSnapshot("dev").get();
+    server.Drain();
+
+    const WhiteboardImage image = server.whiteboard().Read();
+    EXPECT_EQ(image.wal.appends, 2u);
+    EXPECT_GT(image.wal.appended_bytes, 0u);
+    EXPECT_EQ(image.wal.fsyncs, 2u);
+    // The one-line WAL summary renders in the dump.
+    EXPECT_NE(image.ToTable().find("wal:"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WhiteboardTest, ImageSerializeRoundTrips) {
+  FleetFixture* f = GetFixture();
+  FleetServerOptions opts = ServerOptions(2);
+  opts.max_inference_queue_per_session = 1;
+  opts.simulated_device_rtt_ms = 20.0;
+  FleetServer server(*f->base, *f->bf, opts);
+  server.RegisterDevice("a", f->qcore);
+  server.RegisterDevice("b", f->qcore);
+  // Mixed history including a shed, so the optional error fields serialize.
+  for (int i = 0; i < 4; ++i) {
+    server.TrySubmitInference("a", f->target.test.x());
+  }
+  server.SubmitCalibration("b", f->batches[0], f->slices[0]);
+  server.Drain();
+  server.PublishSnapshot("a").get();
+
+  const WhiteboardImage image = server.whiteboard().Read();
+  const std::vector<uint8_t> bytes = image.Serialize();
+  auto round = WhiteboardImage::Deserialize(bytes);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  const WhiteboardImage& got = round.value();
+
+  ASSERT_EQ(got.shards.size(), image.shards.size());
+  for (size_t i = 0; i < image.shards.size(); ++i) {
+    const ShardRow& a = image.shards[i];
+    const ShardRow& b = got.shards[i];
+    EXPECT_EQ(a.shard, b.shard);
+    EXPECT_EQ(a.retired, b.retired);
+    EXPECT_EQ(a.sessions, b.sessions);
+    EXPECT_EQ(a.inference_requests, b.inference_requests);
+    EXPECT_EQ(a.calibration_batches, b.calibration_batches);
+    EXPECT_EQ(a.snapshots_published, b.snapshots_published);
+    EXPECT_EQ(a.accepted_inference, b.accepted_inference);
+    EXPECT_EQ(a.shed_inference, b.shed_inference);
+    EXPECT_EQ(a.barrier_flushes, b.barrier_flushes);
+    EXPECT_EQ(a.last_error.code(), b.last_error.code());
+    EXPECT_EQ(a.last_error.message(), b.last_error.message());
+    EXPECT_EQ(a.last_error_ns, b.last_error_ns);
+  }
+  ASSERT_EQ(got.devices.size(), image.devices.size());
+  for (size_t i = 0; i < image.devices.size(); ++i) {
+    const DeviceRow& a = image.devices[i];
+    const DeviceRow& b = got.devices[i];
+    EXPECT_EQ(a.device_id, b.device_id);
+    EXPECT_EQ(a.shard, b.shard);
+    EXPECT_EQ(a.activity, b.activity);
+    EXPECT_EQ(a.warm_start, b.warm_start);
+    EXPECT_EQ(a.accepted_inference, b.accepted_inference);
+    EXPECT_EQ(a.accepted_calibration, b.accepted_calibration);
+    EXPECT_EQ(a.shed_inference, b.shed_inference);
+    EXPECT_EQ(a.last_batch_occupancy, b.last_batch_occupancy);
+    EXPECT_EQ(a.batches_processed, b.batches_processed);
+    EXPECT_EQ(a.snapshot_version, b.snapshot_version);
+    EXPECT_EQ(a.last_error.code(), b.last_error.code());
+    EXPECT_EQ(a.last_error.message(), b.last_error.message());
+    EXPECT_EQ(a.last_error_ns, b.last_error_ns);
+  }
+  EXPECT_EQ(got.wal.appends, image.wal.appends);
+  EXPECT_EQ(got.wal.appended_bytes, image.wal.appended_bytes);
+
+  // Corruption is a Status, not a crash.
+  std::vector<uint8_t> truncated(bytes.begin(),
+                                 bytes.begin() + bytes.size() / 2);
+  EXPECT_FALSE(WhiteboardImage::Deserialize(truncated).ok());
+}
+
+// ------------------------------------------------------------- trace ring
+
+TEST(TraceTest, UnbatchedInferenceLifecycleReconstructs) {
+  FleetFixture* f = GetFixture();
+  TraceRing::Global().Clear();
+  FleetServer server(*f->base, *f->bf, ServerOptions(2));
+  server.RegisterDevice("dev", f->qcore);
+  const InferenceResult result =
+      server.SubmitInference("dev", f->target.test.x()).get();
+  server.Drain();
+  ASSERT_NE(result.trace_span, 0u);
+
+  const std::vector<TraceEvent> timeline =
+      TraceRing::Global().CollectSpan(result.trace_span);
+  ASSERT_EQ(timeline.size(), 4u);
+  EXPECT_EQ(timeline[0].kind, TraceKind::kSubmitInference);
+  EXPECT_EQ(timeline[1].kind, TraceKind::kExecStart);
+  EXPECT_EQ(timeline[2].kind, TraceKind::kExecEnd);
+  EXPECT_EQ(timeline[3].kind, TraceKind::kComplete);
+  for (size_t i = 1; i < timeline.size(); ++i) {
+    EXPECT_GE(timeline[i].ts_ns, timeline[i - 1].ts_ns);
+  }
+  // Every event names the device via the interned id.
+  for (const auto& e : timeline) {
+    EXPECT_EQ(TraceRing::Global().NameOf(e.arg0), "dev");
+  }
+}
+
+TEST(TraceTest, BatchedLifecycleReconstructsFullSpanChain) {
+  FleetFixture* f = GetFixture();
+  TraceRing::Global().Clear();
+  FleetServerOptions opts = ServerOptions(2);
+  opts.enable_batching = true;
+  opts.batching.max_batch = 2;  // size-triggered flush, deterministic
+  opts.batching.max_delay_us = 1e6;
+  FleetServer server(*f->base, *f->bf, opts);
+  server.RegisterDevice("dev", f->qcore);
+
+  auto f1 = server.SubmitInference("dev", f->target.test.x());
+  auto f2 = server.SubmitInference("dev", f->target.test.x());
+  const InferenceResult r1 = f1.get();
+  const InferenceResult r2 = f2.get();
+  server.Drain();
+  ASSERT_NE(r1.trace_span, 0u);
+  ASSERT_NE(r2.trace_span, 0u);
+  EXPECT_NE(r1.trace_span, r2.trace_span);
+
+  // Each request's own span: submit -> enqueue -> flush -> complete.
+  const std::vector<TraceEvent> timeline =
+      TraceRing::Global().CollectSpan(r1.trace_span);
+  ASSERT_EQ(timeline.size(), 4u);
+  EXPECT_EQ(timeline[0].kind, TraceKind::kSubmitInference);
+  EXPECT_EQ(timeline[1].kind, TraceKind::kBatchEnqueue);
+  EXPECT_EQ(timeline[2].kind, TraceKind::kBatchFlush);
+  EXPECT_EQ(timeline[3].kind, TraceKind::kComplete);
+
+  // The flush and complete events both point at the group's span, which
+  // carries the shared forward pass (exec start/end, occupancy = 2).
+  const uint64_t group_span = timeline[2].arg1;
+  ASSERT_NE(group_span, 0u);
+  EXPECT_EQ(timeline[3].arg1, group_span);
+  const std::vector<TraceEvent> group =
+      TraceRing::Global().CollectSpan(group_span);
+  const int start = IndexOf(group, TraceKind::kExecStart);
+  const int end = IndexOf(group, TraceKind::kExecEnd);
+  ASSERT_GE(start, 0);
+  ASSERT_GE(end, 0);
+  EXPECT_LT(start, end);
+  EXPECT_EQ(group[static_cast<size_t>(start)].arg1, 2u);  // group size
+
+  // The second request's chain lands on the SAME group.
+  const std::vector<TraceEvent> timeline2 =
+      TraceRing::Global().CollectSpan(r2.trace_span);
+  ASSERT_EQ(timeline2.size(), 4u);
+  EXPECT_EQ(timeline2[2].arg1, group_span);
+}
+
+TEST(TraceTest, SnapshotPublishChainsThroughWalAppend) {
+  FleetFixture* f = GetFixture();
+  const std::string path = "/tmp/qcore_obs_trace_snapshots.wal";
+  std::remove(path.c_str());
+  {
+    DurableSnapshotStoreOptions dopts;
+    dopts.path = path;
+    auto store = DurableSnapshotStore::Open(std::move(dopts));
+    ASSERT_TRUE(store.ok());
+    SnapshotRegistry durable(std::move(store).value());
+
+    TraceRing::Global().Clear();
+    FleetServer server(*f->base, *f->bf, ServerOptions(2), &durable);
+    server.RegisterDevice("dev", f->qcore);
+    server.PublishSnapshot("dev").get();
+    server.Drain();
+
+    // Find the publish span among collected events (PublishSnapshot does
+    // not return its span; the publish event identifies it).
+    uint64_t span = 0;
+    for (const auto& e : TraceRing::Global().Collect()) {
+      if (e.kind == TraceKind::kSnapshotPublish &&
+          TraceRing::Global().NameOf(e.arg0) == "dev") {
+        span = e.span;
+      }
+    }
+    ASSERT_NE(span, 0u);
+    const std::vector<TraceEvent> timeline =
+        TraceRing::Global().CollectSpan(span);
+    // publish -> WAL append (inherited via the thread-local span) ->
+    // complete, in timestamp order.
+    const int publish = IndexOf(timeline, TraceKind::kSnapshotPublish);
+    const int wal = IndexOf(timeline, TraceKind::kWalAppend);
+    const int complete = IndexOf(timeline, TraceKind::kComplete);
+    ASSERT_GE(publish, 0);
+    ASSERT_GE(wal, 0);
+    ASSERT_GE(complete, 0);
+    EXPECT_LT(publish, wal);
+    EXPECT_LT(wal, complete);
+    EXPECT_GT(timeline[static_cast<size_t>(wal)].arg1, 0u);  // bytes
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, MigrationSpanLinksDetachAndAttach) {
+  FleetFixture* f = GetFixture();
+  ShardedFleetServerOptions sopts;
+  sopts.num_shards = 2;
+  sopts.shard = ServerOptions(1);
+  ShardedFleetServer server(*f->base, *f->bf, sopts);
+  server.RegisterDevice("mover", f->qcore);
+
+  TraceRing::Global().Clear();
+  const int source = server.ShardOf("mover");
+  server.MoveDevice("mover", 1 - source);
+
+  uint64_t span = 0;
+  for (const auto& e : TraceRing::Global().Collect()) {
+    if (e.kind == TraceKind::kDetach) span = e.span;
+  }
+  ASSERT_NE(span, 0u);
+  const std::vector<TraceEvent> timeline =
+      TraceRing::Global().CollectSpan(span);
+  const int detach = IndexOf(timeline, TraceKind::kDetach);
+  const int attach = IndexOf(timeline, TraceKind::kAttach);
+  ASSERT_GE(detach, 0);
+  ASSERT_GE(attach, 0);
+  EXPECT_LT(detach, attach);
+  EXPECT_EQ(timeline[static_cast<size_t>(detach)].arg1,
+            static_cast<uint64_t>(source));
+  EXPECT_EQ(timeline[static_cast<size_t>(attach)].arg1,
+            static_cast<uint64_t>(1 - source));
+}
+
+TEST(TraceTest, WraparoundDropsOldestEventsOnly) {
+  TraceRing& ring = TraceRing::Global();
+  ring.Clear();
+  ring.SetCapacityPerThread(4);
+  const uint64_t span = TraceRing::NextSpan();
+  // A fresh thread gets a fresh ring at the shrunken capacity (capacity
+  // applies to rings created after the call).
+  std::thread recorder([&]() {
+    for (uint64_t i = 0; i < 10; ++i) {
+      ring.Record(TraceKind::kComplete, span, 0, i);
+    }
+  });
+  recorder.join();
+  ring.SetCapacityPerThread(8192);  // restore for later tests
+
+  const std::vector<TraceEvent> events = ring.CollectSpan(span);
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest dropped, newest kept, order preserved.
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].arg1, 6 + i);
+  }
+  EXPECT_GE(ring.dropped_events(), 6u);
+}
+
+TEST(TraceTest, ChromeJsonExportContainsLifecycleEvents) {
+  FleetFixture* f = GetFixture();
+  TraceRing::Global().Clear();
+  FleetServerOptions opts = ServerOptions(2);
+  opts.enable_batching = true;
+  opts.batching.max_batch = 2;
+  FleetServer server(*f->base, *f->bf, opts);
+  server.RegisterDevice("dev", f->qcore);
+  auto f1 = server.SubmitInference("dev", f->target.test.x());
+  auto f2 = server.SubmitInference("dev", f->target.test.x());
+  f1.get();
+  f2.get();
+  server.Drain();
+
+  const std::string json = TraceRing::Global().ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"submitInference\""), std::string::npos);
+  EXPECT_NE(json.find("\"batchFlush\""), std::string::npos);
+  // The forward pass exports as a paired duration event.
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"dev\""), std::string::npos);
+}
+
+TEST(TraceTest, DisabledRecordsNothing) {
+  TraceRing& ring = TraceRing::Global();
+  ring.Clear();
+  ring.SetEnabled(false);
+  const uint64_t span = TraceRing::NextSpan();
+  ring.Record(TraceKind::kComplete, span);
+  ring.SetEnabled(true);
+  EXPECT_TRUE(ring.CollectSpan(span).empty());
+  ring.Record(TraceKind::kComplete, span);
+  EXPECT_EQ(ring.CollectSpan(span).size(), 1u);
+}
+
+}  // namespace
+}  // namespace qcore
