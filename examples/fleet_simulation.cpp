@@ -23,9 +23,18 @@
 //               many image devices), QCORE_FLEET_THREADS (default 4, per
 //               shard for the HAR cohort), QCORE_FLEET_SHARDS (default 2),
 //               QCORE_FAST=1 shrinks everything for a quick smoke run.
+// Chaos:        --chaos-seed=N installs a deterministic FaultInjector and
+//               arms a shard crash on the first migration of the
+//               mid-stream rebalance. The run must SURVIVE it: the lost
+//               device leaves the routing maps loudly, the rest of the
+//               fleet keeps serving, and the chaos report at the end warm
+//               re-registers the victim from its barrier snapshot and
+//               verifies the restored codes bit-identically (exit 1 if
+//               recovery fails). Same seed, same schedule, every run.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -44,6 +53,7 @@
 #include "serving/server.h"
 #include "serving/snapshot.h"
 #include "serving/snapshot_store.h"
+#include "testing/fault_injector.h"
 
 using namespace qcore;
 
@@ -89,15 +99,46 @@ Deployment Prepare(Sequential* model, const Dataset& train, Rng* rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const int har_devices = EnvInt("QCORE_FLEET_DEVICES", Fast() ? 24 : 200);
   const int img_devices = std::max(1, har_devices / 4);
   const int threads = EnvInt("QCORE_FLEET_THREADS", 4);
   const int shards = EnvInt("QCORE_FLEET_SHARDS", 2);
   const int stream_batches = 2;
+
+  bool chaos = false;
+  uint64_t chaos_seed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--chaos-seed=";
+    if (arg.rfind(prefix, 0) == 0) {
+      chaos = true;
+      chaos_seed = std::strtoull(arg.c_str() + prefix.size(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (try --chaos-seed=N)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
   std::printf("== Fleet simulation: %d HAR devices on %d shards (x%d "
               "threads) + %d image devices ==\n\n",
               har_devices, shards, threads, img_devices);
+
+  // Chaos mode: a deterministic injector, armed so the FIRST migration of
+  // the mid-stream rebalance loses its target shard. Everything below must
+  // tolerate the loss; the report at the end proves the recovery.
+  std::unique_ptr<FaultInjector> injector;
+  if (chaos) {
+    injector = std::make_unique<FaultInjector>(chaos_seed);
+    FaultScript crash;
+    crash.fire_on_hit = 1;  // one-shot on the rebalance's first migration
+    injector->Arm(FaultPoint::kShardCrashDuringMigration, crash);
+    injector->Install();
+    std::printf("chaos: injector installed (seed %llu), shard crash armed "
+                "for the mid-stream rebalance\n\n",
+                static_cast<unsigned long long>(chaos_seed));
+  }
 
   // --- Server-side preparation: one deployment per modality. -------------
   HarSpec har_spec = HarSpec::Usc();
@@ -147,6 +188,10 @@ int main() {
   opts.batching.max_delay_us = 500.0;
   opts.max_inference_queue_per_session = 48;
   opts.max_calibration_queue_per_session = 16;
+  // Chaos recovery path: a device lost to the injected shard crash is
+  // re-registered after the stream, and must warm-start from the barrier
+  // snapshot its crashed migration published.
+  if (chaos) opts.warm_start_from_registry = true;
   ShardedFleetServerOptions har_opts;
   har_opts.num_shards = shards;
   har_opts.shard = opts;
@@ -194,6 +239,17 @@ int main() {
       std::printf("rebalanced HAR cohort to %d shards mid-stream\n",
                   har_server.num_shards());
     }
+    const std::string id = "har-" + std::to_string(d);
+    if (chaos && !har_server.HasDevice(id)) {
+      // This device's migration was hit by the injected shard crash: it
+      // left the routing maps loudly. Skip its traffic (an overload-aware
+      // client would see unknown-device errors); the chaos report below
+      // re-registers it from its barrier snapshot.
+      std::printf("chaos: %s lost to the injected shard crash; skipping "
+                  "its stream\n",
+                  id.c_str());
+      continue;
+    }
     const int subject = 1 + d % (har_spec.num_subjects - 1);
     HarDomain target = MakeHarDomain(har_spec, subject);
     Rng split_rng(opts.seed ^ static_cast<uint64_t>(d));
@@ -201,7 +257,6 @@ int main() {
         SplitIntoStreamBatches(target.train, stream_batches, &split_rng);
     auto slices =
         SplitIntoStreamBatches(target.test, stream_batches, &split_rng);
-    const std::string id = "har-" + std::to_string(d);
     for (int b = 0; b < stream_batches; ++b) {
       har_server.SubmitInference(id, slices[b].x());
       stats.push_back(
@@ -285,6 +340,57 @@ int main() {
   std::printf("\n-- whiteboard after serving (HAR cohort; the shard added "
               "by the rebalance has its own row) --\n%s\n",
               har_server.whiteboard().Read().ToTable(8).c_str());
+
+  // --- Chaos report: the fleet survived the injected shard crash. --------
+  // The crashed migration lost its session's continuation but NOT its
+  // barrier snapshot; re-registering the victim warm-starts it from that
+  // snapshot, and the restored model codes must match bit-identically.
+  if (chaos) {
+    FaultInjector::Uninstall();
+    std::printf("== Chaos report (seed %llu) ==\n",
+                static_cast<unsigned long long>(chaos_seed));
+    std::printf("shard-crash fault: %llu hit(s), %llu fired\n",
+                static_cast<unsigned long long>(
+                    injector->hits(FaultPoint::kShardCrashDuringMigration)),
+                static_cast<unsigned long long>(
+                    injector->fired(FaultPoint::kShardCrashDuringMigration)));
+    std::vector<std::string> lost;
+    for (int d = 0; d < har_devices; ++d) {
+      const std::string id = "har-" + std::to_string(d);
+      if (!har_server.HasDevice(id)) lost.push_back(id);
+    }
+    std::printf("devices lost to the crash: %zu / %d (fleet kept serving "
+                "the rest)\n",
+                lost.size(), har_devices);
+    int recovered_devices = 0;
+    for (const std::string& id : lost) {
+      auto snap = har_server.snapshots().LatestFor(id);
+      har_server.RegisterDevice(id, har.qcore);  // warm re-registration
+      if (snap == nullptr) continue;
+      auto restored = har.base->Clone();
+      if (!SnapshotRegistry::RestoreInto(*snap, restored.get()).ok()) {
+        continue;
+      }
+      har_server.WithSessionQuiesced(id, [&](CalibrationSession& s) {
+        if (s.model()->AllCodes() == restored->AllCodes()) {
+          std::printf("  %s: re-registered, codes bit-identical to barrier "
+                      "snapshot v%llu\n",
+                      id.c_str(),
+                      static_cast<unsigned long long>(snap->version));
+          ++recovered_devices;
+        }
+      });
+    }
+    har_server.Drain();
+    const bool survived =
+        injector->fired(FaultPoint::kShardCrashDuringMigration) > 0 &&
+        recovered_devices == static_cast<int>(lost.size());
+    std::printf("recovery: %d/%zu lost devices restored bit-identically "
+                "-> %s\n\n",
+                recovered_devices, lost.size(),
+                survived ? "SURVIVED" : "FAILED");
+    if (!survived) return 1;
+  }
 
   // --- Kill-and-restart: durable snapshots survive the server. -----------
   // A small HAR cohort serves over a registry backed by a CRC-framed

@@ -35,6 +35,7 @@ const char* TraceKindName(TraceKind kind) {
     case TraceKind::kWalAppend: return "walAppend";
     case TraceKind::kDetach: return "detach";
     case TraceKind::kAttach: return "attach";
+    case TraceKind::kFaultInjected: return "faultInjected";
   }
   return "unknown";
 }

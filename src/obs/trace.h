@@ -49,6 +49,8 @@ enum class TraceKind : uint8_t {
   kWalAppend,       // durable store appended the snapshot record (arg1 = bytes)
   kDetach,          // session serialized off its shard (migration source)
   kAttach,          // session restored on its shard (arg1 = target shard)
+  kFaultInjected,   // a chaos FaultPoint fired (arg0 = interned point name,
+                    // arg1 = script arg); see testing/fault_injector.h
 };
 
 // Stable lowerCamel name, e.g. "batchFlush" — the chrome-trace event name.

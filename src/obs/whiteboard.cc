@@ -12,7 +12,7 @@ namespace qcore {
 namespace {
 
 constexpr uint32_t kWhiteboardMagic = 0x44425751;  // "QWBD"
-constexpr uint32_t kWhiteboardVersion = 1;
+constexpr uint32_t kWhiteboardVersion = 2;  // v2: WAL row gained torn_tails
 
 uint64_t NowNs() {
   return static_cast<uint64_t>(
@@ -337,7 +337,7 @@ std::string WhiteboardImage::ToTable(size_t max_devices) const {
   }
   out << "wal: appends=" << wal.appends << " bytes=" << wal.appended_bytes
       << " fsyncs=" << wal.fsyncs << " compactions=" << wal.compactions
-      << "\n";
+      << " torn_tails=" << wal.torn_tails << "\n";
   return out.str();
 }
 
@@ -352,6 +352,7 @@ std::vector<uint8_t> WhiteboardImage::Serialize() const {
   header.WriteU64(wal.appended_bytes);
   header.WriteU64(wal.fsyncs);
   header.WriteU64(wal.compactions);
+  header.WriteU64(wal.torn_tails);
   AppendFramedRecord(header.TakeBuffer(), &out);
   for (const ShardRow& row : shards) {
     AppendFramedRecord(EncodeShardRow(row), &out);
@@ -394,6 +395,7 @@ Result<WhiteboardImage> WhiteboardImage::Deserialize(
   QCORE_RETURN_NOT_OK(read_u64(&image.wal.appended_bytes));
   QCORE_RETURN_NOT_OK(read_u64(&image.wal.fsyncs));
   QCORE_RETURN_NOT_OK(read_u64(&image.wal.compactions));
+  QCORE_RETURN_NOT_OK(read_u64(&image.wal.torn_tails));
 
   for (uint32_t i = 0; i < num_shards.value(); ++i) {
     auto frame = ReadFramedRecord(raw, &pos);

@@ -82,6 +82,7 @@ struct WalRow {
   uint64_t appended_bytes = 0;
   uint64_t fsyncs = 0;
   uint64_t compactions = 0;
+  uint64_t torn_tails = 0;  // torn tails truncated-and-recovered at Open
 };
 
 // The snapshot-consistent image Read() produces.

@@ -1,8 +1,11 @@
 #include "serving/batcher.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
+#include "testing/fault_injector.h"
 
 namespace qcore {
 
@@ -93,6 +96,17 @@ void InferenceBatcher::FlusherLoop() {
       std::chrono::duration<double, std::micro>(options_.max_delay_us));
   std::unique_lock<std::mutex> lock(mu_);
   while (!shutdown_) {
+    uint64_t stall_us = 0;
+    if (MaybeFault(FaultPoint::kBatcherFlusherStall, &stall_us)) {
+      // Deadline flushing goes dark for a while. Sleep OUTSIDE mu_ so
+      // submitters and barrier flushes keep running — which is exactly why
+      // a stalled flusher delays deadline-triggered groups but can never
+      // reorder or lose them (size triggers and barriers still flush).
+      lock.unlock();
+      std::this_thread::sleep_for(std::chrono::microseconds(stall_us));
+      lock.lock();
+      continue;  // deadlines moved while we slept; recompute
+    }
     bool have_deadline = false;
     Clock::time_point earliest{};
     for (const auto& entry : queues_) {

@@ -1,8 +1,11 @@
 #include "serving/router.h"
 
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
+#include "obs/trace.h"
+#include "testing/fault_injector.h"
 
 namespace qcore {
 
@@ -127,9 +130,15 @@ uint64_t ShardedFleetServer::MoveDevice(const std::string& device_id,
         ->PublishSnapshot(device_id)
         .get();
   }
-  const uint64_t version = MigrateLocked(device_id, source, target_shard);
-  device_shard_[device_id] = target_shard;
-  return version;
+  const MigrationOutcome outcome =
+      MigrateLocked(device_id, source, target_shard);
+  if (outcome.session_lost) {
+    device_shard_.erase(device_id);
+    pinned_.erase(device_id);
+  } else {
+    device_shard_[device_id] = target_shard;
+  }
+  return outcome.barrier_version;
 }
 
 void ShardedFleetServer::ClearPin(const std::string& device_id) {
@@ -137,12 +146,29 @@ void ShardedFleetServer::ClearPin(const std::string& device_id) {
   pinned_.erase(device_id);
 }
 
-uint64_t ShardedFleetServer::MigrateLocked(const std::string& device_id,
-                                           int source, int target) {
+ShardedFleetServer::MigrationOutcome ShardedFleetServer::MigrateLocked(
+    const std::string& device_id, int source, int target) {
   SessionHandoff handoff =
       shards_[static_cast<size_t>(source)]->DetachSession(device_id);
+  // The fault (and its trace event) rides the migration span, so a chaos
+  // post-mortem shows detach -> faultInjected with no matching attach.
+  ScopedTraceSpan scope(handoff.trace_span);
+  if (MaybeFault(FaultPoint::kShardCrashDuringMigration)) {
+    // The target shard dies holding the handoff: its continuation is lost
+    // (the barrier snapshot is NOT — it lives in the shared registry).
+    // Surface the loss on both whiteboard rows; the caller erases the
+    // device from routing so HasDevice() turns false and the operator's
+    // recovery is a warm re-registration from the barrier snapshot.
+    const Status crash = Status::IoError(
+        "shard " + std::to_string(target) +
+        " crashed during migration of " + device_id + " (injected)");
+    whiteboard_.UpsertDevice(device_id, target, WarmStartOrigin::kCold)
+        ->RecordError(crash);
+    whiteboard_.RegisterShard(target)->RecordError(crash);
+    return {handoff.barrier_version, /*session_lost=*/true};
+  }
   shards_[static_cast<size_t>(target)]->AttachSession(handoff);
-  return handoff.barrier_version;
+  return {handoff.barrier_version, /*session_lost=*/false};
 }
 
 void ShardedFleetServer::Rebalance(int new_shard_count) {
@@ -155,9 +181,17 @@ void ShardedFleetServer::Rebalance(int new_shard_count) {
   // Migrate exactly the devices whose placement changed: a pin from
   // MoveDevice overrides the ring, unless its target shard is being
   // retired by this shrink — then the pin is dropped and the device
-  // rehomes by ring position. Iteration is map order (deterministic), so
-  // barrier-snapshot versions are too.
-  for (auto& [device_id, shard] : device_shard_) {
+  // rehomes by ring position. The moves are collected first, then
+  // executed: a crash-faulted migration erases its device from
+  // device_shard_, which must not invalidate a live iterator. Collection
+  // is map order (deterministic), so barrier-snapshot versions are too.
+  struct PlannedMove {
+    std::string device_id;
+    int source;
+    int target;
+  };
+  std::vector<PlannedMove> moves;
+  for (const auto& [device_id, shard] : device_shard_) {
     int target;
     auto pin = pinned_.find(device_id);
     if (pin != pinned_.end() && pin->second < new_shard_count) {
@@ -166,9 +200,16 @@ void ShardedFleetServer::Rebalance(int new_shard_count) {
       if (pin != pinned_.end()) pinned_.erase(pin);
       target = new_ring.ShardFor(device_id);
     }
-    if (target != shard) {
-      MigrateLocked(device_id, shard, target);
-      shard = target;
+    if (target != shard) moves.push_back({device_id, shard, target});
+  }
+  for (const PlannedMove& move : moves) {
+    const MigrationOutcome outcome =
+        MigrateLocked(move.device_id, move.source, move.target);
+    if (outcome.session_lost) {
+      device_shard_.erase(move.device_id);
+      pinned_.erase(move.device_id);
+    } else {
+      device_shard_[move.device_id] = move.target;
     }
   }
   // Retire surplus shards: every session has been migrated off; drain any

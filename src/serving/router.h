@@ -141,10 +141,22 @@ class ShardedFleetServer : public FleetBackend {
   const ServingMetrics& shard_metrics(int shard) const;
 
  private:
+  // What one barrier-snapshot migration produced. `session_lost` is the
+  // chaos path (FaultPoint::kShardCrashDuringMigration): the target shard
+  // "crashed" between detach and attach, so the continuation is gone — the
+  // caller must drop the device from the routing maps. The barrier version
+  // is still valid either way; it is what a warm re-registration restores
+  // the device's model from (the documented continuation gap: codes come
+  // back bit-identical, Rng/QCore/batch-counter state starts fresh).
+  struct MigrationOutcome {
+    uint64_t barrier_version = 0;
+    bool session_lost = false;
+  };
+
   std::unique_ptr<FleetServer> MakeShard(int index);
   // Caller holds route_mu_ exclusive.
-  uint64_t MigrateLocked(const std::string& device_id, int source,
-                         int target);
+  MigrationOutcome MigrateLocked(const std::string& device_id, int source,
+                                 int target);
   int ShardIndexFor(const std::string& device_id) const;  // shared lock held
 
   const QuantizedModel& base_model_;

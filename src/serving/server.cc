@@ -8,12 +8,20 @@
 #include "common/serialize.h"
 #include "common/stopwatch.h"
 #include "obs/trace.h"
+#include "testing/fault_injector.h"
 
 namespace qcore {
 
 namespace {
 
 void SimulateDeviceLink(double rtt_ms) {
+  // An injected RTT spike stretches one round trip even when simulation is
+  // off (rtt_ms == 0) — a slow device is purely latency, so every result
+  // stays bit-identical; only the timeline moves.
+  uint64_t spike_us = 0;
+  if (MaybeFault(FaultPoint::kDeviceRttSpike, &spike_us)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(spike_us));
+  }
   if (rtt_ms <= 0.0) return;
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
       rtt_ms));
@@ -50,6 +58,7 @@ FleetServer::FleetServer(const QuantizedModel& base_model,
     row.appended_bytes = stats.appended_bytes;
     row.fsyncs = stats.fsyncs;
     row.compactions = stats.compactions;
+    row.torn_tails = stats.torn_tails_recovered;
     return row;
   });
   if (options_.enable_batching) {
@@ -125,6 +134,13 @@ FleetServer::SessionState* FleetServer::FindSession(
 void FleetServer::BarrierFlush(const std::string& device_id,
                                SessionState* state, uint64_t span) {
   if (!batcher_) return;
+  uint64_t delay_us = 0;
+  if (MaybeFault(FaultPoint::kBarrierDelay, &delay_us)) {
+    // Stretch the window between admission and the forced flush. Ordering
+    // is untouched — the flush still runs before the mutating task is
+    // enqueued — so this perturbs timing, never results.
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
   if (batcher_->FlushDevice(device_id)) {
     // A group actually left early because of this barrier — the signal
     // that mutation cadence is cutting batches short.

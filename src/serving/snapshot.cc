@@ -7,6 +7,7 @@
 #include "common/serialize.h"
 #include "serving/hash_ring.h"
 #include "serving/snapshot_store.h"
+#include "testing/fault_injector.h"
 
 namespace qcore {
 
@@ -131,14 +132,34 @@ std::vector<uint8_t> SnapshotRegistry::ExportDelta(
   header.WriteU32(kDeltaVersion);
   header.WriteU64(picked.size());
   std::vector<uint8_t> out = header.TakeBuffer();
+  const size_t header_bytes = out.size();
   for (const auto& snap : picked) {
     AppendFramedRecord(EncodeSnapshotRecord(*snap), &out);
+  }
+  uint64_t cut_bytes = 0;
+  if (out.size() > header_bytes &&
+      MaybeFault(FaultPoint::kSnapshotExportTruncate, &cut_bytes)) {
+    // The delta is cut in transit (arg = bytes to drop, default: the last
+    // third of the record bytes). The header still promises the full
+    // record count, so ANY cut into the records makes ImportDelta reject
+    // the blob whole — the documented degradation is "retry with a fresh
+    // export", never a half-applied delta.
+    const size_t record_bytes = out.size() - header_bytes;
+    size_t cut = cut_bytes > 0 ? static_cast<size_t>(cut_bytes)
+                               : record_bytes / 3 + 1;
+    if (cut > record_bytes) cut = record_bytes;
+    out.resize(out.size() - cut);
   }
   return out;
 }
 
 Result<size_t> SnapshotRegistry::ImportDelta(
     const std::vector<uint8_t>& delta) {
+  if (MaybeFault(FaultPoint::kSnapshotImportDrop)) {
+    // The payload never arrived. Nothing was touched, so the recovery path
+    // is simply resending the same delta — imports are idempotent.
+    return Status::IoError("registry delta: dropped in transit (injected)");
+  }
   constexpr size_t kHeaderBytes = 2 * sizeof(uint32_t) + sizeof(uint64_t);
   if (delta.size() < kHeaderBytes) {
     return Status::Corruption("registry delta: short header");

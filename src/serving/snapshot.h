@@ -48,6 +48,10 @@ struct WalStats {
   uint64_t appended_bytes = 0;  // framed bytes those appends wrote
   uint64_t fsyncs = 0;          // explicit fsyncs (publishes + compactions)
   uint64_t compactions = 0;     // segment rewrites (TrimBelow)
+  // Torn tails truncated off the log by Open (1 per recovering open) —
+  // the counter that turns silent crash recovery into an assertable,
+  // operator-visible event (whiteboard WAL row, chaos tests).
+  uint64_t torn_tails_recovered = 0;
 };
 
 class SnapshotRegistry {

@@ -2,12 +2,15 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
 #include "common/serialize.h"
 #include "obs/trace.h"
+#include "testing/fault_injector.h"
 
 namespace qcore {
 
@@ -194,8 +197,11 @@ Result<std::unique_ptr<DurableSnapshotStore>> DurableSnapshotStore::Open(
       if (!frame.ok()) {
         // An incomplete or checksum-failing frame is the torn tail of a
         // writer that died mid-append; everything before it replayed
-        // cleanly, so cut the log there and carry on.
+        // cleanly, so cut the log there and carry on — and count the
+        // recovery, so chaos runs can assert it happened instead of
+        // trusting the silence.
         store->truncated_tail_bytes_ = content.size() - pos;
+        ++store->wal_.torn_tails_recovered;
         break;
       }
       auto snap = DecodeSnapshotRecord(frame.value());
@@ -253,8 +259,35 @@ Status DurableSnapshotStore::AppendRecord(const ModelSnapshot& snap) {
   }
   std::vector<uint8_t> frame;
   AppendFramedRecord(EncodeSnapshotRecord(snap), &frame);
-  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+  uint64_t delay_us = 0;
+  if (MaybeFault(FaultPoint::kWalAppendDelay, &delay_us)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
+  if (MaybeFault(FaultPoint::kWalFsyncFail)) {
+    // Modeled as failing BEFORE any byte lands, so the outcome is
+    // deterministic: nothing durable, nothing visible (log-then-apply).
+    return Status::IoError("snapshot log: fsync failed (injected): " +
+                           options_.path);
+  }
+  if (MaybeFault(FaultPoint::kWalAppendBitRot)) {
+    // Silent media rot: flip one payload bit (past the size+crc frame
+    // header, so the CRC catches it at replay). The append still
+    // "succeeds" — this process keeps serving from memory; the damage
+    // surfaces only at the next Open.
+    frame.back() ^= 0x01;
+  }
+  const bool torn = MaybeFault(FaultPoint::kWalTornAppend);
+  const size_t write_len = torn ? frame.size() / 2 : frame.size();
+  if (std::fwrite(frame.data(), 1, write_len, file_) != write_len) {
     return Status::IoError("snapshot log: append failed: " + options_.path);
+  }
+  if (torn) {
+    // Half the frame is on disk and the writer "died": fail the Put so the
+    // in-memory maps never claim what the log does not hold. The next Open
+    // truncates this tail and counts the recovery.
+    (void)FlushFile(file_, /*sync=*/false);
+    return Status::IoError("snapshot log: torn append (injected): " +
+                           options_.path);
   }
   QCORE_RETURN_NOT_OK(FlushFile(file_, options_.fsync_on_publish));
   ++wal_.appends;
@@ -295,6 +328,16 @@ Status DurableSnapshotStore::RewriteSegment() {
   Status status = WriteWalHeader(f);
   if (status.ok()) {
     for (const auto& [version, snap] : by_version_) {
+      if (MaybeFault(FaultPoint::kWalCompactionCrash)) {
+        // Writer death mid-segment: the partial .compact tmp stays on disk
+        // (unlike the normal error path below, which cleans it up) — the
+        // old log is untouched and still the append target, so recovery is
+        // "reopen the same path"; the next compaction's fopen("wb")
+        // truncates the leftover tmp.
+        std::fclose(f);
+        return Status::IoError(
+            "snapshot log: compaction crashed (injected): " + tmp);
+      }
       std::vector<uint8_t> frame;
       AppendFramedRecord(EncodeSnapshotRecord(*snap), &frame);
       if (std::fwrite(frame.data(), 1, frame.size(), f) != frame.size()) {

@@ -1,0 +1,116 @@
+#include "testing/fault_injector.h"
+
+#include <string>
+
+#include "common/check.h"
+#include "obs/trace.h"
+
+namespace qcore {
+
+namespace chaos_internal {
+std::atomic<FaultInjector*> g_injector{nullptr};
+}  // namespace chaos_internal
+
+const char* FaultPointName(FaultPoint point) {
+  switch (point) {
+    case FaultPoint::kWalAppendBitRot: return "walAppendBitRot";
+    case FaultPoint::kWalTornAppend: return "walTornAppend";
+    case FaultPoint::kWalFsyncFail: return "walFsyncFail";
+    case FaultPoint::kWalAppendDelay: return "walAppendDelay";
+    case FaultPoint::kWalCompactionCrash: return "walCompactionCrash";
+    case FaultPoint::kSnapshotExportTruncate: return "snapshotExportTruncate";
+    case FaultPoint::kSnapshotImportDrop: return "snapshotImportDrop";
+    case FaultPoint::kShardCrashDuringMigration:
+      return "shardCrashDuringMigration";
+    case FaultPoint::kDeviceRttSpike: return "deviceRttSpike";
+    case FaultPoint::kBatcherFlusherStall: return "batcherFlusherStall";
+    case FaultPoint::kBarrierDelay: return "barrierDelay";
+    case FaultPoint::kNumFaultPoints: break;
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(uint64_t seed) : rng_(seed) {}
+
+FaultInjector::~FaultInjector() {
+  FaultInjector* self = this;
+  chaos_internal::g_injector.compare_exchange_strong(
+      self, nullptr, std::memory_order_acq_rel);
+}
+
+void FaultInjector::Arm(FaultPoint point, FaultScript script) {
+  QCORE_CHECK(point < FaultPoint::kNumFaultPoints);
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[static_cast<size_t>(point)];
+  state.armed = true;
+  state.script = script;
+  state.fired = 0;  // re-arming resets the one-shot latch, not the hits
+}
+
+void FaultInjector::Disarm(FaultPoint point) {
+  QCORE_CHECK(point < FaultPoint::kNumFaultPoints);
+  std::lock_guard<std::mutex> lock(mu_);
+  points_[static_cast<size_t>(point)].armed = false;
+}
+
+uint64_t FaultInjector::hits(FaultPoint point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_[static_cast<size_t>(point)].hits;
+}
+
+uint64_t FaultInjector::fired(FaultPoint point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_[static_cast<size_t>(point)].fired;
+}
+
+uint64_t FaultInjector::total_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const PointState& state : points_) total += state.fired;
+  return total;
+}
+
+void FaultInjector::Install() {
+  chaos_internal::g_injector.store(this, std::memory_order_release);
+}
+
+void FaultInjector::Uninstall() {
+  chaos_internal::g_injector.store(nullptr, std::memory_order_release);
+}
+
+FaultInjector* FaultInjector::installed() {
+  return chaos_internal::g_injector.load(std::memory_order_acquire);
+}
+
+bool FaultInjector::ShouldFire(FaultPoint point, uint64_t* arg) {
+  QCORE_CHECK(point < FaultPoint::kNumFaultPoints);
+  uint64_t script_arg = 0;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PointState& state = points_[static_cast<size_t>(point)];
+    ++state.hits;
+    if (!state.armed) return false;
+    if (state.fired > 0 && !state.script.sticky) return false;
+    const bool hit_eligible =
+        state.script.fire_on_hit == 0 ||
+        (state.script.sticky ? state.hits >= state.script.fire_on_hit
+                             : state.hits == state.script.fire_on_hit);
+    if (!hit_eligible) return false;
+    // Drawn even at probability 1.0 so a schedule's RNG consumption — and
+    // therefore its replay — does not depend on which points are certain.
+    if (!rng_.NextBool(state.script.probability)) return false;
+    ++state.fired;
+    script_arg = state.script.arg;
+    fire = true;
+  }
+  // Outside mu_: Intern/Record take the trace plane's own locks.
+  TraceRing& ring = TraceRing::Global();
+  ring.Record(TraceKind::kFaultInjected, TraceRing::CurrentSpan(),
+              ring.Intern(std::string("fault:") + FaultPointName(point)),
+              script_arg);
+  if (arg != nullptr) *arg = script_arg;
+  return fire;
+}
+
+}  // namespace qcore

@@ -5,6 +5,7 @@
 // request-lifecycle reconstruction (batched and unbatched chains, snapshot
 // publish -> WAL append, ring wraparound, chrome://tracing export).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <future>
@@ -24,6 +25,7 @@
 #include "serving/server.h"
 #include "serving/snapshot.h"
 #include "serving/snapshot_store.h"
+#include "testing/fault_injector.h"
 
 namespace qcore {
 namespace {
@@ -400,6 +402,111 @@ TEST(WhiteboardTest, WalRowPopulatedOverDurableStore) {
   std::remove(path.c_str());
 }
 
+// A torn WAL tail recovered at reopen surfaces on the whiteboard's WAL
+// row (satellite of the chaos plane: recovery is observable, not silent).
+TEST(WhiteboardTest, WalRowCountsTornTailRecovery) {
+  FleetFixture* f = GetFixture();
+  const std::string path = "/tmp/qcore_obs_torn_snapshots.wal";
+  std::remove(path.c_str());
+  {
+    DurableSnapshotStoreOptions dopts;
+    dopts.path = path;
+    auto store = DurableSnapshotStore::Open(std::move(dopts));
+    ASSERT_TRUE(store.ok());
+    SnapshotRegistry durable(std::move(store).value());
+    FleetServer server(*f->base, *f->bf, ServerOptions(1), &durable);
+    server.RegisterDevice("dev", f->qcore);
+    server.PublishSnapshot("dev").get();
+    server.PublishSnapshot("dev").get();
+    server.Drain();
+  }
+  {
+    // Kill the last record mid-write: chop bytes off the tail.
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(file, nullptr);
+    std::fseek(file, 0, SEEK_END);
+    const long size = std::ftell(file);
+    std::fclose(file);
+    ASSERT_EQ(truncate(path.c_str(), size - 5), 0);
+  }
+  {
+    DurableSnapshotStoreOptions dopts;
+    dopts.path = path;
+    auto store = DurableSnapshotStore::Open(std::move(dopts));
+    ASSERT_TRUE(store.ok());
+    SnapshotRegistry recovered(std::move(store).value());
+    FleetServer server(*f->base, *f->bf, ServerOptions(1), &recovered);
+    const WhiteboardImage image = server.whiteboard().Read();
+    EXPECT_EQ(image.wal.torn_tails, 1u);
+    EXPECT_NE(image.ToTable().find("torn_tails=1"), std::string::npos);
+    // And it survives the binary round trip (format v2).
+    auto round = WhiteboardImage::Deserialize(image.Serialize());
+    ASSERT_TRUE(round.ok());
+    EXPECT_EQ(round.value().wal.torn_tails, 1u);
+  }
+  std::remove(path.c_str());
+}
+
+// An injected fault is observable on BOTH planes: a kFaultInjected trace
+// event riding the migration span, and last-error rows on the whiteboard
+// for the device and the shard that "crashed".
+TEST(WhiteboardTest, FaultFiringRecordsTraceEventAndLastErrorRows) {
+  FleetFixture* f = GetFixture();
+  ShardedFleetServerOptions sopts;
+  sopts.num_shards = 2;
+  sopts.shard = ServerOptions(1);
+  ShardedFleetServer server(*f->base, *f->bf, sopts);
+  server.RegisterDevice("mover", f->qcore);
+
+  TraceRing::Global().Clear();
+  FaultInjector injector(0x0B5);
+  FaultScript script;
+  script.arg = 99;
+  injector.Arm(FaultPoint::kShardCrashDuringMigration, script);
+  injector.Install();
+  const int source = server.ShardOf("mover");
+  const int target = 1 - source;
+  server.MoveDevice("mover", target);
+  FaultInjector::Uninstall();
+  ASSERT_EQ(injector.fired(FaultPoint::kShardCrashDuringMigration), 1u);
+
+  // Trace plane: the firing rides the migration span — the post-mortem
+  // timeline shows a detach with no matching attach, explained by the
+  // faultInjected event in between.
+  uint64_t span = 0;
+  for (const auto& e : TraceRing::Global().Collect()) {
+    if (e.kind == TraceKind::kDetach) span = e.span;
+  }
+  ASSERT_NE(span, 0u);
+  const std::vector<TraceEvent> timeline =
+      TraceRing::Global().CollectSpan(span);
+  const int detach = IndexOf(timeline, TraceKind::kDetach);
+  const int fault = IndexOf(timeline, TraceKind::kFaultInjected);
+  ASSERT_GE(detach, 0);
+  ASSERT_GE(fault, 0);
+  EXPECT_LT(detach, fault);
+  EXPECT_EQ(IndexOf(timeline, TraceKind::kAttach), -1);
+  const TraceEvent& fired = timeline[static_cast<size_t>(fault)];
+  EXPECT_EQ(TraceRing::Global().NameOf(fired.arg0),
+            "fault:shardCrashDuringMigration");
+  EXPECT_EQ(fired.arg1, 99u);
+
+  // Whiteboard plane: device and target-shard rows carry the injected
+  // error, and it renders in the dump.
+  const WhiteboardImage image = server.whiteboard().Read();
+  const DeviceRow* device = FindDevice(image, "mover");
+  ASSERT_NE(device, nullptr);
+  EXPECT_EQ(device->last_error.code(), StatusCode::kIoError);
+  EXPECT_NE(device->last_error.message().find("injected"),
+            std::string::npos);
+  const ShardRow* shard = FindShard(image, target);
+  ASSERT_NE(shard, nullptr);
+  EXPECT_EQ(shard->last_error.code(), StatusCode::kIoError);
+  // The table renders error codes only (messages stay on the row), so
+  // the dump flags the fault as an IoError cell.
+  EXPECT_NE(image.ToTable().find("IoError"), std::string::npos);
+}
+
 TEST(WhiteboardTest, ImageSerializeRoundTrips) {
   FleetFixture* f = GetFixture();
   FleetServerOptions opts = ServerOptions(2);
@@ -639,6 +746,36 @@ TEST(TraceTest, WraparoundDropsOldestEventsOnly) {
     EXPECT_EQ(events[i].arg1, 6 + i);
   }
   EXPECT_GE(ring.dropped_events(), 6u);
+}
+
+// A thread that dies mid-span — the chaos shard-crash shape: events
+// recorded, then the recorder gone without closing its span — must leave
+// the ring collectable and the export well-formed. Dead threads' rings
+// stay registered, so the orphaned events remain part of the post-mortem.
+TEST(TraceTest, RingStaysConsistentWhenFaultedThreadDiesMidSpan) {
+  TraceRing& ring = TraceRing::Global();
+  ring.Clear();
+  const uint64_t span = TraceRing::NextSpan();
+  std::thread victim([&]() {
+    ScopedTraceSpan scope(span);
+    ring.Record(TraceKind::kExecStart, span, 0, 1);
+    // The "crash": the thread exits without ever recording kExecEnd.
+  });
+  victim.join();
+
+  const std::vector<TraceEvent> events = ring.CollectSpan(span);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, TraceKind::kExecStart);
+  // The export stays valid JSON with the unmatched "B" phase present —
+  // chrome://tracing renders it as an unterminated slice, which is the
+  // truthful picture of a span whose thread died.
+  const std::string json = ring.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_EQ(json.back(), '}');
+  // Live threads keep recording unharmed alongside the dead ring.
+  ring.Record(TraceKind::kComplete, span);
+  EXPECT_EQ(ring.CollectSpan(span).size(), 2u);
 }
 
 TEST(TraceTest, ChromeJsonExportContainsLifecycleEvents) {

@@ -27,6 +27,7 @@
 #include "serving/server.h"
 #include "serving/snapshot.h"
 #include "serving/snapshot_store.h"
+#include "testing/fault_injector.h"
 
 namespace qcore {
 namespace {
@@ -225,6 +226,105 @@ TEST(DurableSnapshotStoreTest, CompactionPreservesLatestAcrossReopen) {
   // And the compacted log is still appendable.
   ASSERT_TRUE(store->Put(MakeSnap(7, "odd")).ok());
   EXPECT_EQ(store->MaxVersion(), 7u);
+  std::remove(path.c_str());
+}
+
+// Injected fsync failure (chaos plane): the Put fails atomically — no
+// bytes reach the log, the in-memory maps are untouched — and the same
+// Put retried lands cleanly, so the reopened log replays every version
+// bit-identically.
+TEST(DurableSnapshotStoreTest, InjectedFsyncFailureIsAtomicAndRetryable) {
+  const std::string path = TempLog("fsyncfail");
+  const auto file_size = [&]() {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    return size;
+  };
+  {
+    auto store = OpenOrDie(path, /*fsync=*/true);
+    ASSERT_TRUE(store->Put(MakeSnap(1, "dev")).ok());
+    ASSERT_TRUE(store->Put(MakeSnap(2, "dev")).ok());
+    const long before = file_size();
+
+    FaultInjector injector(29);
+    injector.Arm(FaultPoint::kWalFsyncFail, {});
+    injector.Install();
+    const Status failed = store->Put(MakeSnap(3, "dev"));
+    FaultInjector::Uninstall();
+    EXPECT_EQ(injector.fired(FaultPoint::kWalFsyncFail), 1u);
+    EXPECT_EQ(failed.code(), StatusCode::kIoError);
+    // Atomic: nothing durable, nothing visible (log-then-apply).
+    EXPECT_EQ(file_size(), before);
+    EXPECT_EQ(store->size(), 2u);
+    EXPECT_EQ(store->Get(3), nullptr);
+    EXPECT_EQ(store->wal_stats().appends, 2u);
+
+    // The fault was one-shot; the retried publish lands.
+    ASSERT_TRUE(store->Put(MakeSnap(3, "dev")).ok());
+    EXPECT_EQ(store->size(), 3u);
+  }
+  auto store = OpenOrDie(path);
+  EXPECT_EQ(store->truncated_tail_bytes(), 0u);
+  EXPECT_EQ(store->size(), 3u);
+  for (uint64_t v = 1; v <= 3; ++v) {
+    EXPECT_EQ(store->Get(v)->bytes, MakeSnap(v, "dev")->bytes);
+  }
+  std::remove(path.c_str());
+}
+
+// Injected mid-compaction crash (chaos plane): the atomic-rename protocol
+// means a writer dying inside the segment rewrite leaves the OLD log
+// complete and the partial .compact tmp as a crash artifact — never a
+// mix. The store stays appendable, a reopen replays everything the old
+// log holds (the in-memory trim is lost, which is the safe direction),
+// and the next compaction truncates the leftover tmp and completes.
+TEST(DurableSnapshotStoreTest, CompactionCrashLeavesOldLogComplete) {
+  const std::string path = TempLog("compactcrash");
+  const std::string tmp = path + ".compact";
+  {
+    auto store = OpenOrDie(path);
+    for (uint64_t v = 1; v <= 6; ++v) {
+      ASSERT_TRUE(
+          store->Put(MakeSnap(v, v % 2 == 0 ? "even" : "odd", 256)).ok());
+    }
+    FaultInjector injector(31);
+    injector.Arm(FaultPoint::kWalCompactionCrash, {});
+    injector.Install();
+    auto dropped = store->TrimBelow(100);
+    FaultInjector::Uninstall();
+    EXPECT_EQ(injector.fired(FaultPoint::kWalCompactionCrash), 1u);
+    EXPECT_FALSE(dropped.ok());
+    EXPECT_EQ(dropped.status().code(), StatusCode::kIoError);
+    // Memory trimmed, old log untouched — and the crash artifact stays.
+    EXPECT_EQ(store->size(), 2u);
+    std::FILE* leftover = std::fopen(tmp.c_str(), "rb");
+    EXPECT_NE(leftover, nullptr) << "partial .compact tmp should survive";
+    if (leftover != nullptr) std::fclose(leftover);
+    // The append handle survived the crashed rewrite.
+    ASSERT_TRUE(store->Put(MakeSnap(7, "odd")).ok());
+  }
+  {
+    // Reopen: the old log is complete — all six originals plus v7 replay.
+    // Recovering MORE than the crashed process remembered is the safe
+    // direction; a later trim re-drops the stale versions.
+    auto store = OpenOrDie(path);
+    EXPECT_EQ(store->truncated_tail_bytes(), 0u);
+    EXPECT_EQ(store->size(), 7u);
+    EXPECT_EQ(store->MaxVersion(), 7u);
+    auto dropped = store->TrimBelow(100);
+    ASSERT_TRUE(dropped.ok());
+    EXPECT_EQ(dropped.value(), 5u);  // keeps v6 ("even") and v7 ("odd")
+  }
+  // The completed compaction renamed over the log and consumed the tmp.
+  EXPECT_EQ(std::fopen(tmp.c_str(), "rb"), nullptr);
+  auto store = OpenOrDie(path);
+  EXPECT_EQ(store->size(), 2u);
+  EXPECT_EQ(store->MaxVersion(), 7u);
+  EXPECT_EQ(store->Get(6)->bytes, MakeSnap(6, "even", 256)->bytes);
+  EXPECT_EQ(store->Get(7)->bytes, MakeSnap(7, "odd")->bytes);
   std::remove(path.c_str());
 }
 
