@@ -31,11 +31,27 @@
 //               re-registers the victim from its barrier snapshot and
 //               verifies the restored codes bit-identically (exit 1 if
 //               recovery fails). Same seed, same schedule, every run.
+// Overload:     --overload runs the overload drill instead of the full
+//               simulation: a multi-threaded flood beyond fleet capacity
+//               against the whole control plane (per-request latency
+//               budgets, hierarchical session/shard/fleet admission,
+//               client-side jittered retry, calibration aging, and one
+//               non-blocking mid-flood migration). The report breaks sheds
+//               down by reason (queue-full / deadline / limiter) and ends
+//               with a calibration-progress verdict: every device must
+//               complete at least one calibration step under the flood
+//               (exit 1 on starvation). With --chaos-seed=N the drill also
+//               runs under seeded device-RTT-spike chaos.
+#include <array>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <future>
 #include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/stopwatch.h"
@@ -97,6 +113,243 @@ Deployment Prepare(Sequential* model, const Dataset& train, Rng* rng) {
   return dep;
 }
 
+// --- The overload drill (--overload). ------------------------------------
+// A deliberately over-subscribed sharded cohort: four submitter threads
+// flood eight devices with more in-flight demand than the fleet-level
+// admission cap allows, a third of the traffic carries a tight latency
+// budget, every device's calibration stream competes with the flood (kLow
+// at the pool — priority aging is what keeps it scheduled), and one device
+// is migrated to the other shard mid-flood while a bystander keeps
+// serving. Clients react to sheds the canonical way: RetryWithBackoff with
+// per-thread jitter seeds. The report breaks the sheds down by reason and
+// the drill verdicts on the property floods usually destroy silently —
+// calibration progress (exit 1 if any device starves), plus bystander
+// liveness through the migration.
+int RunOverloadDrill(const Deployment& har, const HarSpec& har_spec,
+                     int threads, bool chaos, uint64_t chaos_seed) {
+  constexpr int kDevices = 8;
+  constexpr int kSubmitters = 4;
+  constexpr int kRounds = 48;
+
+  std::printf("\n== Overload drill: %d submitters flooding %d devices on 2 "
+              "shards ==\n",
+              kSubmitters, kDevices);
+
+  // Optional chaos flavor: seeded device-RTT spikes make the flood's queue
+  // waits erratic. The plane's accounting and the verdict below must hold
+  // regardless — latency chaos may change WHICH requests shed, never the
+  // ledger arithmetic.
+  std::unique_ptr<FaultInjector> injector;
+  if (chaos) {
+    injector = std::make_unique<FaultInjector>(chaos_seed);
+    FaultScript spike;
+    spike.sticky = true;
+    spike.probability = 0.25;
+    spike.arg = 2000;  // each spike adds 2ms of device RTT
+    injector->Arm(FaultPoint::kDeviceRttSpike, spike);
+    injector->Install();
+    std::printf("chaos: device-RTT-spike injector installed (seed %llu)\n",
+                static_cast<unsigned long long>(chaos_seed));
+  }
+
+  FleetServerOptions opts;
+  opts.num_threads = std::max(2, threads / 2);
+  opts.continual.iterations = 1;
+  opts.seed = 0xF1EE7;
+  opts.enable_batching = true;
+  opts.batching.max_batch = 4;
+  opts.batching.max_delay_us = 200.0;
+  opts.simulated_device_rtt_ms = 1.0;
+  opts.max_inference_queue_per_session = 6;
+  opts.max_calibration_queue_per_session = 2;
+  opts.calibration_aging_us = 3000;  // starving calibration overtakes at 3ms
+  ShardedFleetServerOptions sopts;
+  sopts.num_shards = 2;
+  sopts.shard = opts;
+  // The fleet-level cap is what the flood is sized against: well below the
+  // sum of per-session headroom, so limiter sheds show up in the breakdown
+  // next to the hotspot's session queue-full sheds.
+  sopts.max_queue_per_fleet = 24;
+  ShardedFleetServer server(*har.base, *har.bf, sopts);
+
+  for (int d = 0; d < kDevices; ++d) {
+    server.RegisterDevice("ov-" + std::to_string(d), har.qcore);
+  }
+
+  // Per-device data: each device streams its own shifted subject.
+  std::vector<Dataset> batches(kDevices), slices(kDevices);
+  for (int d = 0; d < kDevices; ++d) {
+    const int subject = 1 + d % (har_spec.num_subjects - 1);
+    HarDomain target = MakeHarDomain(har_spec, subject);
+    Rng split_rng(opts.seed ^ static_cast<uint64_t>(d));
+    batches[d] = SplitIntoStreamBatches(target.train, 1, &split_rng)[0];
+    slices[d] = SplitIntoStreamBatches(target.test, 1, &split_rng)[0];
+  }
+
+  std::atomic<uint64_t> delivered{0};
+  std::atomic<uint64_t> deadline_shed{0};
+  std::atomic<uint64_t> abandoned{0};  // admission-shed after all retries
+  std::array<std::atomic<uint64_t>, kDevices> calibration_done{};
+
+  Stopwatch wall;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      RetryPolicy retry;
+      retry.max_attempts = 4;
+      retry.base_backoff_us = 300;
+      retry.seed = 0xD811 + static_cast<uint64_t>(s);  // de-synced jitter
+      // Calibration is throughput work — it can afford to wait out the
+      // flood, so its retry policy is far more persistent than the
+      // latency-sensitive inference one.
+      RetryPolicy cal_retry;
+      cal_retry.max_attempts = 8;
+      cal_retry.base_backoff_us = 500;
+      cal_retry.seed = 0xCA11B + static_cast<uint64_t>(s);
+      std::vector<std::future<InferenceResult>> inflight;
+      std::vector<std::pair<int, std::future<BatchStats>>> cal_inflight;
+      for (int r = 0; r < kRounds; ++r) {
+        // Mostly round-robin, but every fifth round piles onto device 1 so
+        // the hotspot's session cap refuses (queue-full sheds) while the
+        // spread load hits the fleet cap (limiter sheds).
+        const int d = (r % 5 == 0) ? 1 : (s + r) % kDevices;
+        const std::string id = "ov-" + std::to_string(d);
+        InferenceSubmitOptions sub;
+        if (r % 3 == 0) sub.latency_budget_us = 4000.0;  // 1/3 on a budget
+        bool admitted = false;
+        (void)RetryWithBackoff(retry, [&]() -> Status {
+          auto res = server.TrySubmitInference(id, slices[d].x(), sub);
+          if (!res.ok()) return res.status();
+          inflight.push_back(std::move(res).value());
+          admitted = true;
+          return Status::OK();
+        });
+        if (!admitted) abandoned.fetch_add(1, std::memory_order_relaxed);
+        // Every sixth round, keep a device's calibration stream moving
+        // under the flood; the stagger gives every device several chances
+        // from different submitters.
+        if (r % 6 == 0) {
+          const int cd = (s * 2 + r / 6) % kDevices;
+          const std::string cid = "ov-" + std::to_string(cd);
+          (void)RetryWithBackoff(cal_retry, [&]() -> Status {
+            auto res = server.TrySubmitCalibration(cid, batches[cd],
+                                                   slices[cd]);
+            if (!res.ok()) return res.status();
+            cal_inflight.emplace_back(cd, std::move(res).value());
+            return Status::OK();
+          });
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+      for (auto& fut : inflight) {
+        const InferenceResult r = fut.get();
+        if (r.status.ok()) {
+          delivered.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          deadline_shed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      for (auto& [cd, fut] : cal_inflight) {
+        fut.get();
+        calibration_done[static_cast<size_t>(cd)].fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Mid-flood, migrate ov-0 to the other shard (non-blocking protocol:
+  // drain under a shared routing lock) while the main thread probes a
+  // bystander device — its budget-less submissions must keep delivering
+  // while the mover drains.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const int source_shard = server.ShardOf("ov-0");
+  const int target_shard = (source_shard + 1) % server.num_shards();
+  std::atomic<bool> migration_done{false};
+  uint64_t moved_version = 0;
+  std::thread migrator([&] {
+    moved_version = server.MoveDevice("ov-0", target_shard);
+    migration_done.store(true, std::memory_order_release);
+  });
+  uint64_t bystander_delivered = 0;
+  RetryPolicy probe_retry;
+  probe_retry.max_attempts = 6;
+  probe_retry.seed = 0xB15;
+  while (!migration_done.load(std::memory_order_acquire)) {
+    std::future<InferenceResult> fut;
+    bool admitted = false;
+    (void)RetryWithBackoff(probe_retry, [&]() -> Status {
+      auto res = server.TrySubmitInference("ov-3", slices[3].x());
+      if (!res.ok()) return res.status();
+      fut = std::move(res).value();
+      admitted = true;
+      return Status::OK();
+    });
+    if (admitted && fut.get().status.ok()) ++bystander_delivered;
+  }
+  migrator.join();
+  for (auto& t : submitters) t.join();
+  server.Drain();
+  const double drill_seconds = wall.ElapsedSeconds();
+
+  // --- Drill report. -----------------------------------------------------
+  const ServingMetrics& m = server.metrics();
+  const uint64_t submitted =
+      static_cast<uint64_t>(kSubmitters) * static_cast<uint64_t>(kRounds);
+  std::printf("\nflooded %llu inference submissions (plus retries and "
+              "calibration) in %.2fs\n",
+              static_cast<unsigned long long>(submitted), drill_seconds);
+  std::printf("client view: %llu delivered, %llu deadline-shed, %llu "
+              "abandoned after %d attempts\n",
+              static_cast<unsigned long long>(delivered.load()),
+              static_cast<unsigned long long>(deadline_shed.load()),
+              static_cast<unsigned long long>(abandoned.load()), 4);
+  std::printf("server view (every retry attempt counts): shed-by-reason "
+              "queue-full=%llu limiter=%llu deadline=%llu\n",
+              static_cast<unsigned long long>(m.shed_queue_full()),
+              static_cast<unsigned long long>(m.shed_limiter()),
+              static_cast<unsigned long long>(m.shed_deadline()));
+  std::printf("migration: ov-0 shard %d -> %d (snapshot v%llu) with %llu "
+              "bystander probes delivered during the drain\n",
+              source_shard, target_shard,
+              static_cast<unsigned long long>(moved_version),
+              static_cast<unsigned long long>(bystander_delivered));
+  if (chaos) {
+    std::printf("chaos: rtt-spike fault %llu hit(s), %llu fired\n",
+                static_cast<unsigned long long>(
+                    injector->hits(FaultPoint::kDeviceRttSpike)),
+                static_cast<unsigned long long>(
+                    injector->fired(FaultPoint::kDeviceRttSpike)));
+    FaultInjector::Uninstall();
+  }
+  std::printf("\n-- serving metrics (2-shard rollup) --\n%s\n",
+              m.Report().c_str());
+  std::printf("-- whiteboard (per-reason shed columns) --\n%s\n",
+              server.whiteboard().Read().ToTable(kDevices).c_str());
+
+  // --- Verdict: nobody starves. The whole point of priority aging + -------
+  // hierarchical admission is that a flood of kHigh inference cannot
+  // silently stop the fleet from calibrating.
+  int starved = 0;
+  std::printf("calibration progress under flood:");
+  for (int d = 0; d < kDevices; ++d) {
+    const uint64_t done = calibration_done[static_cast<size_t>(d)].load();
+    std::printf(" ov-%d=%llu", d, static_cast<unsigned long long>(done));
+    if (done == 0) ++starved;
+  }
+  std::printf("\n");
+  const bool delivered_any = delivered.load() > 0;
+  const bool migrated = server.ShardOf("ov-0") == target_shard;
+  const bool ok = starved == 0 && delivered_any && migrated &&
+                  bystander_delivered > 0;
+  std::printf("verdict: %d starved device(s), mover %s, bystander %s -> "
+              "%s\n",
+              starved, migrated ? "relocated" : "LOST",
+              bystander_delivered > 0 ? "stayed live" : "STALLED",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -107,6 +360,7 @@ int main(int argc, char** argv) {
   const int stream_batches = 2;
 
   bool chaos = false;
+  bool overload = false;
   uint64_t chaos_seed = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -114,8 +368,11 @@ int main(int argc, char** argv) {
     if (arg.rfind(prefix, 0) == 0) {
       chaos = true;
       chaos_seed = std::strtoull(arg.c_str() + prefix.size(), nullptr, 10);
+    } else if (arg == "--overload") {
+      overload = true;
     } else {
-      std::fprintf(stderr, "unknown argument: %s (try --chaos-seed=N)\n",
+      std::fprintf(stderr,
+                   "unknown argument: %s (try --chaos-seed=N or --overload)\n",
                    arg.c_str());
       return 2;
     }
@@ -129,7 +386,7 @@ int main(int argc, char** argv) {
   // the mid-stream rebalance loses its target shard. Everything below must
   // tolerate the loss; the report at the end proves the recovery.
   std::unique_ptr<FaultInjector> injector;
-  if (chaos) {
+  if (chaos && !overload) {  // the overload drill arms its own injector
     injector = std::make_unique<FaultInjector>(chaos_seed);
     FaultScript crash;
     crash.fire_on_hit = 1;  // one-shot on the rebalance's first migration
@@ -162,6 +419,11 @@ int main(int argc, char** argv) {
   auto har_model =
       MakeOmniScaleCnn(har_spec.channels, har_spec.num_classes, &rng);
   Deployment har = Prepare(har_model.get(), har_source.train, &rng);
+  if (overload) {
+    // Overload drill replaces the full simulation: it only needs the HAR
+    // deployment, so the image cohort is never prepared.
+    return RunOverloadDrill(har, har_spec, threads, chaos, chaos_seed);
+  }
   std::printf("preparing image deployment (ResNet-tiny, 4-bit)...\n");
   auto img_model =
       MakeResNetTiny(img_spec.channels, img_spec.num_classes, &rng);

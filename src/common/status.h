@@ -24,6 +24,11 @@ enum class StatusCode {
   // A bounded resource (e.g. a serving queue) is full; retry later. The
   // load-shedding fast-fail code — callers distinguish it from hard errors.
   kResourceExhausted,
+  // The request's latency budget expired before the work ran (deadline
+  // shedding at batch-flush/exec time, serving/overload.h). Unlike
+  // kResourceExhausted the request WAS admitted — retrying is pointless
+  // unless the caller extends the budget.
+  kDeadlineExceeded,
 };
 
 // Human-readable name of a status code, e.g. "InvalidArgument".
@@ -59,6 +64,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -36,6 +36,7 @@ const char* TraceKindName(TraceKind kind) {
     case TraceKind::kDetach: return "detach";
     case TraceKind::kAttach: return "attach";
     case TraceKind::kFaultInjected: return "faultInjected";
+    case TraceKind::kDeadlineShed: return "deadlineShed";
   }
   return "unknown";
 }

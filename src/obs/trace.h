@@ -51,6 +51,8 @@ enum class TraceKind : uint8_t {
   kAttach,          // session restored on its shard (arg1 = target shard)
   kFaultInjected,   // a chaos FaultPoint fired (arg0 = interned point name,
                     // arg1 = script arg); see testing/fault_injector.h
+  kDeadlineShed,    // admitted request expired before its forward pass and
+                    // was shed with kDeadlineExceeded; terminal for the span
 };
 
 // Stable lowerCamel name, e.g. "batchFlush" — the chrome-trace event name.

@@ -12,7 +12,9 @@ namespace qcore {
 namespace {
 
 constexpr uint32_t kWhiteboardMagic = 0x44425751;  // "QWBD"
-constexpr uint32_t kWhiteboardVersion = 2;  // v2: WAL row gained torn_tails
+// v2: WAL row gained torn_tails. v3: per-reason shed breakdown
+// (queue-full / deadline / limiter) on shard and device rows.
+constexpr uint32_t kWhiteboardVersion = 3;
 
 uint64_t NowNs() {
   return static_cast<uint64_t>(
@@ -50,6 +52,9 @@ std::vector<uint8_t> EncodeShardRow(const ShardRow& row) {
   w.WriteU64(row.accepted_calibration);
   w.WriteU64(row.shed_inference);
   w.WriteU64(row.shed_calibration);
+  w.WriteU64(row.shed_queue_full);
+  w.WriteU64(row.shed_deadline);
+  w.WriteU64(row.shed_limiter);
   w.WriteU64(row.barrier_flushes);
   WriteStatus(&w, row.last_error);
   w.WriteU64(row.last_error_ns);
@@ -79,6 +84,9 @@ Result<ShardRow> DecodeShardRow(std::vector<uint8_t> payload) {
   QCORE_WB_READ(accepted_calibration, ReadU64);
   QCORE_WB_READ(shed_inference, ReadU64);
   QCORE_WB_READ(shed_calibration, ReadU64);
+  QCORE_WB_READ(shed_queue_full, ReadU64);
+  QCORE_WB_READ(shed_deadline, ReadU64);
+  QCORE_WB_READ(shed_limiter, ReadU64);
   QCORE_WB_READ(barrier_flushes, ReadU64);
   QCORE_RETURN_NOT_OK(ReadStatus(&r, &row.last_error));
   QCORE_WB_READ(last_error_ns, ReadU64);
@@ -98,6 +106,9 @@ std::vector<uint8_t> EncodeDeviceRow(const DeviceRow& row) {
   w.WriteU64(row.accepted_calibration);
   w.WriteU64(row.shed_inference);
   w.WriteU64(row.shed_calibration);
+  w.WriteU64(row.shed_queue_full);
+  w.WriteU64(row.shed_deadline);
+  w.WriteU64(row.shed_limiter);
   w.WriteU64(row.last_batch_occupancy);
   w.WriteU64(row.batches_processed);
   w.WriteU64(row.snapshot_version);
@@ -127,6 +138,9 @@ Result<DeviceRow> DecodeDeviceRow(std::vector<uint8_t> payload) {
   QCORE_WB_READ(accepted_calibration, ReadU64);
   QCORE_WB_READ(shed_inference, ReadU64);
   QCORE_WB_READ(shed_calibration, ReadU64);
+  QCORE_WB_READ(shed_queue_full, ReadU64);
+  QCORE_WB_READ(shed_deadline, ReadU64);
+  QCORE_WB_READ(shed_limiter, ReadU64);
   QCORE_WB_READ(last_batch_occupancy, ReadU64);
   QCORE_WB_READ(batches_processed, ReadU64);
   QCORE_WB_READ(snapshot_version, ReadU64);
@@ -184,6 +198,9 @@ DeviceRow Whiteboard::Device::Snapshot() const {
   row.accepted_calibration = accepted_calibration_.load(kRelaxed);
   row.shed_inference = shed_inference_.load(kRelaxed);
   row.shed_calibration = shed_calibration_.load(kRelaxed);
+  row.shed_queue_full = shed_queue_full_.load(kRelaxed);
+  row.shed_deadline = shed_deadline_.load(kRelaxed);
+  row.shed_limiter = shed_limiter_.load(kRelaxed);
   row.last_batch_occupancy = last_batch_occupancy_.load(kRelaxed);
   row.batches_processed = batches_processed_.load(kRelaxed);
   row.snapshot_version = snapshot_version_.load(kRelaxed);
@@ -221,6 +238,9 @@ ShardRow Whiteboard::Shard::Snapshot() const {
   row.accepted_calibration = accepted_calibration_.load(kRelaxed);
   row.shed_inference = shed_inference_.load(kRelaxed);
   row.shed_calibration = shed_calibration_.load(kRelaxed);
+  row.shed_queue_full = shed_queue_full_.load(kRelaxed);
+  row.shed_deadline = shed_deadline_.load(kRelaxed);
+  row.shed_limiter = shed_limiter_.load(kRelaxed);
   row.barrier_flushes = barrier_flushes_.load(kRelaxed);
   {
     std::lock_guard<std::mutex> lock(error_mu_);
@@ -295,8 +315,8 @@ WhiteboardImage Whiteboard::Read() const {
 std::string WhiteboardImage::ToTable(size_t max_devices) const {
   std::ostringstream out;
   TablePrinter shard_table({"shard", "state", "sessions", "inf_req",
-                            "cal_batches", "snapshots", "shed", "barrier",
-                            "last_error"});
+                            "cal_batches", "snapshots", "shed_q", "shed_dl",
+                            "shed_lim", "barrier", "last_error"});
   for (const ShardRow& row : shards) {
     shard_table.AddRow({std::to_string(row.shard),
                         row.retired ? "retired" : "live",
@@ -304,16 +324,18 @@ std::string WhiteboardImage::ToTable(size_t max_devices) const {
                         std::to_string(row.inference_requests),
                         std::to_string(row.calibration_batches),
                         std::to_string(row.snapshots_published),
-                        std::to_string(row.shed_inference +
-                                       row.shed_calibration),
+                        std::to_string(row.shed_queue_full),
+                        std::to_string(row.shed_deadline),
+                        std::to_string(row.shed_limiter),
                         std::to_string(row.barrier_flushes),
                         ErrorCell(row.last_error)});
   }
   out << shard_table.ToString();
 
   TablePrinter device_table({"device", "shard", "state", "warm", "q_inf",
-                             "q_cal", "acc_inf", "acc_cal", "shed", "occ",
-                             "batches", "snap_ver", "last_error"});
+                             "q_cal", "acc_inf", "acc_cal", "shed_q",
+                             "shed_dl", "shed_lim", "occ", "batches",
+                             "snap_ver", "last_error"});
   size_t shown = 0;
   for (const DeviceRow& row : devices) {
     if (max_devices > 0 && shown == max_devices) break;
@@ -326,7 +348,9 @@ std::string WhiteboardImage::ToTable(size_t max_devices) const {
          std::to_string(row.queue_calibration),
          std::to_string(row.accepted_inference),
          std::to_string(row.accepted_calibration),
-         std::to_string(row.shed_inference + row.shed_calibration),
+         std::to_string(row.shed_queue_full),
+         std::to_string(row.shed_deadline),
+         std::to_string(row.shed_limiter),
          std::to_string(row.last_batch_occupancy),
          std::to_string(row.batches_processed),
          std::to_string(row.snapshot_version), ErrorCell(row.last_error)});

@@ -52,6 +52,12 @@ struct DeviceRow {
   uint64_t accepted_calibration = 0;
   uint64_t shed_inference = 0;
   uint64_t shed_calibration = 0;
+  // Shed breakdown by reason (v3). queue_full + limiter covers every
+  // admission shed (shed_inference + shed_calibration); deadline counts
+  // admitted requests abandoned at flush/exec time, a disjoint population.
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_deadline = 0;
+  uint64_t shed_limiter = 0;
   uint64_t last_batch_occupancy = 0;  // size of the last inference group
   uint64_t batches_processed = 0;     // calibration batches consumed
   uint64_t snapshot_version = 0;      // latest version this device published
@@ -71,6 +77,10 @@ struct ShardRow {
   uint64_t accepted_calibration = 0;
   uint64_t shed_inference = 0;
   uint64_t shed_calibration = 0;
+  // Per-reason shed breakdown, same semantics as the device row's (v3).
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_deadline = 0;
+  uint64_t shed_limiter = 0;
   uint64_t barrier_flushes = 0;  // batches forced out by a barrier
   Status last_error;
   uint64_t last_error_ns = 0;
@@ -125,6 +135,9 @@ class Whiteboard {
     }
     void add_shed_inference() { shed_inference_.fetch_add(1, kRelaxed); }
     void add_shed_calibration() { shed_calibration_.fetch_add(1, kRelaxed); }
+    void add_shed_queue_full() { shed_queue_full_.fetch_add(1, kRelaxed); }
+    void add_shed_deadline() { shed_deadline_.fetch_add(1, kRelaxed); }
+    void add_shed_limiter() { shed_limiter_.fetch_add(1, kRelaxed); }
     void set_last_batch_occupancy(uint64_t n) {
       last_batch_occupancy_.store(n, kRelaxed);
     }
@@ -155,6 +168,9 @@ class Whiteboard {
     std::atomic<uint64_t> accepted_calibration_{0};
     std::atomic<uint64_t> shed_inference_{0};
     std::atomic<uint64_t> shed_calibration_{0};
+    std::atomic<uint64_t> shed_queue_full_{0};
+    std::atomic<uint64_t> shed_deadline_{0};
+    std::atomic<uint64_t> shed_limiter_{0};
     std::atomic<uint64_t> last_batch_occupancy_{0};
     std::atomic<uint64_t> batches_processed_{0};
     std::atomic<uint64_t> snapshot_version_{0};
@@ -176,6 +192,9 @@ class Whiteboard {
     }
     void add_shed_inference() { shed_inference_.fetch_add(1, kRelaxed); }
     void add_shed_calibration() { shed_calibration_.fetch_add(1, kRelaxed); }
+    void add_shed_queue_full() { shed_queue_full_.fetch_add(1, kRelaxed); }
+    void add_shed_deadline() { shed_deadline_.fetch_add(1, kRelaxed); }
+    void add_shed_limiter() { shed_limiter_.fetch_add(1, kRelaxed); }
     void add_barrier_flush() { barrier_flushes_.fetch_add(1, kRelaxed); }
     void set_retired() { retired_.store(true, kRelaxed); }
     void RecordError(const Status& status);
@@ -197,6 +216,9 @@ class Whiteboard {
     std::atomic<uint64_t> accepted_calibration_{0};
     std::atomic<uint64_t> shed_inference_{0};
     std::atomic<uint64_t> shed_calibration_{0};
+    std::atomic<uint64_t> shed_queue_full_{0};
+    std::atomic<uint64_t> shed_deadline_{0};
+    std::atomic<uint64_t> shed_limiter_{0};
     std::atomic<uint64_t> barrier_flushes_{0};
     mutable std::mutex error_mu_;
     Status last_error_;

@@ -1,11 +1,14 @@
 #include "runtime/thread_pool.h"
 
+#include "testing/fault_injector.h"
+
 namespace qcore {
 
-ThreadPool::ThreadPool(int num_threads) {
-  QCORE_CHECK(num_threads >= 0);
-  workers_.reserve(static_cast<size_t>(num_threads));
-  for (int i = 0; i < num_threads; ++i) {
+ThreadPool::ThreadPool(const ThreadPoolOptions& options)
+    : aging_us_(options.aging_us) {
+  QCORE_CHECK(options.num_threads >= 0);
+  workers_.reserve(static_cast<size_t>(options.num_threads));
+  for (int i = 0; i < options.num_threads; ++i) {
     workers_.emplace_back([this]() { WorkerLoop(); });
   }
 }
@@ -29,8 +32,11 @@ void ThreadPool::Schedule(std::function<void()> task, TaskPriority priority) {
     // Scheduling during shutdown is allowed: workers only exit once both
     // queues are empty, so tasks enqueued by in-flight tasks still drain
     // before the destructor's join returns.
-    (priority == TaskPriority::kHigh ? high_ : low_).push_back(
-        std::move(task));
+    if (priority == TaskPriority::kHigh) {
+      high_.push_back(std::move(task));
+    } else {
+      low_.push_back(LowTask{std::move(task), Clock::now()});
+    }
   }
   work_available_.notify_one();
 }
@@ -48,10 +54,31 @@ void ThreadPool::WorkerLoop() {
       std::unique_lock<std::mutex> lock(mu_);
       work_available_.wait(lock, [this]() { return shutdown_ || HasWork(); });
       if (!HasWork()) return;  // shutdown with drained queues
-      std::deque<std::function<void()>>& q = high_.empty() ? low_ : high_;
-      task = std::move(q.front());
-      q.pop_front();
+      // Dispatch policy: high first, except when the low queue's head has
+      // aged past the threshold — then it goes ahead (the anti-starvation
+      // promotion). FIFO within each queue means checking only the head is
+      // enough: it is always the oldest low task.
+      bool take_low = high_.empty();
+      if (!take_low && aging_us_ > 0 && !low_.empty()) {
+        const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - low_.front().enqueued);
+        if (static_cast<uint64_t>(waited.count()) >= aging_us_) {
+          take_low = true;
+          aged_promotions_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (take_low) {
+        task = std::move(low_.front().fn);
+        low_.pop_front();
+      } else {
+        task = std::move(high_.front());
+        high_.pop_front();
+      }
       ++active_;
+    }
+    uint64_t stall_us = 0;
+    if (MaybeFault(FaultPoint::kPoolSaturation, &stall_us)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(stall_us));
     }
     task();
     {

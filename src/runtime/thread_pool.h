@@ -1,13 +1,22 @@
 // Fixed-size work-queue thread pool: the execution substrate for the fleet
 // serving runtime. Tasks are plain std::function<void()> closures pushed
 // onto a mutex-guarded two-level FIFO (high = latency-sensitive serving
-// work, low = background work such as calibration); workers always drain
-// the high queue before touching the low one, which is what lets the
-// FleetServer keep inference latency flat while calibration backlogs grow
-// under overload. Waiting is supported two ways: per-submission futures
-// (Submit) and a whole-pool drain (WaitIdle). Note the FleetServer drains
-// via its own in-flight count, not WaitIdle — a task can be queued on a
-// session before its pump reaches the pool, which WaitIdle cannot see.
+// work, low = background work such as calibration); workers drain the high
+// queue before touching the low one, which is what lets the FleetServer
+// keep inference latency flat while calibration backlogs grow under
+// overload. Waiting is supported two ways: per-submission futures (Submit)
+// and a whole-pool drain (WaitIdle). Note the FleetServer drains via its
+// own in-flight count, not WaitIdle — a task can be queued on a session
+// before its pump reaches the pool, which WaitIdle cannot see.
+//
+// Priority aging: strict priority alone starves the low queue under a
+// sustained high load. With aging_us > 0, a low task that has waited at
+// least aging_us is promoted — the next free worker runs it even though
+// high work is queued. Promotion is checked at each dispatch (workers are
+// never idle while work is queued, so dispatch frequency bounds the extra
+// wait); aged_promotions() counts dispatches that picked an aged low task
+// OVER queued high work, the observable progress guarantee the overload
+// tests pin. aging_us == 0 restores strict priority exactly.
 //
 // num_threads == 0 is a supported degenerate mode: tasks run inline on the
 // submitting thread. That mode is what makes "per-session results are
@@ -17,6 +26,8 @@
 #ifndef QCORE_RUNTIME_THREAD_POOL_H_
 #define QCORE_RUNTIME_THREAD_POOL_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -31,16 +42,29 @@
 
 namespace qcore {
 
-// Two-level scheduling class. kHigh is strict-priority over kLow: a worker
-// never starts a low task while a high task is queued. Within a level,
-// order is FIFO. There is no preemption — a running low task finishes
-// before the worker returns to the queues.
+// Two-level scheduling class. kHigh is ahead of kLow: a worker never starts
+// a low task while a high task is queued, unless the low task has aged past
+// the pool's aging threshold (see ThreadPoolOptions::aging_us). Within a
+// level, order is FIFO. There is no preemption — a running low task
+// finishes before the worker returns to the queues.
 enum class TaskPriority { kHigh = 0, kLow = 1 };
+
+struct ThreadPoolOptions {
+  // Worker count. 0 = inline execution (no threads).
+  int num_threads = 0;
+  // Low-priority aging threshold in microseconds. A low task that has been
+  // queued at least this long is dispatched ahead of queued high work.
+  // 0 disables aging (strict priority, the historical behavior).
+  uint64_t aging_us = 0;
+};
 
 class ThreadPool {
  public:
-  // Spawns `num_threads` workers. 0 = inline execution (no threads).
-  explicit ThreadPool(int num_threads);
+  // Spawns `num_threads` workers with aging disabled. 0 = inline execution.
+  explicit ThreadPool(int num_threads)
+      : ThreadPool(ThreadPoolOptions{num_threads, 0}) {}
+
+  explicit ThreadPool(const ThreadPoolOptions& options);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -49,6 +73,7 @@ class ThreadPool {
   ~ThreadPool();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
+  uint64_t aging_us() const { return aging_us_; }
 
   // Enqueues a task. Never blocks (unbounded queues); with 0 workers the
   // task runs before Schedule returns.
@@ -70,7 +95,21 @@ class ThreadPool {
   // schedule further tasks; WaitIdle waits for those too.
   void WaitIdle();
 
+  // Dispatches where an aged low task jumped ahead of queued high work.
+  // Stays 0 with aging disabled, and whenever the high queue was empty
+  // anyway (ordinary low dispatch, no priority inverted).
+  uint64_t aged_promotions() const {
+    return aged_promotions_.load(std::memory_order_relaxed);
+  }
+
  private:
+  using Clock = std::chrono::steady_clock;
+
+  struct LowTask {
+    std::function<void()> fn;
+    Clock::time_point enqueued;
+  };
+
   void WorkerLoop();
   bool HasWork() const { return !high_.empty() || !low_.empty(); }
 
@@ -78,8 +117,10 @@ class ThreadPool {
   std::condition_variable work_available_;
   std::condition_variable idle_;
   std::deque<std::function<void()>> high_;
-  std::deque<std::function<void()>> low_;
+  std::deque<LowTask> low_;
   std::vector<std::thread> workers_;
+  uint64_t aging_us_ = 0;
+  std::atomic<uint64_t> aged_promotions_{0};
   int active_ = 0;       // tasks being executed right now
   bool shutdown_ = false;
 };

@@ -34,6 +34,17 @@
 
 namespace qcore {
 
+// Per-submission overload-control knobs (serving/overload.h has the plane's
+// full semantics).
+struct InferenceSubmitOptions {
+  // Latency budget in microseconds, measured from submission. 0 (default)
+  // = no deadline. A request whose budget expires while parked in the
+  // batcher or the session FIFO is shed with kDeadlineExceeded — its
+  // future resolves to an InferenceResult whose `status` carries the code
+  // and whose predictions are empty; it never reaches a forward pass.
+  double latency_budget_us = 0.0;
+};
+
 class FleetBackend {
  public:
   virtual ~FleetBackend() = default;
@@ -46,10 +57,21 @@ class FleetBackend {
   virtual int num_sessions() const = 0;
 
   // Admission-controlled async quantized inference on the device's current
-  // model. Sheds with kResourceExhausted when a queue bound is hit (never
-  // blocks, never deadlocks — the overload fast-fail).
+  // model. Sheds with kResourceExhausted when an admission bound is hit at
+  // any level of the session/shard/fleet tree (never blocks, never
+  // deadlocks — the overload fast-fail). `opts` carries the per-request
+  // latency budget; a budget that expires post-admission resolves the
+  // future with a kDeadlineExceeded result instead.
   virtual Result<std::future<InferenceResult>> TrySubmitInference(
-      const std::string& device_id, Tensor x) = 0;
+      const std::string& device_id, Tensor x,
+      const InferenceSubmitOptions& opts) = 0;
+
+  // Budget-less convenience form (the historical two-argument API).
+  Result<std::future<InferenceResult>> TrySubmitInference(
+      const std::string& device_id, Tensor x) {
+    return TrySubmitInference(device_id, std::move(x),
+                              InferenceSubmitOptions{});
+  }
 
   // Admission-controlled async continual-calibration step on one stream
   // batch; the test slice is evaluated after calibration. Sheds like

@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
 #include "common/stopwatch.h"
 #include "tensor/tensor.h"
 
@@ -48,6 +49,11 @@ struct InferenceResult {
   // The request's trace span (obs/trace.h) — callers correlate this result
   // with its submit→batch→flush→complete timeline in the TraceRing.
   uint64_t trace_span = 0;
+  // OK for a delivered prediction; kDeadlineExceeded when the request's
+  // latency budget expired before execution (predictions then empty). The
+  // future-based API has no error channel of its own, so deadline sheds —
+  // which strike after admission already succeeded — report here.
+  Status status;
 };
 
 struct InferenceBatcherOptions {
@@ -70,6 +76,11 @@ struct PendingInference {
   // Trace span allocated at submission; rides along so the flush sink can
   // link the request into its group's exec events.
   uint64_t span = 0;
+  // Absolute deadline from the submission's latency budget; max() = none.
+  // The batcher itself never inspects it — the flush sink (FleetServer)
+  // re-checks it at flush and at exec start, shedding expired members.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 class InferenceBatcher {

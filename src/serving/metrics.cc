@@ -260,6 +260,9 @@ void ServingMetrics::MergeFrom(const ServingMetrics& other) {
   add(accepted_calibration_, other.accepted_calibration_);
   add(shed_inference_, other.shed_inference_);
   add(shed_calibration_, other.shed_calibration_);
+  add(shed_queue_full_, other.shed_queue_full_);
+  add(shed_deadline_, other.shed_deadline_);
+  add(shed_limiter_, other.shed_limiter_);
   add(barrier_flushes_, other.barrier_flushes_);
 }
 
@@ -279,6 +282,9 @@ void ServingMetrics::Reset() {
   accepted_calibration_.store(0, std::memory_order_relaxed);
   shed_inference_.store(0, std::memory_order_relaxed);
   shed_calibration_.store(0, std::memory_order_relaxed);
+  shed_queue_full_.store(0, std::memory_order_relaxed);
+  shed_deadline_.store(0, std::memory_order_relaxed);
+  shed_limiter_.store(0, std::memory_order_relaxed);
   barrier_flushes_.store(0, std::memory_order_relaxed);
 }
 
@@ -322,6 +328,13 @@ std::string ServingMetrics::Report() const {
       queue_depth_.Summary().c_str(),
       static_cast<unsigned long long>(shed_inference()),
       static_cast<unsigned long long>(shed_calibration()));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "shed-by-reason: queue_full=%llu deadline=%llu limiter=%llu\n",
+      static_cast<unsigned long long>(shed_queue_full()),
+      static_cast<unsigned long long>(shed_deadline()),
+      static_cast<unsigned long long>(shed_limiter()));
   out += buf;
   return out;
 }

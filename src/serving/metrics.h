@@ -141,6 +141,22 @@ class ServingMetrics {
   void AddShedCalibration() {
     shed_calibration_.fetch_add(1, std::memory_order_relaxed);
   }
+  // Shed-reason breakdown. The per-class counters above split admission
+  // sheds by class; these split every shed by WHY. Invariants the overload
+  // tests reconcile exactly:
+  //   shed_inference + shed_calibration == shed_queue_full + shed_limiter
+  //   accepted_inference == inference_requests + shed_deadline
+  // (deadline sheds happen AFTER admission, so they are disjoint from the
+  // admission sheds and never appear in the per-class counters).
+  void AddShedQueueFull() {
+    shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddShedDeadline() {
+    shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddShedLimiter() {
+    shed_limiter_.fetch_add(1, std::memory_order_relaxed);
+  }
   // A model-mutating submission (calibration, snapshot, quiesce) forced a
   // pending batched inference group out before it hit its size or deadline
   // trigger. High rates mean the workload's mutation cadence is defeating
@@ -162,6 +178,9 @@ class ServingMetrics {
   }
   uint64_t shed_inference() const { return shed_inference_.load(); }
   uint64_t shed_calibration() const { return shed_calibration_.load(); }
+  uint64_t shed_queue_full() const { return shed_queue_full_.load(); }
+  uint64_t shed_deadline() const { return shed_deadline_.load(); }
+  uint64_t shed_limiter() const { return shed_limiter_.load(); }
   uint64_t barrier_flushes() const { return barrier_flushes_.load(); }
 
   // Mean of all recorded per-batch accuracies; 0 if none.
@@ -195,6 +214,9 @@ class ServingMetrics {
   std::atomic<uint64_t> accepted_calibration_{0};
   std::atomic<uint64_t> shed_inference_{0};
   std::atomic<uint64_t> shed_calibration_{0};
+  std::atomic<uint64_t> shed_queue_full_{0};
+  std::atomic<uint64_t> shed_deadline_{0};
+  std::atomic<uint64_t> shed_limiter_{0};
   std::atomic<uint64_t> barrier_flushes_{0};
 };
 

@@ -16,6 +16,7 @@ ShardedFleetServer::ShardedFleetServer(const QuantizedModel& base_model,
     : base_model_(base_model),
       base_bf_(base_bf),
       options_(std::move(options)),
+      limiter_(AdmissionCaps{options_.max_queue_per_fleet, 0, 0}),
       snapshots_(shared_registry != nullptr ? shared_registry
                                             : &owned_snapshots_),
       ring_(options_.num_shards, options_.vnodes_per_shard) {
@@ -34,7 +35,7 @@ ShardedFleetServer::~ShardedFleetServer() {
 std::unique_ptr<FleetServer> ShardedFleetServer::MakeShard(int index) {
   return std::make_unique<FleetServer>(base_model_, base_bf_, options_.shard,
                                        snapshots_, &rollup_, &whiteboard_,
-                                       index);
+                                       index, &limiter_);
 }
 
 int ShardedFleetServer::ShardIndexFor(const std::string& device_id) const {
@@ -46,11 +47,14 @@ int ShardedFleetServer::ShardIndexFor(const std::string& device_id) const {
 
 void ShardedFleetServer::RegisterDevice(const std::string& device_id,
                                         Dataset qcore) {
-  // Control-plane, like migration: the clone-heavy session construction
-  // runs under the exclusive routing lock so registration can never race a
-  // Rebalance (a session on a shard the map does not know about — or vice
-  // versa — would break retirement's empty-shard invariant). Fleets
-  // register devices up front or at device-arrival rate, not per request.
+  // Control-plane, like migration: control_mu_ keeps registration from
+  // landing a session on a shard a concurrent Rebalance is about to
+  // retire, and the clone-heavy session construction runs under the
+  // exclusive routing lock (a session on a shard the map does not know
+  // about — or vice versa — would break retirement's empty-shard
+  // invariant). Fleets register devices up front or at device-arrival
+  // rate, not per request.
+  std::lock_guard<std::mutex> control(control_mu_);
   std::unique_lock<std::shared_mutex> lock(route_mu_);
   QCORE_CHECK_MSG(device_shard_.count(device_id) == 0,
                   ("device registered twice: " + device_id).c_str());
@@ -71,25 +75,25 @@ int ShardedFleetServer::num_sessions() const {
 }
 
 Result<std::future<InferenceResult>> ShardedFleetServer::TrySubmitInference(
-    const std::string& device_id, Tensor x) {
-  std::shared_lock<std::shared_mutex> lock(route_mu_);
-  return shards_[static_cast<size_t>(ShardIndexFor(device_id))]
-      ->TrySubmitInference(device_id, std::move(x));
+    const std::string& device_id, Tensor x, const InferenceSubmitOptions& opts) {
+  return WithRoutedShard(device_id, [&](FleetServer& shard) {
+    return shard.TrySubmitInference(device_id, std::move(x), opts);
+  });
 }
 
 Result<std::future<BatchStats>> ShardedFleetServer::TrySubmitCalibration(
     const std::string& device_id, Dataset batch, Dataset test_slice) {
-  std::shared_lock<std::shared_mutex> lock(route_mu_);
-  return shards_[static_cast<size_t>(ShardIndexFor(device_id))]
-      ->TrySubmitCalibration(device_id, std::move(batch),
-                             std::move(test_slice));
+  return WithRoutedShard(device_id, [&](FleetServer& shard) {
+    return shard.TrySubmitCalibration(device_id, std::move(batch),
+                                      std::move(test_slice));
+  });
 }
 
 std::future<uint64_t> ShardedFleetServer::PublishSnapshot(
     const std::string& device_id) {
-  std::shared_lock<std::shared_mutex> lock(route_mu_);
-  return shards_[static_cast<size_t>(ShardIndexFor(device_id))]
-      ->PublishSnapshot(device_id);
+  return WithRoutedShard(device_id, [&](FleetServer& shard) {
+    return shard.PublishSnapshot(device_id);
+  });
 }
 
 void ShardedFleetServer::Drain() {
@@ -103,9 +107,9 @@ void ShardedFleetServer::Drain() {
 void ShardedFleetServer::WithSessionQuiesced(
     const std::string& device_id,
     const std::function<void(CalibrationSession&)>& fn) {
-  std::shared_lock<std::shared_mutex> lock(route_mu_);
-  shards_[static_cast<size_t>(ShardIndexFor(device_id))]->WithSessionQuiesced(
-      device_id, fn);
+  WithRoutedShard(device_id, [&](FleetServer& shard) {
+    shard.WithSessionQuiesced(device_id, fn);
+  });
 }
 
 // The rollup is write-through (shards record into it directly), so both
@@ -116,29 +120,58 @@ const ServingMetrics& ShardedFleetServer::metrics() const { return rollup_; }
 
 uint64_t ShardedFleetServer::MoveDevice(const std::string& device_id,
                                         int target_shard) {
-  std::unique_lock<std::shared_mutex> lock(route_mu_);
-  QCORE_CHECK(target_shard >= 0 &&
-              target_shard < static_cast<int>(shards_.size()));
-  const int source = ShardIndexFor(device_id);
-  // An explicit move is an operator decision; record it as a persistent
-  // placement override so Rebalance keeps honoring it.
-  pinned_[device_id] = target_shard;
+  // Phase numbering follows the protocol in the file comment.
+  std::lock_guard<std::mutex> control(control_mu_);
+  int source;
+  {
+    // Phase 2 — brief exclusive: validate, record the persistent placement
+    // pin (an explicit move is an operator decision Rebalance keeps
+    // honoring), and mark the device migrating. The exclusive acquisition
+    // itself flushes every in-flight shared-lock submission.
+    std::unique_lock<std::shared_mutex> lock(route_mu_);
+    QCORE_CHECK(target_shard >= 0 &&
+                target_shard < static_cast<int>(shards_.size()));
+    source = ShardIndexFor(device_id);
+    pinned_[device_id] = target_shard;
+    std::lock_guard<std::mutex> mig(migration_mu_);
+    migrating_.insert(device_id);
+  }
+  uint64_t version = 0;
+  bool session_lost = false;
   if (source == target_shard) {
     // Degenerate move: still publish the barrier (callers rely on getting a
-    // version back), but skip the detach/attach.
-    return shards_[static_cast<size_t>(source)]
-        ->PublishSnapshot(device_id)
-        .get();
-  }
-  const MigrationOutcome outcome =
-      MigrateLocked(device_id, source, target_shard);
-  if (outcome.session_lost) {
-    device_shard_.erase(device_id);
-    pinned_.erase(device_id);
+    // version back), but skip the detach/attach. Runs under the shared lock
+    // like any submission; control_mu_ keeps shards_ stable.
+    std::shared_lock<std::shared_mutex> lock(route_mu_);
+    version =
+        shards_[static_cast<size_t>(source)]->PublishSnapshot(device_id).get();
   } else {
-    device_shard_[device_id] = target_shard;
+    // Phase 3 — the expensive drain + handoff, under the SHARED lock:
+    // unrelated devices keep submitting throughout.
+    std::shared_lock<std::shared_mutex> lock(route_mu_);
+    const MigrationOutcome outcome =
+        MigratePinned(device_id, source, target_shard);
+    version = outcome.barrier_version;
+    session_lost = outcome.session_lost;
   }
-  return outcome.barrier_version;
+  {
+    // Phase 4 — brief exclusive: publish the new placement.
+    std::unique_lock<std::shared_mutex> lock(route_mu_);
+    if (session_lost) {
+      device_shard_.erase(device_id);
+      pinned_.erase(device_id);
+    } else if (source != target_shard) {
+      device_shard_[device_id] = target_shard;
+    }
+  }
+  {
+    // Unpin and wake the device's parked submissions; they re-route to the
+    // new shard (or fail FindSession's check if the session was lost).
+    std::lock_guard<std::mutex> mig(migration_mu_);
+    migrating_.erase(device_id);
+  }
+  migration_cv_.notify_all();
+  return version;
 }
 
 void ShardedFleetServer::ClearPin(const std::string& device_id) {
@@ -146,7 +179,7 @@ void ShardedFleetServer::ClearPin(const std::string& device_id) {
   pinned_.erase(device_id);
 }
 
-ShardedFleetServer::MigrationOutcome ShardedFleetServer::MigrateLocked(
+ShardedFleetServer::MigrationOutcome ShardedFleetServer::MigratePinned(
     const std::string& device_id, int source, int target) {
   SessionHandoff handoff =
       shards_[static_cast<size_t>(source)]->DetachSession(device_id);
@@ -172,58 +205,87 @@ ShardedFleetServer::MigrationOutcome ShardedFleetServer::MigrateLocked(
 }
 
 void ShardedFleetServer::Rebalance(int new_shard_count) {
-  std::unique_lock<std::shared_mutex> lock(route_mu_);
+  std::lock_guard<std::mutex> control(control_mu_);
   QCORE_CHECK_GT(new_shard_count, 0);
   HashRing new_ring(new_shard_count, options_.vnodes_per_shard);
-  while (static_cast<int>(shards_.size()) < new_shard_count) {
-    shards_.push_back(MakeShard(static_cast<int>(shards_.size())));
-  }
-  // Migrate exactly the devices whose placement changed: a pin from
-  // MoveDevice overrides the ring, unless its target shard is being
-  // retired by this shrink — then the pin is dropped and the device
-  // rehomes by ring position. The moves are collected first, then
-  // executed: a crash-faulted migration erases its device from
-  // device_shard_, which must not invalidate a live iterator. Collection
-  // is map order (deterministic), so barrier-snapshot versions are too.
   struct PlannedMove {
     std::string device_id;
     int source;
     int target;
   };
   std::vector<PlannedMove> moves;
-  for (const auto& [device_id, shard] : device_shard_) {
-    int target;
-    auto pin = pinned_.find(device_id);
-    if (pin != pinned_.end() && pin->second < new_shard_count) {
-      target = pin->second;
-    } else {
-      if (pin != pinned_.end()) pinned_.erase(pin);
-      target = new_ring.ShardFor(device_id);
+  {
+    // Brief exclusive: grow the shard vector, plan the moves, and pin
+    // every mover at once — the pin set makes their submissions park for
+    // the duration while everyone else keeps flowing.
+    //
+    // Placement: a pin from MoveDevice overrides the ring, unless its
+    // target shard is being retired by this shrink — then the pin is
+    // dropped and the device rehomes by ring position. The moves are
+    // collected first, then executed: a crash-faulted migration erases its
+    // device from device_shard_, which must not invalidate a live
+    // iterator. Collection is map order (deterministic), so
+    // barrier-snapshot versions are too.
+    std::unique_lock<std::shared_mutex> lock(route_mu_);
+    while (static_cast<int>(shards_.size()) < new_shard_count) {
+      shards_.push_back(MakeShard(static_cast<int>(shards_.size())));
     }
-    if (target != shard) moves.push_back({device_id, shard, target});
+    for (const auto& [device_id, shard] : device_shard_) {
+      int target;
+      auto pin = pinned_.find(device_id);
+      if (pin != pinned_.end() && pin->second < new_shard_count) {
+        target = pin->second;
+      } else {
+        if (pin != pinned_.end()) pinned_.erase(pin);
+        target = new_ring.ShardFor(device_id);
+      }
+      if (target != shard) moves.push_back({device_id, shard, target});
+    }
+    std::lock_guard<std::mutex> mig(migration_mu_);
+    for (const PlannedMove& m : moves) migrating_.insert(m.device_id);
   }
+  // Per mover: long drain + handoff under the shared lock, brief exclusive
+  // map update, then unpin immediately — a device parked behind the first
+  // move does not also wait out the rest of the plan.
   for (const PlannedMove& move : moves) {
-    const MigrationOutcome outcome =
-        MigrateLocked(move.device_id, move.source, move.target);
-    if (outcome.session_lost) {
-      device_shard_.erase(move.device_id);
-      pinned_.erase(move.device_id);
-    } else {
-      device_shard_[move.device_id] = move.target;
+    MigrationOutcome outcome;
+    {
+      std::shared_lock<std::shared_mutex> lock(route_mu_);
+      outcome = MigratePinned(move.device_id, move.source, move.target);
     }
+    {
+      std::unique_lock<std::shared_mutex> lock(route_mu_);
+      if (outcome.session_lost) {
+        device_shard_.erase(move.device_id);
+        pinned_.erase(move.device_id);
+      } else {
+        device_shard_[move.device_id] = move.target;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> mig(migration_mu_);
+      migrating_.erase(move.device_id);
+    }
+    migration_cv_.notify_all();
   }
-  // Retire surplus shards: every session has been migrated off; drain any
-  // straggling control work, then destroy. Their events already live in
-  // the write-through rollup, so fleet totals never regress.
-  while (static_cast<int>(shards_.size()) > new_shard_count) {
-    FleetServer* shard = shards_.back().get();
-    QCORE_CHECK_MSG(shard->num_sessions() == 0,
-                    "Rebalance: retiring a shard that still owns sessions");
-    shard->Drain();
-    shards_.pop_back();
+  {
+    // Final exclusive: retire surplus shards — every session has been
+    // migrated off, the updated map routes nothing at them, and the
+    // exclusive acquisition has flushed any shared-lock caller still
+    // touching one. Drain straggling control work, then destroy; their
+    // events already live in the write-through rollup, so fleet totals
+    // never regress.
+    std::unique_lock<std::shared_mutex> lock(route_mu_);
+    while (static_cast<int>(shards_.size()) > new_shard_count) {
+      FleetServer* shard = shards_.back().get();
+      QCORE_CHECK_MSG(shard->num_sessions() == 0,
+                      "Rebalance: retiring a shard that still owns sessions");
+      shard->Drain();
+      shards_.pop_back();
+    }
+    ring_ = std::move(new_ring);
+    options_.num_shards = new_shard_count;
   }
-  ring_ = std::move(new_ring);
-  options_.num_shards = new_shard_count;
 }
 
 int ShardedFleetServer::num_shards() const {

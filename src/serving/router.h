@@ -19,33 +19,52 @@
 //     reset anywhere) and totals trivially survive shard retirement.
 //     Per-shard views stay available through shard_metrics().
 //
-// Live rebalancing (MoveDevice / Rebalance): under the exclusive routing
-// lock the source shard publishes a barrier snapshot for the device
-// (flushing its pending batched inference group first, then waiting out
-// its queue), serializes the session's continuation state, and drops the
-// session; the target shard restores the session from that registry
-// version plus the continuation. Submissions after the lock releases route
-// to the new shard. Because the barrier runs in the device's submission
-// order and the restored session resumes the exact model codes, QCore, and
-// Rng position, the device's subsequent results are provably bit-identical
-// to never having moved (pinned by tests/sharding_test.cc). Note the cost:
-// while a migration waits out the moving device's queued backlog, the
-// exclusive lock holds ALL new submissions (in-flight shard work keeps
-// running) — rebalancing is a control-plane pause, sized by the deepest
-// moving queue. A per-device migration pin that keeps unrelated devices
-// admitting is the known follow-up (ROADMAP).
+// Live rebalancing (MoveDevice / Rebalance): the source shard publishes a
+// barrier snapshot for the device (flushing its pending batched inference
+// group first, then waiting out its queue), serializes the session's
+// continuation state, and drops the session; the target shard restores the
+// session from that registry version plus the continuation. Because the
+// barrier runs in the device's submission order and the restored session
+// resumes the exact model codes, QCore, and Rng position, the device's
+// subsequent results are provably bit-identical to never having moved
+// (pinned by tests/sharding_test.cc).
+//
+// Migration is NON-BLOCKING for unrelated devices. The protocol:
+//   1. control_mu_ serializes the control plane (one migration, rebalance,
+//      or registration at a time).
+//   2. A brief EXCLUSIVE routing-lock acquisition records the device in
+//      migrating_ — the acquisition itself is the barrier that flushes
+//      every in-flight shared-lock submission, so no thread can be
+//      mid-route to the source shard once it returns.
+//   3. The expensive part — draining the mover's queued backlog and the
+//      detach/attach handoff — runs under the SHARED routing lock:
+//      submissions for every other device proceed concurrently.
+//      Submissions for the migrating device park on a condition variable
+//      (WithRoutedShard) and re-route when the pin clears.
+//   4. A second brief exclusive acquisition updates the routing map, then
+//      the pin is dropped and parked submitters wake.
+// Lock order: control_mu_ -> route_mu_ -> migration_mu_.
+//
+// Overload plane: the router owns the fleet-level admission root
+// (serving/overload.h); every shard hangs its shard node under it, so a
+// fleet-wide queue bound (max_queue_per_fleet) applies across shards on
+// top of the per-shard and per-session bounds.
 #ifndef QCORE_SERVING_ROUTER_H_
 #define QCORE_SERVING_ROUTER_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "serving/backend.h"
 #include "serving/hash_ring.h"
+#include "serving/overload.h"
 #include "serving/server.h"
 
 namespace qcore {
@@ -60,6 +79,10 @@ struct ShardedFleetServerOptions {
   // seeds depend on the device id only, so placement never affects
   // results).
   FleetServerOptions shard;
+  // Fleet-level admission bound: total outstanding tasks across ALL shards
+  // (the root of the admission tree). 0 = unbounded. Refusals at this level
+  // shed with "admission refused at fleet level".
+  int max_queue_per_fleet = 0;
 };
 
 class ShardedFleetServer : public FleetBackend {
@@ -86,8 +109,10 @@ class ShardedFleetServer : public FleetBackend {
   void RegisterDevice(const std::string& device_id, Dataset qcore) override;
   bool HasDevice(const std::string& device_id) const override;
   int num_sessions() const override;
+  using FleetBackend::TrySubmitInference;
   Result<std::future<InferenceResult>> TrySubmitInference(
-      const std::string& device_id, Tensor x) override;
+      const std::string& device_id, Tensor x,
+      const InferenceSubmitOptions& opts) override;
   Result<std::future<BatchStats>> TrySubmitCalibration(
       const std::string& device_id, Dataset batch,
       Dataset test_slice) override;
@@ -154,14 +179,46 @@ class ShardedFleetServer : public FleetBackend {
   };
 
   std::unique_ptr<FleetServer> MakeShard(int index);
-  // Caller holds route_mu_ exclusive.
-  MigrationOutcome MigrateLocked(const std::string& device_id, int source,
+  // One barrier-snapshot handoff. Caller holds route_mu_ SHARED plus the
+  // device's migration pin (its submissions are parked), with control_mu_
+  // serializing against other control-plane work — the detach/attach only
+  // touches shard-internal state, so the shared lock suffices.
+  MigrationOutcome MigratePinned(const std::string& device_id, int source,
                                  int target);
   int ShardIndexFor(const std::string& device_id) const;  // shared lock held
+
+  // Routes `device_id` and runs `fn(shard)` under the shared routing lock.
+  // If the device is mid-migration, parks (without any lock that would
+  // stall other devices) until the pin clears, then re-routes — the
+  // non-blocking-migration contract: callers never observe a half-moved
+  // device, and never block behind another device's migration.
+  template <typename Fn>
+  auto WithRoutedShard(const std::string& device_id, Fn&& fn)
+      -> decltype(fn(std::declval<FleetServer&>())) {
+    for (;;) {
+      std::shared_lock<std::shared_mutex> lock(route_mu_);
+      const int shard = ShardIndexFor(device_id);
+      {
+        std::unique_lock<std::mutex> mig(migration_mu_);
+        if (migrating_.count(device_id) > 0) {
+          lock.unlock();  // park without holding up the routing plane
+          migration_cv_.wait(
+              mig, [&] { return migrating_.count(device_id) == 0; });
+          continue;  // re-route: the map may now point elsewhere
+        }
+      }
+      return fn(*shards_[static_cast<size_t>(shard)]);
+    }
+  }
 
   const QuantizedModel& base_model_;
   const BitFlipNet& base_bf_;
   ShardedFleetServerOptions options_;
+
+  // Root of the fleet admission tree; every shard's node hangs under its
+  // fleet() root. Declared before shards_ so the nodes outlive the shards
+  // that hold pointers into them.
+  AdmissionLimiter limiter_;
 
   // Federated across shards; declared before shards_ so they outlive them.
   // Used unless the constructor received an external (e.g. durable)
@@ -177,9 +234,22 @@ class ShardedFleetServer : public FleetBackend {
   // retiring shard's destructor still flags its row retired).
   Whiteboard whiteboard_;
 
-  // Guards ring_/shards_/device_shard_. Shared: submissions, queries.
-  // Exclusive: registration, MoveDevice, Rebalance.
+  // Serializes the control plane: MoveDevice, Rebalance, RegisterDevice.
+  // Always taken before route_mu_ (see the file-comment lock order).
+  std::mutex control_mu_;
+
+  // Guards ring_/shards_/device_shard_/pinned_. Shared: submissions,
+  // queries, and the long drain phase of a migration. Exclusive: only the
+  // brief pin-insert and map-update phases, plus registration and shard
+  // retirement.
   mutable std::shared_mutex route_mu_;
+
+  // The migration pin set: devices currently mid-handoff. Guarded by
+  // migration_mu_ (taken after route_mu_ when both are held); parked
+  // submitters wait on migration_cv_ in WithRoutedShard.
+  mutable std::mutex migration_mu_;
+  std::condition_variable migration_cv_;
+  std::set<std::string> migrating_;
   HashRing ring_;
   std::vector<std::unique_ptr<FleetServer>> shards_;
   std::map<std::string, int> device_shard_;

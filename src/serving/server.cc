@@ -34,7 +34,8 @@ FleetServer::FleetServer(const QuantizedModel& base_model,
                          FleetServerOptions options,
                          SnapshotRegistry* shared_registry,
                          ServingMetrics* rollup_metrics,
-                         Whiteboard* shared_whiteboard, int shard_index)
+                         Whiteboard* shared_whiteboard, int shard_index,
+                         AdmissionLimiter* shared_limiter)
     : base_model_(base_model),
       base_bf_(base_bf),
       options_(std::move(options)),
@@ -45,7 +46,18 @@ FleetServer::FleetServer(const QuantizedModel& base_model,
                                                : &owned_whiteboard_),
       wb_shard_(whiteboard_->RegisterShard(shard_index)),
       shard_index_(shard_index),
-      pool_(options_.num_threads) {
+      // Standalone servers own a limiter with an unbounded fleet root, so
+      // only the shard and session caps bite; behind a router the shared
+      // tree adds the fleet-wide cap on top.
+      owned_limiter_(shared_limiter == nullptr
+                         ? std::make_unique<AdmissionLimiter>(AdmissionCaps{})
+                         : nullptr),
+      limiter_(shared_limiter != nullptr ? shared_limiter
+                                         : owned_limiter_.get()),
+      shard_node_(limiter_->AddShard(
+          AdmissionCaps{options_.max_queue_per_shard, 0, 0})),
+      pool_(ThreadPoolOptions{options_.num_threads,
+                              options_.calibration_aging_us}) {
   // The WAL row reflects whatever store backs the registry (all zeros over
   // a memory store). With a shared whiteboard every shard installs an
   // equivalent provider over the same shared registry — last one wins,
@@ -105,6 +117,11 @@ void FleetServer::RegisterDevice(const std::string& device_id,
   state->wb = whiteboard_->UpsertDevice(device_id, shard_index_, origin);
   state->wb->set_warm_start(origin);  // re-registration re-derives origin
   state->trace_name = TraceRing::Global().Intern(device_id);
+  state->admission = limiter_->AddSession(
+      shard_node_,
+      AdmissionCaps{options_.max_queue_per_session,
+                    options_.max_inference_queue_per_session,
+                    options_.max_calibration_queue_per_session});
   std::lock_guard<std::mutex> lock(sessions_mu_);
   const bool inserted =
       sessions_.emplace(device_id, std::move(state)).second;
@@ -179,35 +196,36 @@ void FleetServer::WithSessionQuiesced(
 Status FleetServer::AdmitTask(SessionState* state,
                               const std::string& device_id, bool is_inference,
                               uint64_t span) {
-  std::atomic<int>& class_depth =
-      is_inference ? state->depth_inference : state->depth_calibration;
-  const int class_bound = is_inference
-                              ? options_.max_inference_queue_per_session
-                              : options_.max_calibration_queue_per_session;
-  // The shared gauge is reserved first and strictly (single fetch_add), so
-  // the recorded queue-depth samples can never exceed a configured shared
-  // bound; the class gauge is reserved second and undone on either shed.
-  const int depth = state->depth.fetch_add(1, std::memory_order_relaxed) + 1;
-  const int class_depth_now =
-      class_depth.fetch_add(1, std::memory_order_relaxed) + 1;
-  const bool shed = (options_.max_queue_per_session > 0 &&
-                     depth > options_.max_queue_per_session) ||
-                    (class_bound > 0 && class_depth_now > class_bound);
-  if (shed) {
-    class_depth.fetch_sub(1, std::memory_order_relaxed);
-    state->depth.fetch_sub(1, std::memory_order_relaxed);
-    RecordMetrics([is_inference](ServingMetrics& m) {
+  const AdmissionLevel refused =
+      limiter_->TryAcquire(state->admission, is_inference);
+  if (refused != AdmissionLevel::kNone) {
+    const bool session_level = refused == AdmissionLevel::kSession;
+    RecordMetrics([is_inference, session_level](ServingMetrics& m) {
       if (is_inference) {
         m.AddShedInference();
       } else {
         m.AddShedCalibration();
       }
+      // Reason split: a session refusal is the historical queue-full shed;
+      // shard/fleet refusals are limiter sheds.
+      if (session_level) {
+        m.AddShedQueueFull();
+      } else {
+        m.AddShedLimiter();
+      }
     });
     // The concrete status lands on both whiteboard rows (the last-error
     // plumbing the counters used to swallow) before the caller sees it.
-    Status status = Status::ResourceExhausted(
-        std::string(is_inference ? "inference" : "calibration") +
-        " queue full for device " + device_id);
+    // The session-level message keeps its historical wording.
+    Status status =
+        session_level
+            ? Status::ResourceExhausted(
+                  std::string(is_inference ? "inference" : "calibration") +
+                  " queue full for device " + device_id)
+            : Status::ResourceExhausted(
+                  std::string("admission refused at ") +
+                  AdmissionLevelName(refused) + " level for device " +
+                  device_id);
     state->wb->RecordError(status);
     if (is_inference) {
       state->wb->add_shed_inference();
@@ -216,10 +234,18 @@ Status FleetServer::AdmitTask(SessionState* state,
       state->wb->add_shed_calibration();
       wb_shard_->add_shed_calibration();
     }
+    if (session_level) {
+      state->wb->add_shed_queue_full();
+      wb_shard_->add_shed_queue_full();
+    } else {
+      state->wb->add_shed_limiter();
+      wb_shard_->add_shed_limiter();
+    }
     wb_shard_->RecordError(status);
     TraceRing::Global().Record(TraceKind::kShed, span, state->trace_name);
     return status;
   }
+  const int depth = state->admission->total_depth();
   RecordMetrics([is_inference, depth](ServingMetrics& m) {
     if (is_inference) {
       m.AddAcceptedInference();
@@ -236,34 +262,53 @@ Status FleetServer::AdmitTask(SessionState* state,
     wb_shard_->add_accepted_calibration();
   }
   state->wb->set_queue_depths(
-      static_cast<uint64_t>(
-          state->depth_inference.load(std::memory_order_relaxed)),
-      static_cast<uint64_t>(
-          state->depth_calibration.load(std::memory_order_relaxed)));
+      static_cast<uint64_t>(state->admission->inference_depth()),
+      static_cast<uint64_t>(state->admission->calibration_depth()));
   return Status::OK();
 }
 
 void FleetServer::ReleaseTask(SessionState* state, bool is_inference,
                               int count) {
-  std::atomic<int>& class_depth =
-      is_inference ? state->depth_inference : state->depth_calibration;
-  class_depth.fetch_sub(count, std::memory_order_relaxed);
-  state->depth.fetch_sub(count, std::memory_order_relaxed);
+  for (int i = 0; i < count; ++i) {
+    limiter_->Release(state->admission, is_inference);
+  }
   state->wb->set_queue_depths(
-      static_cast<uint64_t>(
-          state->depth_inference.load(std::memory_order_relaxed)),
-      static_cast<uint64_t>(
-          state->depth_calibration.load(std::memory_order_relaxed)));
+      static_cast<uint64_t>(state->admission->inference_depth()),
+      static_cast<uint64_t>(state->admission->calibration_depth()));
+}
+
+void FleetServer::ShedDeadline(
+    SessionState* state, uint64_t span,
+    const std::shared_ptr<std::promise<InferenceResult>>& promise,
+    double elapsed_seconds) {
+  InferenceResult r;
+  r.latency_seconds = elapsed_seconds;
+  r.trace_span = span;
+  r.status = Status::DeadlineExceeded(
+      "latency budget expired before execution");
+  RecordMetrics([](ServingMetrics& m) { m.AddShedDeadline(); });
+  state->wb->add_shed_deadline();
+  wb_shard_->add_shed_deadline();
+  state->wb->RecordError(r.status);
+  wb_shard_->RecordError(r.status);
+  TraceRing::Global().Record(TraceKind::kDeadlineShed, span,
+                             state->trace_name);
+  promise->set_value(std::move(r));
+  ReleaseTask(state, /*is_inference=*/true, 1);
 }
 
 Result<std::future<InferenceResult>> FleetServer::TrySubmitInference(
-    const std::string& device_id, Tensor x) {
+    const std::string& device_id, Tensor x,
+    const InferenceSubmitOptions& opts) {
   SessionState* state = FindSession(device_id);
   const uint64_t span = TraceRing::NextSpan();
   TraceRing::Global().Record(TraceKind::kSubmitInference, span,
                              state->trace_name);
   QCORE_RETURN_NOT_OK(AdmitTask(state, device_id, /*is_inference=*/true,
                                 span));
+  // The deadline is fixed at submission; everything downstream (batcher
+  // flush, exec start) compares against it through OverloadClock.
+  const auto deadline = OverloadClock::DeadlineFor(opts.latency_budget_us);
   auto promise = std::make_shared<std::promise<InferenceResult>>();
   std::future<InferenceResult> result = promise->get_future();
   // Latency clocks start at submission so the histograms include batching
@@ -277,12 +322,19 @@ Result<std::future<InferenceResult>> FleetServer::TrySubmitInference(
     pending.promise = std::move(promise);
     pending.timer = timer;
     pending.span = span;
+    pending.deadline = deadline;
     batcher_->Add(device_id, std::move(pending));
     return result;
   }
   EnqueueOnSession(
       state,
-      [this, state, promise, timer, span, x = std::move(x)]() {
+      [this, state, promise, timer, span, deadline, x = std::move(x)]() {
+        // Exec-start deadline check: an expired request is shed before the
+        // device link or forward pass is touched.
+        if (OverloadClock::Expired(deadline)) {
+          ShedDeadline(state, span, promise, timer.ElapsedSeconds());
+          return;
+        }
         ScopedTraceSpan scope(span);
         TraceRing::Global().Record(TraceKind::kExecStart, span,
                                    state->trace_name, 1);
@@ -313,50 +365,76 @@ void FleetServer::FlushInferenceGroup(const std::string& device_id,
                                       std::vector<PendingInference> group) {
   QCORE_CHECK(!group.empty());
   SessionState* state = FindSession(device_id);
+  // Flush-time deadline check: members whose budget expired while parked in
+  // the batcher are shed here and never join the exec group. Shedding is
+  // safe for bit-identity because inference never consumes the session's
+  // Rng — survivors see the exact model state they would have anyway.
+  std::vector<PendingInference> live;
+  live.reserve(group.size());
+  for (PendingInference& p : group) {
+    if (OverloadClock::Expired(p.deadline)) {
+      ShedDeadline(state, p.span, p.promise, p.timer.ElapsedSeconds());
+    } else {
+      live.push_back(std::move(p));
+    }
+  }
+  if (live.empty()) return;
   // The group gets its own span for the shared forward pass; each member's
   // batchFlush event carries it (arg1), linking request spans to the group
   // exec they rode in.
   const uint64_t group_span = TraceRing::NextSpan();
-  for (const PendingInference& p : group) {
+  for (const PendingInference& p : live) {
     TraceRing::Global().Record(TraceKind::kBatchFlush, p.span,
                                state->trace_name, group_span);
   }
   EnqueueOnSession(
       state,
-      [this, state, group_span, group = std::move(group)]() {
+      [this, state, group_span, group = std::move(live)]() mutable {
+        // Exec-start re-check: budgets that expired during the queue wait
+        // between flush and execution are shed before the forward pass.
+        std::vector<PendingInference> run;
+        run.reserve(group.size());
+        for (PendingInference& p : group) {
+          if (OverloadClock::Expired(p.deadline)) {
+            ShedDeadline(state, p.span, p.promise, p.timer.ElapsedSeconds());
+          } else {
+            run.push_back(std::move(p));
+          }
+        }
+        if (run.empty()) return;
         ScopedTraceSpan scope(group_span);
         TraceRing::Global().Record(TraceKind::kExecStart, group_span,
-                                   state->trace_name, group.size());
+                                   state->trace_name, run.size());
         // One device-link round trip and one forward pass for the whole
         // group — the amortization that makes batching pay.
         SimulateDeviceLink(options_.simulated_device_rtt_ms);
         std::vector<const Tensor*> inputs;
-        inputs.reserve(group.size());
-        for (const PendingInference& p : group) inputs.push_back(&p.input);
+        inputs.reserve(run.size());
+        for (const PendingInference& p : run) inputs.push_back(&p.input);
         std::vector<std::vector<int>> labels =
             state->session.PredictBatch(inputs);
-        RecordMetrics([&group](ServingMetrics& m) {
-          m.batch_occupancy().Record(static_cast<int64_t>(group.size()));
+        RecordMetrics([&run](ServingMetrics& m) {
+          m.batch_occupancy().Record(static_cast<int64_t>(run.size()));
         });
-        state->wb->set_last_batch_occupancy(group.size());
-        for (size_t i = 0; i < group.size(); ++i) {
+        state->wb->set_last_batch_occupancy(run.size());
+        for (size_t i = 0; i < run.size(); ++i) {
           InferenceResult r;
           r.predictions = std::move(labels[i]);
-          r.latency_seconds = group[i].timer.ElapsedSeconds();
-          r.trace_span = group[i].span;
-          RecordMetrics([&r, &group, i](ServingMetrics& m) {
+          r.latency_seconds = run[i].timer.ElapsedSeconds();
+          r.trace_span = run[i].span;
+          RecordMetrics([&r, &run, i](ServingMetrics& m) {
             m.inference_latency().Record(r.latency_seconds);
-            m.AddInference(static_cast<uint64_t>(group[i].input.dim(0)));
+            m.AddInference(static_cast<uint64_t>(run[i].input.dim(0)));
           });
           wb_shard_->add_inference_request();
-          TraceRing::Global().Record(TraceKind::kComplete, group[i].span,
+          TraceRing::Global().Record(TraceKind::kComplete, run[i].span,
                                      state->trace_name, group_span);
-          group[i].promise->set_value(std::move(r));
+          run[i].promise->set_value(std::move(r));
         }
         TraceRing::Global().Record(TraceKind::kExecEnd, group_span,
                                    state->trace_name);
         ReleaseTask(state, /*is_inference=*/true,
-                    static_cast<int>(group.size()));
+                    static_cast<int>(run.size()));
       },
       TaskPriority::kHigh);
 }
@@ -496,6 +574,14 @@ void FleetServer::AttachSession(const SessionHandoff& handoff) {
                                         WarmStartOrigin::kCold);
   state->wb->set_snapshot_version(handoff.barrier_version);
   state->trace_name = TraceRing::Global().Intern(handoff.device_id);
+  // A migrated session gets a fresh admission node under THIS shard; the
+  // node it held on the source shard stays allocated at zero (nodes are
+  // never removed — see overload.h).
+  state->admission = limiter_->AddSession(
+      shard_node_,
+      AdmissionCaps{options_.max_queue_per_session,
+                    options_.max_inference_queue_per_session,
+                    options_.max_calibration_queue_per_session});
   TraceRing::Global().Record(TraceKind::kAttach, handoff.trace_span,
                              state->trace_name, shard_index_);
   std::lock_guard<std::mutex> lock(sessions_mu_);

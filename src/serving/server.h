@@ -26,14 +26,22 @@
 //   * Priorities: session pumps triggered by inference or snapshot work are
 //     scheduled at TaskPriority::kHigh, calibration pumps at kLow — under
 //     overload the pool serves inference first and calibration backlogs
-//     instead (two-level queue in runtime/thread_pool). Priority reorders
-//     work only ACROSS sessions, never within one, so determinism holds.
-//   * Backpressure (opt-in): with a queue bound set, TrySubmit* fast-fails
-//     with Status kResourceExhausted once a device's outstanding work hits
-//     the bound. Bounds come in a legacy shared form
-//     (max_queue_per_session, both classes together) and per-class forms
-//     (inference and calibration capped independently); shed/accepted
-//     counts and queue-depth samples land in ServingMetrics.
+//     instead (two-level queue in runtime/thread_pool). With
+//     calibration_aging_us set, a calibration pump that has waited past
+//     the threshold is promoted ahead of queued inference pumps, so
+//     calibration makes progress even under a sustained flood. Priority
+//     reorders work only ACROSS sessions, never within one, so
+//     determinism holds.
+//   * Backpressure (opt-in): with queue bounds set, TrySubmit* fast-fails
+//     with kResourceExhausted once an admission cap is hit. Bounds compose
+//     down an AdmissionLimiter tree (serving/overload.h): per-session caps
+//     (the legacy shared bound plus per-class forms), a per-shard cap, and
+//     — behind a router — a fleet-wide cap; shed/accepted counts, a
+//     per-reason shed breakdown, and queue-depth samples land in
+//     ServingMetrics. Orthogonally, a submission may carry a latency
+//     budget (InferenceSubmitOptions); once admitted, its deadline is
+//     re-checked at batch flush and at exec start, and expired requests
+//     resolve with kDeadlineExceeded instead of burning a forward pass.
 //
 // Results come back through std::future; the ServingMetrics instance
 // aggregates latency histograms and counters across all sessions, and
@@ -68,6 +76,7 @@
 #include "serving/backend.h"
 #include "serving/batcher.h"
 #include "serving/metrics.h"
+#include "serving/overload.h"
 #include "serving/session.h"
 #include "serving/snapshot.h"
 
@@ -110,6 +119,16 @@ struct FleetServerOptions {
   // vice versa). 0 = that class unbounded by its own cap.
   int max_inference_queue_per_session = 0;
   int max_calibration_queue_per_session = 0;
+  // Shard-level admission cap: outstanding tasks of BOTH classes summed
+  // over every session this server hosts. 0 = unbounded. Composes with the
+  // per-session bounds through the AdmissionLimiter tree (serving/
+  // overload.h): admission must hold at session, shard, AND fleet level.
+  int max_queue_per_shard = 0;
+  // Priority aging for the two-level pool: a calibration (kLow) pump that
+  // has waited this many microseconds runs ahead of queued inference
+  // pumps, guaranteeing calibration progress under a sustained inference
+  // flood. 0 = strict priority (calibration can starve).
+  uint64_t calibration_aging_us = 0;
   // Snapshot-distribution warm starts: when set, RegisterDevice seeds the
   // new session's model from the registry instead of the factory base
   // model — the device's own latest snapshot when one exists (restart
@@ -157,11 +176,17 @@ class FleetServer : public FleetBackend {
   // same pattern for introspection rows: the router passes its fleet-wide
   // board (and this server's `shard_index` on it) so every shard writes
   // into one place; standalone servers own their board as shard 0.
+  // `shared_limiter` (optional) plugs this server into an external
+  // admission tree — the sharded router's, whose fleet-level caps then
+  // bound all shards together. When null the server owns a private limiter
+  // with an unbounded fleet root (single-shard deployments keep their
+  // historical per-session semantics exactly).
   FleetServer(const QuantizedModel& base_model, const BitFlipNet& base_bf,
               FleetServerOptions options,
               SnapshotRegistry* shared_registry = nullptr,
               ServingMetrics* rollup_metrics = nullptr,
-              Whiteboard* shared_whiteboard = nullptr, int shard_index = 0);
+              Whiteboard* shared_whiteboard = nullptr, int shard_index = 0,
+              AdmissionLimiter* shared_limiter = nullptr);
 
   FleetServer(const FleetServer&) = delete;
   FleetServer& operator=(const FleetServer&) = delete;
@@ -174,8 +199,12 @@ class FleetServer : public FleetBackend {
   bool HasDevice(const std::string& device_id) const override;
   int num_sessions() const override;
 
+  // Re-expose the base's budget-less convenience overload next to the
+  // override (an override otherwise hides every base overload of the name).
+  using FleetBackend::TrySubmitInference;
   Result<std::future<InferenceResult>> TrySubmitInference(
-      const std::string& device_id, Tensor x) override;
+      const std::string& device_id, Tensor x,
+      const InferenceSubmitOptions& opts) override;
 
   Result<std::future<BatchStats>> TrySubmitCalibration(
       const std::string& device_id, Dataset batch,
@@ -216,13 +245,12 @@ class FleetServer : public FleetBackend {
     std::condition_variable idle_cv;  // signaled when pumping stops
     std::deque<std::function<void()>> queue;
     bool pumping = false;  // a pool worker currently owns this session
-    // Outstanding tasks: queued here, pending in the batcher, or running.
-    // `depth` is the shared gauge (both classes) for the legacy bound and
-    // the queue-depth histogram; the per-class gauges back the independent
-    // inference/calibration bounds.
-    std::atomic<int> depth{0};
-    std::atomic<int> depth_inference{0};
-    std::atomic<int> depth_calibration{0};
+    // This session's leaf in the admission tree. Outstanding-task gauges
+    // (queued here, pending in the batcher, or running) live on the node;
+    // admission reserves leaf-to-root, so the legacy per-session bounds
+    // and the shard/fleet caps all act through this one pointer. The node
+    // outlives the session (limiter nodes are never removed).
+    AdmissionNode* admission = nullptr;
     // Whiteboard row handle + interned trace name, captured once at
     // registration so hot-path writes are a pointer chase, not a map walk.
     Whiteboard::Device* wb = nullptr;
@@ -242,13 +270,24 @@ class FleetServer : public FleetBackend {
   void FlushInferenceGroup(const std::string& device_id,
                            std::vector<PendingInference> group);
 
-  // Admission control: reserves a slot in the session's depth gauges, or
-  // sheds — recording metrics, the whiteboard last-error, and a kShed trace
-  // event — and returns the concrete kResourceExhausted status.
+  // Admission control: reserves a slot on every level of the admission
+  // tree (session -> shard -> fleet), or sheds — recording per-class and
+  // per-reason metrics, the whiteboard last-error, and a kShed trace event
+  // — and returns the concrete kResourceExhausted status.
   Status AdmitTask(SessionState* state, const std::string& device_id,
                    bool is_inference, uint64_t span);
   // Releases `count` slots of the given class (task completion).
   void ReleaseTask(SessionState* state, bool is_inference, int count);
+
+  // Deadline shedding: resolves an admitted-but-expired inference request
+  // with a kDeadlineExceeded result (empty predictions), accounts the shed
+  // (metrics, whiteboard, kDeadlineShed trace), and releases its admission
+  // slot. Called wherever expiry is detected — the flush sink or the exec
+  // prologue — so an expired request never reaches a forward pass.
+  void ShedDeadline(SessionState* state, uint64_t span,
+                    const std::shared_ptr<std::promise<InferenceResult>>&
+                        promise,
+                    double elapsed_seconds);
 
   // Flushes the device's pending batched group ahead of model-mutating work
   // (calibration, snapshot, quiesce) and accounts the flush when one was
@@ -293,6 +332,11 @@ class FleetServer : public FleetBackend {
   Whiteboard* whiteboard_;
   Whiteboard::Shard* wb_shard_;  // this server's row on whiteboard_
   const int shard_index_;
+  // Admission tree (see ctor). Declared before pool_ so nodes outlive any
+  // straggling pump's release. Session nodes hang off shard_node_.
+  std::unique_ptr<AdmissionLimiter> owned_limiter_;
+  AdmissionLimiter* limiter_;
+  AdmissionNode* shard_node_;
 
   mutable std::mutex sessions_mu_;  // guards the map, not the sessions
   std::map<std::string, std::unique_ptr<SessionState>> sessions_;

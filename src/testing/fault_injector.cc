@@ -25,6 +25,9 @@ const char* FaultPointName(FaultPoint point) {
     case FaultPoint::kDeviceRttSpike: return "deviceRttSpike";
     case FaultPoint::kBatcherFlusherStall: return "batcherFlusherStall";
     case FaultPoint::kBarrierDelay: return "barrierDelay";
+    case FaultPoint::kPoolSaturation: return "poolSaturation";
+    case FaultPoint::kDeadlineClockSkew: return "deadlineClockSkew";
+    case FaultPoint::kLimiterRefuse: return "limiterRefuse";
     case FaultPoint::kNumFaultPoints: break;
   }
   return "unknown";

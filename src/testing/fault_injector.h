@@ -54,7 +54,7 @@ enum class FaultPoint : uint8_t {
   // SnapshotRegistry::ImportDelta — drop the incoming delta entirely
   // (network loss; retrying the same delta is idempotent).
   kSnapshotImportDrop,
-  // ShardedFleetServer::MigrateLocked — the target shard crashes between
+  // ShardedFleetServer::MigratePinned — the target shard crashes between
   // DetachSession and AttachSession: the continuation is lost, the device
   // leaves the routing maps, and recovery is a warm re-registration from
   // the barrier snapshot.
@@ -68,6 +68,18 @@ enum class FaultPoint : uint8_t {
   // FleetServer::BarrierFlush — delay the barrier by `arg` microseconds
   // before flushing the pending group.
   kBarrierDelay,
+  // ThreadPool::WorkerLoop — stall the worker `arg` microseconds after it
+  // pops a task, before running it (every worker slow at once models a
+  // saturated pool; the aging clock keeps ticking underneath).
+  kPoolSaturation,
+  // overload.h OverloadClock::Now — skew the deadline clock forward by
+  // `arg` microseconds, making admitted requests look expired early. A
+  // latency-only fault: delivered results must stay bit-identical.
+  kDeadlineClockSkew,
+  // AdmissionLimiter::TryAcquire — refuse the acquisition at the fleet
+  // level even though capacity exists (spurious limiter refusal; callers
+  // must treat it exactly like a real kResourceExhausted shed).
+  kLimiterRefuse,
 
   kNumFaultPoints,  // count sentinel, not a point
 };

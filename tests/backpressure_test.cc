@@ -23,6 +23,7 @@
 #include "serving/backend.h"
 #include "serving/router.h"
 #include "serving/server.h"
+#include "testing/fault_injector.h"
 
 namespace qcore {
 namespace {
@@ -399,6 +400,113 @@ TEST(BackpressureTest, CalibrationYieldsToInferenceUnderOverload) {
   EXPECT_EQ(server.metrics().calibration_batches(),
             static_cast<uint64_t>(calibs.size()));
   for (auto& fu : calibs) fu.get();  // the backlog still completes
+}
+
+// Seeded latency chaos (device RTT spikes + batcher flusher stalls) on a
+// bounded, batched server under a multi-threaded flood with per-request
+// latency budgets: every shed is LOUD (a kResourceExhausted refusal or a
+// future resolving to kDeadlineExceeded — never silence, never a hang),
+// the ledger reconciles exactly, and every DELIVERED prediction is
+// bit-identical to an unloaded, unfaulted reference run. Latency faults
+// may change WHETHER a request is delivered, never WHAT it says.
+TEST(BackpressureChaosTest, LatencyChaosFloodShedsLoudAndDeliversExactBits) {
+  FleetFixture* f = GetFixture();
+  std::vector<int> reference;
+  {
+    FleetServerOptions opts;
+    opts.num_threads = 2;
+    opts.continual = FastContinualOptions();
+    FleetServer server(*f->base, *f->bf, opts);
+    server.RegisterDevice("ref", f->qcore);
+    reference =
+        server.SubmitInference("ref", f->target.test.x()).get().predictions;
+  }
+
+  FaultInjector injector(/*seed=*/1234);
+  FaultScript spike;
+  spike.sticky = true;
+  spike.probability = 0.25;
+  spike.arg = 3000;  // 3ms RTT spike on a quarter of device round trips
+  injector.Arm(FaultPoint::kDeviceRttSpike, spike);
+  FaultScript stall;
+  stall.sticky = true;
+  stall.probability = 0.25;
+  stall.arg = 2000;  // 2ms stall in the deadline flusher
+  injector.Arm(FaultPoint::kBatcherFlusherStall, stall);
+  injector.Install();
+
+  FleetServerOptions opts;
+  opts.num_threads = 2;
+  opts.continual = FastContinualOptions();
+  opts.max_queue_per_session = 3;
+  opts.enable_batching = true;
+  opts.batching.max_batch = 4;
+  opts.batching.max_delay_us = 100.0;
+  opts.simulated_device_rtt_ms = 1.0;
+  FleetServer server(*f->base, *f->bf, opts);
+  constexpr int kDevices = 3;
+  for (int d = 0; d < kDevices; ++d) {
+    server.RegisterDevice("dev-" + std::to_string(d), f->qcore);
+  }
+
+  constexpr int kSubmitters = 3;
+  constexpr int kPerSubmitter = 30;
+  std::atomic<uint64_t> admission_sheds{0};
+  std::mutex futures_mu;
+  std::vector<std::future<InferenceResult>> futures;
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s]() {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        InferenceSubmitOptions sub;
+        // Every third request carries a budget tight enough for the chaos
+        // delays to blow through — those shed with kDeadlineExceeded.
+        if (i % 3 == 0) sub.latency_budget_us = 2000.0;
+        auto r = server.TrySubmitInference(
+            "dev-" + std::to_string((s + i) % kDevices), f->target.test.x(),
+            sub);
+        if (r.ok()) {
+          std::lock_guard<std::mutex> lock(futures_mu);
+          futures.push_back(std::move(r).value());
+        } else {
+          ASSERT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+          admission_sheds.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+
+  uint64_t delivered = 0, deadline_shed = 0;
+  for (auto& fu : futures) {
+    const InferenceResult r = fu.get();  // every admitted future resolves
+    if (r.status.ok()) {
+      ++delivered;
+      EXPECT_EQ(r.predictions, reference);  // exact bits or nothing
+    } else {
+      ASSERT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+      EXPECT_TRUE(r.predictions.empty());
+      ++deadline_shed;
+    }
+  }
+  server.Drain();
+  FaultInjector::Uninstall();
+
+  const ServingMetrics& m = server.metrics();
+  const uint64_t submissions =
+      static_cast<uint64_t>(kSubmitters) * kPerSubmitter;
+  EXPECT_EQ(m.accepted_inference() + m.shed_inference(), submissions);
+  EXPECT_EQ(m.shed_inference(), admission_sheds.load());
+  EXPECT_EQ(m.shed_deadline(), deadline_shed);
+  // The acceptance split: executed == delivered, and an admitted request
+  // either executed or deadline-shed — nothing leaks.
+  EXPECT_EQ(m.inference_requests(), delivered);
+  EXPECT_EQ(m.accepted_inference(), delivered + deadline_shed);
+  // The per-reason breakdown partitions the admission sheds exactly,
+  // chaos or no chaos.
+  EXPECT_EQ(m.shed_inference() + m.shed_calibration(),
+            m.shed_queue_full() + m.shed_limiter());
+  EXPECT_LE(m.queue_depth().max(), 3);
 }
 
 }  // namespace

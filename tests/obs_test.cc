@@ -519,11 +519,21 @@ TEST(WhiteboardTest, ImageSerializeRoundTrips) {
   for (int i = 0; i < 4; ++i) {
     server.TrySubmitInference("a", f->target.test.x());
   }
+  // And a deadline shed, so every v3 per-reason counter is non-trivially
+  // populated: a sub-microsecond budget is already expired by the exec
+  // check (its deadline rounds to "now"), deterministically.
+  InferenceSubmitOptions budget;
+  budget.latency_budget_us = 0.001;
+  auto doomed = server.TrySubmitInference("b", f->target.test.x(), budget);
   server.SubmitCalibration("b", f->batches[0], f->slices[0]);
   server.Drain();
+  if (doomed.ok()) std::move(doomed).value().get();
   server.PublishSnapshot("a").get();
 
   const WhiteboardImage image = server.whiteboard().Read();
+  // The v3 fields being round-tripped actually carry history here.
+  EXPECT_GT(image.shards[0].shed_queue_full, 0u);
+  EXPECT_GT(image.shards[0].shed_deadline, 0u);
   const std::vector<uint8_t> bytes = image.Serialize();
   auto round = WhiteboardImage::Deserialize(bytes);
   ASSERT_TRUE(round.ok()) << round.status().ToString();
@@ -541,6 +551,9 @@ TEST(WhiteboardTest, ImageSerializeRoundTrips) {
     EXPECT_EQ(a.snapshots_published, b.snapshots_published);
     EXPECT_EQ(a.accepted_inference, b.accepted_inference);
     EXPECT_EQ(a.shed_inference, b.shed_inference);
+    EXPECT_EQ(a.shed_queue_full, b.shed_queue_full);
+    EXPECT_EQ(a.shed_deadline, b.shed_deadline);
+    EXPECT_EQ(a.shed_limiter, b.shed_limiter);
     EXPECT_EQ(a.barrier_flushes, b.barrier_flushes);
     EXPECT_EQ(a.last_error.code(), b.last_error.code());
     EXPECT_EQ(a.last_error.message(), b.last_error.message());
@@ -557,6 +570,9 @@ TEST(WhiteboardTest, ImageSerializeRoundTrips) {
     EXPECT_EQ(a.accepted_inference, b.accepted_inference);
     EXPECT_EQ(a.accepted_calibration, b.accepted_calibration);
     EXPECT_EQ(a.shed_inference, b.shed_inference);
+    EXPECT_EQ(a.shed_queue_full, b.shed_queue_full);
+    EXPECT_EQ(a.shed_deadline, b.shed_deadline);
+    EXPECT_EQ(a.shed_limiter, b.shed_limiter);
     EXPECT_EQ(a.last_batch_occupancy, b.last_batch_occupancy);
     EXPECT_EQ(a.batches_processed, b.batches_processed);
     EXPECT_EQ(a.snapshot_version, b.snapshot_version);
