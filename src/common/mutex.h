@@ -1,0 +1,212 @@
+// Annotated synchronization wrappers over the std primitives.
+//
+// Every lock-holding class in src/ uses these instead of std::mutex and
+// friends (enforced by tools/lint_qcore.py), because the std types carry no
+// Clang Thread Safety attributes: code locking them is invisible to
+// -Wthread-safety, so every GUARDED_BY contract it touches would be a
+// false positive. The wrappers add zero overhead — each method is an
+// inline forward to the std call — and under GCC every annotation macro
+// expands to nothing.
+//
+// Conventions (see README "Static analysis & concurrency contracts"):
+//   * Prefer the scoped types (MutexLock / SharedLock / WriterLock) over
+//     manual Lock()/Unlock(); manual pairs are for functions whose
+//     annotation is QCORE_ACQUIRE/QCORE_RELEASE by design.
+//   * A lambda that runs under a lock the analysis can't see through
+//     (CondVar predicates, callbacks invoked by a lock-holding caller)
+//     states the fact explicitly: `mu_.AssertHeld();` as its first line.
+//   * CondVar waits REQUIRE the mutex: the wait releases and reacquires it
+//     internally, which the analysis treats as "held throughout" — exactly
+//     the contract the caller observes.
+#ifndef QCORE_COMMON_MUTEX_H_
+#define QCORE_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace qcore {
+
+// Exclusive lock. Wraps std::mutex.
+class QCORE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() QCORE_ACQUIRE() { mu_.lock(); }
+  bool TryLock() QCORE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Unlock() QCORE_RELEASE() { mu_.unlock(); }
+
+  // Declares (to the analysis only — no runtime check) that this mutex is
+  // held. For lambdas and callbacks that run under a lock acquired by
+  // their caller.
+  void AssertHeld() const QCORE_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// Reader/writer lock. Wraps std::shared_mutex.
+class QCORE_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() QCORE_ACQUIRE() { mu_.lock(); }
+  void Unlock() QCORE_RELEASE() { mu_.unlock(); }
+  void LockShared() QCORE_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() QCORE_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  void AssertHeld() const QCORE_ASSERT_CAPABILITY(this) {}
+  void AssertReaderHeld() const QCORE_ASSERT_SHARED_CAPABILITY(this) {}
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// Scoped exclusive lock over Mutex. Supports temporary release (Unlock /
+// Lock) for park-and-retry and call-sink-unlocked patterns; the destructor
+// releases only if currently held.
+class QCORE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) QCORE_ACQUIRE(mu) : mu_(&mu), owned_(true) {
+    mu_->Lock();
+  }
+  ~MutexLock() QCORE_RELEASE() {
+    if (owned_) mu_->Unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() QCORE_RELEASE() {
+    mu_->Unlock();
+    owned_ = false;
+  }
+  void Lock() QCORE_ACQUIRE() {
+    mu_->Lock();
+    owned_ = true;
+  }
+
+ private:
+  Mutex* mu_;
+  bool owned_;
+};
+
+// Scoped shared (reader) lock over SharedMutex, with temporary release.
+class QCORE_SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& mu) QCORE_ACQUIRE_SHARED(mu)
+      : mu_(&mu), owned_(true) {
+    mu_->LockShared();
+  }
+  ~SharedLock() QCORE_RELEASE() {
+    if (owned_) mu_->UnlockShared();
+  }
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+  void Unlock() QCORE_RELEASE() {
+    mu_->UnlockShared();
+    owned_ = false;
+  }
+  void Lock() QCORE_ACQUIRE_SHARED() {
+    mu_->LockShared();
+    owned_ = true;
+  }
+
+ private:
+  SharedMutex* mu_;
+  bool owned_;
+};
+
+// Scoped exclusive (writer) lock over SharedMutex.
+class QCORE_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) QCORE_ACQUIRE(mu)
+      : mu_(&mu), owned_(true) {
+    mu_->Lock();
+  }
+  ~WriterLock() QCORE_RELEASE() {
+    if (owned_) mu_->Unlock();
+  }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+  void Unlock() QCORE_RELEASE() {
+    mu_->Unlock();
+    owned_ = false;
+  }
+  void Lock() QCORE_ACQUIRE() {
+    mu_->Lock();
+    owned_ = true;
+  }
+
+ private:
+  SharedMutex* mu_;
+  bool owned_;
+};
+
+// Condition variable bound to Mutex at each wait. Waits REQUIRE the mutex:
+// the internal release/reacquire across the block is invisible to the
+// analysis, matching the contract the caller observes (held before, held
+// after, predicate evaluated under the lock).
+//
+// Predicate lambdas are analyzed as their own functions, so one that reads
+// GUARDED_BY fields must open with `mu.AssertHeld();` — the wait really
+// does hold the mutex at every predicate evaluation; the assertion just
+// states a fact the analysis cannot derive across std internals.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) QCORE_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();
+  }
+
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) QCORE_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk, std::move(pred));
+    lk.release();
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(Mutex& mu,
+                           const std::chrono::time_point<Clock, Duration>& tp)
+      QCORE_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    const std::cv_status s = cv_.wait_until(lk, tp);
+    lk.release();
+    return s;
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& d)
+      QCORE_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    const std::cv_status s = cv_.wait_for(lk, d);
+    lk.release();
+    return s;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace qcore
+
+#endif  // QCORE_COMMON_MUTEX_H_

@@ -34,7 +34,10 @@ enum class StatusCode {
 // Human-readable name of a status code, e.g. "InvalidArgument".
 const char* StatusCodeName(StatusCode code);
 
-class Status {
+// [[nodiscard]] at class level: a dropped Status is a swallowed error —
+// every call site must check it, pass it on, or say why not (assign to an
+// explicitly unused local). Same for Result<T> below.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -83,7 +86,7 @@ class Status {
 
 // Value-or-error. Accessing value() on an error Result aborts.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
   Result(Status status) : status_(std::move(status)) {                 // NOLINT

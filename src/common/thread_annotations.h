@@ -1,0 +1,97 @@
+// Clang Thread Safety Analysis attribute macros (no-ops under GCC/MSVC).
+//
+// These let lock-holding classes state their concurrency contracts in the
+// type system: which mutex guards which field (QCORE_GUARDED_BY), which
+// methods must be called with a lock held (QCORE_REQUIRES), which acquire
+// or release one (QCORE_ACQUIRE / QCORE_RELEASE). A clang build with
+// -Wthread-safety then rejects any access that violates a contract —
+// including on paths no test schedule ever takes, which is exactly where
+// TSan is blind. See README "Static analysis & concurrency contracts".
+//
+// Only src/common/mutex.h should apply the capability attributes
+// (QCORE_CAPABILITY / QCORE_SCOPED_CAPABILITY); everything else annotates
+// fields and methods against those wrapper types. The std primitives are
+// unannotated, so code that bypasses the wrappers silently opts out of the
+// analysis — tools/lint_qcore.py forbids naked std::mutex outside
+// src/common/ for that reason.
+#ifndef QCORE_COMMON_THREAD_ANNOTATIONS_H_
+#define QCORE_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define QCORE_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
+#else
+#define QCORE_THREAD_ANNOTATION_IMPL(x)  // no-op: GCC ignores the analysis
+#endif
+
+// --- type attributes -------------------------------------------------------
+
+// A type that is a lockable capability ("mutex" names the capability kind
+// in diagnostics).
+#define QCORE_CAPABILITY(x) QCORE_THREAD_ANNOTATION_IMPL(capability(x))
+
+// An RAII type whose constructor acquires a capability and whose destructor
+// releases it (MutexLock, SharedLock).
+#define QCORE_SCOPED_CAPABILITY QCORE_THREAD_ANNOTATION_IMPL(scoped_lockable)
+
+// --- data-member attributes ------------------------------------------------
+
+// Field may only be read/written while holding `x`.
+#define QCORE_GUARDED_BY(x) QCORE_THREAD_ANNOTATION_IMPL(guarded_by(x))
+
+// Pointer/smart-pointer field whose *pointee* is guarded by `x` (the
+// pointer itself may be read freely, e.g. set once in a constructor).
+#define QCORE_PT_GUARDED_BY(x) QCORE_THREAD_ANNOTATION_IMPL(pt_guarded_by(x))
+
+// Lock-ordering declarations: this mutex must be acquired before/after `x`.
+#define QCORE_ACQUIRED_BEFORE(...) \
+  QCORE_THREAD_ANNOTATION_IMPL(acquired_before(__VA_ARGS__))
+#define QCORE_ACQUIRED_AFTER(...) \
+  QCORE_THREAD_ANNOTATION_IMPL(acquired_after(__VA_ARGS__))
+
+// --- function attributes ---------------------------------------------------
+
+// Caller must hold the capability exclusively / shared on entry and exit.
+#define QCORE_REQUIRES(...) \
+  QCORE_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))
+#define QCORE_REQUIRES_SHARED(...) \
+  QCORE_THREAD_ANNOTATION_IMPL(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires the capability (held on return, not on entry).
+#define QCORE_ACQUIRE(...) \
+  QCORE_THREAD_ANNOTATION_IMPL(acquire_capability(__VA_ARGS__))
+#define QCORE_ACQUIRE_SHARED(...) \
+  QCORE_THREAD_ANNOTATION_IMPL(acquire_shared_capability(__VA_ARGS__))
+
+// Function releases the capability (held on entry, not on return).
+#define QCORE_RELEASE(...) \
+  QCORE_THREAD_ANNOTATION_IMPL(release_capability(__VA_ARGS__))
+#define QCORE_RELEASE_SHARED(...) \
+  QCORE_THREAD_ANNOTATION_IMPL(release_shared_capability(__VA_ARGS__))
+
+// Function acquires the capability iff it returns `b`.
+#define QCORE_TRY_ACQUIRE(...) \
+  QCORE_THREAD_ANNOTATION_IMPL(try_acquire_capability(__VA_ARGS__))
+
+// Caller must NOT hold the capability (deadlock-prevention contract for
+// functions that acquire it themselves).
+#define QCORE_EXCLUDES(...) \
+  QCORE_THREAD_ANNOTATION_IMPL(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the capability is held — teaches the analysis a
+// fact it cannot derive, e.g. inside a lambda invoked under the lock by a
+// CondVar predicate wait.
+#define QCORE_ASSERT_CAPABILITY(x) \
+  QCORE_THREAD_ANNOTATION_IMPL(assert_capability(x))
+#define QCORE_ASSERT_SHARED_CAPABILITY(x) \
+  QCORE_THREAD_ANNOTATION_IMPL(assert_shared_capability(x))
+
+// Function returns a reference to the capability guarding its result.
+#define QCORE_RETURN_CAPABILITY(x) \
+  QCORE_THREAD_ANNOTATION_IMPL(lock_returned(x))
+
+// Escape hatch: disable analysis inside one function (use sparingly; every
+// use is a hole in the contract and should say why in a comment).
+#define QCORE_NO_THREAD_SAFETY_ANALYSIS \
+  QCORE_THREAD_ANNOTATION_IMPL(no_thread_safety_analysis)
+
+#endif  // QCORE_COMMON_THREAD_ANNOTATIONS_H_

@@ -59,7 +59,7 @@ TraceRing::Ring* TraceRing::LocalRing() {
   // events. The shared_ptr keeps the ring alive past thread teardown.
   thread_local std::shared_ptr<Ring> ring;
   if (ring == nullptr) {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     ring = std::make_shared<Ring>(static_cast<uint32_t>(rings_.size() + 1),
                                   capacity_.load(std::memory_order_relaxed));
     rings_.push_back(ring);
@@ -78,7 +78,7 @@ void TraceRing::Record(TraceKind kind, uint64_t span, uint64_t arg0,
   ev.arg1 = arg1;
   ev.ring = ring->id;
   ev.kind = kind;
-  std::lock_guard<std::mutex> lock(ring->mu);
+  MutexLock lock(ring->mu);
   if (ring->buf.size() < ring->capacity) {
     ring->buf.push_back(ev);
   } else {
@@ -88,7 +88,7 @@ void TraceRing::Record(TraceKind kind, uint64_t span, uint64_t arg0,
 }
 
 uint32_t TraceRing::Intern(const std::string& name) {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   auto it = intern_.find(name);
   if (it != intern_.end()) return it->second;
   names_.push_back(name);
@@ -98,7 +98,7 @@ uint32_t TraceRing::Intern(const std::string& name) {
 }
 
 std::string TraceRing::NameOf(uint64_t id) const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   if (id == 0 || id > names_.size()) return "";
   return names_[id - 1];
 }
@@ -118,11 +118,11 @@ void TraceRing::SetCapacityPerThread(size_t capacity) {
 void TraceRing::Clear() {
   std::vector<std::shared_ptr<Ring>> rings;
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     rings = rings_;
   }
   for (const auto& ring : rings) {
-    std::lock_guard<std::mutex> lock(ring->mu);
+    MutexLock lock(ring->mu);
     ring->buf.clear();
     ring->total = 0;
   }
@@ -131,12 +131,12 @@ void TraceRing::Clear() {
 std::vector<TraceEvent> TraceRing::Collect() const {
   std::vector<std::shared_ptr<Ring>> rings;
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     rings = rings_;
   }
   std::vector<TraceEvent> events;
   for (const auto& ring : rings) {
-    std::lock_guard<std::mutex> lock(ring->mu);
+    MutexLock lock(ring->mu);
     // Oldest-first within the ring: once wrapped, the slot at total %
     // capacity is the oldest surviving event.
     const size_t n = ring->buf.size();
@@ -165,12 +165,12 @@ std::vector<TraceEvent> TraceRing::CollectSpan(uint64_t span) const {
 uint64_t TraceRing::dropped_events() const {
   std::vector<std::shared_ptr<Ring>> rings;
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     rings = rings_;
   }
   uint64_t dropped = 0;
   for (const auto& ring : rings) {
-    std::lock_guard<std::mutex> lock(ring->mu);
+    MutexLock lock(ring->mu);
     dropped += ring->total - ring->buf.size();
   }
   return dropped;

@@ -29,9 +29,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace qcore {
 
@@ -130,18 +132,24 @@ class TraceRing {
         : id(id_), capacity(capacity_) {}
     const uint32_t id;
     const size_t capacity;
-    mutable std::mutex mu;
-    std::vector<TraceEvent> buf;  // ring storage, index = total % capacity
-    uint64_t total = 0;           // events ever recorded (since Clear)
+    mutable Mutex mu;
+    // Ring storage, index = total % capacity.
+    std::vector<TraceEvent> buf QCORE_GUARDED_BY(mu);
+    // Events ever recorded (since Clear).
+    uint64_t total QCORE_GUARDED_BY(mu) = 0;
   };
 
   TraceRing() = default;
   Ring* LocalRing();
 
-  mutable std::mutex registry_mu_;  // rings_ vector + intern table
-  std::vector<std::shared_ptr<Ring>> rings_;
-  std::map<std::string, uint32_t> intern_;
-  std::vector<std::string> names_;  // index = id - 1
+  // Lock order: registry_mu_ before any ring->mu (Collect/Clear copy the
+  // ring list under registry_mu_, release it, then lock rings one at a
+  // time; Record only ever takes its own ring's mu).
+  mutable Mutex registry_mu_;
+  std::vector<std::shared_ptr<Ring>> rings_ QCORE_GUARDED_BY(registry_mu_);
+  std::map<std::string, uint32_t> intern_ QCORE_GUARDED_BY(registry_mu_);
+  // Interned names, index = id - 1.
+  std::vector<std::string> names_ QCORE_GUARDED_BY(registry_mu_);
   std::atomic<bool> enabled_{true};
   std::atomic<size_t> capacity_{8192};
 };

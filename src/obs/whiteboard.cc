@@ -182,7 +182,7 @@ const char* SessionActivityName(SessionActivity activity) {
 
 void Whiteboard::Device::RecordError(const Status& status) {
   if (status.ok()) return;
-  std::lock_guard<std::mutex> lock(error_mu_);
+  MutexLock lock(error_mu_);
   last_error_ = status;
   last_error_ns_ = NowNs();
 }
@@ -212,7 +212,7 @@ DeviceRow Whiteboard::Device::Snapshot() const {
     row.activity = SessionActivity::kIdle;
   }
   {
-    std::lock_guard<std::mutex> lock(error_mu_);
+    MutexLock lock(error_mu_);
     row.last_error = last_error_;
     row.last_error_ns = last_error_ns_;
   }
@@ -221,7 +221,7 @@ DeviceRow Whiteboard::Device::Snapshot() const {
 
 void Whiteboard::Shard::RecordError(const Status& status) {
   if (status.ok()) return;
-  std::lock_guard<std::mutex> lock(error_mu_);
+  MutexLock lock(error_mu_);
   last_error_ = status;
   last_error_ns_ = NowNs();
 }
@@ -243,7 +243,7 @@ ShardRow Whiteboard::Shard::Snapshot() const {
   row.shed_limiter = shed_limiter_.load(kRelaxed);
   row.barrier_flushes = barrier_flushes_.load(kRelaxed);
   {
-    std::lock_guard<std::mutex> lock(error_mu_);
+    MutexLock lock(error_mu_);
     row.last_error = last_error_;
     row.last_error_ns = last_error_ns_;
   }
@@ -255,7 +255,7 @@ ShardRow Whiteboard::Shard::Snapshot() const {
 Whiteboard::Device* Whiteboard::UpsertDevice(const std::string& device_id,
                                              int shard,
                                              WarmStartOrigin origin) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = devices_.find(device_id);
   if (it == devices_.end()) {
     auto device = std::unique_ptr<Device>(new Device(device_id));
@@ -272,7 +272,7 @@ Whiteboard::Device* Whiteboard::UpsertDevice(const std::string& device_id,
 }
 
 Whiteboard::Shard* Whiteboard::RegisterShard(int index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = shards_.find(index);
   if (it == shards_.end()) {
     it = shards_.emplace(index, std::unique_ptr<Shard>(new Shard(index))).first;
@@ -285,7 +285,7 @@ Whiteboard::Shard* Whiteboard::RegisterShard(int index) {
 }
 
 void Whiteboard::SetWalStatsProvider(std::function<WalRow()> provider) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   wal_provider_ = std::move(provider);
 }
 
@@ -293,7 +293,7 @@ WhiteboardImage Whiteboard::Read() const {
   WhiteboardImage image;
   std::function<WalRow()> wal_provider;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     image.shards.reserve(shards_.size());
     for (const auto& [index, shard] : shards_) {
       image.shards.push_back(shard->Snapshot());

@@ -18,11 +18,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace qcore {
 
@@ -174,9 +175,9 @@ class Whiteboard {
     std::atomic<uint64_t> last_batch_occupancy_{0};
     std::atomic<uint64_t> batches_processed_{0};
     std::atomic<uint64_t> snapshot_version_{0};
-    mutable std::mutex error_mu_;
-    Status last_error_;
-    uint64_t last_error_ns_ = 0;
+    mutable Mutex error_mu_;
+    Status last_error_ QCORE_GUARDED_BY(error_mu_);
+    uint64_t last_error_ns_ QCORE_GUARDED_BY(error_mu_) = 0;
   };
 
   // Live handle to one shard's row; same write discipline as Device.
@@ -220,9 +221,9 @@ class Whiteboard {
     std::atomic<uint64_t> shed_deadline_{0};
     std::atomic<uint64_t> shed_limiter_{0};
     std::atomic<uint64_t> barrier_flushes_{0};
-    mutable std::mutex error_mu_;
-    Status last_error_;
-    uint64_t last_error_ns_ = 0;
+    mutable Mutex error_mu_;
+    Status last_error_ QCORE_GUARDED_BY(error_mu_);
+    uint64_t last_error_ns_ QCORE_GUARDED_BY(error_mu_) = 0;
   };
 
   // Returns the row handle for `device_id`, creating it on first sight.
@@ -244,10 +245,14 @@ class Whiteboard {
   WhiteboardImage Read() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Device>> devices_;
-  std::map<int, std::unique_ptr<Shard>> shards_;
-  std::function<WalRow()> wal_provider_;
+  // Lock order: mu_ before a row's error_mu_ (Read snapshots rows under
+  // mu_; Snapshot() takes the row's error_mu_). The wal provider runs
+  // OUTSIDE mu_ — it reaches back into the snapshot registry's lock.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Device>> devices_
+      QCORE_GUARDED_BY(mu_);
+  std::map<int, std::unique_ptr<Shard>> shards_ QCORE_GUARDED_BY(mu_);
+  std::function<WalRow()> wal_provider_ QCORE_GUARDED_BY(mu_);
 };
 
 }  // namespace qcore

@@ -15,10 +15,10 @@ ThreadPool::ThreadPool(const ThreadPoolOptions& options)
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -28,7 +28,7 @@ void ThreadPool::Schedule(std::function<void()> task, TaskPriority priority) {
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Scheduling during shutdown is allowed: workers only exit once both
     // queues are empty, so tasks enqueued by in-flight tasks still drain
     // before the destructor's join returns.
@@ -38,21 +38,27 @@ void ThreadPool::Schedule(std::function<void()> task, TaskPriority priority) {
       low_.push_back(LowTask{std::move(task), Clock::now()});
     }
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::WaitIdle() {
   if (workers_.empty()) return;
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this]() { return !HasWork() && active_ == 0; });
+  MutexLock lock(mu_);
+  idle_.Wait(mu_, [this]() {
+    mu_.AssertHeld();
+    return !HasWork() && active_ == 0;
+  });
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock, [this]() { return shutdown_ || HasWork(); });
+      MutexLock lock(mu_);
+      work_available_.Wait(mu_, [this]() {
+        mu_.AssertHeld();
+        return shutdown_ || HasWork();
+      });
       if (!HasWork()) return;  // shutdown with drained queues
       // Dispatch policy: high first, except when the low queue's head has
       // aged past the threshold — then it goes ahead (the anti-starvation
@@ -82,9 +88,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
-      if (!HasWork() && active_ == 0) idle_.notify_all();
+      if (!HasWork() && active_ == 0) idle_.NotifyAll();
     }
   }
 }

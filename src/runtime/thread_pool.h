@@ -28,17 +28,17 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace qcore {
 
@@ -111,18 +111,20 @@ class ThreadPool {
   };
 
   void WorkerLoop();
-  bool HasWork() const { return !high_.empty() || !low_.empty(); }
+  bool HasWork() const QCORE_REQUIRES(mu_) {
+    return !high_.empty() || !low_.empty();
+  }
 
-  mutable std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> high_;
-  std::deque<LowTask> low_;
-  std::vector<std::thread> workers_;
-  uint64_t aging_us_ = 0;
+  mutable Mutex mu_;
+  CondVar work_available_;
+  CondVar idle_;
+  std::deque<std::function<void()>> high_ QCORE_GUARDED_BY(mu_);
+  std::deque<LowTask> low_ QCORE_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  // written only in the constructor
+  const uint64_t aging_us_;
   std::atomic<uint64_t> aged_promotions_{0};
-  int active_ = 0;       // tasks being executed right now
-  bool shutdown_ = false;
+  int active_ QCORE_GUARDED_BY(mu_) = 0;  // tasks being executed right now
+  bool shutdown_ QCORE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace qcore

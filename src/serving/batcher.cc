@@ -21,10 +21,10 @@ InferenceBatcher::InferenceBatcher(InferenceBatcherOptions options,
 
 InferenceBatcher::~InferenceBatcher() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  flusher_cv_.notify_all();
+  flusher_cv_.NotifyAll();
   if (flusher_.joinable()) flusher_.join();
   // Resolve stragglers added after the owner's last drain. The flusher is
   // gone, so this is the only remaining path to their promises.
@@ -33,27 +33,27 @@ InferenceBatcher::~InferenceBatcher() {
 
 void InferenceBatcher::Add(const std::string& device_id,
                            PendingInference request) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DeviceQueue& dq = queues_[device_id];
   if (dq.requests.empty()) {
     dq.oldest_arrival = Clock::now();
-    flusher_cv_.notify_one();  // a new deadline exists; recompute
+    flusher_cv_.NotifyOne();  // a new deadline exists; recompute
   }
   dq.requests.push_back(std::move(request));
   if (static_cast<int>(dq.requests.size()) >= options_.max_batch) {
-    FlushLocked(device_id, &dq, lock);
+    FlushLocked(device_id, &dq);
   }
 }
 
 bool InferenceBatcher::FlushDevice(const std::string& device_id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = queues_.find(device_id);
   if (it == queues_.end()) return false;
-  return FlushLocked(device_id, &it->second, lock);
+  return FlushLocked(device_id, &it->second);
 }
 
 void InferenceBatcher::FlushAll() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // FlushLocked drops the lock around the sink, so one pass can miss
   // requests added meanwhile; repeat until a pass finds nothing to do.
   for (;;) {
@@ -62,7 +62,7 @@ void InferenceBatcher::FlushAll() {
       DeviceQueue& dq = entry.second;
       if (!dq.requests.empty() || dq.in_flush) {
         flushed_any = true;
-        FlushLocked(entry.first, &dq, lock);
+        FlushLocked(entry.first, &dq);
       }
     }
     if (!flushed_any) return;
@@ -70,31 +70,30 @@ void InferenceBatcher::FlushAll() {
 }
 
 bool InferenceBatcher::FlushLocked(const std::string& device_id,
-                                   DeviceQueue* dq,
-                                   std::unique_lock<std::mutex>& lock) {
+                                   DeviceQueue* dq) {
   // Serialize flushes per device: never extract a later group while an
   // earlier one is still being handed to the sink, or the session FIFO
   // could receive them out of submission order.
-  flush_done_cv_.wait(lock, [dq]() { return !dq->in_flush; });
+  flush_done_cv_.Wait(mu_, [dq]() { return !dq->in_flush; });
   if (dq->requests.empty()) return false;
   std::vector<PendingInference> group = std::move(dq->requests);
   dq->requests.clear();
   dq->in_flush = true;
-  lock.unlock();
+  mu_.Unlock();
   sink_(device_id, std::move(group));
-  lock.lock();
+  mu_.Lock();
   // in_flush clears only after the sink returns, so barrier callers (and
   // FlushAll inside the owner's Drain) cannot observe "nothing pending"
   // while a group is in limbo between extraction and enqueue.
   dq->in_flush = false;
-  flush_done_cv_.notify_all();
+  flush_done_cv_.NotifyAll();
   return true;
 }
 
 void InferenceBatcher::FlusherLoop() {
   const auto delay = std::chrono::duration_cast<Clock::duration>(
       std::chrono::duration<double, std::micro>(options_.max_delay_us));
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (!shutdown_) {
     uint64_t stall_us = 0;
     if (MaybeFault(FaultPoint::kBatcherFlusherStall, &stall_us)) {
@@ -102,9 +101,9 @@ void InferenceBatcher::FlusherLoop() {
       // submitters and barrier flushes keep running — which is exactly why
       // a stalled flusher delays deadline-triggered groups but can never
       // reorder or lose them (size triggers and barriers still flush).
-      lock.unlock();
+      lock.Unlock();
       std::this_thread::sleep_for(std::chrono::microseconds(stall_us));
-      lock.lock();
+      lock.Lock();
       continue;  // deadlines moved while we slept; recompute
     }
     bool have_deadline = false;
@@ -118,18 +117,17 @@ void InferenceBatcher::FlusherLoop() {
       }
     }
     if (!have_deadline) {
-      flusher_cv_.wait(lock);
+      flusher_cv_.Wait(mu_);
       continue;
     }
-    if (flusher_cv_.wait_until(lock, earliest) ==
-        std::cv_status::no_timeout) {
+    if (flusher_cv_.WaitUntil(mu_, earliest) == std::cv_status::no_timeout) {
       continue;  // new group or shutdown; recompute the earliest deadline
     }
     const Clock::time_point now = Clock::now();
     for (auto& entry : queues_) {
       DeviceQueue& dq = entry.second;
       if (!dq.requests.empty() && dq.oldest_arrival + delay <= now) {
-        FlushLocked(entry.first, &dq, lock);
+        FlushLocked(entry.first, &dq);
       }
     }
   }

@@ -26,17 +26,17 @@
 #define QCORE_SERVING_BATCHER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/stopwatch.h"
 #include "tensor/tensor.h"
 
@@ -125,21 +125,25 @@ class InferenceBatcher {
   };
 
   // Waits out any in-progress flush of the device, then (if anything is
-  // pending) extracts the group and runs the sink. Caller holds `lock`.
-  // Returns true iff a non-empty group was extracted and handed over.
-  bool FlushLocked(const std::string& device_id, DeviceQueue* dq,
-                   std::unique_lock<std::mutex>& lock);
+  // pending) extracts the group and runs the sink. Caller holds mu_;
+  // FlushLocked drops it around the sink call and re-acquires before
+  // returning. Returns true iff a non-empty group was extracted.
+  bool FlushLocked(const std::string& device_id, DeviceQueue* dq)
+      QCORE_REQUIRES(mu_);
 
   void FlusherLoop();
 
   const InferenceBatcherOptions options_;
   const FlushSink sink_;
 
-  mutable std::mutex mu_;
-  std::condition_variable flusher_cv_;     // wakes the deadline thread
-  std::condition_variable flush_done_cv_;  // in_flush transitions
-  std::map<std::string, DeviceQueue> queues_;
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  CondVar flusher_cv_;     // wakes the deadline thread
+  CondVar flush_done_cv_;  // in_flush transitions
+  // DeviceQueue contents are guarded by mu_ too: references into the map
+  // stay valid across FlushLocked's unlocked sink window (std::map node
+  // stability), but are only dereferenced with mu_ held.
+  std::map<std::string, DeviceQueue> queues_ QCORE_GUARDED_BY(mu_);
+  bool shutdown_ QCORE_GUARDED_BY(mu_) = false;
 
   std::thread flusher_;  // only started when the deadline is enabled
 };

@@ -46,24 +46,24 @@ int LatencyHistogram::BucketFor(double seconds) const {
 
 void LatencyHistogram::Record(double seconds) {
   if (seconds < 0.0) seconds = 0.0;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++buckets_[BucketFor(seconds)];
   ++count_;
   sum_ += seconds;
 }
 
 uint64_t LatencyHistogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return count_;
 }
 
 double LatencyHistogram::sum_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sum_;
 }
 
 double LatencyHistogram::mean_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
@@ -95,7 +95,7 @@ double QuantileFromBuckets(
 }  // namespace
 
 double LatencyHistogram::QuantileSeconds(double q) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return QuantileFromBuckets(buckets_, count_, q);
 }
 
@@ -105,19 +105,19 @@ void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
   uint64_t count;
   double sum;
   {
-    std::lock_guard<std::mutex> lock(other.mu_);
+    MutexLock lock(other.mu_);
     std::memcpy(buckets, other.buckets_, sizeof(buckets));
     count = other.count_;
     sum = other.sum_;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (int b = 0; b < kNumBuckets; ++b) buckets_[b] += buckets[b];
   count_ += count;
   sum_ += sum;
 }
 
 void LatencyHistogram::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::memset(buckets_, 0, sizeof(buckets_));
   count_ = 0;
   sum_ = 0.0;
@@ -130,7 +130,7 @@ std::string LatencyHistogram::Summary() const {
   uint64_t count;
   double sum;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::memcpy(buckets, buckets_, sizeof(buckets));
     count = count_;
     sum = sum_;
@@ -150,7 +150,7 @@ void CountHistogram::Record(int64_t value) {
   if (value < 0) value = 0;
   const int bucket =
       value >= kMaxTracked ? kMaxTracked : static_cast<int>(value);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++buckets_[bucket];
   ++count_;
   sum_ += value;
@@ -158,19 +158,19 @@ void CountHistogram::Record(int64_t value) {
 }
 
 uint64_t CountHistogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return count_;
 }
 
 double CountHistogram::mean() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return count_ == 0 ? 0.0
                      : static_cast<double>(sum_) /
                            static_cast<double>(count_);
 }
 
 int64_t CountHistogram::max() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return max_;
 }
 
@@ -178,7 +178,7 @@ uint64_t CountHistogram::CountAt(int64_t value) const {
   if (value < 0) return 0;
   const int bucket =
       value >= kMaxTracked ? kMaxTracked : static_cast<int>(value);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return buckets_[bucket];
 }
 
@@ -186,7 +186,7 @@ uint64_t CountHistogram::CountAtLeast(int64_t value) const {
   if (value < 0) value = 0;
   const int from =
       value >= kMaxTracked ? kMaxTracked : static_cast<int>(value);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (int b = from; b <= kMaxTracked; ++b) total += buckets_[b];
   return total;
@@ -198,13 +198,13 @@ void CountHistogram::MergeFrom(const CountHistogram& other) {
   uint64_t count;
   int64_t sum, max;
   {
-    std::lock_guard<std::mutex> lock(other.mu_);
+    MutexLock lock(other.mu_);
     std::memcpy(buckets, other.buckets_, sizeof(buckets));
     count = other.count_;
     sum = other.sum_;
     max = other.max_;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (int b = 0; b <= kMaxTracked; ++b) buckets_[b] += buckets[b];
   count_ += count;
   sum_ += sum;
@@ -212,7 +212,7 @@ void CountHistogram::MergeFrom(const CountHistogram& other) {
 }
 
 void CountHistogram::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::memset(buckets_, 0, sizeof(buckets_));
   count_ = 0;
   sum_ = 0;
@@ -223,7 +223,7 @@ std::string CountHistogram::Summary() const {
   uint64_t count;
   int64_t sum, max;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     count = count_;
     sum = sum_;
     max = max_;

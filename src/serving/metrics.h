@@ -9,9 +9,11 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace qcore {
 
@@ -47,10 +49,10 @@ class LatencyHistogram {
  private:
   int BucketFor(double seconds) const;
 
-  mutable std::mutex mu_;
-  uint64_t buckets_[kNumBuckets];
-  uint64_t count_ = 0;
-  double sum_ = 0.0;
+  mutable Mutex mu_;
+  uint64_t buckets_[kNumBuckets] QCORE_GUARDED_BY(mu_);
+  uint64_t count_ QCORE_GUARDED_BY(mu_) = 0;
+  double sum_ QCORE_GUARDED_BY(mu_) = 0.0;
 };
 
 // Small-integer histogram with exact unit buckets for 0..kMaxTracked-1 and
@@ -81,11 +83,11 @@ class CountHistogram {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  uint64_t buckets_[kMaxTracked + 1] = {};
-  uint64_t count_ = 0;
-  int64_t sum_ = 0;
-  int64_t max_ = 0;
+  mutable Mutex mu_;
+  uint64_t buckets_[kMaxTracked + 1] QCORE_GUARDED_BY(mu_) = {};
+  uint64_t count_ QCORE_GUARDED_BY(mu_) = 0;
+  int64_t sum_ QCORE_GUARDED_BY(mu_) = 0;
+  int64_t max_ QCORE_GUARDED_BY(mu_) = 0;
 };
 
 // Aggregate counters for one FleetServer. Plain atomics; accuracy is kept

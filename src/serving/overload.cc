@@ -59,7 +59,7 @@ AdmissionLimiter::AdmissionLimiter(AdmissionCaps fleet_caps)
                                             nullptr)) {}
 
 AdmissionNode* AdmissionLimiter::AddShard(AdmissionCaps caps) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   nodes_.push_back(std::make_unique<AdmissionNode>(AdmissionLevel::kShard,
                                                    caps, root_.get()));
   return nodes_.back().get();
@@ -69,7 +69,7 @@ AdmissionNode* AdmissionLimiter::AddSession(AdmissionNode* shard,
                                             AdmissionCaps caps) {
   QCORE_CHECK(shard != nullptr);
   QCORE_CHECK(shard->level() == AdmissionLevel::kShard);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   nodes_.push_back(std::make_unique<AdmissionNode>(AdmissionLevel::kSession,
                                                    caps, shard));
   return nodes_.back().get();
@@ -104,7 +104,7 @@ void AdmissionLimiter::Release(AdmissionNode* leaf, bool is_inference) {
 
 uint64_t AdmissionLimiter::refusals(AdmissionLevel level) const {
   if (level == AdmissionLevel::kFleet) return root_->refusals();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const auto& node : nodes_) {
     if (node->level() == level) total += node->refusals();

@@ -36,14 +36,15 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace qcore {
 
@@ -181,8 +182,10 @@ class AdmissionLimiter {
 
  private:
   std::unique_ptr<AdmissionNode> root_;
-  mutable std::mutex mu_;  // guards nodes_ growth only
-  std::vector<std::unique_ptr<AdmissionNode>> nodes_;
+  mutable Mutex mu_;
+  // Tree growth only — acquire/release never touch this vector, they walk
+  // parent pointers through nodes that are immutable once handed out.
+  std::vector<std::unique_ptr<AdmissionNode>> nodes_ QCORE_GUARDED_BY(mu_);
 };
 
 // ------------------------------------------------------------ retry policy

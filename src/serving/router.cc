@@ -54,8 +54,8 @@ void ShardedFleetServer::RegisterDevice(const std::string& device_id,
   // about — or vice versa — would break retirement's empty-shard
   // invariant). Fleets register devices up front or at device-arrival
   // rate, not per request.
-  std::lock_guard<std::mutex> control(control_mu_);
-  std::unique_lock<std::shared_mutex> lock(route_mu_);
+  MutexLock control(control_mu_);
+  WriterLock lock(route_mu_);
   QCORE_CHECK_MSG(device_shard_.count(device_id) == 0,
                   ("device registered twice: " + device_id).c_str());
   const int shard = ring_.ShardFor(device_id);
@@ -65,12 +65,12 @@ void ShardedFleetServer::RegisterDevice(const std::string& device_id,
 }
 
 bool ShardedFleetServer::HasDevice(const std::string& device_id) const {
-  std::shared_lock<std::shared_mutex> lock(route_mu_);
+  SharedLock lock(route_mu_);
   return device_shard_.count(device_id) > 0;
 }
 
 int ShardedFleetServer::num_sessions() const {
-  std::shared_lock<std::shared_mutex> lock(route_mu_);
+  SharedLock lock(route_mu_);
   return static_cast<int>(device_shard_.size());
 }
 
@@ -100,7 +100,7 @@ void ShardedFleetServer::Drain() {
   // The shared lock keeps the shard list stable (a concurrent Rebalance
   // waits until the drain finishes); shard drains are independent, so
   // sequential order is fine — each one only waits on its own work.
-  std::shared_lock<std::shared_mutex> lock(route_mu_);
+  SharedLock lock(route_mu_);
   for (auto& shard : shards_) shard->Drain();
 }
 
@@ -121,19 +121,19 @@ const ServingMetrics& ShardedFleetServer::metrics() const { return rollup_; }
 uint64_t ShardedFleetServer::MoveDevice(const std::string& device_id,
                                         int target_shard) {
   // Phase numbering follows the protocol in the file comment.
-  std::lock_guard<std::mutex> control(control_mu_);
+  MutexLock control(control_mu_);
   int source;
   {
     // Phase 2 — brief exclusive: validate, record the persistent placement
     // pin (an explicit move is an operator decision Rebalance keeps
     // honoring), and mark the device migrating. The exclusive acquisition
     // itself flushes every in-flight shared-lock submission.
-    std::unique_lock<std::shared_mutex> lock(route_mu_);
+    WriterLock lock(route_mu_);
     QCORE_CHECK(target_shard >= 0 &&
                 target_shard < static_cast<int>(shards_.size()));
     source = ShardIndexFor(device_id);
     pinned_[device_id] = target_shard;
-    std::lock_guard<std::mutex> mig(migration_mu_);
+    MutexLock mig(migration_mu_);
     migrating_.insert(device_id);
   }
   uint64_t version = 0;
@@ -142,13 +142,13 @@ uint64_t ShardedFleetServer::MoveDevice(const std::string& device_id,
     // Degenerate move: still publish the barrier (callers rely on getting a
     // version back), but skip the detach/attach. Runs under the shared lock
     // like any submission; control_mu_ keeps shards_ stable.
-    std::shared_lock<std::shared_mutex> lock(route_mu_);
+    SharedLock lock(route_mu_);
     version =
         shards_[static_cast<size_t>(source)]->PublishSnapshot(device_id).get();
   } else {
     // Phase 3 — the expensive drain + handoff, under the SHARED lock:
     // unrelated devices keep submitting throughout.
-    std::shared_lock<std::shared_mutex> lock(route_mu_);
+    SharedLock lock(route_mu_);
     const MigrationOutcome outcome =
         MigratePinned(device_id, source, target_shard);
     version = outcome.barrier_version;
@@ -156,7 +156,7 @@ uint64_t ShardedFleetServer::MoveDevice(const std::string& device_id,
   }
   {
     // Phase 4 — brief exclusive: publish the new placement.
-    std::unique_lock<std::shared_mutex> lock(route_mu_);
+    WriterLock lock(route_mu_);
     if (session_lost) {
       device_shard_.erase(device_id);
       pinned_.erase(device_id);
@@ -167,15 +167,15 @@ uint64_t ShardedFleetServer::MoveDevice(const std::string& device_id,
   {
     // Unpin and wake the device's parked submissions; they re-route to the
     // new shard (or fail FindSession's check if the session was lost).
-    std::lock_guard<std::mutex> mig(migration_mu_);
+    MutexLock mig(migration_mu_);
     migrating_.erase(device_id);
   }
-  migration_cv_.notify_all();
+  migration_cv_.NotifyAll();
   return version;
 }
 
 void ShardedFleetServer::ClearPin(const std::string& device_id) {
-  std::unique_lock<std::shared_mutex> lock(route_mu_);
+  WriterLock lock(route_mu_);
   pinned_.erase(device_id);
 }
 
@@ -205,7 +205,7 @@ ShardedFleetServer::MigrationOutcome ShardedFleetServer::MigratePinned(
 }
 
 void ShardedFleetServer::Rebalance(int new_shard_count) {
-  std::lock_guard<std::mutex> control(control_mu_);
+  MutexLock control(control_mu_);
   QCORE_CHECK_GT(new_shard_count, 0);
   HashRing new_ring(new_shard_count, options_.vnodes_per_shard);
   struct PlannedMove {
@@ -226,7 +226,7 @@ void ShardedFleetServer::Rebalance(int new_shard_count) {
     // device from device_shard_, which must not invalidate a live
     // iterator. Collection is map order (deterministic), so
     // barrier-snapshot versions are too.
-    std::unique_lock<std::shared_mutex> lock(route_mu_);
+    WriterLock lock(route_mu_);
     while (static_cast<int>(shards_.size()) < new_shard_count) {
       shards_.push_back(MakeShard(static_cast<int>(shards_.size())));
     }
@@ -241,7 +241,7 @@ void ShardedFleetServer::Rebalance(int new_shard_count) {
       }
       if (target != shard) moves.push_back({device_id, shard, target});
     }
-    std::lock_guard<std::mutex> mig(migration_mu_);
+    MutexLock mig(migration_mu_);
     for (const PlannedMove& m : moves) migrating_.insert(m.device_id);
   }
   // Per mover: long drain + handoff under the shared lock, brief exclusive
@@ -250,11 +250,11 @@ void ShardedFleetServer::Rebalance(int new_shard_count) {
   for (const PlannedMove& move : moves) {
     MigrationOutcome outcome;
     {
-      std::shared_lock<std::shared_mutex> lock(route_mu_);
+      SharedLock lock(route_mu_);
       outcome = MigratePinned(move.device_id, move.source, move.target);
     }
     {
-      std::unique_lock<std::shared_mutex> lock(route_mu_);
+      WriterLock lock(route_mu_);
       if (outcome.session_lost) {
         device_shard_.erase(move.device_id);
         pinned_.erase(move.device_id);
@@ -263,10 +263,10 @@ void ShardedFleetServer::Rebalance(int new_shard_count) {
       }
     }
     {
-      std::lock_guard<std::mutex> mig(migration_mu_);
+      MutexLock mig(migration_mu_);
       migrating_.erase(move.device_id);
     }
-    migration_cv_.notify_all();
+    migration_cv_.NotifyAll();
   }
   {
     // Final exclusive: retire surplus shards — every session has been
@@ -275,7 +275,7 @@ void ShardedFleetServer::Rebalance(int new_shard_count) {
     // touching one. Drain straggling control work, then destroy; their
     // events already live in the write-through rollup, so fleet totals
     // never regress.
-    std::unique_lock<std::shared_mutex> lock(route_mu_);
+    WriterLock lock(route_mu_);
     while (static_cast<int>(shards_.size()) > new_shard_count) {
       FleetServer* shard = shards_.back().get();
       QCORE_CHECK_MSG(shard->num_sessions() == 0,
@@ -289,23 +289,23 @@ void ShardedFleetServer::Rebalance(int new_shard_count) {
 }
 
 int ShardedFleetServer::num_shards() const {
-  std::shared_lock<std::shared_mutex> lock(route_mu_);
+  SharedLock lock(route_mu_);
   return static_cast<int>(shards_.size());
 }
 
 int ShardedFleetServer::ShardOf(const std::string& device_id) const {
-  std::shared_lock<std::shared_mutex> lock(route_mu_);
+  SharedLock lock(route_mu_);
   return ShardIndexFor(device_id);
 }
 
 int ShardedFleetServer::SessionCountOnShard(int shard) const {
-  std::shared_lock<std::shared_mutex> lock(route_mu_);
+  SharedLock lock(route_mu_);
   QCORE_CHECK(shard >= 0 && shard < static_cast<int>(shards_.size()));
   return shards_[static_cast<size_t>(shard)]->num_sessions();
 }
 
 const ServingMetrics& ShardedFleetServer::shard_metrics(int shard) const {
-  std::shared_lock<std::shared_mutex> lock(route_mu_);
+  SharedLock lock(route_mu_);
   QCORE_CHECK(shard >= 0 && shard < static_cast<int>(shards_.size()));
   return shards_[static_cast<size_t>(shard)]->metrics();
 }

@@ -52,16 +52,15 @@
 #ifndef QCORE_SERVING_ROUTER_H_
 #define QCORE_SERVING_ROUTER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "serving/backend.h"
 #include "serving/hash_ring.h"
 #include "serving/overload.h"
@@ -184,8 +183,9 @@ class ShardedFleetServer : public FleetBackend {
   // serializing against other control-plane work — the detach/attach only
   // touches shard-internal state, so the shared lock suffices.
   MigrationOutcome MigratePinned(const std::string& device_id, int source,
-                                 int target);
-  int ShardIndexFor(const std::string& device_id) const;  // shared lock held
+                                 int target) QCORE_REQUIRES_SHARED(route_mu_);
+  int ShardIndexFor(const std::string& device_id) const
+      QCORE_REQUIRES_SHARED(route_mu_);
 
   // Routes `device_id` and runs `fn(shard)` under the shared routing lock.
   // If the device is mid-migration, parks (without any lock that would
@@ -196,14 +196,16 @@ class ShardedFleetServer : public FleetBackend {
   auto WithRoutedShard(const std::string& device_id, Fn&& fn)
       -> decltype(fn(std::declval<FleetServer&>())) {
     for (;;) {
-      std::shared_lock<std::shared_mutex> lock(route_mu_);
+      SharedLock lock(route_mu_);
       const int shard = ShardIndexFor(device_id);
       {
-        std::unique_lock<std::mutex> mig(migration_mu_);
+        MutexLock mig(migration_mu_);
         if (migrating_.count(device_id) > 0) {
-          lock.unlock();  // park without holding up the routing plane
-          migration_cv_.wait(
-              mig, [&] { return migrating_.count(device_id) == 0; });
+          lock.Unlock();  // park without holding up the routing plane
+          migration_cv_.Wait(migration_mu_, [&]() {
+            migration_mu_.AssertHeld();
+            return migrating_.count(device_id) == 0;
+          });
           continue;  // re-route: the map may now point elsewhere
         }
       }
@@ -236,27 +238,27 @@ class ShardedFleetServer : public FleetBackend {
 
   // Serializes the control plane: MoveDevice, Rebalance, RegisterDevice.
   // Always taken before route_mu_ (see the file-comment lock order).
-  std::mutex control_mu_;
+  Mutex control_mu_;
 
   // Guards ring_/shards_/device_shard_/pinned_. Shared: submissions,
   // queries, and the long drain phase of a migration. Exclusive: only the
   // brief pin-insert and map-update phases, plus registration and shard
   // retirement.
-  mutable std::shared_mutex route_mu_;
+  mutable SharedMutex route_mu_;
 
   // The migration pin set: devices currently mid-handoff. Guarded by
   // migration_mu_ (taken after route_mu_ when both are held); parked
   // submitters wait on migration_cv_ in WithRoutedShard.
-  mutable std::mutex migration_mu_;
-  std::condition_variable migration_cv_;
-  std::set<std::string> migrating_;
-  HashRing ring_;
-  std::vector<std::unique_ptr<FleetServer>> shards_;
-  std::map<std::string, int> device_shard_;
+  mutable Mutex migration_mu_;
+  CondVar migration_cv_;
+  std::set<std::string> migrating_ QCORE_GUARDED_BY(migration_mu_);
+  HashRing ring_ QCORE_GUARDED_BY(route_mu_);
+  std::vector<std::unique_ptr<FleetServer>> shards_
+      QCORE_GUARDED_BY(route_mu_);
+  std::map<std::string, int> device_shard_ QCORE_GUARDED_BY(route_mu_);
   // Placement overrides from MoveDevice, consulted before the ring on every
-  // Rebalance (the policy layer the ROADMAP asked for). Guarded by
-  // route_mu_ like the rest of the routing state.
-  std::map<std::string, int> pinned_;
+  // Rebalance (the policy layer the ROADMAP asked for).
+  std::map<std::string, int> pinned_ QCORE_GUARDED_BY(route_mu_);
 };
 
 }  // namespace qcore

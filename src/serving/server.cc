@@ -122,7 +122,7 @@ void FleetServer::RegisterDevice(const std::string& device_id,
       AdmissionCaps{options_.max_queue_per_session,
                     options_.max_inference_queue_per_session,
                     options_.max_calibration_queue_per_session});
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   const bool inserted =
       sessions_.emplace(device_id, std::move(state)).second;
   QCORE_CHECK_MSG(inserted, ("device registered twice: " + device_id).c_str());
@@ -130,18 +130,18 @@ void FleetServer::RegisterDevice(const std::string& device_id,
 }
 
 bool FleetServer::HasDevice(const std::string& device_id) const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   return sessions_.count(device_id) > 0;
 }
 
 int FleetServer::num_sessions() const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   return static_cast<int>(sessions_.size());
 }
 
 FleetServer::SessionState* FleetServer::FindSession(
     const std::string& device_id) {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   auto it = sessions_.find(device_id);
   QCORE_CHECK_MSG(it != sessions_.end(),
                   ("unknown device: " + device_id).c_str());
@@ -168,18 +168,18 @@ void FleetServer::BarrierFlush(const std::string& device_id,
   }
 }
 
-std::unique_lock<std::mutex> FleetServer::QuiesceSession(
-    const std::string& device_id, SessionState* state) {
+void FleetServer::QuiesceSession(const std::string& device_id,
+                                 SessionState* state) {
   // Pending batched requests live outside the session FIFO; hand them to
   // the sink first so the idle wait below covers them. Quiesce is a
   // barrier like any other model-mutating entry point; its span is the
   // caller's current one (0 when quiescing outside any request).
   BarrierFlush(device_id, state, TraceRing::CurrentSpan());
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->idle_cv.wait(lock, [state]() {
+  state->mu.Lock();
+  state->idle_cv.Wait(state->mu, [state]() {
+    state->mu.AssertHeld();
     return state->queue.empty() && !state->pumping;
   });
-  return lock;
 }
 
 void FleetServer::WithSessionQuiesced(
@@ -189,8 +189,9 @@ void FleetServer::WithSessionQuiesced(
   // Holding the session lock across `fn` gives exclusive access: a pump
   // cannot pop (or start) a task, and concurrent submissions for the device
   // block in EnqueueOnSession until `fn` returns.
-  std::unique_lock<std::mutex> lock = QuiesceSession(device_id, state);
+  QuiesceSession(device_id, state);
   fn(state->session);
+  state->mu.Unlock();
 }
 
 Status FleetServer::AdmitTask(SessionState* state,
@@ -543,15 +544,14 @@ SessionHandoff FleetServer::DetachSession(const std::string& device_id) {
   // model only after every previously submitted task has run.
   handoff.barrier_version = PublishSnapshot(device_id).get();
   SessionState* state = FindSession(device_id);
-  {
-    // The publish future resolves inside the task; wait for the pump to
-    // fully release the session before serializing and freeing it.
-    std::unique_lock<std::mutex> lock = QuiesceSession(device_id, state);
-    BinaryWriter w;
-    state->session.SerializeContinuation(&w);
-    handoff.continuation = w.TakeBuffer();
-  }
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  // The publish future resolves inside the task; wait for the pump to
+  // fully release the session before serializing and freeing it.
+  QuiesceSession(device_id, state);
+  BinaryWriter w;
+  state->session.SerializeContinuation(&w);
+  handoff.continuation = w.TakeBuffer();
+  state->mu.Unlock();
+  MutexLock lock(sessions_mu_);
   sessions_.erase(device_id);
   wb_shard_->set_sessions(sessions_.size());
   return handoff;
@@ -584,7 +584,7 @@ void FleetServer::AttachSession(const SessionHandoff& handoff) {
                     options_.max_calibration_queue_per_session});
   TraceRing::Global().Record(TraceKind::kAttach, handoff.trace_span,
                              state->trace_name, shard_index_);
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   const bool inserted =
       sessions_.emplace(handoff.device_id, std::move(state)).second;
   QCORE_CHECK_MSG(inserted,
@@ -598,12 +598,12 @@ void FleetServer::EnqueueOnSession(SessionState* state,
                                    std::function<void()> task,
                                    TaskPriority priority) {
   {
-    std::lock_guard<std::mutex> lock(drain_mu_);
+    MutexLock lock(drain_mu_);
     ++in_flight_;
   }
   bool start_pump = false;
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(state->mu);
     state->queue.push_back(std::move(task));
     if (!state->pumping) {
       state->pumping = true;
@@ -624,13 +624,13 @@ void FleetServer::PumpSession(SessionState* state) {
   for (;;) {
     std::function<void()> task;
     {
-      std::lock_guard<std::mutex> lock(state->mu);
+      MutexLock lock(state->mu);
       if (state->queue.empty()) {
         state->pumping = false;
         // Wake quiesce waiters (WithSessionQuiesced, DetachSession) only
         // once the session is fully released; after the unlock below the
         // pump never touches `state` again.
-        state->idle_cv.notify_all();
+        state->idle_cv.NotifyAll();
         return;
       }
       task = std::move(state->queue.front());
@@ -642,8 +642,8 @@ void FleetServer::PumpSession(SessionState* state) {
 }
 
 void FleetServer::TaskFinished() {
-  std::lock_guard<std::mutex> lock(drain_mu_);
-  if (--in_flight_ == 0) drain_cv_.notify_all();
+  MutexLock lock(drain_mu_);
+  if (--in_flight_ == 0) drain_cv_.NotifyAll();
 }
 
 void FleetServer::Drain() {
@@ -656,8 +656,11 @@ void FleetServer::Drain() {
   // Wait on the server's own in-flight count, not the pool: a task counts
   // from submission, so Drain cannot slip through the window where a task
   // is queued on a session but its pump has not reached the pool yet.
-  std::unique_lock<std::mutex> lock(drain_mu_);
-  drain_cv_.wait(lock, [this]() { return in_flight_ == 0; });
+  MutexLock lock(drain_mu_);
+  drain_cv_.Wait(drain_mu_, [this]() {
+    drain_mu_.AssertHeld();
+    return in_flight_ == 0;
+  });
 }
 
 }  // namespace qcore

@@ -59,18 +59,18 @@
 #define QCORE_SERVING_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/continual.h"
 #include "runtime/thread_pool.h"
 #include "serving/backend.h"
@@ -241,10 +241,11 @@ class FleetServer : public FleetBackend {
     explicit SessionState(Args&&... args)
         : session(std::forward<Args>(args)...) {}
     CalibrationSession session;
-    std::mutex mu;                                // guards queue + pumping
-    std::condition_variable idle_cv;  // signaled when pumping stops
-    std::deque<std::function<void()>> queue;
-    bool pumping = false;  // a pool worker currently owns this session
+    Mutex mu;
+    CondVar idle_cv;  // signaled when pumping stops
+    std::deque<std::function<void()>> queue QCORE_GUARDED_BY(mu);
+    // A pool worker currently owns this session.
+    bool pumping QCORE_GUARDED_BY(mu) = false;
     // This session's leaf in the admission tree. Outstanding-task gauges
     // (queued here, pending in the batcher, or running) live on the node;
     // admission reserves leaf-to-root, so the legacy per-session bounds
@@ -299,11 +300,12 @@ class FleetServer : public FleetBackend {
   SessionState* FindSession(const std::string& device_id);
 
   // Flushes the device's pending batched group (if any), then blocks until
-  // the session's FIFO is empty and no pump owns it; returns holding the
-  // session lock so the caller has exclusive access. Must not run on a pool
-  // worker (it would wait for itself).
-  std::unique_lock<std::mutex> QuiesceSession(const std::string& device_id,
-                                              SessionState* state);
+  // the session's FIFO is empty and no pump owns it; returns holding
+  // `state->mu` so the caller has exclusive access (callers release it with
+  // an explicit state->mu.Unlock() after their critical section). Must not
+  // run on a pool worker (it would wait for itself).
+  void QuiesceSession(const std::string& device_id, SessionState* state)
+      QCORE_ACQUIRE(state->mu);
 
   // In-flight accounting: a task counts from EnqueueOnSession until its
   // closure has run. Drain() waits on this, not on the pool, because a task
@@ -338,12 +340,14 @@ class FleetServer : public FleetBackend {
   AdmissionLimiter* limiter_;
   AdmissionNode* shard_node_;
 
-  mutable std::mutex sessions_mu_;  // guards the map, not the sessions
-  std::map<std::string, std::unique_ptr<SessionState>> sessions_;
+  // Guards the map, not the sessions (each SessionState carries its own mu).
+  mutable Mutex sessions_mu_;
+  std::map<std::string, std::unique_ptr<SessionState>> sessions_
+      QCORE_GUARDED_BY(sessions_mu_);
 
-  std::mutex drain_mu_;
-  std::condition_variable drain_cv_;
-  int in_flight_ = 0;
+  Mutex drain_mu_;
+  CondVar drain_cv_;
+  int in_flight_ QCORE_GUARDED_BY(drain_mu_) = 0;
 
   // Destruction order (reverse of declaration) is load-bearing:
   //   1. batcher_ — joins the flusher and hands leftover groups to the

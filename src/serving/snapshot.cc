@@ -44,7 +44,7 @@ uint64_t SnapshotRegistry::Publish(const QuantizedModel& qm,
   snap->batches_seen = batches_seen;
   snap->bytes = w.TakeBuffer();
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   snap->version = next_version_++;
   std::shared_ptr<const ModelSnapshot> frozen = std::move(snap);
   const uint64_t version = frozen->version;
@@ -54,25 +54,25 @@ uint64_t SnapshotRegistry::Publish(const QuantizedModel& qm,
 }
 
 std::shared_ptr<const ModelSnapshot> SnapshotRegistry::Latest() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return store_->Latest();
 }
 
 std::shared_ptr<const ModelSnapshot> SnapshotRegistry::LatestFor(
     const std::string& device_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return store_->LatestFor(device_id);
 }
 
 std::shared_ptr<const ModelSnapshot> SnapshotRegistry::Get(
     uint64_t version) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return store_->Get(version);
 }
 
 std::shared_ptr<const ModelSnapshot> SnapshotRegistry::NearestFor(
     const std::string& device_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (auto own = store_->LatestFor(device_id)) return own;
   // Cohort-nearest: clockwise successor on the 64-bit ring, i.e. the device
   // whose hash is the smallest distance (hash(dev) - hash(id)) mod 2^64
@@ -104,17 +104,17 @@ Status SnapshotRegistry::RestoreInto(const ModelSnapshot& snapshot,
 }
 
 size_t SnapshotRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return store_->size();
 }
 
 WalStats SnapshotRegistry::wal_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return store_->wal_stats();
 }
 
 size_t SnapshotRegistry::TrimBelow(uint64_t min_version) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto dropped = store_->TrimBelow(min_version);
   QCORE_CHECK_MSG(dropped.ok(), "SnapshotRegistry: store trim failed");
   return dropped.value();
@@ -122,7 +122,7 @@ size_t SnapshotRegistry::TrimBelow(uint64_t min_version) {
 
 std::vector<uint8_t> SnapshotRegistry::ExportDelta(
     uint64_t since_version) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::shared_ptr<const ModelSnapshot>> picked;
   store_->ForEach([&](const std::shared_ptr<const ModelSnapshot>& snap) {
     if (snap->version > since_version) picked.push_back(snap);
@@ -194,7 +194,7 @@ Result<size_t> SnapshotRegistry::ImportDelta(
     return Status::Corruption("registry delta: trailing bytes");
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t imported = 0;
   for (ModelSnapshot& record : records) {
     if (store_->Has(record.version)) continue;  // idempotent re-import

@@ -22,11 +22,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "quant/quantized_model.h"
 
 namespace qcore {
@@ -120,9 +121,11 @@ class SnapshotRegistry {
   Result<size_t> ImportDelta(const std::vector<uint8_t>& delta);
 
  private:
-  mutable std::mutex mu_;
-  uint64_t next_version_ = 1;
-  std::unique_ptr<SnapshotStore> store_;
+  mutable Mutex mu_;
+  uint64_t next_version_ QCORE_GUARDED_BY(mu_) = 1;
+  // Stores are NOT internally synchronized; the registry serializes every
+  // access under mu_ (the pointer itself is set once in the constructor).
+  std::unique_ptr<SnapshotStore> store_ QCORE_PT_GUARDED_BY(mu_);
 };
 
 }  // namespace qcore

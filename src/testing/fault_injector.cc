@@ -43,7 +43,7 @@ FaultInjector::~FaultInjector() {
 
 void FaultInjector::Arm(FaultPoint point, FaultScript script) {
   QCORE_CHECK(point < FaultPoint::kNumFaultPoints);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PointState& state = points_[static_cast<size_t>(point)];
   state.armed = true;
   state.script = script;
@@ -52,22 +52,22 @@ void FaultInjector::Arm(FaultPoint point, FaultScript script) {
 
 void FaultInjector::Disarm(FaultPoint point) {
   QCORE_CHECK(point < FaultPoint::kNumFaultPoints);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   points_[static_cast<size_t>(point)].armed = false;
 }
 
 uint64_t FaultInjector::hits(FaultPoint point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return points_[static_cast<size_t>(point)].hits;
 }
 
 uint64_t FaultInjector::fired(FaultPoint point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return points_[static_cast<size_t>(point)].fired;
 }
 
 uint64_t FaultInjector::total_fired() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const PointState& state : points_) total += state.fired;
   return total;
@@ -90,7 +90,7 @@ bool FaultInjector::ShouldFire(FaultPoint point, uint64_t* arg) {
   uint64_t script_arg = 0;
   bool fire = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     PointState& state = points_[static_cast<size_t>(point)];
     ++state.hits;
     if (!state.armed) return false;

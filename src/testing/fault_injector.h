@@ -23,9 +23,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 
 namespace qcore {
 
@@ -147,9 +148,10 @@ class FaultInjector {
     uint64_t fired = 0;
   };
 
-  mutable std::mutex mu_;
-  Rng rng_;
-  PointState points_[static_cast<size_t>(FaultPoint::kNumFaultPoints)];
+  mutable Mutex mu_;
+  Rng rng_ QCORE_GUARDED_BY(mu_);
+  PointState points_[static_cast<size_t>(FaultPoint::kNumFaultPoints)]
+      QCORE_GUARDED_BY(mu_);
 };
 
 namespace chaos_internal {

@@ -516,8 +516,11 @@ TEST(WhiteboardTest, ImageSerializeRoundTrips) {
   server.RegisterDevice("a", f->qcore);
   server.RegisterDevice("b", f->qcore);
   // Mixed history including a shed, so the optional error fields serialize.
+  // The later submissions shed on the per-class cap by design; the futures
+  // (when admitted) are resolved by Drain below.
   for (int i = 0; i < 4; ++i) {
-    server.TrySubmitInference("a", f->target.test.x());
+    auto submitted = server.TrySubmitInference("a", f->target.test.x());
+    (void)submitted;
   }
   // And a deadline shed, so every v3 per-reason counter is non-trivially
   // populated: a sub-microsecond budget is already expired by the exec

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 #include <chrono>
 #include <future>
 #include <memory>
@@ -365,6 +366,43 @@ TEST(FleetBackendTest, WithSessionQuiescedWaitsOutQueuedWork) {
     EXPECT_EQ(inf.wait_for(std::chrono::seconds(0)),
               std::future_status::ready);
     EXPECT_NE(codes, f->base->AllCodes());
+    server->Drain();
+  }
+}
+
+TEST(FleetBackendTest, WithSessionQuiescedExcludesConcurrentSubmissions) {
+  // Regression for the QuiesceSession redesign: the old API returned a
+  // std::unique_lock from a helper (invisible to thread-safety analysis);
+  // the new contract is an annotated acquire with an explicit release in
+  // every caller. This pins both halves at runtime: work submitted WHILE
+  // the quiesced callback runs must not complete until it returns
+  // (exclusion), and must then complete promptly (the release actually
+  // happens — a leaked lock deadlocks this test instead of passing).
+  FleetFixture* f = GetFixture();
+  for (BackendKind kind : kAllBackends) {
+    SCOPED_TRACE(KindName(kind));
+    auto server = MakeBackend(kind, f, ServerOptions(2));
+    server->RegisterDevice("dev", f->qcore);
+
+    std::atomic<bool> submitter_started{false};
+    std::atomic<bool> inference_done{false};
+    std::thread submitter;
+    server->WithSessionQuiesced("dev", [&](CalibrationSession& session) {
+      (void)session;
+      submitter = std::thread([&]() {
+        submitter_started = true;
+        // Blocks on the session lock held by the quiesce until released.
+        auto fut = server->SubmitInference("dev", f->target.test.x());
+        fut.get();
+        inference_done = true;
+      });
+      while (!submitter_started.load()) std::this_thread::yield();
+      // Give the submitter real time to race; it must stay excluded.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      EXPECT_FALSE(inference_done.load());
+    });
+    submitter.join();  // hangs here if the quiesce leaked the session lock
+    EXPECT_TRUE(inference_done.load());
     server->Drain();
   }
 }

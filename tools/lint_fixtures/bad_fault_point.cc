@@ -1,0 +1,26 @@
+// lint-fixture-as: src/serving/bad_fault_point.cc
+// lint-expect: fault-point
+// A call site naming a point the catalog does not declare compiles fine
+// in a file that forward-declares its own enum — the lint is the net.
+#include <cstdint>
+
+namespace qcore {
+
+// Pretend catalog so the fixture is self-contained for the checker.
+enum class FaultPoint : uint8_t {
+  kWalAppendBitRot = 0,
+  kNumFaultPoints,
+};
+
+// testing/fault_injector.h sentinel for the self-test parser.
+// enum class FaultPoint lives in the real tree; the checker reads the
+// fixture's own pretend header text below.
+
+bool MaybeFault(FaultPoint, uint64_t* = nullptr);
+
+void BadSeam() {
+  // kTotallyMadeUpPoint is not in the catalog.
+  MaybeFault(FaultPoint::kTotallyMadeUpPoint);
+}
+
+}  // namespace qcore

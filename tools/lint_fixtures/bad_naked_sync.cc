@@ -1,0 +1,20 @@
+// lint-fixture-as: src/serving/bad_naked_sync.cc
+// lint-expect: naked-sync
+// A std primitive outside src/common/ is invisible to -Wthread-safety.
+#include <mutex>
+
+namespace qcore {
+
+class BadQueue {
+ public:
+  void Push(int v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    value_ = v;
+  }
+
+ private:
+  std::mutex mu_;
+  int value_ = 0;
+};
+
+}  // namespace qcore

@@ -1,0 +1,22 @@
+// lint-fixture-as: src/runtime/bad_raw_lock.cc
+// lint-expect: naked-sync
+// Raw .lock()/.unlock() pairs bypass the scoped wrappers (and their
+// annotations) even when the mutex itself is the wrapped type.
+#include "common/mutex.h"
+
+namespace qcore {
+
+class BadCounter {
+ public:
+  void Bump() {
+    mu_.lock();
+    ++n_;
+    mu_.unlock();
+  }
+
+ private:
+  Mutex mu_;
+  int n_ = 0;
+};
+
+}  // namespace qcore

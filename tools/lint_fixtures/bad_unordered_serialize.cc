@@ -1,0 +1,25 @@
+// lint-fixture-as: src/obs/bad_unordered_serialize.cc
+// lint-expect: unordered-serialize
+// Serialized bytes must not depend on hash-table iteration order.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace qcore {
+
+class BadRegistry {
+ public:
+  std::vector<uint8_t> Serialize() const {
+    std::vector<uint8_t> out;
+    for (const auto& entry : counters_) {
+      out.push_back(static_cast<uint8_t>(entry.second));
+    }
+    return out;
+  }
+
+ private:
+  std::unordered_map<std::string, int> counters_;
+};
+
+}  // namespace qcore

@@ -1,0 +1,15 @@
+// lint-fixture-as: src/serving/bad_wall_clock.cc
+// lint-expect: wall-clock
+// Unseeded randomness in the serving plane breaks the bit-identical
+// replay contract.
+#include <cstdlib>
+#include <random>
+
+namespace qcore {
+
+int BadJitter() {
+  std::random_device rd;
+  return static_cast<int>(rd()) + rand();
+}
+
+}  // namespace qcore

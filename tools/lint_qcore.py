@@ -1,0 +1,403 @@
+#!/usr/bin/env python3
+"""Repo-local lint for qcore's concurrency and determinism contracts.
+
+Four rule families, each enforcing an invariant the test suite relies on
+but a compiler cannot check by itself:
+
+  naked-sync          No std synchronization primitive (std::mutex,
+                      std::shared_mutex, std::condition_variable, the std
+                      lock adapters) and no raw .lock()/.unlock() calls
+                      outside src/common/. Everything must go through the
+                      annotated wrappers in common/mutex.h, or Clang's
+                      -Wthread-safety analysis is blind to it.
+  wall-clock          No wall-clock time or unseeded randomness in
+                      src/serving and src/runtime: rand()/srand(),
+                      time(NULL), std::random_device, system_clock. The
+                      serving plane's determinism contract (bit-identical
+                      results for a given seed) only holds if every clock
+                      is steady and every RNG is seeded (common/rng.h).
+  unordered-serialize No iteration over an unordered container inside a
+                      Serialize function. Unordered iteration order varies
+                      by implementation/run; serialized bytes must not.
+  fault-point         The FaultPoint catalog (testing/fault_injector.h),
+                      its FaultPointName switch, and every MaybeFault /
+                      Arm call site agree: each enum member has the
+                      lowerCamel name the trace plane interns, and no call
+                      site names a point the catalog does not declare.
+
+A finding can be waived on its own line with `// lint:allow(<rule>)`.
+
+Exit status: 0 = clean, 1 = findings, 2 = usage/internal error.
+`--self-test` runs every rule against the known-bad fixtures in
+tools/lint_fixtures/ and exits nonzero unless each fixture trips exactly
+its declared rules (and the clean fixture trips none).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# ---------------------------------------------------------------- findings
+
+
+class Finding:
+    def __init__(self, rule, path, line_no, line, message):
+        self.rule = rule
+        self.path = path
+        self.line_no = line_no
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s\n    %s" % (
+            self.path, self.line_no, self.rule, self.message,
+            self.line.strip())
+
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([\w-]+)\)")
+
+
+def allowed(rule, line):
+    m = ALLOW_RE.search(line)
+    return m is not None and m.group(1) == rule
+
+
+def strip_comments_and_strings(line):
+    """Best-effort removal of // comments and string literals so patterns
+    inside them don't trip rules. Keeps column alignment irrelevant (we
+    only report whole lines)."""
+    line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
+    line = re.sub(r"//.*", "", line)
+    return line
+
+
+# ------------------------------------------------------------- rule: sync
+
+NAKED_SYNC_RE = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(_any)?|lock_guard|unique_lock|shared_lock|"
+    r"scoped_lock)\b")
+RAW_LOCK_CALL_RE = re.compile(
+    r"[\w\)\]]\s*(\.|->)\s*(lock|unlock|try_lock|lock_shared|"
+    r"unlock_shared)\s*\(")
+
+
+def check_naked_sync(path, rel, lines):
+    """Rule naked-sync: annotated wrappers only, outside src/common/."""
+    out = []
+    if not rel.startswith("src/") or rel.startswith("src/common/"):
+        return out
+    for i, raw in enumerate(lines, 1):
+        if allowed("naked-sync", raw):
+            continue
+        line = strip_comments_and_strings(raw)
+        m = NAKED_SYNC_RE.search(line)
+        if m:
+            out.append(Finding(
+                "naked-sync", path, i, raw,
+                "use the annotated wrappers in common/mutex.h instead of "
+                "std::" + m.group(1)))
+            continue
+        m = RAW_LOCK_CALL_RE.search(line)
+        if m:
+            out.append(Finding(
+                "naked-sync", path, i, raw,
+                "raw ." + m.group(2) + "() call; use MutexLock/SharedLock "
+                "or the wrapper's Lock()/Unlock()"))
+    return out
+
+
+# -------------------------------------------------------- rule: wall-clock
+
+WALL_CLOCK_PATTERNS = [
+    (re.compile(r"(?<![\w:])s?rand\s*\("),
+     "rand()/srand() is unseeded global state; use common/rng.h"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(NULL|nullptr|0)\s*\)"),
+     "wall-clock time() breaks replayability; use a steady clock or a "
+     "seeded Rng"),
+    (re.compile(r"std::random_device\b"),
+     "std::random_device is unseeded; thread a seed through common/rng.h"),
+    (re.compile(r"(std::chrono::)?system_clock\b"),
+     "system_clock is wall time (can jump); use steady_clock"),
+]
+
+
+def check_wall_clock(path, rel, lines):
+    """Rule wall-clock: serving/runtime stay deterministic and monotonic."""
+    out = []
+    if not (rel.startswith("src/serving/") or rel.startswith("src/runtime/")):
+        return out
+    for i, raw in enumerate(lines, 1):
+        if allowed("wall-clock", raw):
+            continue
+        line = strip_comments_and_strings(raw)
+        for pattern, why in WALL_CLOCK_PATTERNS:
+            if pattern.search(line):
+                out.append(Finding("wall-clock", path, i, raw, why))
+                break
+    return out
+
+
+# ------------------------------------------- rule: unordered-serialize
+
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s+(\w+)")
+SERIALIZE_DEF_RE = re.compile(r"[\w:>\]]\s+(\w*Serialize\w*)\s*\([^;]*$|"
+                              r"[\w:>\]]\s+(\w*Serialize\w*)\s*\(.*\)\s*"
+                              r"(const)?\s*{")
+RANGE_FOR_RE = re.compile(r"for\s*\(.*:\s*&?\s*([A-Za-z_]\w*)\s*\)")
+
+
+def check_unordered_serialize(path, rel, lines):
+    """Rule unordered-serialize: serialized bytes must not depend on hash
+    iteration order. Heuristic: inside a function whose name contains
+    'Serialize', flag range-for over any variable declared as an unordered
+    container in the same file."""
+    out = []
+    if not rel.startswith("src/"):
+        return out
+    unordered_names = set()
+    for raw in lines:
+        line = strip_comments_and_strings(raw)
+        for m in UNORDERED_DECL_RE.finditer(line):
+            unordered_names.add(m.group(1))
+    if not unordered_names:
+        return out
+    in_serialize = False
+    depth = 0
+    for i, raw in enumerate(lines, 1):
+        line = strip_comments_and_strings(raw)
+        if not in_serialize:
+            if SERIALIZE_DEF_RE.search(line):
+                in_serialize = True
+                depth = line.count("{") - line.count("}")
+        else:
+            depth += line.count("{") - line.count("}")
+            if depth <= 0 and "}" in line:
+                in_serialize = False
+                continue
+            if allowed("unordered-serialize", raw):
+                continue
+            m = RANGE_FOR_RE.search(line)
+            if m and m.group(1) in unordered_names:
+                out.append(Finding(
+                    "unordered-serialize", path, i, raw,
+                    "iterating unordered container '" + m.group(1) +
+                    "' in a Serialize path; order is not deterministic"))
+    return out
+
+
+# ------------------------------------------------------ rule: fault-point
+
+FAULT_ENUM_RE = re.compile(r"^\s*(k[A-Z]\w*)\s*(=\s*\d+\s*)?,")
+FAULT_CASE_RE = re.compile(
+    r"case\s+FaultPoint::(k\w+)\s*:(?:\s*return\s*\"(\w+)\";)?")
+FAULT_CASE_RETURN_RE = re.compile(r"^\s*return\s*\"(\w+)\";")
+FAULT_USE_RE = re.compile(r"FaultPoint::(k\w+)")
+
+
+def lower_camel(member):
+    # kWalAppendBitRot -> walAppendBitRot
+    body = member[1:]
+    return body[0].lower() + body[1:]
+
+
+def parse_fault_catalog(header_text):
+    members = []
+    in_enum = False
+    for line in header_text.splitlines():
+        stripped = strip_comments_and_strings(line)
+        if "enum class FaultPoint" in stripped:
+            in_enum = True
+            continue
+        if in_enum:
+            if "}" in stripped:
+                break
+            m = FAULT_ENUM_RE.match(stripped)
+            if m:
+                members.append(m.group(1))
+    return members
+
+
+def check_fault_points(files):
+    """Rule fault-point: catalog, name switch, and call sites agree."""
+    out = []
+    header = impl = None
+    for path, rel, lines in files:
+        stripped = "\n".join(strip_comments_and_strings(l) for l in lines)
+        # The catalog normally lives in testing/fault_injector.h; fixtures
+        # carry a self-contained pretend catalog, so detect by content.
+        if "enum class FaultPoint" in stripped and (
+                header is None or rel.endswith("testing/fault_injector.h")):
+            header = (path, lines)
+        if rel.endswith("testing/fault_injector.cc") or (
+                "FaultPointName" in stripped
+                and "case FaultPoint::" in stripped):
+            impl = (path, lines)
+    if header is None:
+        return out  # nothing to check in this tree
+    members = parse_fault_catalog("\n".join(header[1]))
+    sentinel = "kNumFaultPoints"
+    valid = set(members)
+    # Every FaultPoint::kX use anywhere must be a declared member.
+    for path, rel, lines in files:
+        for i, raw in enumerate(lines, 1):
+            if allowed("fault-point", raw):
+                continue
+            line = strip_comments_and_strings(raw)
+            for m in FAULT_USE_RE.finditer(line):
+                if m.group(1) not in valid:
+                    out.append(Finding(
+                        "fault-point", path, i, raw,
+                        "FaultPoint::" + m.group(1) + " is not declared in "
+                        "the catalog (testing/fault_injector.h)"))
+    # The FaultPointName switch must return the lowerCamel form of every
+    # member (the string the trace plane interns as 'fault:<name>').
+    if impl is not None:
+        named = {}
+        pending = None
+        for i, raw in enumerate(impl[1], 1):
+            # Keep string literals: the case's return value IS the check.
+            line = re.sub(r"//.*", "", raw)
+            if pending is not None:
+                m = FAULT_CASE_RETURN_RE.match(line)
+                if m:
+                    named[pending[0]] = (m.group(1), pending[1])
+                pending = None
+            m = FAULT_CASE_RE.search(line)
+            if m:
+                if m.group(2) is not None:
+                    named[m.group(1)] = (m.group(2), i)
+                else:
+                    pending = (m.group(1), i)
+        for member in members:
+            if member == sentinel:
+                continue
+            if member not in named:
+                out.append(Finding(
+                    "fault-point", impl[0], 1, "FaultPointName(...)",
+                    "no FaultPointName case for FaultPoint::" + member))
+            elif named[member][0] != lower_camel(member):
+                name, line_no = named[member]
+                out.append(Finding(
+                    "fault-point", impl[0], line_no,
+                    'return "%s";' % name,
+                    "FaultPointName(%s) is \"%s\"; expected the lowerCamel "
+                    "form \"%s\"" % (member, name, lower_camel(member))))
+    return out
+
+
+# ----------------------------------------------------------------- driver
+
+SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
+EXTS = (".h", ".cc", ".cpp")
+
+
+def collect_files(root):
+    files = []
+    for scan in SCAN_DIRS:
+        base = os.path.join(root, scan)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [d for d in dirnames if d != "lint_fixtures"]
+            for fn in sorted(filenames):
+                if not fn.endswith(EXTS):
+                    continue
+                path = os.path.join(dirpath, fn)
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                with open(path, "r", encoding="utf-8") as f:
+                    files.append((path, rel, f.read().splitlines()))
+    return files
+
+
+def run_rules(files):
+    findings = []
+    for path, rel, lines in files:
+        findings += check_naked_sync(path, rel, lines)
+        findings += check_wall_clock(path, rel, lines)
+        findings += check_unordered_serialize(path, rel, lines)
+    findings += check_fault_points(files)
+    return findings
+
+
+# -------------------------------------------------------------- self-test
+
+FIXTURE_AS_RE = re.compile(r"//\s*lint-fixture-as:\s*(\S+)")
+FIXTURE_EXPECT_RE = re.compile(r"//\s*lint-expect:\s*([\w-]+)")
+
+
+def self_test():
+    """Each fixture declares the path it pretends to live at
+    (`// lint-fixture-as: src/serving/x.cc`) and the rules it must trip
+    (`// lint-expect: naked-sync`, one line per expected rule; none for
+    the clean fixture). The self-test fails on any mismatch — including a
+    rule firing where it shouldn't, the regression mode that quietly turns
+    a lint into noise."""
+    fixture_dir = os.path.join(REPO_ROOT, "tools", "lint_fixtures")
+    if not os.path.isdir(fixture_dir):
+        print("lint self-test: missing " + fixture_dir, file=sys.stderr)
+        return 2
+    failures = 0
+    ran = 0
+    for fn in sorted(os.listdir(fixture_dir)):
+        if not fn.endswith(EXTS):
+            continue
+        path = os.path.join(fixture_dir, fn)
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+        as_m = FIXTURE_AS_RE.search(text)
+        if not as_m:
+            print("self-test: %s lacks a lint-fixture-as header" % fn,
+                  file=sys.stderr)
+            failures += 1
+            continue
+        pretend = as_m.group(1)
+        expected = sorted(FIXTURE_EXPECT_RE.findall(text))
+        files = [(path, pretend, text.splitlines())]
+        got = sorted(set(f.rule for f in run_rules(files)))
+        ran += 1
+        if got != sorted(set(expected)):
+            print("self-test FAIL %s (as %s): expected rules %s, got %s"
+                  % (fn, pretend, expected or ["<none>"], got or ["<none>"]),
+                  file=sys.stderr)
+            failures += 1
+        else:
+            print("self-test ok   %s: %s" % (fn, expected or ["clean"]))
+    if ran == 0:
+        print("self-test: no fixtures found", file=sys.stderr)
+        return 2
+    if failures:
+        print("lint self-test: %d fixture(s) failed" % failures,
+              file=sys.stderr)
+        return 1
+    print("lint self-test: %d fixture(s) passed" % ran)
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=REPO_ROOT,
+                        help="repo root to scan (default: the checkout)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the rules against tools/lint_fixtures/")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    findings = run_rules(collect_files(args.root))
+    for f in findings:
+        print(f)
+    if findings:
+        print("\nlint_qcore: %d finding(s)" % len(findings), file=sys.stderr)
+        return 1
+    print("lint_qcore: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
