@@ -13,6 +13,7 @@ using namespace qcore::bench;
 int main() {
   std::printf("== Figure 5: quantization-miss PMFs (DSA Subj. 1, "
               "InceptionTime) ==\n");
+  ReportRunEnvironment();
   HarSpec spec = HarSpec::Dsa();
   BenchConfig config = BenchConfig::TimeSeries();
   ExperimentLab lab("InceptionTime", LoadHar(spec, 0), config);

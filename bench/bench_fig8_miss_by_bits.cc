@@ -48,6 +48,7 @@ void Report(const char* title, const HarSpec& spec, int subject) {
 
 int main() {
   std::printf("== Figure 8: miss distributions by bit-width ==\n");
+  ReportRunEnvironment();
   Report("DSA Subj. 1", HarSpec::Dsa(), 0);
   Report("USC Subj. 6", HarSpec::Usc(), 5);
   std::printf(

@@ -15,6 +15,7 @@ using namespace qcore::bench;
 int main() {
   std::printf("== Figure 9(a): convergence on the first stream batch "
               "(DSA Subj. 1 -> Subj. 2, 4-bit) ==\n\n");
+  ReportRunEnvironment();
   HarSpec spec = HarSpec::Dsa();
   BenchConfig config = BenchConfig::TimeSeries();
   ExperimentLab lab("InceptionTime", LoadHar(spec, 0), config);

@@ -11,6 +11,7 @@ using namespace qcore::bench;
 int main() {
   std::printf("== Figure 9(b): accuracy vs buffer/subset size "
               "(DSA Subj. 1 -> Subj. 2, 4-bit) ==\n\n");
+  ReportRunEnvironment();
   HarSpec spec = HarSpec::Dsa();
   BenchConfig config = BenchConfig::TimeSeries();
   ExperimentLab lab("InceptionTime", LoadHar(spec, 0), config);

@@ -24,6 +24,14 @@
 namespace qcore {
 namespace {
 
+// Every kernel entry reports the GEMM thread budget it ran under so
+// baseline_micro.json rows are unambiguous across hosts: classic entries
+// are pinned to 1 (main() below), the *Wide sections set their own. The
+// checker refuses to compare entries whose thread counts differ.
+void ReportThreads(benchmark::State& state, int threads) {
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
   Rng rng(1);
@@ -33,6 +41,7 @@ void BM_MatMul(benchmark::State& state) {
     benchmark::DoNotOptimize(MatMul(a, b));
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
+  ReportThreads(state, 1);
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
@@ -45,6 +54,7 @@ void BM_MatMulNaive(benchmark::State& state) {
     benchmark::DoNotOptimize(naive::MatMul(a, b));
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
+  ReportThreads(state, 1);
 }
 BENCHMARK(BM_MatMulNaive)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
@@ -59,6 +69,7 @@ void BM_MatMulTransposedB(benchmark::State& state) {
     benchmark::DoNotOptimize(MatMulTransposedB(a, b));
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
+  ReportThreads(state, 1);
 }
 BENCHMARK(BM_MatMulTransposedB)->Arg(128);
 
@@ -71,6 +82,7 @@ void BM_MatMulTransposedA(benchmark::State& state) {
     benchmark::DoNotOptimize(MatMulTransposedA(a, b));
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
+  ReportThreads(state, 1);
 }
 BENCHMARK(BM_MatMulTransposedA)->Arg(128);
 
@@ -81,6 +93,7 @@ void BM_Conv1dForward(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(conv.Forward(x, false));
   }
+  ReportThreads(state, 1);
 }
 BENCHMARK(BM_Conv1dForward);
 
@@ -93,6 +106,7 @@ void BM_Conv1dForwardNaive(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(naive::Conv1dForward(x, w, b, 1, 2));
   }
+  ReportThreads(state, 1);
 }
 BENCHMARK(BM_Conv1dForwardNaive);
 
@@ -106,6 +120,7 @@ void BM_Conv1dBackward(benchmark::State& state) {
     conv.ZeroGrad();
     benchmark::DoNotOptimize(conv.Backward(g));
   }
+  ReportThreads(state, 1);
 }
 BENCHMARK(BM_Conv1dBackward);
 
@@ -123,6 +138,7 @@ void BM_Conv1dBackwardNaive(benchmark::State& state) {
     db.SetZero();
     benchmark::DoNotOptimize(naive::Conv1dBackward(x, w, g, 1, 2, &dw, &db));
   }
+  ReportThreads(state, 1);
 }
 BENCHMARK(BM_Conv1dBackwardNaive);
 
@@ -133,6 +149,7 @@ void BM_Conv2dForward(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(conv.Forward(x, false));
   }
+  ReportThreads(state, 1);
 }
 BENCHMARK(BM_Conv2dForward);
 
@@ -145,6 +162,7 @@ void BM_Conv2dForwardNaive(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(naive::Conv2dForward(x, w, b, 1, 1));
   }
+  ReportThreads(state, 1);
 }
 BENCHMARK(BM_Conv2dForwardNaive);
 
@@ -158,6 +176,7 @@ void BM_Conv2dBackward(benchmark::State& state) {
     conv.ZeroGrad();
     benchmark::DoNotOptimize(conv.Backward(g));
   }
+  ReportThreads(state, 1);
 }
 BENCHMARK(BM_Conv2dBackward);
 
@@ -175,6 +194,7 @@ void BM_Conv2dBackwardNaive(benchmark::State& state) {
     db.SetZero();
     benchmark::DoNotOptimize(naive::Conv2dBackward(x, w, g, 1, 1, &dw, &db));
   }
+  ReportThreads(state, 1);
 }
 BENCHMARK(BM_Conv2dBackwardNaive);
 
@@ -194,8 +214,93 @@ void BM_Im2ColPack(benchmark::State& state) {
     benchmark::DoNotOptimize(col.data());
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(col.size()));
+  ReportThreads(state, 1);
 }
 BENCHMARK(BM_Im2ColPack);
+
+// ------------------- multithreaded GEMM / conv (panel-parallel) -----------
+//
+// The MT section behind the perf CI speedup floor: BM_MatMulWide/<n>/<t>
+// runs the same GEMM at an explicit thread budget with the crossover
+// disabled, so the /512/4-vs-/512/1 ratio is a pure scaling measurement
+// (check_perf_regression.py enforces >= 2x on hosts with >= 4 cores and
+// skips below — oversubscribed threads can't demonstrate scaling).
+void BM_MatMulWide(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  kernels::set_gemm_threads(threads);
+  kernels::set_gemm_parallel_min_work(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  kernels::set_gemm_parallel_min_work(kernels::kDefaultGemmParallelMinWork);
+  kernels::set_gemm_threads(1);
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  ReportThreads(state, threads);
+}
+BENCHMARK(BM_MatMulWide)
+    ->Args({128, 1})
+    ->Args({128, 2})
+    ->Args({128, 4})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4})
+    ->UseRealTime();
+
+// Crossover-policy section: thread budget 4 but the DEFAULT min-work
+// threshold, so the dispatcher decides per shape. The `wide` counter shows
+// the decision (1 = fanned out, 0 = stayed narrow): with the 4Mi default
+// the boundary falls between 160^3 and 192^3. Retune
+// kDefaultGemmParallelMinWork when the narrow side of the boundary gets
+// slower than the wide side on the sizes below.
+void BM_MatMulCrossover(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  kernels::set_gemm_threads(4);
+  const kernels::GemmDispatchCounters before =
+      kernels::ThreadGemmDispatchCounters();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  const kernels::GemmDispatchCounters after =
+      kernels::ThreadGemmDispatchCounters();
+  kernels::set_gemm_threads(1);
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  ReportThreads(state, 4);
+  state.counters["wide"] = after.wide > before.wide ? 1.0 : 0.0;
+}
+BENCHMARK(BM_MatMulCrossover)
+    ->Arg(96)
+    ->Arg(128)
+    ->Arg(160)
+    ->Arg(192)
+    ->Arg(256)
+    ->UseRealTime();
+
+// A conv whose im2col-lowered GEMM (m=64, n=1024, k=288 per sample) clears
+// the default crossover: the whole lowered path — im2col fan-out plus
+// panel-parallel GEMM — under an explicit thread budget.
+void BM_Conv2dForwardWide(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  Rng rng(24);
+  Conv2d conv(32, 64, 3, 1, 1, &rng);
+  Tensor x = Tensor::Randn({4, 32, 32, 32}, &rng);
+  kernels::set_gemm_threads(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x, false));
+  }
+  kernels::set_gemm_threads(1);
+  ReportThreads(state, threads);
+}
+BENCHMARK(BM_Conv2dForwardWide)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_Quantize(benchmark::State& state) {
   Rng rng(4);
@@ -262,4 +367,16 @@ BENCHMARK(BM_QuantizedForwardResNetTiny);
 }  // namespace
 }  // namespace qcore
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): pin the kernel thread budget to
+// 1 before any benchmark runs, so the classic (single-thread) entries mean
+// the same thing on every host regardless of core count or a stray
+// QCORE_GEMM_THREADS in the environment. The *Wide/*Crossover sections set
+// their own budget explicitly and restore 1 on exit.
+int main(int argc, char** argv) {
+  qcore::kernels::set_gemm_threads(1);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -45,6 +45,7 @@
 #include "serving/server.h"
 #include "serving/snapshot.h"
 #include "serving/snapshot_store.h"
+#include "tensor/kernels.h"
 
 using namespace qcore;
 using namespace qcore::bench;
@@ -252,6 +253,7 @@ int main() {
               "(4-bit, USC-like HAR, simulated link RTT %.0fms, burst %d) "
               "==\n\n",
               num_devices, batches_per_device, BenchRttMs(), kBurst);
+  ReportRunEnvironment();
   FleetSetup setup = PrepareFleet(num_devices, batches_per_device);
 
   std::vector<int> thread_counts;
@@ -514,6 +516,7 @@ int main() {
         << "    \"batches_per_device\": " << batches_per_device << ",\n"
         << "    \"threads\": " << gate_threads << ",\n"
         << "    \"max_batch\": 4,\n"
+        << "    \"gemm_threads\": " << kernels::gemm_threads() << ",\n"
         << "    \"rtt_ms\": " << BenchRttMs() << "\n"
         << "  }\n}\n";
     if (!out.good()) {

@@ -14,6 +14,7 @@ using namespace qcore::bench;
 int main() {
   std::printf("== Table 4: accuracy by subset type (DSA, InceptionTime, "
               "subset size 30) ==\n");
+  ReportRunEnvironment();
   HarSpec spec = HarSpec::Dsa();
   BenchConfig config = BenchConfig::TimeSeries();
   ExperimentLab lab("InceptionTime", LoadHar(spec, 0), config);

@@ -52,6 +52,7 @@ void RunScenario(const char* dataset, const HarSpec& spec,
 int main() {
   std::printf("== Table 5: continual-learning accuracy, time series "
               "(QCore/buffer size 30) ==\n");
+  ReportRunEnvironment();
   HarSpec dsa = HarSpec::Dsa();
   HarSpec usc = HarSpec::Usc();
 

@@ -54,6 +54,7 @@ void RunScenario(const ImageSpec& spec, const std::string& model,
 int main() {
   std::printf("== Table 6: continual-learning accuracy, images "
               "(QCore/buffer size 30) ==\n");
+  ReportRunEnvironment();
   ImageSpec spec = ImageSpec::Caltech10();
   RunScenario(spec, "ResNet18", "DSLR", "Amazon");
   if (!FastMode()) {

@@ -53,6 +53,7 @@ void RunScenario(const char* dataset, const HarSpec& spec, int source,
 
 int main() {
   std::printf("== Table 7: ablation study (4-bit, subset size 30) ==\n");
+  ReportRunEnvironment();
   RunScenario("DSA", HarSpec::Dsa(), 0, 1);
   if (!FastMode()) {
     RunScenario("USC", HarSpec::Usc(), 5, 6);

@@ -67,6 +67,7 @@ void RunDataset(const char* name, const HarSpec& spec) {
 int main() {
   std::printf("== Table 8: coreset construction strategies "
               "(subset size 30, no continual calibration) ==\n");
+  ReportRunEnvironment();
   RunDataset("DSA", HarSpec::Dsa());
   if (!FastMode()) {
     RunDataset("USC", HarSpec::Usc());

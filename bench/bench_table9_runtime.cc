@@ -26,6 +26,7 @@ std::vector<double> RunRow(ExperimentLab* lab, const DomainData& target) {
 int main() {
   std::printf("== Table 9: average running time per calibration "
               "(seconds, 4-bit) ==\n\n");
+  ReportRunEnvironment();
   std::vector<std::string> header = {"Data"};
   for (const auto& m : BaselineNames()) header.push_back(m);
   header.push_back("QCore");

@@ -10,7 +10,19 @@ current run — and fails (exit 1) when either:
      aggregates are present), or
   2. a blocked-vs-naive speedup floor no longer holds (these ratios are
      measured within the current run only, so they are robust to host
-     differences between whoever committed the baseline and the CI runner).
+     differences between whoever committed the baseline and the CI runner),
+     or
+  3. the multithreaded GEMM scaling floor no longer holds: BM_MatMulWide/512
+     at 4 threads must be >= MT_SPEEDUP_FLOOR x faster (real_time) than the
+     same shape at 1 thread. Within the current run only, and only enforced
+     when the run's own context reports >= MT_MIN_CPUS cores — on smaller
+     hosts the threads oversubscribe and the ratio measures the scheduler,
+     not the kernel, so the check prints a skip note instead.
+
+Entries carry a ``threads`` counter (the GEMM thread budget they ran
+under); the baseline comparison refuses to compare a pair whose thread
+counts differ, so a baseline recorded at one budget can never silently
+gate a run at another.
 
 Macro (optional, ``--serving-baseline``/``--serving-current``): consumes
 two ``bench_serving_throughput`` QCORE_BENCH_JSON outputs — the committed
@@ -56,6 +68,11 @@ TRACKED = [
     "BM_Conv2dForward",
     "BM_Conv2dBackward",
     "BM_Im2ColPack",
+    # Multithreaded sections at budget 1: the panel-parallel dispatch path's
+    # fixed overhead is gated even on single-core runners (the scaling
+    # itself is gated by MT_SPEEDUP_FLOOR below).
+    "BM_MatMulWide/512/1/real_time",
+    "BM_Conv2dForwardWide/1/real_time",
 ]
 
 # (blocked, naive) pairs and the minimum speedup each must sustain.
@@ -69,6 +86,14 @@ SPEEDUP_FLOORS = [
 
 REGRESSION_TOLERANCE = 0.15  # fail if >15% slower than baseline
 
+# Multithreaded GEMM scaling gate: (wide, single-thread, floor), compared on
+# real_time within the current run, enforced only on hosts with enough
+# cores to run the wide entry's threads in parallel.
+MT_SPEEDUP_FLOORS = [
+    ("BM_MatMulWide/512/4/real_time", "BM_MatMulWide/512/1/real_time", 2.0),
+]
+MT_MIN_CPUS = 4
+
 # Macro serving gates (see module docstring). Throughput and latency get
 # wider tolerances than the micro kernels: the macro numbers fold in
 # thread scheduling and simulated-RTT overlap, which are noisier than a
@@ -78,11 +103,17 @@ SERVING_P99_CEILING = 1.25     # p99 latency must stay <= 125% of baseline
 TRACING_OVERHEAD_FLOOR = 0.85  # traced tasks/s >= 85% of untraced, hard
 
 
-def load_times(path):
-    """name -> cpu_time in ns; prefers *_median aggregates when present."""
+def load_run(path):
+    """Parses a google-benchmark JSON file.
+
+    Returns (entries, num_cpus): entries maps name -> dict with cpu_time
+    and real_time in ns plus the threads counter (None when the entry
+    predates thread reporting); prefers *_median aggregates when present.
+    num_cpus is the run's own context.num_cpus (0 when absent).
+    """
     with open(path) as f:
         data = json.load(f)
-    times = {}
+    entries = {}
     for b in data.get("benchmarks", []):
         name = b["name"]
         if name.endswith(("_mean", "_stddev", "_cv", "_min", "_max")):
@@ -91,8 +122,12 @@ def load_times(path):
             name = name[: -len("_median")]
         # A repetition entry and a median aggregate never share a name after
         # stripping: aggregates_only runs emit aggregates only.
-        times[name] = float(b["cpu_time"])
-    return times
+        entries[name] = {
+            "cpu_time": float(b["cpu_time"]),
+            "real_time": float(b["real_time"]),
+            "threads": int(b["threads"]) if "threads" in b else None,
+        }
+    return entries, int(data.get("context", {}).get("num_cpus", 0))
 
 
 def load_serving(path):
@@ -158,13 +193,13 @@ def main():
     args = parser.parse_args()
     if bool(args.serving_baseline) != bool(args.serving_current):
         parser.error("--serving-baseline and --serving-current go together")
-    baseline = load_times(args.micro_baseline)
-    current = load_times(args.micro_current)
+    baseline, _ = load_run(args.micro_baseline)
+    current, cur_cpus = load_run(args.micro_current)
     strict = os.environ.get("QCORE_PERF_BASELINE_STRICT", "1") != "0"
     failures = []
     warnings = []
 
-    print(f"{'benchmark':<28} {'baseline':>12} {'current':>12} {'delta':>8}")
+    print(f"{'benchmark':<34} {'baseline':>12} {'current':>12} {'delta':>8}")
     for name in TRACKED:
         if name not in current:
             failures.append(f"{name}: missing from current run")
@@ -173,7 +208,15 @@ def main():
             failures.append(f"{name}: missing from committed baseline "
                             "(regenerate bench/baseline_micro.json)")
             continue
-        base, cur = baseline[name], current[name]
+        base_e, cur_e = baseline[name], current[name]
+        if (base_e["threads"] is not None and cur_e["threads"] is not None
+                and base_e["threads"] != cur_e["threads"]):
+            failures.append(
+                f"{name}: thread count mismatch (baseline ran at "
+                f"{base_e['threads']}, current at {cur_e['threads']}) — "
+                "the times are not comparable")
+            continue
+        base, cur = base_e["cpu_time"], cur_e["cpu_time"]
         delta = cur / base - 1.0
         flag = ""
         if delta > REGRESSION_TOLERANCE:
@@ -181,7 +224,7 @@ def main():
             msg = (f"{name}: {delta:+.1%} vs baseline "
                    f"({base:.0f} ns -> {cur:.0f} ns)")
             (failures if strict else warnings).append(msg)
-        print(f"{name:<28} {base:>10.0f}ns {cur:>10.0f}ns {delta:>+7.1%}"
+        print(f"{name:<34} {base:>10.0f}ns {cur:>10.0f}ns {delta:>+7.1%}"
               f"{flag}")
 
     print()
@@ -190,13 +233,35 @@ def main():
         if blocked not in current or naive not in current:
             failures.append(f"speedup {blocked}/{naive}: benchmark missing")
             continue
-        actual = current[naive] / current[blocked]
+        actual = current[naive]["cpu_time"] / current[blocked]["cpu_time"]
         flag = ""
         if actual < floor:
             flag = "  << BELOW FLOOR"
             failures.append(
                 f"{blocked}: {actual:.2f}x vs {naive}, floor {floor:.1f}x")
         print(f"{blocked + ' vs naive':<40} {floor:>5.1f}x {actual:>7.2f}x"
+              f"{flag}")
+
+    # Multithreaded scaling floor: real_time within the current run. Gated
+    # on the run's own context so a baseline committed from a big host never
+    # forces the check onto a small one.
+    print()
+    print(f"{'speedup (multithreaded GEMM)':<40} {'floor':>6} {'actual':>8}")
+    for wide, single, floor in MT_SPEEDUP_FLOORS:
+        if cur_cpus < MT_MIN_CPUS:
+            print(f"{wide + ' vs 1-thread':<40} {floor:>5.1f}x "
+                  f"skipped ({cur_cpus} cores < {MT_MIN_CPUS})")
+            continue
+        if wide not in current or single not in current:
+            failures.append(f"mt speedup {wide}/{single}: benchmark missing")
+            continue
+        actual = current[single]["real_time"] / current[wide]["real_time"]
+        flag = ""
+        if actual < floor:
+            flag = "  << BELOW FLOOR"
+            failures.append(
+                f"{wide}: {actual:.2f}x vs {single}, floor {floor:.1f}x")
+        print(f"{wide + ' vs 1-thread':<40} {floor:>5.1f}x {actual:>7.2f}x"
               f"{flag}")
 
     if args.serving_baseline:

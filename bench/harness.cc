@@ -1,16 +1,25 @@
 #include "bench/harness.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/stopwatch.h"
 #include "core/quant_miss.h"
 #include "quant/ste_calibrator.h"
+#include "runtime/parallel_for.h"
+#include "tensor/kernels.h"
 
 namespace qcore::bench {
 
 bool FastMode() {
   const char* v = std::getenv("QCORE_FAST");
   return v != nullptr && v[0] == '1';
+}
+
+void ReportRunEnvironment() {
+  std::printf("[bench-env] gemm_threads=%d parallel_workers=%d fast=%d\n",
+              kernels::gemm_threads(), DefaultParallelWorkers(),
+              FastMode() ? 1 : 0);
 }
 
 std::vector<int> BenchBits() {

@@ -26,6 +26,14 @@ namespace qcore::bench {
 // True when QCORE_FAST=1 is set.
 bool FastMode();
 
+// Prints one "[bench-env] ..." line with the settings that change what a
+// bench's numbers mean across hosts — currently the GEMM thread budget
+// (kernels::gemm_threads()), the host's default parallel worker count, and
+// fast mode. Every paper-table/figure bench calls this right after its
+// header so recorded runs are unambiguous: a table timed at gemm_threads=4
+// is not comparable to one timed at 1.
+void ReportRunEnvironment();
+
 struct DomainData {
   Dataset train;
   Dataset test;

@@ -42,6 +42,16 @@
 //               complete at least one calibration step under the flood
 //               (exit 1 on starvation). With --chaos-seed=N the drill also
 //               runs under seeded device-RTT-spike chaos.
+// Wide batch:   --wide-batch runs the panel-parallel kernel drill instead:
+//               large multi-row inference requests batched into wide
+//               forwards whose GEMMs fan out across the panel worker set
+//               under the serving pool. Prints panel dispatch counts from
+//               the whiteboard and exits 1 if any prediction or logit
+//               differs from a single-threaded reference run, or if the
+//               wide path never engaged. With --chaos-seed=N the wide pass
+//               additionally runs under seeded latency faults (RTT spikes,
+//               flusher stalls, pool saturation) — latency may move, bits
+//               may not.
 #include <array>
 #include <atomic>
 #include <cstdio>
@@ -69,6 +79,8 @@
 #include "serving/server.h"
 #include "serving/snapshot.h"
 #include "serving/snapshot_store.h"
+#include "tensor/kernels.h"
+#include "tensor/tensor_ops.h"
 #include "testing/fault_injector.h"
 
 using namespace qcore;
@@ -350,6 +362,166 @@ int RunOverloadDrill(const Deployment& har, const HarSpec& har_spec,
   return ok ? 0 : 1;
 }
 
+// --- The wide-batch drill (--wide-batch). ---------------------------------
+// Panel-parallel kernels under the serving pool: large multi-row inference
+// requests are coalesced by the batcher into wider forwards whose lowered
+// GEMMs clear the (lowered) crossover, so pool workers' forwards fan out
+// across the panel worker set — the nested case the ParallelFor contract
+// exists for. The drill runs the same request stream twice, wide
+// (gemm_threads=4) and as a single-threaded reference, and verdicts on the
+// two properties the parallel substrate guarantees: every prediction
+// bit-equal to the reference, and the wide run actually dispatching panel
+// work (a drill that silently stayed narrow proves nothing). Raw logits of
+// one large forward are also compared float-for-float — predictions alone
+// would forgive sub-ULP drift that argmax happens to absorb.
+// With --chaos-seed=N, sticky latency faults (device RTT spikes, batcher
+// flusher stalls, pool-worker stalls) run under the wide pass: they may
+// reshape batching and scheduling, never bits.
+int RunWideBatchDrill(const Deployment& har, const HarSpec& har_spec,
+                      bool chaos, uint64_t chaos_seed) {
+  constexpr int kDevices = 2;
+  constexpr int kRowsPerRequest = 16;
+  constexpr int kRequests = 24;
+
+  std::printf("== Wide-batch drill: deterministic panel-parallel GEMM "
+              "under the serving pool ==\n\n");
+
+  std::unique_ptr<FaultInjector> injector;
+  if (chaos) {
+    injector = std::make_unique<FaultInjector>(chaos_seed);
+    FaultScript rtt;
+    rtt.sticky = true;
+    rtt.probability = 0.3;
+    rtt.arg = 300;  // microseconds
+    injector->Arm(FaultPoint::kDeviceRttSpike, rtt);
+    FaultScript stall;
+    stall.sticky = true;
+    stall.probability = 0.3;
+    stall.arg = 200;
+    injector->Arm(FaultPoint::kBatcherFlusherStall, stall);
+    FaultScript saturate;
+    saturate.sticky = true;
+    saturate.probability = 0.2;
+    saturate.arg = 100;
+    injector->Arm(FaultPoint::kPoolSaturation, saturate);
+    injector->Install();
+    std::printf("chaos: latency faults armed (seed %llu) — RTT spikes, "
+                "flusher stalls, pool saturation; bits must not move\n\n",
+                static_cast<unsigned long long>(chaos_seed));
+  }
+
+  // Deterministic multi-row requests sliced from the shifted target domain.
+  HarDomain target = MakeHarDomain(har_spec, 1);
+  const Tensor& tx = target.test.x();
+  std::vector<Tensor> requests;
+  for (int r = 0; r < kRequests; ++r) {
+    const int64_t begin = (r * kRowsPerRequest) % (tx.dim(0) - 1);
+    const int64_t end = std::min(begin + kRowsPerRequest, tx.dim(0));
+    requests.push_back(tx.SliceRows(begin, end));
+  }
+
+  // Lower the crossover so this drill's model (small HAR forwards) takes
+  // the wide path; production keeps the tuned default.
+  kernels::set_gemm_parallel_min_work(int64_t{1} << 12);
+
+  // Kernel-level check first: one large batched forward, compared
+  // float-for-float between thread budgets.
+  Tensor big = ConcatRows({&tx, &tx, &tx, &tx});
+  kernels::set_gemm_threads(1);
+  Tensor ref_logits = har.base->Clone()->Forward(big, /*training=*/false);
+  kernels::set_gemm_threads(4);
+  const kernels::GemmDispatchCounters before =
+      kernels::ThreadGemmDispatchCounters();
+  Tensor wide_logits = har.base->Clone()->Forward(big, /*training=*/false);
+  const kernels::GemmDispatchCounters after =
+      kernels::ThreadGemmDispatchCounters();
+  bool logits_identical = wide_logits.SameShape(ref_logits);
+  if (logits_identical) {
+    for (int64_t i = 0; i < ref_logits.size(); ++i) {
+      if (wide_logits[i] != ref_logits[i]) {
+        logits_identical = false;
+        break;
+      }
+    }
+  }
+  std::printf("direct forward (%lld rows): %llu wide GEMM dispatches, "
+              "%llu panel tasks, logits %s\n",
+              static_cast<long long>(big.dim(0)),
+              static_cast<unsigned long long>(after.wide - before.wide),
+              static_cast<unsigned long long>(after.panel_tasks -
+                                              before.panel_tasks),
+              logits_identical ? "bit-identical" : "DIVERGED");
+
+  // Serving-path check: the same stream through a batching FleetServer at
+  // each thread budget. Inference mutates nothing, so predictions must be
+  // independent of grouping, scheduling, and the kernel thread budget.
+  auto run_stream = [&](int gemm_budget, uint64_t* wide_dispatches,
+                        uint64_t* panel_tasks,
+                        std::string* board) -> std::vector<std::vector<int>> {
+    kernels::set_gemm_threads(gemm_budget);
+    FleetServerOptions opts;
+    opts.num_threads = 2;
+    opts.seed = 0xD0C5;
+    opts.continual.iterations = 1;
+    opts.enable_batching = true;
+    opts.batching.max_batch = 4;
+    opts.batching.max_delay_us = 400.0;
+    FleetServer server(*har.base, *har.bf, opts);
+    for (int d = 0; d < kDevices; ++d) {
+      server.RegisterDevice("wide-" + std::to_string(d), har.qcore);
+    }
+    std::vector<std::future<InferenceResult>> futures;
+    for (int r = 0; r < kRequests; ++r) {
+      futures.push_back(server.SubmitInference(
+          "wide-" + std::to_string(r % kDevices), requests[r]));
+    }
+    std::vector<std::vector<int>> preds;
+    for (auto& f : futures) preds.push_back(f.get().predictions);
+    server.Drain();
+    *wide_dispatches = server.metrics().panel_wide_dispatches();
+    *panel_tasks = server.metrics().panel_tasks();
+    if (board != nullptr) *board = server.whiteboard().Read().ToTable();
+    return preds;
+  };
+
+  uint64_t ref_wide = 0, ref_tasks = 0;
+  const std::vector<std::vector<int>> ref_preds =
+      run_stream(1, &ref_wide, &ref_tasks, nullptr);
+  uint64_t mt_wide = 0, mt_tasks = 0;
+  std::string board;
+  const std::vector<std::vector<int>> mt_preds =
+      run_stream(4, &mt_wide, &mt_tasks, &board);
+
+  std::printf("\nwide run whiteboard (panels column = wide/tasks):\n%s\n",
+              board.c_str());
+  std::printf("served stream: reference %llu wide dispatches (budget 1), "
+              "wide run %llu wide dispatches / %llu panel tasks\n",
+              static_cast<unsigned long long>(ref_wide),
+              static_cast<unsigned long long>(mt_wide),
+              static_cast<unsigned long long>(mt_tasks));
+
+  const bool preds_identical = mt_preds == ref_preds;
+  const bool went_wide = mt_wide > 0;
+  std::printf("verdict: logits %s, predictions %s, panel dispatch %s\n",
+              logits_identical ? "OK" : "FAIL",
+              preds_identical ? "OK" : "FAIL",
+              went_wide ? "OK" : "FAIL (wide path never engaged)");
+  if (chaos) {
+    std::printf("chaos: rtt_spikes=%llu flusher_stalls=%llu "
+                "pool_stalls=%llu\n",
+                static_cast<unsigned long long>(
+                    injector->fired(FaultPoint::kDeviceRttSpike)),
+                static_cast<unsigned long long>(
+                    injector->fired(FaultPoint::kBatcherFlusherStall)),
+                static_cast<unsigned long long>(
+                    injector->fired(FaultPoint::kPoolSaturation)));
+  }
+
+  kernels::set_gemm_threads(1);
+  kernels::set_gemm_parallel_min_work(kernels::kDefaultGemmParallelMinWork);
+  return (logits_identical && preds_identical && went_wide) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -361,6 +533,7 @@ int main(int argc, char** argv) {
 
   bool chaos = false;
   bool overload = false;
+  bool wide_batch = false;
   uint64_t chaos_seed = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -370,9 +543,12 @@ int main(int argc, char** argv) {
       chaos_seed = std::strtoull(arg.c_str() + prefix.size(), nullptr, 10);
     } else if (arg == "--overload") {
       overload = true;
+    } else if (arg == "--wide-batch") {
+      wide_batch = true;
     } else {
       std::fprintf(stderr,
-                   "unknown argument: %s (try --chaos-seed=N or --overload)\n",
+                   "unknown argument: %s (try --chaos-seed=N, --overload, "
+                   "or --wide-batch)\n",
                    arg.c_str());
       return 2;
     }
@@ -386,7 +562,8 @@ int main(int argc, char** argv) {
   // the mid-stream rebalance loses its target shard. Everything below must
   // tolerate the loss; the report at the end proves the recovery.
   std::unique_ptr<FaultInjector> injector;
-  if (chaos && !overload) {  // the overload drill arms its own injector
+  // The overload and wide-batch drills arm their own injectors.
+  if (chaos && !overload && !wide_batch) {
     injector = std::make_unique<FaultInjector>(chaos_seed);
     FaultScript crash;
     crash.fire_on_hit = 1;  // one-shot on the rebalance's first migration
@@ -423,6 +600,10 @@ int main(int argc, char** argv) {
     // Overload drill replaces the full simulation: it only needs the HAR
     // deployment, so the image cohort is never prepared.
     return RunOverloadDrill(har, har_spec, threads, chaos, chaos_seed);
+  }
+  if (wide_batch) {
+    // Same shape as the overload drill: HAR deployment only.
+    return RunWideBatchDrill(har, har_spec, chaos, chaos_seed);
   }
   std::printf("preparing image deployment (ResNet-tiny, 4-bit)...\n");
   auto img_model =

@@ -13,8 +13,10 @@ namespace {
 
 constexpr uint32_t kWhiteboardMagic = 0x44425751;  // "QWBD"
 // v2: WAL row gained torn_tails. v3: per-reason shed breakdown
-// (queue-full / deadline / limiter) on shard and device rows.
-constexpr uint32_t kWhiteboardVersion = 3;
+// (queue-full / deadline / limiter) on shard and device rows. v4: shard
+// rows gained the kernel panel-parallelism pair (panel_wide_dispatches,
+// panel_tasks).
+constexpr uint32_t kWhiteboardVersion = 4;
 
 uint64_t NowNs() {
   return static_cast<uint64_t>(
@@ -56,6 +58,8 @@ std::vector<uint8_t> EncodeShardRow(const ShardRow& row) {
   w.WriteU64(row.shed_deadline);
   w.WriteU64(row.shed_limiter);
   w.WriteU64(row.barrier_flushes);
+  w.WriteU64(row.panel_wide_dispatches);
+  w.WriteU64(row.panel_tasks);
   WriteStatus(&w, row.last_error);
   w.WriteU64(row.last_error_ns);
   return w.TakeBuffer();
@@ -88,6 +92,8 @@ Result<ShardRow> DecodeShardRow(std::vector<uint8_t> payload) {
   QCORE_WB_READ(shed_deadline, ReadU64);
   QCORE_WB_READ(shed_limiter, ReadU64);
   QCORE_WB_READ(barrier_flushes, ReadU64);
+  QCORE_WB_READ(panel_wide_dispatches, ReadU64);
+  QCORE_WB_READ(panel_tasks, ReadU64);
   QCORE_RETURN_NOT_OK(ReadStatus(&r, &row.last_error));
   QCORE_WB_READ(last_error_ns, ReadU64);
   if (!r.AtEnd()) return Status::Corruption("shard row: trailing bytes");
@@ -242,6 +248,8 @@ ShardRow Whiteboard::Shard::Snapshot() const {
   row.shed_deadline = shed_deadline_.load(kRelaxed);
   row.shed_limiter = shed_limiter_.load(kRelaxed);
   row.barrier_flushes = barrier_flushes_.load(kRelaxed);
+  row.panel_wide_dispatches = panel_wide_dispatches_.load(kRelaxed);
+  row.panel_tasks = panel_tasks_.load(kRelaxed);
   {
     MutexLock lock(error_mu_);
     row.last_error = last_error_;
@@ -316,8 +324,9 @@ std::string WhiteboardImage::ToTable(size_t max_devices) const {
   std::ostringstream out;
   TablePrinter shard_table({"shard", "state", "sessions", "inf_req",
                             "cal_batches", "snapshots", "shed_q", "shed_dl",
-                            "shed_lim", "barrier", "last_error"});
+                            "shed_lim", "barrier", "panels", "last_error"});
   for (const ShardRow& row : shards) {
+    // panels column: wide dispatches / chunk tasks they fanned out.
     shard_table.AddRow({std::to_string(row.shard),
                         row.retired ? "retired" : "live",
                         std::to_string(row.sessions),
@@ -328,6 +337,8 @@ std::string WhiteboardImage::ToTable(size_t max_devices) const {
                         std::to_string(row.shed_deadline),
                         std::to_string(row.shed_limiter),
                         std::to_string(row.barrier_flushes),
+                        std::to_string(row.panel_wide_dispatches) + "/" +
+                            std::to_string(row.panel_tasks),
                         ErrorCell(row.last_error)});
   }
   out << shard_table.ToString();

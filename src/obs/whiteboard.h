@@ -83,6 +83,10 @@ struct ShardRow {
   uint64_t shed_deadline = 0;
   uint64_t shed_limiter = 0;
   uint64_t barrier_flushes = 0;  // batches forced out by a barrier
+  // Kernel panel parallelism on this shard's forwards (v4): GEMMs that
+  // fanned out across panel workers, and the output chunks they submitted.
+  uint64_t panel_wide_dispatches = 0;
+  uint64_t panel_tasks = 0;
   Status last_error;
   uint64_t last_error_ns = 0;
 };
@@ -197,6 +201,10 @@ class Whiteboard {
     void add_shed_deadline() { shed_deadline_.fetch_add(1, kRelaxed); }
     void add_shed_limiter() { shed_limiter_.fetch_add(1, kRelaxed); }
     void add_barrier_flush() { barrier_flushes_.fetch_add(1, kRelaxed); }
+    void add_panel_dispatches(uint64_t wide, uint64_t tasks) {
+      panel_wide_dispatches_.fetch_add(wide, kRelaxed);
+      panel_tasks_.fetch_add(tasks, kRelaxed);
+    }
     void set_retired() { retired_.store(true, kRelaxed); }
     void RecordError(const Status& status);
 
@@ -221,6 +229,8 @@ class Whiteboard {
     std::atomic<uint64_t> shed_deadline_{0};
     std::atomic<uint64_t> shed_limiter_{0};
     std::atomic<uint64_t> barrier_flushes_{0};
+    std::atomic<uint64_t> panel_wide_dispatches_{0};
+    std::atomic<uint64_t> panel_tasks_{0};
     mutable Mutex error_mu_;
     Status last_error_ QCORE_GUARDED_BY(error_mu_);
     uint64_t last_error_ns_ QCORE_GUARDED_BY(error_mu_) = 0;

@@ -15,7 +15,10 @@ InferenceBatcher::InferenceBatcher(InferenceBatcherOptions options,
   QCORE_CHECK(options_.max_batch >= 1);
   QCORE_CHECK(sink_ != nullptr);
   if (options_.max_delay_us > 0.0) {
-    flusher_ = std::thread([this]() { FlusherLoop(); });
+    // Predates the raw-thread rule: the deadline flusher is a dedicated
+    // timer loop with its own cv-driven shutdown, not pool work — running
+    // it on the serving pool would let a full pool starve flush deadlines.
+    flusher_ = std::thread([this]() { FlusherLoop(); });  // lint:allow(raw-thread)
   }
 }
 

@@ -145,7 +145,9 @@ class InferenceBatcher {
   std::map<std::string, DeviceQueue> queues_ QCORE_GUARDED_BY(mu_);
   bool shutdown_ QCORE_GUARDED_BY(mu_) = false;
 
-  std::thread flusher_;  // only started when the deadline is enabled
+  // Only started when the deadline is enabled. Waived from the raw-thread
+  // rule: see the constructor for why the flusher is not pool work.
+  std::thread flusher_;  // lint:allow(raw-thread)
 };
 
 }  // namespace qcore

@@ -264,6 +264,9 @@ void ServingMetrics::MergeFrom(const ServingMetrics& other) {
   add(shed_deadline_, other.shed_deadline_);
   add(shed_limiter_, other.shed_limiter_);
   add(barrier_flushes_, other.barrier_flushes_);
+  add(panel_wide_dispatches_, other.panel_wide_dispatches_);
+  add(panel_narrow_dispatches_, other.panel_narrow_dispatches_);
+  add(panel_tasks_, other.panel_tasks_);
 }
 
 void ServingMetrics::Reset() {
@@ -286,6 +289,9 @@ void ServingMetrics::Reset() {
   shed_deadline_.store(0, std::memory_order_relaxed);
   shed_limiter_.store(0, std::memory_order_relaxed);
   barrier_flushes_.store(0, std::memory_order_relaxed);
+  panel_wide_dispatches_.store(0, std::memory_order_relaxed);
+  panel_narrow_dispatches_.store(0, std::memory_order_relaxed);
+  panel_tasks_.store(0, std::memory_order_relaxed);
 }
 
 float ServingMetrics::mean_accuracy() const {
@@ -335,6 +341,13 @@ std::string ServingMetrics::Report() const {
       static_cast<unsigned long long>(shed_queue_full()),
       static_cast<unsigned long long>(shed_deadline()),
       static_cast<unsigned long long>(shed_limiter()));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "kernels:     panel_wide=%llu panel_narrow=%llu panel_tasks=%llu\n",
+      static_cast<unsigned long long>(panel_wide_dispatches()),
+      static_cast<unsigned long long>(panel_narrow_dispatches()),
+      static_cast<unsigned long long>(panel_tasks()));
   out += buf;
   return out;
 }

@@ -166,6 +166,17 @@ class ServingMetrics {
   void AddBarrierFlush() {
     barrier_flushes_.fetch_add(1, std::memory_order_relaxed);
   }
+  // Kernel-layer panel parallelism attributed to this server's forwards.
+  // The exec path samples the thread-local kernels::GemmDispatchCounters
+  // before and after each forward pass and records the delta here: wide =
+  // GEMMs that fanned out across panel workers, narrow = GEMMs that stayed
+  // single-threaded (below the crossover), tasks = output chunks the wide
+  // ones submitted. How the serving layer sees batched forwards go wide.
+  void AddPanelDispatch(uint64_t wide, uint64_t narrow, uint64_t tasks) {
+    panel_wide_dispatches_.fetch_add(wide, std::memory_order_relaxed);
+    panel_narrow_dispatches_.fetch_add(narrow, std::memory_order_relaxed);
+    panel_tasks_.fetch_add(tasks, std::memory_order_relaxed);
+  }
 
   uint64_t inference_requests() const { return inference_requests_.load(); }
   uint64_t inference_examples() const { return inference_examples_.load(); }
@@ -184,6 +195,13 @@ class ServingMetrics {
   uint64_t shed_deadline() const { return shed_deadline_.load(); }
   uint64_t shed_limiter() const { return shed_limiter_.load(); }
   uint64_t barrier_flushes() const { return barrier_flushes_.load(); }
+  uint64_t panel_wide_dispatches() const {
+    return panel_wide_dispatches_.load();
+  }
+  uint64_t panel_narrow_dispatches() const {
+    return panel_narrow_dispatches_.load();
+  }
+  uint64_t panel_tasks() const { return panel_tasks_.load(); }
 
   // Mean of all recorded per-batch accuracies; 0 if none.
   float mean_accuracy() const;
@@ -220,6 +238,9 @@ class ServingMetrics {
   std::atomic<uint64_t> shed_deadline_{0};
   std::atomic<uint64_t> shed_limiter_{0};
   std::atomic<uint64_t> barrier_flushes_{0};
+  std::atomic<uint64_t> panel_wide_dispatches_{0};
+  std::atomic<uint64_t> panel_narrow_dispatches_{0};
+  std::atomic<uint64_t> panel_tasks_{0};
 };
 
 }  // namespace qcore

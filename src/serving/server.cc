@@ -8,11 +8,30 @@
 #include "common/serialize.h"
 #include "common/stopwatch.h"
 #include "obs/trace.h"
+#include "tensor/kernels.h"
 #include "testing/fault_injector.h"
 
 namespace qcore {
 
 namespace {
+
+// Kernel panel-parallelism attribution. The dispatch counters are
+// thread-local and the whole forward pass runs on this exec thread, so the
+// before/after delta is exactly this request's GEMMs even with concurrent
+// sessions on other pool workers (a process-global counter would smear
+// them together).
+struct PanelDelta {
+  uint64_t wide = 0;
+  uint64_t narrow = 0;
+  uint64_t tasks = 0;
+};
+
+PanelDelta PanelDeltaSince(const kernels::GemmDispatchCounters& before) {
+  const kernels::GemmDispatchCounters now =
+      kernels::ThreadGemmDispatchCounters();
+  return {now.wide - before.wide, now.narrow - before.narrow,
+          now.panel_tasks - before.panel_tasks};
+}
 
 void SimulateDeviceLink(double rtt_ms) {
   // An injected RTT spike stretches one round trip even when simulation is
@@ -340,17 +359,22 @@ Result<std::future<InferenceResult>> FleetServer::TrySubmitInference(
         TraceRing::Global().Record(TraceKind::kExecStart, span,
                                    state->trace_name, 1);
         SimulateDeviceLink(options_.simulated_device_rtt_ms);
+        const kernels::GemmDispatchCounters kd_before =
+            kernels::ThreadGemmDispatchCounters();
         InferenceResult r;
         r.predictions = state->session.Predict(x);
+        const PanelDelta panels = PanelDeltaSince(kd_before);
         r.latency_seconds = timer.ElapsedSeconds();
         r.trace_span = span;
-        RecordMetrics([&r, &x](ServingMetrics& m) {
+        RecordMetrics([&r, &x, &panels](ServingMetrics& m) {
           m.inference_latency().Record(r.latency_seconds);
           m.AddInference(static_cast<uint64_t>(x.dim(0)));
           m.batch_occupancy().Record(1);
+          m.AddPanelDispatch(panels.wide, panels.narrow, panels.tasks);
         });
         state->wb->set_last_batch_occupancy(1);
         wb_shard_->add_inference_request();
+        wb_shard_->add_panel_dispatches(panels.wide, panels.tasks);
         TraceRing::Global().Record(TraceKind::kExecEnd, span,
                                    state->trace_name);
         TraceRing::Global().Record(TraceKind::kComplete, span,
@@ -412,12 +436,20 @@ void FleetServer::FlushInferenceGroup(const std::string& device_id,
         std::vector<const Tensor*> inputs;
         inputs.reserve(run.size());
         for (const PendingInference& p : run) inputs.push_back(&p.input);
+        const kernels::GemmDispatchCounters kd_before =
+            kernels::ThreadGemmDispatchCounters();
         std::vector<std::vector<int>> labels =
             state->session.PredictBatch(inputs);
-        RecordMetrics([&run](ServingMetrics& m) {
+        // Attributed to the group, not split per member: the batched
+        // forward is one set of GEMMs, and whether they went wide is a
+        // property of the coalesced shape.
+        const PanelDelta panels = PanelDeltaSince(kd_before);
+        RecordMetrics([&run, &panels](ServingMetrics& m) {
           m.batch_occupancy().Record(static_cast<int64_t>(run.size()));
+          m.AddPanelDispatch(panels.wide, panels.narrow, panels.tasks);
         });
         state->wb->set_last_batch_occupancy(run.size());
+        wb_shard_->add_panel_dispatches(panels.wide, panels.tasks);
         for (size_t i = 0; i < run.size(); ++i) {
           InferenceResult r;
           r.predictions = std::move(labels[i]);

@@ -1,8 +1,11 @@
 #include "tensor/kernels.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 
 #include "common/aligned.h"
+#include "runtime/parallel_for.h"
 
 // Function multi-versioning: the packed-GEMM driver is cloned for AVX-512,
 // AVX2+FMA, and baseline x86-64, with glibc ifunc picking the widest clone
@@ -188,18 +191,118 @@ void GemmImpl(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
   }
 }
 
+// ----------------------- deterministic parallel dispatch -------------------
+
+// Parallel work split: C is cut into row chunks of 8 microkernel tiles and
+// column chunks of 16 packed panels. Both strides are exact multiples of the
+// register tile (48 = 8*kMR, 256 = 16*kNR), so a chunked run produces the
+// SAME tile decomposition as a sequential one — interior tiles stay
+// interior, the ragged edge tiles land in the last chunks unchanged — and
+// within each chunk the pc (reduction) loop is the ordinary sequential one.
+// Per C element the FMA chain is therefore identical no matter how chunks
+// map to workers: chunks are output-disjoint, so scheduling order is
+// unobservable. (Chunk height 48 also halves the kMC=96 L2 block: packing
+// cost per chunk stays amortized across at least 8 full tile rows.)
+constexpr int64_t kRowChunk = 48;
+constexpr int64_t kColChunk = 256;
+static_assert(kRowChunk % kMR == 0 && kColChunk % kNR == 0,
+              "chunk boundaries must align with register tiles or the "
+              "parallel tile decomposition diverges from the sequential one");
+
+// Copy-volume threshold for fanning the im2col/col2im channel loops out:
+// these are memory-bound shuffles, so they need more elements than a GEMM
+// needs FLOPs before threads pay for themselves.
+constexpr int64_t kLoweringParallelMinWork = int64_t{1} << 20;
+
+std::atomic<int> g_gemm_threads{0};  // 0 = not resolved yet
+std::atomic<int64_t> g_gemm_parallel_min_work{kDefaultGemmParallelMinWork};
+
+thread_local GemmDispatchCounters tls_gemm_dispatch;
+
+// Runs body(ch) for every channel, fanning out across the kernel thread
+// budget when the total copy volume clears the lowering threshold. Channels
+// own disjoint planes of the output and keep their internal (kx, o) /
+// (ky, kx, oy, ox) iteration order, so this preserves bit-identity for the
+// same reason the GEMM chunk split does.
+template <typename Body>
+void ParallelChannels(int64_t c, int64_t work_per_channel, const Body& body) {
+  const int threads = gemm_threads();
+  if (threads > 1 && c > 1 && !InParallelRegion() &&
+      c * work_per_channel >= kLoweringParallelMinWork) {
+    ParallelFor(c, threads, body);
+  } else {
+    for (int64_t ch = 0; ch < c; ++ch) body(ch);
+  }
+}
+
 }  // namespace
+
+int gemm_threads() {
+  const int t = g_gemm_threads.load(std::memory_order_relaxed);
+  if (t > 0) return t;
+  // First use: resolve from the environment, else the hardware. The CAS
+  // makes concurrent first calls agree on one value.
+  int resolved = DefaultParallelWorkers();
+  if (const char* env = std::getenv("QCORE_GEMM_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) resolved = v;
+  }
+  resolved = std::min(resolved, 64);
+  int expected = 0;
+  g_gemm_threads.compare_exchange_strong(expected, resolved,
+                                         std::memory_order_relaxed);
+  return g_gemm_threads.load(std::memory_order_relaxed);
+}
+
+void set_gemm_threads(int n) {
+  QCORE_CHECK(n >= 1);
+  g_gemm_threads.store(std::min(n, 64), std::memory_order_relaxed);
+}
+
+int64_t gemm_parallel_min_work() {
+  return g_gemm_parallel_min_work.load(std::memory_order_relaxed);
+}
+
+void set_gemm_parallel_min_work(int64_t mnk) {
+  QCORE_CHECK(mnk >= 0);
+  g_gemm_parallel_min_work.store(mnk, std::memory_order_relaxed);
+}
+
+GemmDispatchCounters ThreadGemmDispatchCounters() { return tls_gemm_dispatch; }
 
 void Gemm(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
           bool trans_a, const float* b, int64_t ldb, bool trans_b, float* c,
           int64_t ldc) {
   QCORE_CHECK(m > 0 && n > 0 && k > 0);
+  const int threads = gemm_threads();
+  if (threads > 1 && !InParallelRegion() &&
+      m * n * k >= gemm_parallel_min_work()) {
+    const int64_t col_chunks = (n + kColChunk - 1) / kColChunk;
+    const int64_t grid = ((m + kRowChunk - 1) / kRowChunk) * col_chunks;
+    if (grid > 1) {
+      tls_gemm_dispatch.wide++;
+      tls_gemm_dispatch.panel_tasks += static_cast<uint64_t>(grid);
+      ParallelFor(grid, threads, [&](int64_t t) {
+        const int64_t r0 = (t / col_chunks) * kRowChunk;
+        const int64_t c0 = (t % col_chunks) * kColChunk;
+        // Sub-matrix views for chunk (r0, c0): A offset by r0 rows, B by c0
+        // columns, honoring the storage transposes. Each worker's GemmImpl
+        // packs into its own thread_local scratch.
+        const float* ta = trans_a ? a + r0 : a + r0 * lda;
+        const float* tb = trans_b ? b + c0 * ldb : b + c0;
+        GemmImpl(std::min(kRowChunk, m - r0), std::min(kColChunk, n - c0), k,
+                 ta, lda, trans_a, tb, ldb, trans_b, c + r0 * ldc + c0, ldc);
+      });
+      return;
+    }
+  }
+  tls_gemm_dispatch.narrow++;
   GemmImpl(m, n, k, a, lda, trans_a, b, ldb, trans_b, c, ldc);
 }
 
 void Im2Col1d(const float* x, int64_t c, int64_t l, int kernel, int stride,
               int pad, int64_t lo, float* col) {
-  for (int64_t ch = 0; ch < c; ++ch) {
+  ParallelChannels(c, static_cast<int64_t>(kernel) * lo, [&](int64_t ch) {
     const float* xrow = x + ch * l;
     for (int kx = 0; kx < kernel; ++kx) {
       float* crow = col + (ch * kernel + kx) * lo;
@@ -208,12 +311,14 @@ void Im2Col1d(const float* x, int64_t c, int64_t l, int kernel, int stride,
         crow[o] = (t >= 0 && t < l) ? xrow[t] : 0.0f;
       }
     }
-  }
+  });
 }
 
 void Col2Im1d(const float* col, int64_t c, int64_t l, int kernel, int stride,
               int pad, int64_t lo, float* x) {
-  for (int64_t ch = 0; ch < c; ++ch) {
+  // Channel ch scatter-adds only into x[ch, :], so channels are disjoint and
+  // the per-tap (kx, o) accumulation order is untouched by the fan-out.
+  ParallelChannels(c, static_cast<int64_t>(kernel) * lo, [&](int64_t ch) {
     float* xrow = x + ch * l;
     for (int kx = 0; kx < kernel; ++kx) {
       const float* crow = col + (ch * kernel + kx) * lo;
@@ -222,12 +327,14 @@ void Col2Im1d(const float* col, int64_t c, int64_t l, int kernel, int stride,
         if (t >= 0 && t < l) xrow[t] += crow[o];
       }
     }
-  }
+  });
 }
 
 void Im2Col2d(const float* x, int64_t c, int64_t h, int64_t w, int kernel,
               int stride, int pad, int64_t ho, int64_t wo, float* col) {
-  for (int64_t ch = 0; ch < c; ++ch) {
+  const int64_t per_channel =
+      static_cast<int64_t>(kernel) * kernel * ho * wo;
+  ParallelChannels(c, per_channel, [&](int64_t ch) {
     const float* xplane = x + ch * h * w;
     for (int ky = 0; ky < kernel; ++ky) {
       for (int kx = 0; kx < kernel; ++kx) {
@@ -247,12 +354,15 @@ void Im2Col2d(const float* x, int64_t c, int64_t h, int64_t w, int kernel,
         }
       }
     }
-  }
+  });
 }
 
 void Col2Im2d(const float* col, int64_t c, int64_t h, int64_t w, int kernel,
               int stride, int pad, int64_t ho, int64_t wo, float* x) {
-  for (int64_t ch = 0; ch < c; ++ch) {
+  const int64_t per_channel =
+      static_cast<int64_t>(kernel) * kernel * ho * wo;
+  // As in Col2Im1d: per-channel scatter targets are disjoint x planes.
+  ParallelChannels(c, per_channel, [&](int64_t ch) {
     float* xplane = x + ch * h * w;
     for (int ky = 0; ky < kernel; ++ky) {
       for (int kx = 0; kx < kernel; ++kx) {
@@ -270,7 +380,7 @@ void Col2Im2d(const float* col, int64_t c, int64_t h, int64_t w, int kernel,
         }
       }
     }
-  }
+  });
 }
 
 }  // namespace kernels

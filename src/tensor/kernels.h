@@ -22,6 +22,13 @@
 //     every tile shape, edge tile, and matrix width. This is what makes the
 //     serving-layer bit-identity properties (batched == unbatched,
 //     thread-count-independent) hold on a given host.
+//   - Multithreading never touches that sequence. The parallel GEMM splits
+//     C into kMR/kNR-aligned row/column chunks — output-disjoint, with the
+//     same tile decomposition the sequential kernel would produce — and
+//     keeps the pc (reduction) loop sequential inside each chunk, so every
+//     element still sees the identical ascending-k FMA chain no matter
+//     which worker ran its chunk. Bit-identical for any thread count, by
+//     construction (see "Deterministic multithreaded dispatch" below).
 //   - No data-dependent control flow: kernel latency is a function of shape
 //     only, never of the values flowing through (the seed kernels' sparsity
 //     branches made timing input-dependent and are gone).
@@ -65,6 +72,48 @@ inline constexpr int64_t kNC = 1024;
 void Gemm(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
           bool trans_a, const float* b, int64_t ldb, bool trans_b, float* c,
           int64_t ldc);
+
+// ------------------------- Deterministic multithreaded dispatch ------------
+//
+// Gemm() and the im2col/col2im lowerings fan out across runtime::ParallelFor
+// when (a) the kernel thread budget is > 1 and (b) the call is big enough to
+// clear the crossover threshold — small kernels stay single-threaded because
+// the fan-out costs more than it saves (tuned by the MatMulWide section of
+// bench_micro_substrate). The work split is over output-disjoint chunks whose
+// boundaries are kMR/kNR-aligned, so the parallel kernel runs the exact
+// per-element FMA sequence of the sequential one: results are bit-identical
+// for every thread count, and the only thing the knobs below change is
+// wall-clock time.
+
+// Kernel thread budget. Defaults to the QCORE_GEMM_THREADS environment
+// variable if set, else DefaultParallelWorkers() (hardware concurrency,
+// clamped). set_gemm_threads requires n >= 1; 1 disables the parallel path
+// entirely. Process-wide; reads/writes are racy-safe (a relaxed atomic) but
+// tests and drills set it once up front.
+int gemm_threads();
+void set_gemm_threads(int n);
+
+// Crossover threshold: a GEMM goes wide only when m*n*k >= this. The
+// default (4Mi multiply-adds, ~a 161^3 cube) keeps per-sample HAR-model
+// layers single-threaded while batched forwards fan out. Exposed for bench
+// tuning and the --wide-batch drill; same contract as set_gemm_threads.
+inline constexpr int64_t kDefaultGemmParallelMinWork = int64_t{1} << 22;
+int64_t gemm_parallel_min_work();
+void set_gemm_parallel_min_work(int64_t mnk);
+
+// Per-thread dispatch counters, cumulative since thread start. wide counts
+// Gemm() calls that cleared the crossover and fanned out, narrow the calls
+// that ran sequentially, panel_tasks the total output chunks submitted by
+// wide calls. Thread-local so a serving exec thread can sample before/after
+// one forward pass and attribute the delta to exactly that request, even
+// with concurrent sessions on other pool threads (ServingMetrics and the
+// whiteboard are wired this way).
+struct GemmDispatchCounters {
+  uint64_t wide = 0;
+  uint64_t narrow = 0;
+  uint64_t panel_tasks = 0;
+};
+GemmDispatchCounters ThreadGemmDispatchCounters();
 
 // Lowers one [c, l] input plane to a column matrix col[c*kernel, lo] with
 // col[(ch*kernel + kx) * lo + o] = x[ch, o*stride + kx - pad] (0 outside).

@@ -6,10 +6,12 @@
 
 #include <cmath>
 #include <cstdint>
+#include <future>
 #include <vector>
 
 #include "common/aligned.h"
 #include "nn/conv.h"
+#include "runtime/thread_pool.h"
 #include "tensor/kernels.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
@@ -239,6 +241,176 @@ TEST(Im2ColTest, PaddingProducesZeroColumns) {
         }
       }
     }
+  }
+}
+
+// ----------------- deterministic multithreaded dispatch ---------------
+//
+// The panel-parallel GEMM path must be BIT-identical to the single-thread
+// path at every thread count: chunk boundaries are microtile-aligned, so
+// the tile decomposition — and with it every element's ascending-k FMA
+// chain — is the same no matter which worker runs which chunk. These tests
+// pin that down with exact equality (no tolerance) across thread counts,
+// tile-non-divisible shapes, the crossover boundary, and nesting.
+
+// Restores the GEMM dispatch knobs on scope exit so a failing ASSERT in
+// one test cannot leak a widened budget into the rest of the suite.
+class GemmKnobGuard {
+ public:
+  GemmKnobGuard()
+      : threads_(kernels::gemm_threads()),
+        min_work_(kernels::gemm_parallel_min_work()) {}
+  ~GemmKnobGuard() {
+    kernels::set_gemm_threads(threads_);
+    kernels::set_gemm_parallel_min_work(min_work_);
+  }
+
+ private:
+  int threads_;
+  int64_t min_work_;
+};
+
+void ExpectTensorsBitIdentical(const Tensor& got, const Tensor& want) {
+  ASSERT_TRUE(got.SameShape(want));
+  for (int64_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << "diverged at flat index " << i;
+  }
+}
+
+// Shapes chosen for awkward grids: single-column-chunk, multi-column-chunk,
+// ragged chunk edges (not multiples of 48/256), and k values that straddle
+// the kKC cache block.
+const GemmShape kParallelShapes[] = {
+    {97, 129, 250},   // 3x1 grid, ragged row tail
+    {100, 300, 33},   // 3x2 grid, ragged column tail
+    {48, 256, 241},   // exactly one chunk per axis boundary
+    {49, 257, 240},   // one past each chunk boundary
+    {191, 1040, 7},   // wide n, several column chunks
+};
+
+TEST(ParallelGemmTest, BitIdenticalAcrossThreadCounts) {
+  GemmKnobGuard guard;
+  for (const GemmShape& s : kParallelShapes) {
+    Rng rng(s.m * 131 + s.n * 17 + s.k);
+    Tensor a = Tensor::Randn({s.m, s.k}, &rng);
+    Tensor b = Tensor::Randn({s.k, s.n}, &rng);
+    Tensor bt = Transpose2d(b);
+    Tensor at = Transpose2d(a);
+
+    kernels::set_gemm_threads(1);
+    Tensor ref = MatMul(a, b);
+    Tensor ref_tb = MatMulTransposedB(a, bt);
+    Tensor ref_ta = MatMulTransposedA(at, b);
+
+    kernels::set_gemm_parallel_min_work(0);  // force the wide path
+    for (int t : {2, 4, 8}) {
+      kernels::set_gemm_threads(t);
+      ExpectTensorsBitIdentical(MatMul(a, b), ref);
+      ExpectTensorsBitIdentical(MatMulTransposedB(a, bt), ref_tb);
+      ExpectTensorsBitIdentical(MatMulTransposedA(at, b), ref_ta);
+    }
+  }
+}
+
+// At the DEFAULT min-work threshold the dispatcher flips from narrow to
+// wide between 160^3 and 192^3. Both sides of the boundary must agree with
+// the single-thread result bit-for-bit — the crossover may change speed,
+// never bits.
+TEST(ParallelGemmTest, CrossoverBoundaryBitIdentical) {
+  GemmKnobGuard guard;
+  for (int64_t n : {int64_t{160}, int64_t{161}, int64_t{192}}) {
+    Rng rng(900 + n);
+    Tensor a = Tensor::Randn({n, n}, &rng);
+    Tensor b = Tensor::Randn({n, n}, &rng);
+    kernels::set_gemm_threads(1);
+    Tensor ref = MatMul(a, b);
+    for (int t : {2, 4, 8}) {
+      kernels::set_gemm_threads(t);
+      ExpectTensorsBitIdentical(MatMul(a, b), ref);
+    }
+  }
+}
+
+// The dispatch counters are the observable for the crossover policy: a
+// 160^3 product stays narrow under the default threshold, 192^3 goes wide
+// and reports its panel-task grid.
+TEST(ParallelGemmTest, DispatchCountersTrackCrossover) {
+  GemmKnobGuard guard;
+  Rng rng(77);
+  kernels::set_gemm_threads(4);
+
+  Tensor a160 = Tensor::Randn({160, 160}, &rng);
+  Tensor b160 = Tensor::Randn({160, 160}, &rng);
+  kernels::GemmDispatchCounters before = kernels::ThreadGemmDispatchCounters();
+  MatMul(a160, b160);
+  kernels::GemmDispatchCounters after = kernels::ThreadGemmDispatchCounters();
+  EXPECT_EQ(after.wide, before.wide);
+  EXPECT_EQ(after.narrow, before.narrow + 1);
+
+  Tensor a192 = Tensor::Randn({192, 192}, &rng);
+  Tensor b192 = Tensor::Randn({192, 192}, &rng);
+  before = kernels::ThreadGemmDispatchCounters();
+  MatMul(a192, b192);
+  after = kernels::ThreadGemmDispatchCounters();
+  EXPECT_EQ(after.wide, before.wide + 1);
+  // 192 rows -> 4 row chunks of 48; 192 cols -> 1 column chunk of 256.
+  EXPECT_EQ(after.panel_tasks, before.panel_tasks + 4);
+}
+
+// Conv forward/backward bit-identity: the im2col fan-out and the lowered
+// GEMM must both be invisible to the results at any thread count.
+TEST(ParallelGemmTest, ConvForwardBackwardBitIdenticalAcrossThreads) {
+  GemmKnobGuard guard;
+  Rng rng(4242);
+  Conv2d conv(3, 5, 3, 1, 1, &rng);
+  Tensor x = Tensor::Randn({2, 3, 16, 16}, &rng);
+  Tensor g;
+
+  kernels::set_gemm_threads(1);
+  Tensor ref_y = conv.Forward(x, /*training=*/true);
+  g = Tensor::Randn(ref_y.shape(), &rng);
+  Tensor ref_gin = conv.Backward(g);
+  Tensor ref_dw = conv.Params()[0]->grad;
+  Tensor ref_db = conv.Params()[1]->grad;
+
+  kernels::set_gemm_parallel_min_work(0);
+  for (int t : {2, 4, 8}) {
+    kernels::set_gemm_threads(t);
+    Tensor y = conv.Forward(x, /*training=*/true);
+    ExpectTensorsBitIdentical(y, ref_y);
+    conv.Params()[0]->grad.Fill(0.0f);
+    conv.Params()[1]->grad.Fill(0.0f);
+    Tensor gin = conv.Backward(g);
+    ExpectTensorsBitIdentical(gin, ref_gin);
+    ExpectTensorsBitIdentical(conv.Params()[0]->grad, ref_dw);
+    ExpectTensorsBitIdentical(conv.Params()[1]->grad, ref_db);
+  }
+}
+
+// Nested-parallelism contract: pool workers each running a "parallel" GEMM
+// must neither deadlock nor change bits — inside a ParallelFor region the
+// dispatcher runs sequentially, and concurrent ParallelFor callers fall
+// back sequentially when the worker set is busy. Every pool task's result
+// must equal the single-thread reference.
+TEST(ParallelGemmTest, NestedUnderThreadPoolBitIdentical) {
+  GemmKnobGuard guard;
+  Rng rng(31337);
+  Tensor a = Tensor::Randn({97, 129}, &rng);
+  Tensor b = Tensor::Randn({129, 300}, &rng);
+
+  kernels::set_gemm_threads(1);
+  Tensor ref = MatMul(a, b);
+
+  kernels::set_gemm_parallel_min_work(0);
+  kernels::set_gemm_threads(4);
+  ThreadPool pool(4);
+  std::vector<std::future<Tensor>> results;
+  for (int i = 0; i < 16; ++i) {
+    results.push_back(pool.Submit([&a, &b]() { return MatMul(a, b); }));
+  }
+  for (auto& f : results) {
+    Tensor got = f.get();
+    ExpectTensorsBitIdentical(got, ref);
   }
 }
 

@@ -1,0 +1,32 @@
+// lint-fixture-as: src/serving/rogue_worker.cc
+// lint-expect: raw-thread
+//
+// Known-bad input for the raw-thread rule: a serving-layer class spawning
+// its own std::thread instead of going through runtime/ThreadPool or
+// runtime/ParallelFor. The loose thread has no nested-parallelism contract
+// (it can block inside a pool callback) and no shutdown ordering (it can
+// outlive the session state it captured) — exactly the bugs the runtime
+// layer's primitives exist to make impossible.
+#include <thread>
+
+namespace qcore {
+
+class RogueWorker {
+ public:
+  void Start() {
+    worker_ = std::thread([this] { Pump(); });
+  }
+  void Stop() { worker_.join(); }
+
+ private:
+  void Pump() {}
+
+  std::thread worker_;
+};
+
+// std::this_thread is NOT spawning and must not trip the rule; this line
+// doubles as the false-positive probe for the self-test (if the regex ever
+// loosens to match it, the fixture's expected-rule set stops matching).
+inline void NapBriefly() { std::this_thread::yield(); }
+
+}  // namespace qcore

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-local lint for qcore's concurrency and determinism contracts.
 
-Four rule families, each enforcing an invariant the test suite relies on
+Five rule families, each enforcing an invariant the test suite relies on
 but a compiler cannot check by itself:
 
   naked-sync          No std synchronization primitive (std::mutex,
@@ -16,6 +16,13 @@ but a compiler cannot check by itself:
                       serving plane's determinism contract (bit-identical
                       results for a given seed) only holds if every clock
                       is steady and every RNG is seeded (common/rng.h).
+  raw-thread          No std::thread outside src/runtime/. Threads are an
+                      execution-substrate concern: everything above the
+                      runtime layer composes ThreadPool or ParallelFor,
+                      which own the nested-parallelism and shutdown
+                      contracts a loose thread silently breaks (a pool
+                      worker blocking in join, a detached thread outliving
+                      the object it captured).
   unordered-serialize No iteration over an unordered container inside a
                       Serialize function. Unordered iteration order varies
                       by implementation/run; serialized bytes must not.
@@ -107,6 +114,34 @@ def check_naked_sync(path, rel, lines):
                 "naked-sync", path, i, raw,
                 "raw ." + m.group(2) + "() call; use MutexLock/SharedLock "
                 "or the wrapper's Lock()/Unlock()"))
+    return out
+
+
+# ------------------------------------------------------- rule: raw-thread
+
+# Matches std::thread the type (declarations, constructions, static member
+# calls like hardware_concurrency). Deliberately does NOT match
+# std::this_thread:: — sleeping/yielding is not spawning.
+RAW_THREAD_RE = re.compile(r"std::thread\b")
+
+
+def check_raw_thread(path, rel, lines):
+    """Rule raw-thread: thread spawning stays inside src/runtime/, where
+    the pool/ParallelFor lifecycle contracts live. Tests, benches, and
+    examples may spawn threads to drive the system from outside."""
+    out = []
+    if not rel.startswith("src/") or rel.startswith("src/runtime/"):
+        return out
+    for i, raw in enumerate(lines, 1):
+        if allowed("raw-thread", raw):
+            continue
+        line = strip_comments_and_strings(raw)
+        if RAW_THREAD_RE.search(line):
+            out.append(Finding(
+                "raw-thread", path, i, raw,
+                "raw std::thread outside src/runtime/; use ThreadPool or "
+                "ParallelFor (runtime/) so lifecycle and nesting contracts "
+                "hold"))
     return out
 
 
@@ -318,6 +353,7 @@ def run_rules(files):
     findings = []
     for path, rel, lines in files:
         findings += check_naked_sync(path, rel, lines)
+        findings += check_raw_thread(path, rel, lines)
         findings += check_wall_clock(path, rel, lines)
         findings += check_unordered_serialize(path, rel, lines)
     findings += check_fault_points(files)
